@@ -1,0 +1,89 @@
+// nomap-bench regenerates the paper's evaluation: Table I, Figure 1,
+// Figure 3, the §III-A2 deoptimization counts, Figures 8-11, and Table IV.
+//
+// Usage:
+//
+//	nomap-bench                     # run every experiment
+//	nomap-bench -experiment fig8    # one experiment
+//	nomap-bench -warmup 80 -measure 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nomap/internal/harness"
+	"nomap/internal/vm"
+	"nomap/internal/workloads"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"experiment to run: all|table1|fig1|fig3|deoptfreq|fig8|fig9|fig10|fig11|table4|appendix")
+	warmup := flag.Int("warmup", 60, "warm-up run() calls before measuring")
+	measure := flag.Int("measure", 20, "measured steady-state run() calls")
+	verbose := flag.Bool("v", false, "print per-measurement progress")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Warmup = *warmup
+	cfg.Measure = *measure
+	if *verbose {
+		cfg.Progress = func(w workloads.Workload, arch vm.Arch) {
+			fmt.Fprintf(os.Stderr, "  measured %s (%s) under %v\n", w.ID, w.Name, arch)
+		}
+	}
+
+	type exp struct {
+		name string
+		run  func(harness.Config) (*harness.Table, error)
+	}
+	experiments := []exp{
+		{"table1", harness.Table1},
+		{"fig1", harness.Figure1},
+		{"fig3", func(c harness.Config) (*harness.Table, error) { return figurePair(c, harness.Figure3) }},
+		{"deoptfreq", harness.DeoptFrequency},
+		{"fig8", func(c harness.Config) (*harness.Table, error) { return harness.InstructionFigure("SunSpider", c) }},
+		{"fig9", func(c harness.Config) (*harness.Table, error) { return harness.InstructionFigure("Kraken", c) }},
+		{"fig10", func(c harness.Config) (*harness.Table, error) { return harness.TimeFigure("SunSpider", c) }},
+		{"fig11", func(c harness.Config) (*harness.Table, error) { return harness.TimeFigure("Kraken", c) }},
+		{"table4", harness.Table4},
+		{"appendix", harness.AppendixValidation},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *experiment != "all" && *experiment != e.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		t, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nomap-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.name, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "nomap-bench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+// figurePair runs Figure 3 for both suites and merges the tables.
+func figurePair(cfg harness.Config, f func(string, harness.Config) (*harness.Table, error)) (*harness.Table, error) {
+	a, err := f("SunSpider", cfg)
+	if err != nil {
+		return nil, err
+	}
+	b, err := f("Kraken", cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.Title += "\n\n" + b.Render()
+	return a, nil
+}

@@ -1,0 +1,79 @@
+// Crypto runs a Kraken-style SHA-256 workload and compares the Base and
+// NoMap configurations, demonstrating the overflow-check pressure of
+// integer-heavy crypto kernels (paper Figure 3: overflow checks are the
+// largest category) and the Sticky Overflow Flag's effect on them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nomap"
+)
+
+const sha = `
+var K = new Array(64);
+for (var i = 0; i < 64; i++) K[i] = ((i + 1) * 0x428A2F98) | 0;
+var W = new Array(64);
+
+function compress(blocks) {
+  var h0 = 0x6A09E667 | 0, h1 = 0xBB67AE85 | 0;
+  for (var blk = 0; blk < blocks; blk++) {
+    for (var t = 0; t < 16; t++) W[t] = (blk * 64 + t * 3) | 0;
+    for (var t2 = 16; t2 < 64; t2++) {
+      var a = W[t2 - 2], b = W[t2 - 15];
+      var s1 = ((a >>> 17) | (a << 15)) ^ (a >>> 10);
+      var s0 = ((b >>> 7) | (b << 25)) ^ (b >>> 3);
+      W[t2] = (s1 + W[t2 - 7] + s0 + W[t2 - 16]) | 0;
+    }
+    var x = h0, y = h1;
+    for (var t3 = 0; t3 < 64; t3++) {
+      var tmp = (x + ((y >>> 6) | (y << 26)) + K[t3] + W[t3]) | 0;
+      x = y; y = tmp;
+    }
+    h0 = (h0 + x) | 0; h1 = (h1 + y) | 0;
+  }
+  return h0 ^ h1;
+}
+function run() { return compress(24); }
+`
+
+func measure(arch nomap.Arch) (*nomap.Stats, nomap.Value) {
+	eng := nomap.NewEngine(nomap.Options{Arch: arch})
+	if _, err := eng.Run(sha); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 700; i++ {
+		if _, err := eng.Call("run"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng.ResetStats()
+	var r nomap.Value
+	for i := 0; i < 40; i++ {
+		var err error
+		r, err = eng.Call("run")
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	return eng.Stats(), r
+}
+
+func main() {
+	base, r1 := measure(nomap.ArchBase)
+	nm, r2 := measure(nomap.ArchNoMap)
+	if r1.ToStringValue() != r2.ToStringValue() {
+		log.Fatalf("results diverge: %v vs %v", r1, r2)
+	}
+	fmt.Printf("SHA-256-style kernel, digest %v\n\n", r1)
+	fmt.Printf("%-22s %12s %12s\n", "", "Base", "NoMap")
+	fmt.Printf("%-22s %12d %12d\n", "dynamic instructions", base.TotalInstr(), nm.TotalInstr())
+	fmt.Printf("%-22s %12d %12d\n", "cycles", base.TotalCycles(), nm.TotalCycles())
+	fmt.Printf("%-22s %12d %12d\n", "overflow checks", base.Checks[1], nm.Checks[1])
+	fmt.Printf("%-22s %12d %12d\n", "bounds checks", base.Checks[0], nm.Checks[0])
+	fmt.Printf("%-22s %12d %12d\n", "tx commits", base.TxCommits, nm.TxCommits)
+	fmt.Printf("\nNoMap: %.1f%% fewer instructions, %.1f%% less time\n",
+		100*(1-float64(nm.TotalInstr())/float64(base.TotalInstr())),
+		100*(1-float64(nm.TotalCycles())/float64(base.TotalCycles())))
+}

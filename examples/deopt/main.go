@@ -1,0 +1,74 @@
+// Deopt demonstrates the two recovery paths of the system: a plain
+// deoptimization (a type check fails in FTL code outside a transaction) and
+// a transactional abort (a check converted to an abort fails inside a
+// transaction, rolling back the write set and re-executing the loop in the
+// Baseline tier — the paper's Figure 5 execution).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nomap"
+)
+
+const program = `
+var data = [];
+for (var i = 0; i < 100; i++) data[i] = i;
+
+function sum(a, n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) s += a[i];
+  return s;
+}
+`
+
+func main() {
+	eng := nomap.NewEngine(nomap.Options{Arch: nomap.ArchNoMap})
+	if _, err := eng.Run(program); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: warm sum() on int32 data until it is FTL-compiled with
+	// int32 speculation and transactions.
+	for i := 0; i < 700; i++ {
+		if _, err := eng.Call("sum", eng.Global("data"), 100); err != nil {
+			log.Fatal(err)
+		}
+	}
+	warm := *eng.Stats()
+	fmt.Printf("after warm-up: %d FTL calls, %d tx commits, %d aborts, %d deopts\n",
+		warm.FTLCalls, warm.TxCommits, warm.TxAborts, warm.Deopts)
+
+	// Phase 2: poison the array with a double. The next FTL execution's
+	// element-type speculation fails INSIDE the transaction; the check,
+	// converted to an abort by NoMap, rolls the transaction back and
+	// Baseline re-executes the whole loop (paper Figure 5: Entry3).
+	if _, err := eng.Run(`data[50] = 0.5;`); err != nil {
+		log.Fatal(err)
+	}
+	r, err := eng.Call("sum", eng.Global("data"), 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := *eng.Stats()
+	fmt.Printf("poisoned element -> result %v (expected 4900.5: 4950 - 50 + 0.5)\n", r)
+	fmt.Printf("aborts now %d (was %d): the transaction rolled back and Baseline re-ran the loop\n",
+		after.TxAborts, warm.TxAborts)
+
+	// Phase 3: keep calling; the engine recompiles with double arithmetic
+	// and returns to transactional FTL execution without further aborts.
+	for i := 0; i < 50; i++ {
+		if _, err := eng.Call("sum", eng.Global("data"), 100); err != nil {
+			log.Fatal(err)
+		}
+	}
+	final := *eng.Stats()
+	fmt.Printf("after recompilation: %d commits (+%d), aborts still %d — steady state restored\n",
+		final.TxCommits, final.TxCommits-after.TxCommits, final.TxAborts)
+
+	if final.TxAborts >= after.TxAborts+25 {
+		log.Fatal("engine failed to stabilize after the type change")
+	}
+	fmt.Println("OK: misspeculation handled by abort + reprofile + recompile, results stayed exact")
+}

@@ -1,0 +1,41 @@
+// Quickstart: run a JavaScript program under the NoMap architecture and
+// inspect the engine's measurements.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nomap"
+)
+
+func main() {
+	eng := nomap.NewEngine(nomap.Options{Arch: nomap.ArchNoMap})
+
+	result, err := eng.Run(`
+function sumSquares(n) {
+  var s = 0;
+  for (var i = 1; i <= n; i++) s += i * i;
+  return s;
+}
+// Call it enough times that the function climbs the tiers:
+// Interpreter -> Baseline -> DFG -> FTL (with NoMap transactions).
+var r = 0;
+for (var k = 0; k < 2000; k++) r = sumSquares(500);
+print("sum of squares 1..500 =", r);
+var result = r;
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range eng.Output() {
+		fmt.Println(line)
+	}
+	fmt.Println("result:", result)
+
+	s := eng.Stats()
+	fmt.Printf("dynamic instructions: %d (TMOpt %d, i.e. optimized code inside transactions)\n",
+		s.TotalInstr(), s.Instr[3])
+	fmt.Printf("transactions: %d commits, %d aborts\n", s.TxCommits, s.TxAborts)
+	fmt.Printf("FTL checks executed: %d\n", s.TotalChecks())
+}

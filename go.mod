@@ -1,0 +1,3 @@
+module nomap
+
+go 1.22

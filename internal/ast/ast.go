@@ -1,0 +1,332 @@
+// Package ast defines the abstract syntax tree of the JavaScript subset the
+// engine executes: the dynamically typed, prototype-free core that the
+// SunSpider/Kraken-style workloads are written in.
+package ast
+
+import "fmt"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() Position
+	node()
+}
+
+// Position locates a node in its source file.
+type Position struct {
+	Line, Col int
+}
+
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Program is a parsed source file.
+type Program struct {
+	Body []Stmt
+}
+
+// --- Statements ---
+
+// VarDecl declares one or more variables: var a = 1, b;
+type VarDecl struct {
+	P     Position
+	Names []string
+	Inits []Expr // nil entry means no initializer
+}
+
+// FunctionDecl declares a named function.
+type FunctionDecl struct {
+	P  Position
+	Fn *FunctionLiteral
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	P Position
+	X Expr
+}
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	P    Position
+	Body []Stmt
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	P    Position
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	P    Position
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is a do/while loop.
+type DoWhileStmt struct {
+	P    Position
+	Body Stmt
+	Cond Expr
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	P    Position
+	Init Stmt // VarDecl or ExprStmt or nil
+	Cond Expr // may be nil
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// SwitchStmt is switch (disc) { case e: stmts ... default: stmts }.
+// Cases fall through unless terminated by break, as in JavaScript.
+type SwitchStmt struct {
+	P    Position
+	Disc Expr
+	// Cases holds one entry per case clause; a nil Test marks default.
+	Cases []SwitchCase
+}
+
+// SwitchCase is one case (or default) clause.
+type SwitchCase struct {
+	Test Expr // nil for default
+	Body []Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	P Position
+	X Expr // may be nil
+}
+
+// BreakStmt exits the enclosing loop.
+type BreakStmt struct{ P Position }
+
+// ContinueStmt continues the enclosing loop.
+type ContinueStmt struct{ P Position }
+
+// --- Expressions ---
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	P     Position
+	Value float64
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	P     Position
+	Value string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	P     Position
+	Value bool
+}
+
+// NullLit is null.
+type NullLit struct{ P Position }
+
+// UndefinedLit is undefined.
+type UndefinedLit struct{ P Position }
+
+// Ident is a variable reference.
+type Ident struct {
+	P    Position
+	Name string
+}
+
+// ArrayLit is [e0, e1, ...].
+type ArrayLit struct {
+	P     Position
+	Elems []Expr
+}
+
+// ObjectLit is {k: v, ...}.
+type ObjectLit struct {
+	P      Position
+	Keys   []string
+	Values []Expr
+}
+
+// FunctionLiteral is a function expression or the body of a declaration.
+type FunctionLiteral struct {
+	P      Position
+	Name   string // "" for anonymous
+	Params []string
+	Body   *BlockStmt
+}
+
+// Unary is a prefix operator: - + ! ~ typeof.
+type Unary struct {
+	P  Position
+	Op string
+	X  Expr
+}
+
+// Update is ++x, --x, x++, x--.
+type Update struct {
+	P      Position
+	Op     string // "++" or "--"
+	Prefix bool
+	X      Expr // Ident, Member, or Index
+}
+
+// Binary is a binary operator (arithmetic, bitwise, comparison, equality).
+type Binary struct {
+	P    Position
+	Op   string
+	L, R Expr
+}
+
+// Logical is && or || (short-circuiting).
+type Logical struct {
+	P    Position
+	Op   string
+	L, R Expr
+}
+
+// Assign is target = value or a compound assignment (op is "" for plain =).
+type Assign struct {
+	P      Position
+	Op     string // "", "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", ">>>"
+	Target Expr   // Ident, Member, or Index
+	Value  Expr
+}
+
+// Conditional is c ? a : b.
+type Conditional struct {
+	P          Position
+	Cond, A, B Expr
+}
+
+// Member is x.name.
+type Member struct {
+	P    Position
+	X    Expr
+	Name string
+}
+
+// Index is x[i].
+type Index struct {
+	P    Position
+	X, I Expr
+}
+
+// Call is f(args) or receiver.method(args).
+type Call struct {
+	P      Position
+	Callee Expr
+	Args   []Expr
+	IsNew  bool
+}
+
+func (n *VarDecl) Pos() Position         { return n.P }
+func (n *FunctionDecl) Pos() Position    { return n.P }
+func (n *ExprStmt) Pos() Position        { return n.P }
+func (n *BlockStmt) Pos() Position       { return n.P }
+func (n *IfStmt) Pos() Position          { return n.P }
+func (n *WhileStmt) Pos() Position       { return n.P }
+func (n *DoWhileStmt) Pos() Position     { return n.P }
+func (n *ForStmt) Pos() Position         { return n.P }
+func (n *SwitchStmt) Pos() Position      { return n.P }
+func (n *ReturnStmt) Pos() Position      { return n.P }
+func (n *BreakStmt) Pos() Position       { return n.P }
+func (n *ContinueStmt) Pos() Position    { return n.P }
+func (n *NumberLit) Pos() Position       { return n.P }
+func (n *StringLit) Pos() Position       { return n.P }
+func (n *BoolLit) Pos() Position         { return n.P }
+func (n *NullLit) Pos() Position         { return n.P }
+func (n *UndefinedLit) Pos() Position    { return n.P }
+func (n *Ident) Pos() Position           { return n.P }
+func (n *ArrayLit) Pos() Position        { return n.P }
+func (n *ObjectLit) Pos() Position       { return n.P }
+func (n *FunctionLiteral) Pos() Position { return n.P }
+func (n *Unary) Pos() Position           { return n.P }
+func (n *Update) Pos() Position          { return n.P }
+func (n *Binary) Pos() Position          { return n.P }
+func (n *Logical) Pos() Position         { return n.P }
+func (n *Assign) Pos() Position          { return n.P }
+func (n *Conditional) Pos() Position     { return n.P }
+func (n *Member) Pos() Position          { return n.P }
+func (n *Index) Pos() Position           { return n.P }
+func (n *Call) Pos() Position            { return n.P }
+
+func (*VarDecl) node()         {}
+func (*FunctionDecl) node()    {}
+func (*ExprStmt) node()        {}
+func (*BlockStmt) node()       {}
+func (*IfStmt) node()          {}
+func (*WhileStmt) node()       {}
+func (*DoWhileStmt) node()     {}
+func (*ForStmt) node()         {}
+func (*SwitchStmt) node()      {}
+func (*ReturnStmt) node()      {}
+func (*BreakStmt) node()       {}
+func (*ContinueStmt) node()    {}
+func (*NumberLit) node()       {}
+func (*StringLit) node()       {}
+func (*BoolLit) node()         {}
+func (*NullLit) node()         {}
+func (*UndefinedLit) node()    {}
+func (*Ident) node()           {}
+func (*ArrayLit) node()        {}
+func (*ObjectLit) node()       {}
+func (*FunctionLiteral) node() {}
+func (*Unary) node()           {}
+func (*Update) node()          {}
+func (*Binary) node()          {}
+func (*Logical) node()         {}
+func (*Assign) node()          {}
+func (*Conditional) node()     {}
+func (*Member) node()          {}
+func (*Index) node()           {}
+func (*Call) node()            {}
+
+func (*VarDecl) stmt()      {}
+func (*FunctionDecl) stmt() {}
+func (*ExprStmt) stmt()     {}
+func (*BlockStmt) stmt()    {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*DoWhileStmt) stmt()  {}
+func (*ForStmt) stmt()      {}
+func (*SwitchStmt) stmt()   {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+func (*NumberLit) expr()       {}
+func (*StringLit) expr()       {}
+func (*BoolLit) expr()         {}
+func (*NullLit) expr()         {}
+func (*UndefinedLit) expr()    {}
+func (*Ident) expr()           {}
+func (*ArrayLit) expr()        {}
+func (*ObjectLit) expr()       {}
+func (*FunctionLiteral) expr() {}
+func (*Unary) expr()           {}
+func (*Update) expr()          {}
+func (*Binary) expr()          {}
+func (*Logical) expr()         {}
+func (*Assign) expr()          {}
+func (*Conditional) expr()     {}
+func (*Member) expr()          {}
+func (*Index) expr()           {}
+func (*Call) expr()            {}

@@ -1,0 +1,62 @@
+package ast
+
+import "testing"
+
+func TestPositionString(t *testing.T) {
+	p := Position{Line: 3, Col: 14}
+	if p.String() != "3:14" {
+		t.Errorf("Position.String() = %q", p.String())
+	}
+}
+
+func TestNodePositions(t *testing.T) {
+	p := Position{Line: 7, Col: 2}
+	nodes := []Node{
+		&VarDecl{P: p},
+		&FunctionDecl{P: p},
+		&ExprStmt{P: p},
+		&BlockStmt{P: p},
+		&IfStmt{P: p},
+		&WhileStmt{P: p},
+		&DoWhileStmt{P: p},
+		&ForStmt{P: p},
+		&SwitchStmt{P: p},
+		&ReturnStmt{P: p},
+		&BreakStmt{P: p},
+		&ContinueStmt{P: p},
+		&NumberLit{P: p},
+		&StringLit{P: p},
+		&BoolLit{P: p},
+		&NullLit{P: p},
+		&UndefinedLit{P: p},
+		&Ident{P: p},
+		&ArrayLit{P: p},
+		&ObjectLit{P: p},
+		&FunctionLiteral{P: p},
+		&Unary{P: p},
+		&Update{P: p},
+		&Binary{P: p},
+		&Logical{P: p},
+		&Assign{P: p},
+		&Conditional{P: p},
+		&Member{P: p},
+		&Index{P: p},
+		&Call{P: p},
+	}
+	for _, n := range nodes {
+		if n.Pos() != p {
+			t.Errorf("%T.Pos() = %v", n, n.Pos())
+		}
+	}
+}
+
+// Statements and expressions must satisfy their marker interfaces (compile
+// guarantees, spelled out so the contract is explicit).
+var (
+	_ Stmt = (*VarDecl)(nil)
+	_ Stmt = (*SwitchStmt)(nil)
+	_ Stmt = (*ForStmt)(nil)
+	_ Expr = (*Binary)(nil)
+	_ Expr = (*Call)(nil)
+	_ Expr = (*FunctionLiteral)(nil)
+)

@@ -1,0 +1,281 @@
+package bytecode
+
+import (
+	"nomap/internal/ast"
+)
+
+// Variable resolution. JavaScript vars are function-scoped and hoisted, so a
+// pre-pass collects each function's declarations and marks captures (locals
+// referenced across a function boundary). Slot assignment runs after the
+// whole program is walked — capture marking must complete first because a
+// captured local lives in a closure cell instead of a register. The compiler
+// then classifies each name reference on demand with resolveName.
+
+type refKind uint8
+
+const (
+	refGlobal refKind = iota
+	refLocal
+	refCell
+)
+
+type varRef struct {
+	kind  refKind
+	index int // register or cell index
+	depth int // environment hops for refCell
+}
+
+type localInfo struct {
+	name       string
+	isParam    bool
+	paramIndex int
+	captured   bool
+	reg        int
+	cell       int
+}
+
+type fnInfo struct {
+	lit        *ast.FunctionLiteral
+	parent     *fnInfo
+	locals     map[string]*localInfo
+	order      []*localInfo // declaration order, params first
+	numLocals  int
+	numCells   int
+	uses       bool // usesClosure: captures, is captured from, or nests functions
+	paramCells [][2]int
+}
+
+type resolution struct {
+	fns map[*ast.FunctionLiteral]*fnInfo
+}
+
+func resolveProgram(prog *ast.Program) *resolution {
+	r := &resolution{fns: make(map[*ast.FunctionLiteral]*fnInfo)}
+	// Top level: every var is a global, so the enclosing fnInfo is nil.
+	for _, s := range prog.Body {
+		r.stmt(s, nil)
+	}
+	for _, info := range r.fns {
+		assignSlots(info)
+	}
+	return r
+}
+
+func assignSlots(info *fnInfo) {
+	reg := len(info.lit.Params) // params always hold registers [0, numParams)
+	cell := 0
+	for _, li := range info.order {
+		switch {
+		case li.isParam:
+			li.reg = li.paramIndex
+			if li.captured {
+				li.cell = cell
+				cell++
+				info.paramCells = append(info.paramCells, [2]int{li.paramIndex, li.cell})
+			}
+		case li.captured:
+			li.cell = cell
+			cell++
+		default:
+			li.reg = reg
+			reg++
+		}
+	}
+	info.numLocals = reg
+	info.numCells = cell
+}
+
+// resolveName classifies a reference to name made from function `in` (nil at
+// top level, where everything is global). Must run after assignSlots.
+func (r *resolution) resolveName(name string, in *fnInfo) varRef {
+	depth := 0
+	for cur := in; cur != nil; cur = cur.parent {
+		if li, ok := cur.locals[name]; ok {
+			if li.captured {
+				return varRef{kind: refCell, index: li.cell, depth: depth}
+			}
+			return varRef{kind: refLocal, index: li.reg}
+		}
+		depth++
+	}
+	return varRef{kind: refGlobal}
+}
+
+func (r *resolution) function(lit *ast.FunctionLiteral, parent *fnInfo) *fnInfo {
+	info := &fnInfo{lit: lit, parent: parent, locals: make(map[string]*localInfo)}
+	r.fns[lit] = info
+	if parent != nil {
+		parent.uses = true // nesting pins the parent to lower tiers
+	}
+	declare := func(name string, isParam bool, paramIndex int) {
+		if _, ok := info.locals[name]; ok {
+			return
+		}
+		li := &localInfo{name: name, isParam: isParam, paramIndex: paramIndex}
+		info.locals[name] = li
+		info.order = append(info.order, li)
+	}
+	for i, p := range lit.Params {
+		declare(p, true, i)
+	}
+	collectDecls(lit.Body, func(name string) { declare(name, false, 0) })
+	for _, s := range lit.Body.Body {
+		r.stmt(s, info)
+	}
+	return info
+}
+
+// collectDecls finds hoisted var and function declarations without
+// descending into nested function literals.
+func collectDecls(s ast.Stmt, add func(string)) {
+	switch n := s.(type) {
+	case *ast.VarDecl:
+		for _, name := range n.Names {
+			add(name)
+		}
+	case *ast.FunctionDecl:
+		add(n.Fn.Name)
+	case *ast.BlockStmt:
+		for _, b := range n.Body {
+			collectDecls(b, add)
+		}
+	case *ast.IfStmt:
+		collectDecls(n.Then, add)
+		if n.Else != nil {
+			collectDecls(n.Else, add)
+		}
+	case *ast.WhileStmt:
+		collectDecls(n.Body, add)
+	case *ast.DoWhileStmt:
+		collectDecls(n.Body, add)
+	case *ast.ForStmt:
+		if n.Init != nil {
+			collectDecls(n.Init, add)
+		}
+		collectDecls(n.Body, add)
+	case *ast.SwitchStmt:
+		for _, cs := range n.Cases {
+			for _, st := range cs.Body {
+				collectDecls(st, add)
+			}
+		}
+	}
+}
+
+func (r *resolution) stmt(s ast.Stmt, in *fnInfo) {
+	switch n := s.(type) {
+	case *ast.VarDecl:
+		for _, init := range n.Inits {
+			if init != nil {
+				r.expr(init, in)
+			}
+		}
+	case *ast.FunctionDecl:
+		r.function(n.Fn, in)
+	case *ast.ExprStmt:
+		r.expr(n.X, in)
+	case *ast.BlockStmt:
+		for _, b := range n.Body {
+			r.stmt(b, in)
+		}
+	case *ast.IfStmt:
+		r.expr(n.Cond, in)
+		r.stmt(n.Then, in)
+		if n.Else != nil {
+			r.stmt(n.Else, in)
+		}
+	case *ast.WhileStmt:
+		r.expr(n.Cond, in)
+		r.stmt(n.Body, in)
+	case *ast.DoWhileStmt:
+		r.stmt(n.Body, in)
+		r.expr(n.Cond, in)
+	case *ast.ForStmt:
+		if n.Init != nil {
+			r.stmt(n.Init, in)
+		}
+		if n.Cond != nil {
+			r.expr(n.Cond, in)
+		}
+		if n.Post != nil {
+			r.expr(n.Post, in)
+		}
+		r.stmt(n.Body, in)
+	case *ast.SwitchStmt:
+		r.expr(n.Disc, in)
+		for _, cs := range n.Cases {
+			if cs.Test != nil {
+				r.expr(cs.Test, in)
+			}
+			for _, st := range cs.Body {
+				r.stmt(st, in)
+			}
+		}
+	case *ast.ReturnStmt:
+		if n.X != nil {
+			r.expr(n.X, in)
+		}
+	case *ast.BreakStmt, *ast.ContinueStmt:
+	}
+}
+
+func (r *resolution) expr(e ast.Expr, in *fnInfo) {
+	switch n := e.(type) {
+	case *ast.Ident:
+		r.markCapture(n.Name, in)
+	case *ast.ArrayLit:
+		for _, el := range n.Elems {
+			r.expr(el, in)
+		}
+	case *ast.ObjectLit:
+		for _, v := range n.Values {
+			r.expr(v, in)
+		}
+	case *ast.FunctionLiteral:
+		r.function(n, in)
+	case *ast.Unary:
+		r.expr(n.X, in)
+	case *ast.Update:
+		r.expr(n.X, in)
+	case *ast.Binary:
+		r.expr(n.L, in)
+		r.expr(n.R, in)
+	case *ast.Logical:
+		r.expr(n.L, in)
+		r.expr(n.R, in)
+	case *ast.Assign:
+		r.expr(n.Target, in)
+		r.expr(n.Value, in)
+	case *ast.Conditional:
+		r.expr(n.Cond, in)
+		r.expr(n.A, in)
+		r.expr(n.B, in)
+	case *ast.Member:
+		r.expr(n.X, in)
+	case *ast.Index:
+		r.expr(n.X, in)
+		r.expr(n.I, in)
+	case *ast.Call:
+		r.expr(n.Callee, in)
+		for _, a := range n.Args {
+			r.expr(a, in)
+		}
+	}
+}
+
+// markCapture marks a local captured when referenced across a function
+// boundary, and pins both ends of the capture to the lower tiers.
+func (r *resolution) markCapture(name string, in *fnInfo) {
+	depth := 0
+	for cur := in; cur != nil; cur = cur.parent {
+		if li, ok := cur.locals[name]; ok {
+			if depth > 0 {
+				li.captured = true
+				cur.uses = true
+				in.uses = true
+			}
+			return
+		}
+		depth++
+	}
+}

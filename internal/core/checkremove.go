@@ -1,0 +1,42 @@
+package core
+
+import "nomap/internal/ir"
+
+// RemoveOverflowChecks implements the Sticky Overflow Flag optimization
+// (§IV-C2): inside a transaction, the per-operation overflow checks are
+// removed; arithmetic sets the SOF, and the transaction-end instruction
+// aborts if it is set. Checks are marked Free — they cost zero instructions
+// and vanish from the Figure 3 counts, while the machine still enforces the
+// condition by aborting (which is exactly the architectural behaviour: the
+// overflow is detected, only later). Returns the number removed.
+func RemoveOverflowChecks(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if !v.Op.IsCheck() || v.Deopt != nil || v.Free {
+				continue
+			}
+			if v.Op == ir.OpCheckOverflow || v.Op == ir.OpCheckUint32 {
+				v.Free = true
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RemoveAllChecks implements the unrealistic NoMap_BC upper bound (Table
+// II): every check inside a transaction is removed. Returns the number
+// removed.
+func RemoveAllChecks(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if v.Op.IsCheck() && v.Deopt == nil && !v.Free {
+				v.Free = true
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,301 @@
+package core_test
+
+import (
+	"testing"
+
+	"nomap/internal/bytecode"
+	"nomap/internal/core"
+	"nomap/internal/ir"
+	"nomap/internal/opt"
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+	"nomap/internal/vm"
+)
+
+func buildIR(t *testing.T, src, fname string) *ir.Func {
+	t.Helper()
+	cfg := vm.DefaultConfig()
+	cfg.MaxTier = profile.TierBaseline
+	m := vm.New(cfg)
+	if _, err := m.Run(src); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	fv := m.Globals().Get(fname)
+	bcFn := fv.Object().Fn.Code.(*bytecode.Function)
+	f, err := ir.Build(bcFn, m.ProfileFor(bcFn))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return f
+}
+
+const sumSrc = `
+var arr = [];
+for (var i = 0; i < 64; i++) arr[i] = i;
+function sum(n) {
+  var s = 0;
+  for (var j = 0; j < n; j++) s += arr[j];
+  return s;
+}
+for (var k = 0; k < 40; k++) sum(64);
+var result = sum(64);
+`
+
+func opsOf(f *ir.Func) map[ir.Op]int {
+	m := map[ir.Op]int{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			m[v.Op]++
+		}
+	}
+	return m
+}
+
+func TestFormTransactionsInsertsMarkers(t *testing.T) {
+	f := buildIR(t, sumSrc, "sum")
+	n := core.FormTransactions(f, core.TxLoopNest)
+	if n != 1 {
+		t.Fatalf("formed %d transactions, want 1:\n%s", n, f)
+	}
+	if !f.TxAware {
+		t.Error("TxAware must be set")
+	}
+	ops := opsOf(f)
+	if ops[ir.OpTxBegin] != 1 || ops[ir.OpTxEnd] == 0 {
+		t.Errorf("tx markers: begin=%d end=%d", ops[ir.OpTxBegin], ops[ir.OpTxEnd])
+	}
+	if ops[ir.OpTxTile] != 0 {
+		t.Error("loop-nest level must not tile (tiles only in the retreat level)")
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestFormTransactionsTiled(t *testing.T) {
+	f := buildIR(t, sumSrc, "sum")
+	core.FormTransactions(f, core.TxTiled)
+	ops := opsOf(f)
+	if ops[ir.OpTxTile] == 0 {
+		t.Error("tiled level must insert TxTile at back edges")
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestFormTransactionsOff(t *testing.T) {
+	f := buildIR(t, sumSrc, "sum")
+	if n := core.FormTransactions(f, core.TxOff); n != 0 {
+		t.Errorf("TxOff formed %d transactions", n)
+	}
+	if f.TxAware {
+		t.Error("TxAware must stay false")
+	}
+}
+
+func TestSMPToAbortConversion(t *testing.T) {
+	f := buildIR(t, sumSrc, "sum")
+	// Before: every check has a stack map.
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if v.Op.IsCheck() && v.Deopt == nil {
+				t.Fatalf("check v%d has no SMP before transformation", v.ID)
+			}
+		}
+	}
+	core.FormTransactions(f, core.TxLoopNest)
+	dom := ir.BuildDom(f)
+	loops := ir.FindLoops(f, dom)
+	for _, l := range loops {
+		for b := range l.Blocks {
+			for _, v := range b.Values {
+				if v.Op.IsCheck() && v.Deopt != nil {
+					t.Errorf("in-transaction check v%d still carries an SMP", v.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestTxBeginRecoveryMap(t *testing.T) {
+	f := buildIR(t, sumSrc, "sum")
+	core.FormTransactions(f, core.TxLoopNest)
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpTxBegin {
+				if v.Deopt == nil || len(v.Deopt.Entries) == 0 {
+					t.Fatal("TxBegin must carry a recovery stack map (Entry3)")
+				}
+				// Recovery entries must not reference loop-header phis
+				// directly (they must be resolved along the preheader edge,
+				// so the whole loop re-executes on abort).
+				dom := ir.BuildDom(f)
+				loops := ir.FindLoops(f, dom)
+				for _, e := range v.Deopt.Entries {
+					for _, l := range loops {
+						if e.Val.Op == ir.OpPhi && e.Val.Block == l.Header {
+							t.Errorf("recovery map references loop phi v%d", e.Val.ID)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBoundsCombining(t *testing.T) {
+	f := buildIR(t, sumSrc, "sum")
+	core.FormTransactions(f, core.TxLoopNest)
+	opt.GVN(f)
+	opt.LICM(f)
+	dom := ir.BuildDom(f)
+	loops := ir.FindLoops(f, dom)
+	inLoop := func() int {
+		n := 0
+		for _, l := range loops {
+			for b := range l.Blocks {
+				for _, v := range b.Values {
+					if v.Op == ir.OpCheckBounds {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	before := inLoop()
+	if before == 0 {
+		t.Fatalf("expected an in-loop bounds check:\n%s", f)
+	}
+	removed := core.CombineBoundsChecks(f)
+	if removed == 0 {
+		t.Fatalf("no bounds checks combined:\n%s", f)
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	if got := inLoop(); got != 0 {
+		t.Errorf("%d bounds checks remain in the loop", got)
+	}
+	// The sunk check sits before the TxEnd in the exit block.
+	found := false
+	for _, b := range f.Blocks {
+		for i, v := range b.Values {
+			if v.Op == ir.OpCheckBounds {
+				for j := i + 1; j < len(b.Values); j++ {
+					if b.Values[j].Op == ir.OpTxEnd {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("sunk bounds check must precede TxEnd:\n%s", f)
+	}
+}
+
+func TestBoundsCombiningRequiresTransactions(t *testing.T) {
+	f := buildIR(t, sumSrc, "sum")
+	// Without transactions every check keeps its SMP; combining must refuse.
+	if n := core.CombineBoundsChecks(f); n != 0 {
+		t.Errorf("combined %d checks without transactions (unsound)", n)
+	}
+}
+
+func TestRemoveOverflowChecks(t *testing.T) {
+	f := buildIR(t, sumSrc, "sum")
+	core.FormTransactions(f, core.TxLoopNest)
+	n := core.RemoveOverflowChecks(f)
+	if n == 0 {
+		t.Fatalf("no overflow checks removed:\n%s", f)
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpCheckOverflow && v.Deopt == nil && !v.Free {
+				t.Errorf("in-tx overflow check v%d not freed", v.ID)
+			}
+			if v.Op == ir.OpCheckOverflow && v.Deopt != nil && v.Free {
+				t.Errorf("out-of-tx overflow check v%d wrongly freed", v.ID)
+			}
+		}
+	}
+}
+
+func TestRemoveAllChecks(t *testing.T) {
+	f := buildIR(t, sumSrc, "sum")
+	core.FormTransactions(f, core.TxLoopNest)
+	core.RemoveAllChecks(f)
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if v.Op.IsCheck() && v.Deopt == nil && !v.Free {
+				t.Errorf("in-tx check v%d (%v, class %v) not freed", v.ID, v.Op, stats.CheckClass(v.Check))
+			}
+		}
+	}
+}
+
+func TestTxLevelLadder(t *testing.T) {
+	cases := []struct {
+		from     core.TxLevel
+		hadCalls bool
+		tiling   bool
+		want     core.TxLevel
+	}{
+		{core.TxLoopNest, false, true, core.TxInnermost},
+		{core.TxInnermost, false, true, core.TxTiled},
+		{core.TxTiled, false, true, core.TxOff},
+		{core.TxLoopNest, true, true, core.TxOff},    // calls: straight off
+		{core.TxInnermost, false, false, core.TxOff}, // RTM: no tiling
+	}
+	for _, c := range cases {
+		if got := c.from.Lower(c.hadCalls, c.tiling); got != c.want {
+			t.Errorf("Lower(%v, calls=%v, tiling=%v) = %v, want %v",
+				c.from, c.hadCalls, c.tiling, got, c.want)
+		}
+	}
+}
+
+func TestNestedLoopSelection(t *testing.T) {
+	src := `
+var m = [];
+for (var i = 0; i < 8; i++) { m[i] = []; for (var j = 0; j < 8; j++) m[i][j] = i + j; }
+function total(n) {
+  var s = 0;
+  for (var i = 0; i < n; i++)
+    for (var j = 0; j < n; j++)
+      s += m[i][j];
+  return s;
+}
+for (var k = 0; k < 40; k++) total(8);
+var result = total(8);
+`
+	f := buildIR(t, src, "total")
+	if n := core.FormTransactions(f, core.TxLoopNest); n != 1 {
+		t.Errorf("loop-nest level: %d transactions, want 1 (outermost only)", n)
+	}
+	g := buildIR(t, src, "total")
+	if n := core.FormTransactions(g, core.TxInnermost); n != 1 {
+		t.Errorf("innermost level: %d transactions, want 1 (the inner loop)", n)
+	}
+	// The innermost selection must wrap the deeper loop.
+	dom := ir.BuildDom(g)
+	loops := ir.FindLoops(g, dom)
+	for _, l := range loops {
+		hasBegin := false
+		if p := l.Preheader(); p != nil {
+			for _, v := range p.Values {
+				if v.Op == ir.OpTxBegin {
+					hasBegin = true
+				}
+			}
+		}
+		if l.Depth == 2 && !hasBegin {
+			t.Error("inner loop should carry the transaction at TxInnermost")
+		}
+		if l.Depth == 1 && hasBegin {
+			t.Error("outer loop should not carry the transaction at TxInnermost")
+		}
+	}
+}

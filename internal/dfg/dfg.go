@@ -1,0 +1,28 @@
+// Package dfg is the third compiler tier (paper Figure 2): it builds
+// speculative SSA from Baseline profiles and runs a light cleanup pipeline.
+// Compared with FTL it lacks the LLVM-grade pass pipeline and instruction
+// selection, which the machine models with higher per-op weights.
+package dfg
+
+import (
+	"nomap/internal/bytecode"
+	"nomap/internal/ir"
+	"nomap/internal/opt"
+	"nomap/internal/profile"
+)
+
+// Compile builds DFG-tier code for fn.
+func Compile(fn *bytecode.Function, prof *profile.FunctionProfile) (*ir.Func, error) {
+	f, err := ir.Build(fn, prof)
+	if err != nil {
+		return nil, err
+	}
+	// The DFG tier runs local cleanups plus its check-removal phases:
+	// TypeCheckHoisting (modelled directly) and IntegerCheckCombining
+	// (modelled by the builder's block-local fact cache plus GVN) — both
+	// limited by SMPs, as the paper observes (§III-A1).
+	opt.HoistTypeChecks(f)
+	opt.GVN(f)
+	opt.DCE(f)
+	return f, nil
+}

@@ -1,0 +1,64 @@
+// Package ftl is the highest compiler tier (paper Figure 2): speculative
+// SSA from Baseline profiles, the full "-O2-grade" optimization pipeline,
+// and — under the NoMap configurations — the transaction formation and check
+// optimizations of the paper (§IV). Pass order follows the paper: the
+// transformation runs before the optimization passes so that every pass
+// sees aborts instead of SMPs (§IV-B).
+package ftl
+
+import (
+	"nomap/internal/bytecode"
+	"nomap/internal/core"
+	"nomap/internal/ir"
+	"nomap/internal/opt"
+	"nomap/internal/profile"
+)
+
+// Options selects the architecture-dependent parts of the pipeline
+// (Table II configurations).
+type Options struct {
+	// Transactions enables NoMap's transaction formation at TxLevel.
+	Transactions bool
+	TxLevel      core.TxLevel
+	// CombineBounds enables bounds-check hoisting/sinking (NoMap_B).
+	CombineBounds bool
+	// RemoveOverflow enables SOF-based overflow-check removal (NoMap).
+	RemoveOverflow bool
+	// RemoveAll removes every in-transaction check (NoMap_BC).
+	RemoveAll bool
+}
+
+// Compile builds FTL-tier code for fn under the given configuration.
+func Compile(fn *bytecode.Function, prof *profile.FunctionProfile, opts Options) (*ir.Func, error) {
+	f, err := ir.Build(fn, prof)
+	if err != nil {
+		return nil, err
+	}
+	// JavaScriptCore's own check-removal phases run first (they exist in
+	// every configuration; SMPs limit them, paper §III-A1)...
+	opt.HoistTypeChecks(f)
+	// ...then NoMap's transformation, before the main optimization passes
+	// (§IV-B)...
+	if opts.Transactions && opts.TxLevel != core.TxOff {
+		core.FormTransactions(f, opts.TxLevel)
+	}
+	// ...then the "-O2-grade" pipeline, now free of in-transaction SMPs.
+	opt.GVN(f)
+	opt.LICM(f)
+	opt.PromoteLoopStores(f)
+	if opts.CombineBounds {
+		core.CombineBoundsChecks(f)
+	}
+	if opts.RemoveOverflow {
+		core.RemoveOverflowChecks(f)
+	}
+	if opts.RemoveAll {
+		core.RemoveAllChecks(f)
+	}
+	opt.GVN(f)
+	opt.DCE(f)
+	// Block layout cleanup last: LLVM-quality codegen merges straight-line
+	// chains, which the DFG tier's simpler backend does not.
+	opt.SimplifyCFG(f)
+	return f, nil
+}

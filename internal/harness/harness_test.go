@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+	"nomap/internal/vm"
+	"nomap/internal/workloads"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Warmup = 50
+	cfg.Measure = 5
+	return cfg
+}
+
+func TestRunSteadyState(t *testing.T) {
+	w, _ := workloads.ByID("S10")
+	m, err := Run(w, vm.ArchBase, profile.TierFTL, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Result == "" {
+		t.Error("no result recorded")
+	}
+	if m.Counters.TotalInstr() == 0 {
+		t.Error("no instructions measured")
+	}
+	if m.Counters.FTLCalls == 0 {
+		t.Error("steady state must execute FTL code")
+	}
+	// Steady state: warm-up tiers should contribute nothing after reset.
+	if m.Counters.InterpOps > m.Counters.TotalInstr()/10 {
+		t.Errorf("interpreter still dominant after warm-up: %d of %d",
+			m.Counters.InterpOps, m.Counters.TotalInstr())
+	}
+	if m.FTLInstr() == 0 {
+		t.Error("FTLInstr must be nonzero")
+	}
+}
+
+func TestRunNoMapReducesInstructions(t *testing.T) {
+	w, _ := workloads.ByID("S10") // the paper's SOF showcase
+	cfg := testConfig()
+	base, err := Run(w, vm.ArchBase, profile.TierFTL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := Run(w, vm.ArchNoMap, profile.TierFTL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.Result != base.Result {
+		t.Fatalf("results diverge: %q vs %q", nm.Result, base.Result)
+	}
+	if nm.Counters.TotalInstr() >= base.Counters.TotalInstr() {
+		t.Errorf("NoMap (%d) should execute fewer instructions than Base (%d)",
+			nm.Counters.TotalInstr(), base.Counters.TotalInstr())
+	}
+	if nm.Counters.Instr[stats.TMOpt] == 0 {
+		t.Error("NoMap must execute transactional code")
+	}
+}
+
+func TestMatrixVerifiesResults(t *testing.T) {
+	suite := []workloads.Workload{}
+	for _, id := range []string{"S10", "S18"} {
+		w, _ := workloads.ByID(id)
+		suite = append(suite, w)
+	}
+	m, err := Matrix(suite, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("matrix has %d workloads", len(m))
+	}
+	for id, per := range m {
+		if len(per) != len(vm.AllArchs) {
+			t.Errorf("%s: %d archs measured", id, len(per))
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Columns: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("row1", 1.5)
+	tab.AddRow("longer-row-name", 42)
+	out := tab.Render()
+	for _, want := range []string{"T\n", "name", "value", "row1", "1.500", "42", "longer-row-name", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("rendered %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean of empty must be 0")
+	}
+	if got := mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+// A miniature end-to-end experiment: Figure 3's machinery on two workloads
+// must produce per-class rates that sum to the total.
+func TestFigure3Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	tab, err := Figure3("Kraken", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var avgS []string
+	for _, row := range tab.Rows {
+		if row[0] == "AvgS" {
+			avgS = row
+		}
+	}
+	if avgS == nil {
+		t.Fatal("no AvgS row")
+	}
+	sum := 0.0
+	for _, cell := range avgS[1:6] {
+		var f float64
+		if _, err := fmtSscan(cell, &f); err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		sum += f
+	}
+	var total float64
+	fmtSscan(avgS[6], &total)
+	if diff := sum - total; diff > 0.3 || diff < -0.3 {
+		t.Errorf("class sum %.1f != total %.1f", sum, total)
+	}
+	if total < 2 || total > 40 {
+		t.Errorf("AvgS total %.1f outside plausible range", total)
+	}
+}
+
+// fmtSscan is a tiny strconv wrapper for table cells.
+func fmtSscan(s string, f *float64) (int, error) {
+	v, err := strconvParse(s)
+	if err != nil {
+		return 0, err
+	}
+	*f = v
+	return 1, nil
+}
+
+func strconvParse(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}

@@ -1,0 +1,355 @@
+// Package htm simulates the two hardware transactional memories the paper
+// evaluates (paper §V-A, §VI-A/B):
+//
+//   - Lightweight, rollback-only HTM modelled on IBM POWER8's ROT mode: only
+//     the write footprint is tracked (it must fit the 256KB 8-way L2), commit
+//     is a flash-clear of speculative-write bits (~5 cycles), transaction
+//     begin costs a fence, and a Sticky Overflow Flag (SOF) is provided.
+//
+//   - Heavyweight Intel RTM: transactional writes must fit the 32KB 8-way
+//     L1D, reads are also tracked and must fit the 256KB L2, commit stalls
+//     for the write buffer (~13 cycles), in-transaction reads are ~20%
+//     slower, and there is no SOF.
+//
+// JavaScript is single-threaded, so there are no conflict aborts; aborts are
+// caused by failed checks, capacity overflow, SOF, or irrevocable events.
+package htm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode selects the HTM flavour.
+type Mode uint8
+
+const (
+	// ModeROT is the lightweight rollback-only mode (IBM POWER8 ROT).
+	ModeROT Mode = iota
+	// ModeRTM is Intel's heavyweight Restricted Transactional Memory.
+	ModeRTM
+)
+
+// Config describes the transactional capacity and timing model.
+type Config struct {
+	Mode Mode
+
+	// Write-set capacity geometry (derived from the backing cache).
+	WriteSets int
+	WriteWays int
+	// Read-set capacity geometry (RTM only; zero disables read tracking).
+	ReadSets int
+	ReadWays int
+
+	LineSize int
+
+	// BeginCycles models XBegin (the mfence the emulation platform uses).
+	BeginCycles int64
+	// CommitCycles models XEnd (flash-clear for ROT, drain for RTM).
+	CommitCycles int64
+	// ReadPenaltyNum/Den scale in-transaction read latency (RTM: 6/5).
+	ReadPenaltyNum int64
+	ReadPenaltyDen int64
+	// HasSOF reports Sticky Overflow Flag support (ROT extension, §V-B).
+	HasSOF bool
+}
+
+// ROTConfig is the paper's lightweight HTM: writes fit the 256KB 8-way L2,
+// no read tracking, 5-cycle commit, SOF available.
+func ROTConfig() Config {
+	return Config{
+		Mode:           ModeROT,
+		WriteSets:      512, // 256KB / 64B / 8 ways
+		WriteWays:      8,
+		LineSize:       64,
+		BeginCycles:    30,
+		CommitCycles:   5,
+		ReadPenaltyNum: 1,
+		ReadPenaltyDen: 1,
+		HasSOF:         true,
+	}
+}
+
+// RTMConfig is Intel RTM: writes fit the 32KB 8-way L1D, reads fit the
+// 256KB 8-way L2, 13-cycle commit, 20% read penalty, no SOF (paper §VI-B).
+func RTMConfig() Config {
+	return Config{
+		Mode:           ModeRTM,
+		WriteSets:      64, // 32KB / 64B / 8 ways
+		WriteWays:      8,
+		ReadSets:       512,
+		ReadWays:       8,
+		LineSize:       64,
+		BeginCycles:    30,
+		CommitCycles:   13,
+		ReadPenaltyNum: 6,
+		ReadPenaltyDen: 5,
+		HasSOF:         false,
+	}
+}
+
+// AbortCause classifies aborts (RTM exposes this via the abort code, which
+// the runtime uses to pick a recovery strategy, paper §VI-B).
+type AbortCause uint8
+
+const (
+	AbortCheck AbortCause = iota // converted SMP-guarding check failed
+	AbortCapacity
+	AbortSOF
+	AbortIrrevocable // I/O or other irrevocable event
+)
+
+// String names the cause.
+func (c AbortCause) String() string {
+	switch c {
+	case AbortCheck:
+		return "check"
+	case AbortCapacity:
+		return "capacity"
+	case AbortSOF:
+		return "sticky-overflow"
+	case AbortIrrevocable:
+		return "irrevocable"
+	}
+	return "?"
+}
+
+// ErrNoTransaction is returned for commit/abort without an open transaction.
+var ErrNoTransaction = errors.New("htm: no open transaction")
+
+// ErrIrrevocable is returned by the runtime when an irrevocable operation
+// (I/O) is attempted inside a transaction; the machine aborts the
+// transaction and the operation re-executes non-transactionally in the
+// Baseline tier.
+var ErrIrrevocable = errors.New("htm: irrevocable operation inside transaction")
+
+// CapacityError signals that a transactional access overflowed the cache.
+type CapacityError struct {
+	Write bool
+	Set   int
+}
+
+func (e *CapacityError) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("htm: transactional %s footprint overflowed cache set %d", kind, e.Set)
+}
+
+// Txn is one open (possibly flat-nested) transaction.
+type Txn struct {
+	// Owner is an opaque token identifying the frame that opened the
+	// outermost transaction of the nest; aborts unwind to it.
+	Owner any
+	// Recover is opaque recovery state (the machine stores the TxBegin's
+	// stack map and value table here).
+	Recover any
+
+	depth      int
+	writeLines map[uint64]struct{}
+	writeSets  []uint8
+	readLines  map[uint64]struct{}
+	readSets   []uint8
+	undo       []func()
+	sof        bool
+}
+
+// WriteBytes returns the write footprint in bytes.
+func (t *Txn) WriteBytes() int64 { return int64(len(t.writeLines)) * 64 }
+
+// ReadBytes returns the tracked read footprint in bytes.
+func (t *Txn) ReadBytes() int64 { return int64(len(t.readLines)) * 64 }
+
+// MaxWriteAssoc returns the maximum number of transactional write lines
+// mapping to a single cache set (Table IV column 3).
+func (t *Txn) MaxWriteAssoc() int {
+	m := uint8(0)
+	for _, n := range t.writeSets {
+		if n > m {
+			m = n
+		}
+	}
+	return int(m)
+}
+
+// System is the HTM state for one simulated hardware context.
+type System struct {
+	cfg Config
+	txn *Txn
+
+	// Statistics over the system lifetime.
+	Begins   int64
+	Commits  int64
+	Aborts   [4]int64
+	MaxWrite int64
+	MaxRead  int64
+	MaxAssoc int64
+	// TotalCommittedWriteBytes accumulates footprints of committed
+	// transactions for averaging (Table IV).
+	TotalCommittedWriteBytes int64
+}
+
+// New creates an HTM system.
+func New(cfg Config) *System { return &System{cfg: cfg} }
+
+// Config returns the configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// InTx reports whether a transaction is open.
+func (s *System) InTx() bool { return s.txn != nil }
+
+// Current returns the open transaction, or nil.
+func (s *System) Current() *Txn { return s.txn }
+
+// Begin opens a transaction, or increments the nest depth when one is open
+// (flattened nesting, paper §V-A). It returns true when this call opened the
+// outermost transaction; only then are owner/recover recorded. XBegin clears
+// the SOF (paper §V-B).
+func (s *System) Begin(owner, recover any) bool {
+	if s.txn != nil {
+		s.txn.depth++
+		return false
+	}
+	s.Begins++
+	s.txn = &Txn{
+		Owner:      owner,
+		Recover:    recover,
+		depth:      1,
+		writeLines: make(map[uint64]struct{}, 64),
+		writeSets:  make([]uint8, s.cfg.WriteSets),
+	}
+	if s.cfg.ReadSets > 0 {
+		s.txn.readLines = make(map[uint64]struct{}, 256)
+		s.txn.readSets = make([]uint8, s.cfg.ReadSets)
+	}
+	return true
+}
+
+// RecordWrite tracks a transactional store covering [addr, addr+size) and
+// registers its undo action. A capacity overflow returns an error; the
+// caller is expected to abort.
+func (s *System) RecordWrite(addr uint64, size int, undo func()) error {
+	t := s.txn
+	if t == nil {
+		return ErrNoTransaction
+	}
+	t.undo = append(t.undo, undo)
+	first := addr / uint64(s.cfg.LineSize)
+	last := (addr + uint64(size) - 1) / uint64(s.cfg.LineSize)
+	for line := first; line <= last; line++ {
+		if _, ok := t.writeLines[line]; ok {
+			continue
+		}
+		set := int(line % uint64(s.cfg.WriteSets))
+		if int(t.writeSets[set]) >= s.cfg.WriteWays {
+			return &CapacityError{Write: true, Set: set}
+		}
+		t.writeLines[line] = struct{}{}
+		t.writeSets[set]++
+	}
+	return nil
+}
+
+// RecordRead tracks a transactional load (RTM only; a no-op for ROT, whose
+// hardware does not buffer the read footprint).
+func (s *System) RecordRead(addr uint64, size int) error {
+	t := s.txn
+	if t == nil {
+		return ErrNoTransaction
+	}
+	if t.readLines == nil {
+		return nil
+	}
+	first := addr / uint64(s.cfg.LineSize)
+	last := (addr + uint64(size) - 1) / uint64(s.cfg.LineSize)
+	for line := first; line <= last; line++ {
+		if _, ok := t.readLines[line]; ok {
+			continue
+		}
+		// Writes occupy L2 too under RTM; approximate by counting both.
+		set := int(line % uint64(s.cfg.ReadSets))
+		if int(t.readSets[set]) >= s.cfg.ReadWays {
+			return &CapacityError{Write: false, Set: set}
+		}
+		t.readLines[line] = struct{}{}
+		t.readSets[set]++
+	}
+	return nil
+}
+
+// SetSOF records a sticky overflow (arithmetic overflowed inside the
+// transaction with its overflow check elided).
+func (s *System) SetSOF() {
+	if s.txn != nil {
+		s.txn.sof = true
+	}
+}
+
+// SOF reports the sticky overflow flag.
+func (s *System) SOF() bool { return s.txn != nil && s.txn.sof }
+
+// Commit closes one nesting level. Only the outermost commit retires the
+// transaction; XEnd aborts instead if the SOF is set (paper §V-B) — the
+// caller must check SOF first. Returns whether the outermost level
+// committed.
+func (s *System) Commit() (bool, error) {
+	t := s.txn
+	if t == nil {
+		return false, ErrNoTransaction
+	}
+	t.depth--
+	if t.depth > 0 {
+		return false, nil
+	}
+	s.Commits++
+	s.noteFootprint(t)
+	s.TotalCommittedWriteBytes += t.WriteBytes()
+	s.txn = nil
+	return true, nil
+}
+
+// Abort rolls back the whole nest: undo actions run in reverse order, the
+// transaction is discarded, and statistics are recorded.
+func (s *System) Abort(cause AbortCause) error {
+	t := s.txn
+	if t == nil {
+		return ErrNoTransaction
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i]()
+	}
+	s.Aborts[cause]++
+	s.noteFootprint(t)
+	s.txn = nil
+	return nil
+}
+
+func (s *System) noteFootprint(t *Txn) {
+	if wb := t.WriteBytes(); wb > s.MaxWrite {
+		s.MaxWrite = wb
+	}
+	if rb := t.ReadBytes(); rb > s.MaxRead {
+		s.MaxRead = rb
+	}
+	if a := int64(t.MaxWriteAssoc()); a > s.MaxAssoc {
+		s.MaxAssoc = a
+	}
+}
+
+// TotalAborts sums aborts across causes.
+func (s *System) TotalAborts() int64 {
+	var t int64
+	for _, n := range s.Aborts {
+		t += n
+	}
+	return t
+}
+
+// AvgCommittedWriteBytes returns the mean committed write footprint.
+func (s *System) AvgCommittedWriteBytes() int64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return s.TotalCommittedWriteBytes / s.Commits
+}

@@ -1,0 +1,252 @@
+package htm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBeginCommit(t *testing.T) {
+	s := New(ROTConfig())
+	if s.InTx() {
+		t.Fatal("no transaction should be open initially")
+	}
+	if !s.Begin("owner", "recover") {
+		t.Fatal("first Begin must open the outermost transaction")
+	}
+	if !s.InTx() {
+		t.Fatal("transaction should be open")
+	}
+	if s.Current().Owner != "owner" || s.Current().Recover != "recover" {
+		t.Fatal("owner/recover not recorded")
+	}
+	outer, err := s.Commit()
+	if err != nil || !outer {
+		t.Fatalf("Commit = %v, %v", outer, err)
+	}
+	if s.InTx() {
+		t.Fatal("transaction should be closed")
+	}
+	if s.Begins != 1 || s.Commits != 1 {
+		t.Errorf("begins=%d commits=%d", s.Begins, s.Commits)
+	}
+}
+
+func TestFlattenedNesting(t *testing.T) {
+	s := New(ROTConfig())
+	if !s.Begin(1, nil) {
+		t.Fatal("outermost")
+	}
+	if s.Begin(2, nil) {
+		t.Fatal("nested Begin must not open a new transaction")
+	}
+	if s.Current().Owner != 1 {
+		t.Fatal("owner must stay the outermost frame")
+	}
+	if outer, _ := s.Commit(); outer {
+		t.Fatal("inner commit must not retire the transaction")
+	}
+	if !s.InTx() {
+		t.Fatal("still open after inner commit")
+	}
+	if outer, _ := s.Commit(); !outer {
+		t.Fatal("outer commit must retire")
+	}
+	if s.Begins != 1 || s.Commits != 1 {
+		t.Errorf("flattening miscounted: begins=%d commits=%d", s.Begins, s.Commits)
+	}
+}
+
+func TestUndoLogRollsBackInReverse(t *testing.T) {
+	s := New(ROTConfig())
+	s.Begin(1, nil)
+	var log []int
+	s.RecordWrite(0, 8, func() { log = append(log, 1) })
+	s.RecordWrite(64, 8, func() { log = append(log, 2) })
+	s.RecordWrite(128, 8, func() { log = append(log, 3) })
+	if err := s.Abort(AbortCheck); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 3 || log[0] != 3 || log[1] != 2 || log[2] != 1 {
+		t.Errorf("undo order = %v, want [3 2 1]", log)
+	}
+	if s.InTx() {
+		t.Fatal("aborted transaction must be closed")
+	}
+	if s.Aborts[AbortCheck] != 1 {
+		t.Error("abort cause not recorded")
+	}
+}
+
+func TestAbortRollsBackNest(t *testing.T) {
+	s := New(ROTConfig())
+	s.Begin(1, nil)
+	s.Begin(2, nil) // flattened
+	ran := false
+	s.RecordWrite(0, 8, func() { ran = true })
+	if err := s.Abort(AbortCapacity); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("undo must run for the whole nest")
+	}
+	if s.InTx() {
+		t.Error("whole nest must be gone")
+	}
+}
+
+func TestWriteCapacityPerSet(t *testing.T) {
+	cfg := ROTConfig()
+	cfg.WriteSets = 4
+	cfg.WriteWays = 2
+	s := New(cfg)
+	s.Begin(1, nil)
+	// Lines 0, 4, 8 all map to set 0 (line % 4); ways = 2.
+	if err := s.RecordWrite(0*64, 8, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordWrite(4*64, 8, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RecordWrite(8*64, 8, func() {})
+	if err == nil {
+		t.Fatal("third line in a 2-way set must overflow")
+	}
+	ce, ok := err.(*CapacityError)
+	if !ok || !ce.Write || ce.Set != 0 {
+		t.Errorf("error = %#v", err)
+	}
+	// Different set still fits.
+	if err := s.RecordWrite(1*64, 8, func() {}); err != nil {
+		t.Errorf("set 1 should fit: %v", err)
+	}
+}
+
+func TestReadTrackingOnlyRTM(t *testing.T) {
+	rot := New(ROTConfig())
+	rot.Begin(1, nil)
+	for i := 0; i < 100000; i += 64 {
+		if err := rot.RecordRead(uint64(i), 8); err != nil {
+			t.Fatalf("ROT must not track reads: %v", err)
+		}
+	}
+	rot.Commit()
+
+	cfg := RTMConfig()
+	cfg.ReadSets = 2
+	cfg.ReadWays = 1
+	rtm := New(cfg)
+	rtm.Begin(1, nil)
+	if err := rtm.RecordRead(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtm.RecordRead(2*64, 8); err == nil {
+		t.Fatal("RTM read set must overflow")
+	}
+}
+
+func TestMultiLineWrite(t *testing.T) {
+	s := New(ROTConfig())
+	s.Begin(1, nil)
+	// A 16-byte write straddling a line boundary occupies two lines.
+	if err := s.RecordWrite(56, 16, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Current().WriteBytes(); got != 128 {
+		t.Errorf("WriteBytes = %d, want 128 (two lines)", got)
+	}
+}
+
+func TestSOF(t *testing.T) {
+	s := New(ROTConfig())
+	if !s.Config().HasSOF {
+		t.Fatal("ROT has the SOF extension")
+	}
+	if RTMConfig().HasSOF {
+		t.Fatal("RTM has no SOF (paper §VI-B)")
+	}
+	s.Begin(1, nil)
+	if s.SOF() {
+		t.Fatal("XBegin clears the SOF")
+	}
+	s.SetSOF()
+	if !s.SOF() {
+		t.Fatal("SOF should be set")
+	}
+	s.Abort(AbortSOF)
+	if s.SOF() {
+		t.Fatal("no transaction, no SOF")
+	}
+}
+
+func TestFootprintStats(t *testing.T) {
+	s := New(ROTConfig())
+	s.Begin(1, nil)
+	for i := 0; i < 10; i++ {
+		s.RecordWrite(uint64(i*64), 8, func() {})
+	}
+	tx := s.Current()
+	if tx.WriteBytes() != 640 {
+		t.Errorf("WriteBytes = %d", tx.WriteBytes())
+	}
+	if tx.MaxWriteAssoc() != 1 {
+		t.Errorf("MaxWriteAssoc = %d, want 1 (10 distinct sets)", tx.MaxWriteAssoc())
+	}
+	s.Commit()
+	if s.MaxWrite != 640 {
+		t.Errorf("MaxWrite = %d", s.MaxWrite)
+	}
+	if s.AvgCommittedWriteBytes() != 640 {
+		t.Errorf("AvgCommittedWriteBytes = %d", s.AvgCommittedWriteBytes())
+	}
+}
+
+func TestErrorsWithoutTransaction(t *testing.T) {
+	s := New(ROTConfig())
+	if _, err := s.Commit(); err != ErrNoTransaction {
+		t.Error("Commit without tx must fail")
+	}
+	if err := s.Abort(AbortCheck); err != ErrNoTransaction {
+		t.Error("Abort without tx must fail")
+	}
+	if err := s.RecordWrite(0, 8, func() {}); err != ErrNoTransaction {
+		t.Error("RecordWrite without tx must fail")
+	}
+}
+
+func TestAbortCauseStrings(t *testing.T) {
+	for c, want := range map[AbortCause]string{
+		AbortCheck: "check", AbortCapacity: "capacity",
+		AbortSOF: "sticky-overflow", AbortIrrevocable: "irrevocable",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+// Property: for any sequence of line writes (bounded so the 512x8 write set
+// cannot overflow), WriteBytes equals 64 bytes per distinct line, and the
+// undo log length equals the number of writes.
+func TestQuickWriteSetAccounting(t *testing.T) {
+	cfg := ROTConfig()
+	f := func(lines []uint8) bool {
+		s := New(cfg)
+		s.Begin(1, nil)
+		distinct := map[uint64]bool{}
+		undos := 0
+		for _, l := range lines {
+			if err := s.RecordWrite(uint64(l)*64, 8, func() { undos++ }); err != nil {
+				return false
+			}
+			distinct[uint64(l)] = true
+		}
+		if s.Current().WriteBytes() != int64(len(distinct))*64 {
+			return false
+		}
+		s.Abort(AbortCheck)
+		return undos == len(lines)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,531 @@
+// Package interp executes bytecode for the two lowest tiers: the Interpreter
+// (tier 0) and the Baseline "compiler" (tier 1). Both run the same bytecode;
+// the Baseline tier adds inline caches, type-feedback recording, and a lower
+// per-op instruction cost, modelling the Baseline JIT's templated machine
+// code. The Baseline executor can start at an arbitrary pc with a
+// materialized register file — that is the OSR-exit (deoptimization) entry
+// path used by the DFG and FTL tiers (paper §II-B).
+package interp
+
+import (
+	"fmt"
+
+	"nomap/internal/bytecode"
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+	"nomap/internal/value"
+)
+
+// Host is the engine facade the executor calls back into for everything that
+// crosses function boundaries: calls, construction, builtin method dispatch,
+// profiling storage, and measurement.
+type Host interface {
+	// Shapes returns the VM's shape table.
+	Shapes() *value.ShapeTable
+	// Globals returns the global object.
+	Globals() *value.Object
+	// Call invokes a function value through the tiering machinery.
+	Call(fn *value.Function, this value.Value, args []value.Value) (value.Value, error)
+	// Construct implements `new fn(args)`.
+	Construct(fn *value.Function, args []value.Value) (value.Value, error)
+	// InvokeMethod performs recv.name(args), dispatching to own properties
+	// or builtin prototypes (strings, arrays, Math, ...).
+	InvokeMethod(recv value.Value, name string, args []value.Value) (value.Value, error)
+	// MakeClosure wraps a nested bytecode function and its defining
+	// environment into a callable value.
+	MakeClosure(fn *bytecode.Function, env *value.Environment) value.Value
+	// ProfileFor returns the (unique) profile of a bytecode function.
+	ProfileFor(fn *bytecode.Function) *profile.FunctionProfile
+	// Counters returns the run's measurement sink.
+	Counters() *stats.Counters
+	// InTransaction reports whether a hardware transaction is active, so
+	// cycles executed here are attributed to TMTime (paper Figures 10/11).
+	InTransaction() bool
+}
+
+// RuntimeError is a JavaScript-level runtime error (TypeError-like).
+type RuntimeError struct {
+	Msg  string
+	Line int32
+	Fn   string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error in %s (line %d): %s", e.Fn, e.Line, e.Msg)
+}
+
+// Frame is an activation record. Regs is the canonical deopt state.
+type Frame struct {
+	Fn   *bytecode.Function
+	Regs []value.Value
+	Env  *value.Environment
+	PC   int
+}
+
+// NewFrame allocates a frame for fn with arguments installed and captured
+// parameters copied into cells by the function prologue bytecode.
+func NewFrame(fn *bytecode.Function, env *value.Environment, args []value.Value) *Frame {
+	fr := &Frame{Fn: fn, Regs: make([]value.Value, fn.NumRegs), Env: env}
+	for i := range fr.Regs {
+		fr.Regs[i] = value.Undefined()
+	}
+	n := fn.NumParams
+	if len(args) < n {
+		n = len(args)
+	}
+	copy(fr.Regs[:n], args[:n])
+	return fr
+}
+
+// Exec runs fr from fr.PC until a return, under the given tier's cost model.
+func Exec(h Host, fr *Frame, tier profile.Tier) (value.Value, error) {
+	fn := fr.Fn
+	code := fn.Code
+	regs := fr.Regs
+	baseline := tier != profile.TierInterp
+	var prof *profile.FunctionProfile
+	if baseline {
+		prof = h.ProfileFor(fn)
+	}
+	ctrs := h.Counters()
+	inTx := h.InTransaction()
+
+	var instrs int64
+	flush := func() {
+		ctrs.AddInstr(stats.NoFTL, instrs)
+		ctrs.AddCycles(instrs, inTx) // lower tiers: IPC 1 model
+		if baseline {
+			ctrs.BaselineOps += instrs
+		} else {
+			ctrs.InterpOps += instrs
+		}
+		instrs = 0
+	}
+	defer flush()
+
+	errf := func(in bytecode.Instr, format string, args ...any) error {
+		return &RuntimeError{Msg: fmt.Sprintf(format, args...), Line: in.Line, Fn: fn.Name}
+	}
+
+	for {
+		in := code[fr.PC]
+		if baseline {
+			instrs += baselineBaseCost
+		} else {
+			instrs += interpDispatchCost
+		}
+		switch in.Op {
+		case bytecode.OpNop:
+
+		case bytecode.OpLoadConst:
+			regs[in.A] = fn.Consts[in.B]
+			instrs += costMove(baseline)
+
+		case bytecode.OpLoadUndef:
+			regs[in.A] = value.Undefined()
+			instrs += costMove(baseline)
+
+		case bytecode.OpMove:
+			regs[in.A] = regs[in.B]
+			instrs += costMove(baseline)
+
+		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv,
+			bytecode.OpMod, bytecode.OpBitAnd, bytecode.OpBitOr, bytecode.OpBitXor,
+			bytecode.OpShl, bytecode.OpShr, bytecode.OpUShr,
+			bytecode.OpLess, bytecode.OpLessEq, bytecode.OpGreater,
+			bytecode.OpGreaterEq, bytecode.OpEq, bytecode.OpNeq,
+			bytecode.OpStrictEq, bytecode.OpStrictNeq:
+			a, b := regs[in.B], regs[in.C]
+			if baseline {
+				prof.Arith[fr.PC].Observe(a, b)
+			}
+			res := evalBinary(in.Op, a, b)
+			if baseline && !res.IsInt32() {
+				// Int32 fast path escaped to double: record the overflow so
+				// the speculative tiers compile this site with doubles.
+				switch in.Op {
+				case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul:
+					if a.IsInt32() && b.IsInt32() {
+						prof.Arith[fr.PC].SawOverflow = true
+					}
+				case bytecode.OpUShr:
+					prof.Arith[fr.PC].SawOverflow = true
+				}
+			}
+			regs[in.A] = res
+			instrs += costArith(baseline, a, b)
+
+		case bytecode.OpNeg:
+			if baseline {
+				prof.Arith[fr.PC].Observe(regs[in.B], regs[in.B])
+			}
+			res := value.Neg(regs[in.B])
+			if baseline && regs[in.B].IsInt32() && !res.IsInt32() {
+				prof.Arith[fr.PC].SawOverflow = true
+			}
+			regs[in.A] = res
+			instrs += costArith(baseline, regs[in.B], regs[in.B])
+		case bytecode.OpNot:
+			regs[in.A] = value.Boolean(!regs[in.B].ToBoolean())
+			instrs += costMove(baseline) + 1
+		case bytecode.OpBitNot:
+			regs[in.A] = value.BitNot(regs[in.B])
+			instrs += costArith(baseline, regs[in.B], regs[in.B])
+		case bytecode.OpTypeof:
+			regs[in.A] = value.Str(regs[in.B].TypeOf())
+			instrs += costSlowCall(baseline)
+		case bytecode.OpToNumber:
+			v := regs[in.B]
+			if v.IsNumber() {
+				regs[in.A] = v
+				instrs += costMove(baseline)
+			} else {
+				regs[in.A] = value.Number(v.ToNumber())
+				instrs += costSlowCall(baseline)
+			}
+
+		case bytecode.OpJump:
+			if int(in.A) <= fr.PC { // loop back edge
+				if baseline {
+					prof.BackEdgeCount++
+				}
+				instrs++
+			}
+			fr.PC = int(in.A)
+			continue
+		case bytecode.OpJumpIfTrue:
+			instrs += 2
+			if regs[in.A].ToBoolean() {
+				fr.PC = int(in.B)
+				continue
+			}
+		case bytecode.OpJumpIfFalse:
+			instrs += 2
+			if !regs[in.A].ToBoolean() {
+				fr.PC = int(in.B)
+				continue
+			}
+
+		case bytecode.OpReturn:
+			instrs += costReturn(baseline)
+			return regs[in.A], nil
+
+		case bytecode.OpCall:
+			callee := regs[in.B]
+			if !callee.IsCallable() {
+				return value.Undefined(), errf(in, "%s is not a function", callee.TypeOf())
+			}
+			cf := callee.Object().Fn
+			if baseline {
+				prof.Calls[fr.PC].Observe(cf)
+			}
+			instrs += costCall(baseline)
+			flush()
+			res, err := h.Call(cf, value.Undefined(), regs[in.C:in.C+in.D])
+			if err != nil {
+				return value.Undefined(), err
+			}
+			inTx = h.InTransaction()
+			regs[in.A] = res
+
+		case bytecode.OpCallMethod:
+			recv := regs[in.B]
+			if baseline && recv.IsObject() {
+				o := recv.Object()
+				if m := o.Get(fn.Names[in.E]); m.IsCallable() {
+					prof.Calls[fr.PC].ObserveMethod(m.Object().Fn, o.Shape)
+				} else {
+					prof.Calls[fr.PC].Poly = true
+				}
+			} else if baseline {
+				prof.Calls[fr.PC].Poly = true
+			}
+			instrs += costCall(baseline) + 4
+			flush()
+			res, err := h.InvokeMethod(recv, fn.Names[in.E], regs[in.C:in.C+in.D])
+			if err != nil {
+				return value.Undefined(), err
+			}
+			inTx = h.InTransaction()
+			regs[in.A] = res
+
+		case bytecode.OpNew:
+			callee := regs[in.B]
+			if !callee.IsCallable() {
+				return value.Undefined(), errf(in, "%s is not a constructor", callee.TypeOf())
+			}
+			instrs += costCall(baseline) + 6
+			flush()
+			res, err := h.Construct(callee.Object().Fn, regs[in.C:in.C+in.D])
+			if err != nil {
+				return value.Undefined(), err
+			}
+			inTx = h.InTransaction()
+			regs[in.A] = res
+
+		case bytecode.OpNewObject:
+			regs[in.A] = value.Obj(value.NewObject(h.Shapes()))
+			instrs += costAlloc(baseline)
+		case bytecode.OpNewArray:
+			regs[in.A] = value.Obj(value.NewArray(h.Shapes(), int(in.B)))
+			instrs += costAlloc(baseline)
+
+		case bytecode.OpGetProp:
+			obj := regs[in.B]
+			v, cost, err := getProp(h, prof, baseline, obj, fn.Names[in.C], int(in.D))
+			if err != nil {
+				return value.Undefined(), errf(in, "%v", err)
+			}
+			regs[in.A] = v
+			instrs += cost
+
+		case bytecode.OpSetProp:
+			obj := regs[in.A]
+			cost, err := setProp(h, prof, baseline, obj, fn.Names[in.B], regs[in.C], int(in.D))
+			if err != nil {
+				return value.Undefined(), errf(in, "%v", err)
+			}
+			instrs += cost
+
+		case bytecode.OpGetElem:
+			v, cost, err := getElem(prof, baseline, regs[in.B], regs[in.C], fr.PC)
+			if err != nil {
+				return value.Undefined(), errf(in, "%v", err)
+			}
+			regs[in.A] = v
+			instrs += cost
+
+		case bytecode.OpSetElem:
+			cost, err := setElem(prof, baseline, regs[in.A], regs[in.B], regs[in.C], fr.PC)
+			if err != nil {
+				return value.Undefined(), errf(in, "%v", err)
+			}
+			instrs += cost
+
+		case bytecode.OpSetElemI:
+			obj := regs[in.A]
+			if o := obj.Object(); o != nil && o.IsArray {
+				o.SetElement(int(in.B), regs[in.C])
+			} else {
+				return value.Undefined(), errf(in, "array literal target is not an array")
+			}
+			instrs += costElem(baseline)
+
+		case bytecode.OpGetGlobal:
+			g := h.Globals()
+			name := fn.Names[in.B]
+			if !g.Has(name) {
+				return value.Undefined(), errf(in, "%s is not defined", name)
+			}
+			regs[in.A] = g.Get(name)
+			instrs += costGlobal(baseline)
+
+		case bytecode.OpSetGlobal:
+			h.Globals().Set(fn.Names[in.A], regs[in.B])
+			instrs += costGlobal(baseline)
+
+		case bytecode.OpGetCell:
+			regs[in.A] = fr.Env.At(int(in.B), int(in.C)).V
+			instrs += costCell(baseline, int(in.B))
+		case bytecode.OpSetCell:
+			fr.Env.At(int(in.A), int(in.B)).V = regs[in.C]
+			instrs += costCell(baseline, int(in.A))
+
+		case bytecode.OpMakeClosure:
+			regs[in.A] = h.MakeClosure(fn.Funcs[in.B], fr.Env)
+			instrs += costAlloc(baseline) + 4
+
+		default:
+			return value.Undefined(), errf(in, "unknown opcode %v", in.Op)
+		}
+		fr.PC++
+	}
+}
+
+func evalBinary(op bytecode.Op, a, b value.Value) value.Value {
+	switch op {
+	case bytecode.OpAdd:
+		return value.Add(a, b)
+	case bytecode.OpSub:
+		return value.Sub(a, b)
+	case bytecode.OpMul:
+		return value.Mul(a, b)
+	case bytecode.OpDiv:
+		return value.Div(a, b)
+	case bytecode.OpMod:
+		return value.Mod(a, b)
+	case bytecode.OpBitAnd:
+		return value.BitAnd(a, b)
+	case bytecode.OpBitOr:
+		return value.BitOr(a, b)
+	case bytecode.OpBitXor:
+		return value.BitXor(a, b)
+	case bytecode.OpShl:
+		return value.Shl(a, b)
+	case bytecode.OpShr:
+		return value.Shr(a, b)
+	case bytecode.OpUShr:
+		return value.UShr(a, b)
+	case bytecode.OpLess:
+		return value.Compare(a, b, "<")
+	case bytecode.OpLessEq:
+		return value.Compare(a, b, "<=")
+	case bytecode.OpGreater:
+		return value.Compare(a, b, ">")
+	case bytecode.OpGreaterEq:
+		return value.Compare(a, b, ">=")
+	case bytecode.OpEq:
+		return value.Boolean(value.LooseEquals(a, b))
+	case bytecode.OpNeq:
+		return value.Boolean(!value.LooseEquals(a, b))
+	case bytecode.OpStrictEq:
+		return value.Boolean(value.StrictEquals(a, b))
+	case bytecode.OpStrictNeq:
+		return value.Boolean(!value.StrictEquals(a, b))
+	}
+	panic("evalBinary: not a binary op")
+}
+
+// getProp implements property load with the Baseline tier's monomorphic
+// inline cache. Cost reflects IC hit (shape compare + slot load) vs. miss
+// (full hash lookup via a runtime call).
+func getProp(h Host, prof *profile.FunctionProfile, baseline bool, obj value.Value, name string, icSlot int) (value.Value, int64, error) {
+	switch obj.Kind() {
+	case value.KindObject:
+		o := obj.Object()
+		if baseline {
+			ic := &prof.ICs[icSlot]
+			if o.IsArray && name == "length" {
+				ic.SawArrayLength = true
+				return value.Int(int32(o.Length)), propICHitCost, nil
+			}
+			if ic.Shape == o.Shape {
+				ic.Hits++
+				return o.GetSlot(ic.Offset), propICHitCost, nil
+			}
+			off := o.OffsetOf(name)
+			if off >= 0 {
+				if ic.Shape != nil {
+					ic.Poly = true
+				}
+				ic.Shape, ic.Offset = o.Shape, off
+			}
+			ic.Misses++
+			return o.Get(name), propMissCost, nil
+		}
+		return o.Get(name), propMissCost, nil
+	case value.KindString:
+		if name == "length" {
+			return value.Int(int32(len(obj.StringVal()))), propICHitCost + 2, nil
+		}
+		return value.Undefined(), propMissCost, nil
+	case value.KindUndefined, value.KindNull:
+		return value.Undefined(), 0, fmt.Errorf("cannot read property %q of %s", name, obj.TypeOf())
+	default:
+		if baseline {
+			prof.ICs[icSlot].SawNonObject = true
+		}
+		return value.Undefined(), propMissCost, nil
+	}
+}
+
+func setProp(h Host, prof *profile.FunctionProfile, baseline bool, obj value.Value, name string, v value.Value, icSlot int) (int64, error) {
+	o := obj.Object()
+	if o == nil {
+		return 0, fmt.Errorf("cannot set property %q of %s", name, obj.TypeOf())
+	}
+	if baseline {
+		ic := &prof.ICs[icSlot]
+		if !(o.IsArray && name == "length") {
+			if ic.Shape == o.Shape && ic.NewShape == nil {
+				// Replace-in-place hit.
+				if off := o.OffsetOf(name); off == ic.Offset && off >= 0 {
+					ic.Hits++
+					o.SetSlot(off, v)
+					return propICHitCost, nil
+				}
+			}
+			if ic.Shape == o.Shape && ic.NewShape != nil {
+				// Cached transition (property add) hit.
+				ic.Hits++
+				o.Set(name, v)
+				return propICHitCost + 2, nil
+			}
+			before := o.Shape
+			off := o.OffsetOf(name)
+			o.Set(name, v)
+			if ic.Shape != nil && ic.Shape != before {
+				ic.Poly = true
+			}
+			ic.Shape = before
+			if off >= 0 {
+				ic.Offset = off
+				ic.NewShape = nil
+			} else {
+				ic.NewShape = o.Shape
+			}
+			ic.Misses++
+			return propMissCost, nil
+		}
+	}
+	o.Set(name, v)
+	return propMissCost, nil
+}
+
+// getElem implements the generic loadArrayValue runtime call: in-bounds
+// array reads return the element, holes and out-of-bounds return undefined,
+// non-array objects fall back to property lookup (paper §IV-B).
+func getElem(prof *profile.FunctionProfile, baseline bool, obj, idx value.Value, pc int) (value.Value, int64, error) {
+	o := obj.Object()
+	if o == nil {
+		if obj.IsString() {
+			i := int(idx.ToNumber())
+			s := obj.StringVal()
+			if idx.IsNumber() && float64(i) == idx.ToNumber() && i >= 0 && i < len(s) {
+				return value.Str(s[i : i+1]), elemCost + 4, nil
+			}
+			return value.Undefined(), elemCost + 4, nil
+		}
+		return value.Undefined(), 0, fmt.Errorf("cannot index %s", obj.TypeOf())
+	}
+	if o.IsArray && idx.IsNumber() {
+		fi := idx.ToNumber()
+		i := int(fi)
+		if float64(i) == fi {
+			inBounds := o.InBounds(i)
+			hole := inBounds && o.HasHoleAt(i)
+			if baseline {
+				prof.Elem[pc].Observe(obj, idx, inBounds, hole)
+			}
+			return o.GetElement(i), elemCost, nil
+		}
+	}
+	if baseline {
+		prof.Elem[pc].Observe(obj, idx, false, false)
+	}
+	return o.Get(idx.ToStringValue()), elemCost + propMissCost, nil
+}
+
+func setElem(prof *profile.FunctionProfile, baseline bool, obj, idx, v value.Value, pc int) (int64, error) {
+	o := obj.Object()
+	if o == nil {
+		return 0, fmt.Errorf("cannot index-assign %s", obj.TypeOf())
+	}
+	if o.IsArray && idx.IsNumber() {
+		fi := idx.ToNumber()
+		i := int(fi)
+		if float64(i) == fi && i >= 0 {
+			inBounds := o.InBounds(i)
+			if baseline {
+				prof.Elem[pc].Observe(obj, idx, inBounds, false)
+			}
+			o.SetElement(i, v)
+			return elemCost, nil
+		}
+	}
+	if baseline {
+		prof.Elem[pc].Observe(obj, idx, false, false)
+	}
+	o.Set(idx.ToStringValue(), v)
+	return elemCost + propMissCost, nil
+}

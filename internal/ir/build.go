@@ -1,0 +1,833 @@
+package ir
+
+import (
+	"fmt"
+
+	"nomap/internal/bytecode"
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+	"nomap/internal/value"
+)
+
+// Build constructs speculative SSA IR for a bytecode function using the
+// Baseline tier's profile. This is where the paper's check-heavy code shape
+// comes from: every speculation (int32 arithmetic, monomorphic property
+// access, dense-array element access, known callee) is guarded by a check
+// carrying a deoptimization Stack Map Point. SSA construction follows Braun
+// et al.'s sealed-block algorithm.
+//
+// Build returns an error for functions the speculative tiers decline
+// (closure users); the VM keeps those in Baseline.
+func Build(bc *bytecode.Function, prof *profile.FunctionProfile) (*Func, error) {
+	if bc.UsesClosure {
+		return nil, fmt.Errorf("ir: %s uses closures; pinned to Baseline", bc.Name)
+	}
+	b := &builder{
+		bc:         bc,
+		prof:       prof,
+		f:          NewFunc(bc.Name, bc),
+		defs:       make(map[*Block]map[int]*Value),
+		sealed:     make(map[*Block]bool),
+		filled:     make(map[*Block]bool),
+		incomplete: make(map[*Block]map[int]*Value),
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+	return b.f, nil
+}
+
+type builder struct {
+	bc   *bytecode.Function
+	prof *profile.FunctionProfile
+	f    *Func
+
+	leaders  []int          // sorted leader pcs
+	blockAt  map[int]*Block // leader pc -> block
+	blockEnd map[*Block]int // exclusive end pc
+
+	defs       map[*Block]map[int]*Value
+	sealed     map[*Block]bool
+	filled     map[*Block]bool
+	incomplete map[*Block]map[int]*Value
+
+	cur *Block
+	pc  int
+
+	// Block-local checked facts for redundant-check elimination during
+	// construction (modelling the DFG tier's existing check-removal passes,
+	// paper §III-A1). Shape/array facts are invalidated by calls.
+	factShape map[*Value]*value.Shape
+	factArray map[*Value]bool
+	// Value-permanent representation facts (SSA values are immutable).
+	factInt map[*Value]bool
+	factNum map[*Value]bool
+
+	undef *Value
+}
+
+func (b *builder) run() error {
+	b.findLeaders()
+	b.buildCFG()
+
+	// Synthetic entry holding parameters and initial undefined registers.
+	entry := b.f.Blocks[len(b.f.Blocks)-1] // created last in buildCFG
+	b.f.Entry = entry
+	b.sealed[entry] = true
+	b.filled[entry] = true
+	b.defs[entry] = make(map[int]*Value)
+	b.undef = entry.NewValue(OpConst, TypeGeneric)
+	b.undef.AuxVal = value.Undefined()
+	for i := 0; i < b.bc.NumParams; i++ {
+		p := entry.NewValue(OpParam, TypeGeneric)
+		p.AuxInt = int64(i)
+		b.defs[entry][i] = p
+	}
+	for i := b.bc.NumParams; i < b.bc.NumRegs; i++ {
+		b.defs[entry][i] = b.undef
+	}
+	b.maybeSeal(b.blockAt[0])
+
+	for _, leader := range b.leaders {
+		if err := b.fillBlock(b.blockAt[leader], leader); err != nil {
+			return err
+		}
+	}
+	b.removeTrivialPhis()
+	return nil
+}
+
+func (b *builder) findLeaders() {
+	isLeader := map[int]bool{0: true}
+	for pc, in := range b.bc.Code {
+		switch in.Op {
+		case bytecode.OpJump:
+			isLeader[int(in.A)] = true
+			isLeader[pc+1] = true
+		case bytecode.OpJumpIfTrue, bytecode.OpJumpIfFalse:
+			isLeader[int(in.B)] = true
+			isLeader[pc+1] = true
+		case bytecode.OpReturn:
+			isLeader[pc+1] = true
+		}
+	}
+	for pc := range isLeader {
+		if pc < len(b.bc.Code) {
+			b.leaders = append(b.leaders, pc)
+		}
+	}
+	sortInts(b.leaders)
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func (b *builder) buildCFG() {
+	b.blockAt = make(map[int]*Block, len(b.leaders))
+	b.blockEnd = make(map[*Block]int, len(b.leaders))
+	for _, pc := range b.leaders {
+		b.blockAt[pc] = b.f.NewBlock()
+	}
+	for i, pc := range b.leaders {
+		blk := b.blockAt[pc]
+		end := len(b.bc.Code)
+		if i+1 < len(b.leaders) {
+			end = b.leaders[i+1]
+		}
+		b.blockEnd[blk] = end
+		last := b.bc.Code[end-1]
+		switch last.Op {
+		case bytecode.OpJump:
+			blk.Kind = BlockPlain
+			AddEdge(blk, b.blockAt[int(last.A)])
+		case bytecode.OpJumpIfTrue:
+			blk.Kind = BlockIf
+			AddEdge(blk, b.blockAt[int(last.B)]) // taken when true
+			AddEdge(blk, b.blockAt[end])         // fallthrough when false
+		case bytecode.OpJumpIfFalse:
+			blk.Kind = BlockIf
+			AddEdge(blk, b.blockAt[end])         // fallthrough when true
+			AddEdge(blk, b.blockAt[int(last.B)]) // taken when false
+		case bytecode.OpReturn:
+			blk.Kind = BlockReturn
+		default:
+			blk.Kind = BlockPlain
+			if end < len(b.bc.Code) {
+				AddEdge(blk, b.blockAt[end])
+			} else {
+				// Compiler always emits a trailing return; defensive.
+				blk.Kind = BlockReturn
+			}
+		}
+	}
+	entry := b.f.NewBlock()
+	AddEdge(entry, b.blockAt[0])
+}
+
+// --- Braun SSA construction ---
+
+func (b *builder) writeVar(blk *Block, reg int, v *Value) {
+	d, ok := b.defs[blk]
+	if !ok {
+		d = make(map[int]*Value)
+		b.defs[blk] = d
+	}
+	d[reg] = v
+}
+
+func (b *builder) readVar(blk *Block, reg int) *Value {
+	if v, ok := b.defs[blk][reg]; ok {
+		return v
+	}
+	return b.readVarRecursive(blk, reg)
+}
+
+func (b *builder) readVarRecursive(blk *Block, reg int) *Value {
+	var v *Value
+	switch {
+	case !b.sealed[blk]:
+		phi := blk.InsertValueAt(0, OpPhi, TypeGeneric)
+		inc, ok := b.incomplete[blk]
+		if !ok {
+			inc = make(map[int]*Value)
+			b.incomplete[blk] = inc
+		}
+		inc[reg] = phi
+		v = phi
+	case len(blk.Preds) == 1:
+		v = b.readVar(blk.Preds[0], reg)
+	default:
+		phi := blk.InsertValueAt(0, OpPhi, TypeGeneric)
+		b.writeVar(blk, reg, phi)
+		b.addPhiOperands(phi, reg)
+		return phi
+	}
+	b.writeVar(blk, reg, v)
+	return v
+}
+
+func (b *builder) addPhiOperands(phi *Value, reg int) {
+	for _, p := range phi.Block.Preds {
+		phi.Args = append(phi.Args, b.readVar(p, reg))
+	}
+	phi.Type = mergeTypes(phi.Args)
+}
+
+func mergeTypes(vals []*Value) Type {
+	t := TypeGeneric
+	for i, v := range vals {
+		if v == nil {
+			continue
+		}
+		if i == 0 || t == TypeGeneric {
+			t = v.Type
+		} else if v.Type != t {
+			return TypeGeneric
+		}
+	}
+	return t
+}
+
+func (b *builder) maybeSeal(blk *Block) {
+	if b.sealed[blk] {
+		return
+	}
+	for _, p := range blk.Preds {
+		if !b.filled[p] {
+			return
+		}
+	}
+	b.sealed[blk] = true
+	for reg, phi := range b.incomplete[blk] {
+		b.addPhiOperands(phi, reg)
+	}
+	delete(b.incomplete, blk)
+}
+
+// removeTrivialPhis iteratively replaces phis whose operands are all the
+// same value (or the phi itself) with that value, rewriting every use,
+// including stack maps.
+func (b *builder) removeTrivialPhis() {
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range b.f.Blocks {
+			for _, v := range blk.Values {
+				if v.Op != OpPhi {
+					continue
+				}
+				var same *Value
+				trivial := true
+				for _, a := range v.Args {
+					if a == v || a == same {
+						continue
+					}
+					if same != nil {
+						trivial = false
+						break
+					}
+					same = a
+				}
+				if trivial && same != nil {
+					ReplaceUses(b.f, v, same)
+					blk.RemoveValue(v)
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// ReplaceUses rewrites every use of old with new across argument lists,
+// block controls, and stack maps.
+func ReplaceUses(f *Func, old, new *Value) {
+	for _, blk := range f.Blocks {
+		for _, v := range blk.Values {
+			for i, a := range v.Args {
+				if a == old {
+					v.Args[i] = new
+				}
+			}
+			if v.Deopt != nil {
+				for i := range v.Deopt.Entries {
+					if v.Deopt.Entries[i].Val == old {
+						v.Deopt.Entries[i].Val = new
+					}
+				}
+			}
+		}
+		if blk.Control == old {
+			blk.Control = new
+		}
+		if blk.EntryState != nil {
+			for i := range blk.EntryState.Entries {
+				if blk.EntryState.Entries[i].Val == old {
+					blk.EntryState.Entries[i].Val = new
+				}
+			}
+		}
+	}
+}
+
+// snapshot captures the Stack Map for the current bytecode pc: the Baseline
+// register state that deoptimization must materialize.
+func (b *builder) snapshot() *StackMap {
+	sm := &StackMap{PC: b.pc}
+	for r := 0; r < b.bc.NumRegs; r++ {
+		sm.Entries = append(sm.Entries, StackMapEntry{Reg: r, Val: b.readVar(b.cur, r)})
+	}
+	return sm
+}
+
+// --- block filling ---
+
+func (b *builder) resetFacts() {
+	b.factShape = make(map[*Value]*value.Shape)
+	b.factArray = make(map[*Value]bool)
+}
+
+func (b *builder) invalidateHeapFacts() {
+	b.factShape = make(map[*Value]*value.Shape)
+	b.factArray = make(map[*Value]bool)
+}
+
+func (b *builder) fillBlock(blk *Block, start int) error {
+	b.cur = blk
+	b.maybeSeal(blk) // seals unreachable blocks (no predecessors)
+	b.resetFacts()
+	if b.factInt == nil {
+		b.factInt = make(map[*Value]bool)
+		b.factNum = make(map[*Value]bool)
+	}
+	blk.StartPC = start
+	b.pc = start
+	blk.EntryState = b.snapshot()
+	end := b.blockEnd[blk]
+	for pc := start; pc < end; pc++ {
+		b.pc = pc
+		if err := b.instr(b.bc.Code[pc]); err != nil {
+			return err
+		}
+	}
+	b.filled[blk] = true
+	for _, s := range blk.Succs {
+		b.maybeSeal(s)
+	}
+	return nil
+}
+
+func (b *builder) emit(op Op, t Type, args ...*Value) *Value {
+	v := b.cur.NewValue(op, t, args...)
+	v.BCPos = b.pc
+	return v
+}
+
+// emitCheck creates a guarded check with a fresh Stack Map Point.
+func (b *builder) emitCheck(op Op, class stats.CheckClass, args ...*Value) *Value {
+	v := b.emit(op, TypeNone, args...)
+	v.Check = class
+	v.Deopt = b.snapshot()
+	return v
+}
+
+func (b *builder) constVal(val value.Value) *Value {
+	t := TypeGeneric
+	switch val.Kind() {
+	case value.KindInt32:
+		t = TypeInt32
+	case value.KindDouble:
+		t = TypeDouble
+	case value.KindBool:
+		t = TypeBool
+	case value.KindString:
+		t = TypeString
+	case value.KindObject:
+		t = TypeObject
+	}
+	v := b.emit(OpConst, t)
+	v.AuxVal = val
+	return v
+}
+
+// ensureInt32 returns vv usable as int32, inserting a type check when the
+// static type does not already guarantee it.
+func (b *builder) ensureInt32(v *Value) *Value {
+	if v.Type == TypeInt32 || b.factInt[v] {
+		return v
+	}
+	b.emitCheck(OpCheckInt32, stats.CheckType, v)
+	b.factInt[v] = true
+	return v
+}
+
+// ensureDouble returns a double-typed view of v, checking it is numeric
+// first when needed.
+func (b *builder) ensureDouble(v *Value) *Value {
+	switch v.Type {
+	case TypeDouble:
+		return v
+	case TypeInt32:
+		return b.emit(OpIntToDouble, TypeDouble, v)
+	}
+	if !b.factNum[v] && !b.factInt[v] {
+		b.emitCheck(OpCheckNumber, stats.CheckType, v)
+		b.factNum[v] = true
+	}
+	return b.emit(OpNumberToDouble, TypeDouble, v)
+}
+
+// ensureArray checks v is a dense array (once per block per value).
+func (b *builder) ensureArray(v *Value) {
+	if b.factArray[v] {
+		return
+	}
+	b.emitCheck(OpCheckArray, stats.CheckType, v)
+	b.factArray[v] = true
+}
+
+// ensureShape checks v has the given shape (once per block per value,
+// invalidated by calls).
+func (b *builder) ensureShape(v *Value, shape *value.Shape) {
+	if b.factShape[v] == shape {
+		return
+	}
+	chk := b.emitCheck(OpCheckShape, stats.CheckProperty, v)
+	chk.Shape = shape
+	b.factShape[v] = shape
+}
+
+func (b *builder) toBool(v *Value) *Value {
+	if v.Type == TypeBool {
+		return v
+	}
+	return b.emit(OpToBool, TypeBool, v)
+}
+
+// runtimeCall emits a generic runtime call (full barrier).
+func (b *builder) runtimeCall(entry string, aux int64, t Type, args ...*Value) *Value {
+	v := b.emit(OpCallRuntime, t, args...)
+	v.AuxStr = entry
+	v.AuxInt = aux
+	b.invalidateHeapFacts()
+	return v
+}
+
+func (b *builder) instr(in bytecode.Instr) error {
+	switch in.Op {
+	case bytecode.OpNop:
+		return nil
+
+	case bytecode.OpLoadConst:
+		b.writeVar(b.cur, int(in.A), b.constVal(b.bc.Consts[in.B]))
+	case bytecode.OpLoadUndef:
+		b.writeVar(b.cur, int(in.A), b.undef)
+	case bytecode.OpMove:
+		b.writeVar(b.cur, int(in.A), b.readVar(b.cur, int(in.B)))
+
+	case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul,
+		bytecode.OpDiv, bytecode.OpMod,
+		bytecode.OpBitAnd, bytecode.OpBitOr, bytecode.OpBitXor,
+		bytecode.OpShl, bytecode.OpShr, bytecode.OpUShr,
+		bytecode.OpLess, bytecode.OpLessEq, bytecode.OpGreater,
+		bytecode.OpGreaterEq, bytecode.OpEq, bytecode.OpNeq,
+		bytecode.OpStrictEq, bytecode.OpStrictNeq:
+		return b.binary(in)
+
+	case bytecode.OpNeg:
+		v := b.readVar(b.cur, int(in.B))
+		fb := &b.prof.Arith[b.pc]
+		switch {
+		case fb.IntOnly() && (v.Type == TypeInt32 || v.Type == TypeGeneric):
+			v = b.ensureInt32(v)
+			r := b.emit(OpNegInt, TypeInt32, v)
+			b.emitCheck(OpCheckOverflow, stats.CheckOverflow, r)
+			b.writeVar(b.cur, int(in.A), r)
+		case fb.NumberOnly():
+			d := b.ensureDouble(v)
+			b.writeVar(b.cur, int(in.A), b.emit(OpNegDouble, TypeDouble, d))
+		default:
+			b.writeVar(b.cur, int(in.A), b.runtimeCall("unop", int64(in.Op), TypeGeneric, v))
+		}
+
+	case bytecode.OpNot:
+		v := b.readVar(b.cur, int(in.B))
+		b.writeVar(b.cur, int(in.A), b.emit(OpBoolNot, TypeBool, b.toBool(v)))
+
+	case bytecode.OpBitNot:
+		v := b.readVar(b.cur, int(in.B))
+		fb := &b.prof.Arith[b.pc]
+		if fb.IntOnly() {
+			v = b.ensureInt32(v)
+			allOnes := b.constVal(value.Int(-1))
+			b.writeVar(b.cur, int(in.A), b.emit(OpBitXor, TypeInt32, v, allOnes))
+		} else {
+			b.writeVar(b.cur, int(in.A), b.runtimeCall("unop", int64(in.Op), TypeGeneric, v))
+		}
+
+	case bytecode.OpTypeof:
+		v := b.readVar(b.cur, int(in.B))
+		b.writeVar(b.cur, int(in.A), b.runtimeCall("typeof", 0, TypeString, v))
+
+	case bytecode.OpToNumber:
+		v := b.readVar(b.cur, int(in.B))
+		if v.Type == TypeInt32 || v.Type == TypeDouble || b.factInt[v] || b.factNum[v] {
+			b.writeVar(b.cur, int(in.A), v)
+		} else {
+			fb := &b.prof.Arith[b.pc]
+			if fb.NumberOnly() || fb.IntOnly() {
+				b.emitCheck(OpCheckNumber, stats.CheckType, v)
+				b.factNum[v] = true
+				b.writeVar(b.cur, int(in.A), v)
+			} else {
+				b.writeVar(b.cur, int(in.A), b.runtimeCall("tonumber", 0, TypeGeneric, v))
+			}
+		}
+
+	case bytecode.OpJump, bytecode.OpJumpIfTrue, bytecode.OpJumpIfFalse,
+		bytecode.OpReturn:
+		// Terminators; handled below since they end the block.
+		return b.terminator(in)
+
+	case bytecode.OpCall:
+		return b.call(in)
+	case bytecode.OpCallMethod:
+		return b.callMethod(in)
+	case bytecode.OpNew:
+		callee := b.readVar(b.cur, int(in.B))
+		args := b.argValues(int(in.C), int(in.D))
+		b.writeVar(b.cur, int(in.A), b.runtimeCall("construct", 0, TypeGeneric, append([]*Value{callee}, args...)...))
+
+	case bytecode.OpNewObject:
+		b.writeVar(b.cur, int(in.A), b.runtimeCall("newobject", 0, TypeObject))
+	case bytecode.OpNewArray:
+		b.writeVar(b.cur, int(in.A), b.runtimeCall("newarray", int64(in.B), TypeObject))
+
+	case bytecode.OpGetProp:
+		return b.getProp(in)
+	case bytecode.OpSetProp:
+		return b.setProp(in)
+	case bytecode.OpGetElem:
+		return b.getElem(in)
+	case bytecode.OpSetElem:
+		return b.setElem(in)
+	case bytecode.OpSetElemI:
+		obj := b.readVar(b.cur, int(in.A))
+		idx := b.constVal(value.Int(in.B))
+		src := b.readVar(b.cur, int(in.C))
+		b.runtimeCall("setelem", 0, TypeNone, obj, idx, src)
+
+	case bytecode.OpGetGlobal:
+		v := b.emit(OpLoadGlobal, TypeGeneric)
+		v.AuxStr = b.bc.Names[in.B]
+		b.writeVar(b.cur, int(in.A), v)
+	case bytecode.OpSetGlobal:
+		v := b.emit(OpStoreGlobal, TypeNone, b.readVar(b.cur, int(in.B)))
+		v.AuxStr = b.bc.Names[in.A]
+
+	case bytecode.OpGetCell, bytecode.OpSetCell, bytecode.OpMakeClosure:
+		return fmt.Errorf("ir: closure op %v in %s", in.Op, b.bc.Name)
+
+	default:
+		return fmt.Errorf("ir: unsupported bytecode op %v", in.Op)
+	}
+	return nil
+}
+
+func (b *builder) terminator(in bytecode.Instr) error {
+	switch in.Op {
+	case bytecode.OpJump:
+		// Edges prewired.
+	case bytecode.OpJumpIfTrue:
+		b.cur.Control = b.toBool(b.readVar(b.cur, int(in.A)))
+	case bytecode.OpJumpIfFalse:
+		b.cur.Control = b.toBool(b.readVar(b.cur, int(in.A)))
+	case bytecode.OpReturn:
+		b.cur.Control = b.readVar(b.cur, int(in.A))
+	}
+	return nil
+}
+
+func (b *builder) argValues(start, n int) []*Value {
+	args := make([]*Value, n)
+	for i := 0; i < n; i++ {
+		args[i] = b.readVar(b.cur, start+i)
+	}
+	return args
+}
+
+var cmpForOp = map[bytecode.Op]Cmp{
+	bytecode.OpLess: CmpLT, bytecode.OpLessEq: CmpLE,
+	bytecode.OpGreater: CmpGT, bytecode.OpGreaterEq: CmpGE,
+	bytecode.OpEq: CmpEQ, bytecode.OpNeq: CmpNE,
+	bytecode.OpStrictEq: CmpEQ, bytecode.OpStrictNeq: CmpNE,
+}
+
+func (b *builder) binary(in bytecode.Instr) error {
+	l := b.readVar(b.cur, int(in.B))
+	r := b.readVar(b.cur, int(in.C))
+	fb := &b.prof.Arith[b.pc]
+	dst := int(in.A)
+
+	if in.Op.IsCompare() {
+		cmp := cmpForOp[in.Op]
+		switch {
+		case fb.IntOnly():
+			l, r = b.ensureInt32(l), b.ensureInt32(r)
+			v := b.emit(OpCmpInt, TypeBool, l, r)
+			v.AuxInt = int64(cmp)
+			b.writeVar(b.cur, dst, v)
+		case fb.NumberOnly():
+			ld, rd := b.ensureDouble(l), b.ensureDouble(r)
+			v := b.emit(OpCmpDouble, TypeBool, ld, rd)
+			v.AuxInt = int64(cmp)
+			b.writeVar(b.cur, dst, v)
+		default:
+			b.writeVar(b.cur, dst, b.runtimeCall("binop", int64(in.Op), TypeGeneric, l, r))
+		}
+		return nil
+	}
+
+	switch in.Op {
+	case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul:
+		switch {
+		case fb.IntOnly():
+			l, r = b.ensureInt32(l), b.ensureInt32(r)
+			op := map[bytecode.Op]Op{bytecode.OpAdd: OpAddInt, bytecode.OpSub: OpSubInt, bytecode.OpMul: OpMulInt}[in.Op]
+			v := b.emit(op, TypeInt32, l, r)
+			b.emitCheck(OpCheckOverflow, stats.CheckOverflow, v)
+			b.writeVar(b.cur, dst, v)
+		case fb.NumberOnly():
+			ld, rd := b.ensureDouble(l), b.ensureDouble(r)
+			op := map[bytecode.Op]Op{bytecode.OpAdd: OpAddDouble, bytecode.OpSub: OpSubDouble, bytecode.OpMul: OpMulDouble}[in.Op]
+			b.writeVar(b.cur, dst, b.emit(op, TypeDouble, ld, rd))
+		default:
+			b.writeVar(b.cur, dst, b.runtimeCall("binop", int64(in.Op), TypeGeneric, l, r))
+		}
+	case bytecode.OpDiv, bytecode.OpMod:
+		if fb.NumberOnly() || fb.IntOnly() {
+			ld, rd := b.ensureDouble(l), b.ensureDouble(r)
+			op := OpDivDouble
+			if in.Op == bytecode.OpMod {
+				op = OpModDouble
+			}
+			b.writeVar(b.cur, dst, b.emit(op, TypeDouble, ld, rd))
+		} else {
+			b.writeVar(b.cur, dst, b.runtimeCall("binop", int64(in.Op), TypeGeneric, l, r))
+		}
+	case bytecode.OpBitAnd, bytecode.OpBitOr, bytecode.OpBitXor,
+		bytecode.OpShl, bytecode.OpShr, bytecode.OpUShr:
+		op := map[bytecode.Op]Op{
+			bytecode.OpBitAnd: OpBitAnd, bytecode.OpBitOr: OpBitOr,
+			bytecode.OpBitXor: OpBitXor, bytecode.OpShl: OpShl,
+			bytecode.OpShr: OpShr, bytecode.OpUShr: OpUShr,
+		}[in.Op]
+		// >>> sites whose result has escaped the int32 range widen the
+		// result to a double instead of deopt-looping on the range check.
+		finish := func(v *Value) {
+			if in.Op != bytecode.OpUShr {
+				b.writeVar(b.cur, dst, v)
+				return
+			}
+			if fb.SawOverflow {
+				b.writeVar(b.cur, dst, b.emit(OpUint32ToDouble, TypeDouble, v))
+				return
+			}
+			b.emitCheck(OpCheckUint32, stats.CheckOverflow, v)
+			b.writeVar(b.cur, dst, v)
+		}
+		switch {
+		case fb.IntOperands():
+			l, r = b.ensureInt32(l), b.ensureInt32(r)
+			finish(b.emit(op, TypeInt32, l, r))
+		case fb.NumberOnly():
+			// Doubles feeding bitops: truncate per ToInt32 first.
+			lt := b.emit(OpTruncDouble, TypeInt32, b.ensureDouble(l))
+			rt := b.emit(OpTruncDouble, TypeInt32, b.ensureDouble(r))
+			finish(b.emit(op, TypeInt32, lt, rt))
+		default:
+			b.writeVar(b.cur, dst, b.runtimeCall("binop", int64(in.Op), TypeGeneric, l, r))
+		}
+	}
+	return nil
+}
+
+func (b *builder) getProp(in bytecode.Instr) error {
+	obj := b.readVar(b.cur, int(in.B))
+	name := b.bc.Names[in.C]
+	ic := &b.prof.ICs[in.D]
+	dst := int(in.A)
+	switch {
+	case ic.SawArrayLength && !ic.Poly && ic.Shape == nil && !ic.SawNonObject:
+		b.ensureArray(obj)
+		b.writeVar(b.cur, dst, b.emit(OpLoadLength, TypeInt32, obj))
+	case ic.Monomorphic():
+		b.ensureShape(obj, ic.Shape)
+		v := b.emit(OpLoadSlot, TypeGeneric, obj)
+		v.AuxInt = int64(ic.Offset)
+		b.writeVar(b.cur, dst, v)
+	default:
+		nameC := b.constVal(value.Str(name))
+		b.writeVar(b.cur, dst, b.runtimeCall("getprop", 0, TypeGeneric, obj, nameC))
+	}
+	return nil
+}
+
+func (b *builder) setProp(in bytecode.Instr) error {
+	obj := b.readVar(b.cur, int(in.A))
+	name := b.bc.Names[in.B]
+	src := b.readVar(b.cur, int(in.C))
+	ic := &b.prof.ICs[in.D]
+	if ic.Monomorphic() && ic.NewShape == nil {
+		b.ensureShape(obj, ic.Shape)
+		v := b.emit(OpStoreSlot, TypeNone, obj, src)
+		v.AuxInt = int64(ic.Offset)
+		return nil
+	}
+	nameC := b.constVal(value.Str(name))
+	b.runtimeCall("setprop", 0, TypeNone, obj, nameC, src)
+	return nil
+}
+
+func (b *builder) getElem(in bytecode.Instr) error {
+	obj := b.readVar(b.cur, int(in.B))
+	idx := b.readVar(b.cur, int(in.C))
+	fb := &b.prof.Elem[b.pc]
+	dst := int(in.A)
+	if fb.FastArray() && !fb.SawOOB {
+		b.ensureArray(obj)
+		idx = b.ensureInt32(idx)
+		b.emitCheck(OpCheckBounds, stats.CheckBounds, obj, idx)
+		raw := b.emit(OpLoadElem, TypeGeneric, obj, idx)
+		if fb.SawHole {
+			b.writeVar(b.cur, dst, b.emit(OpNormalizeHole, TypeGeneric, raw))
+		} else {
+			b.emitCheck(OpCheckHole, stats.CheckOther, raw)
+			b.writeVar(b.cur, dst, raw)
+		}
+		return nil
+	}
+	b.writeVar(b.cur, dst, b.runtimeCall("getelem", 0, TypeGeneric, obj, idx))
+	return nil
+}
+
+func (b *builder) setElem(in bytecode.Instr) error {
+	obj := b.readVar(b.cur, int(in.A))
+	idx := b.readVar(b.cur, int(in.B))
+	src := b.readVar(b.cur, int(in.C))
+	fb := &b.prof.Elem[b.pc]
+	if fb.FastArray() && !fb.SawOOB {
+		b.ensureArray(obj)
+		idx = b.ensureInt32(idx)
+		b.emitCheck(OpCheckBounds, stats.CheckBounds, obj, idx)
+		b.emit(OpStoreElem, TypeNone, obj, idx, src)
+		return nil
+	}
+	b.runtimeCall("setelem", 0, TypeNone, obj, idx, src)
+	return nil
+}
+
+func (b *builder) call(in bytecode.Instr) error {
+	callee := b.readVar(b.cur, int(in.B))
+	args := b.argValues(int(in.C), int(in.D))
+	fb := &b.prof.Calls[b.pc]
+	dst := int(in.A)
+	if fb.Monomorphic() {
+		chk := b.emitCheck(OpCheckCallee, stats.CheckOther, callee)
+		chk.Callee = fb.Target
+		call := b.emit(OpCallDirect, TypeGeneric, append([]*Value{b.undef}, args...)...)
+		call.Callee = fb.Target
+		b.invalidateHeapFacts()
+		b.writeVar(b.cur, dst, call)
+		return nil
+	}
+	b.writeVar(b.cur, dst, b.runtimeCall("call", 0, TypeGeneric, append([]*Value{callee}, args...)...))
+	return nil
+}
+
+// mathIntrinsics lists Math builtins the FTL tier inlines after a callee
+// check (JavaScriptCore does the same via DFG intrinsics).
+var mathIntrinsics = map[string]int{
+	"abs": 1, "floor": 1, "ceil": 1, "sqrt": 1, "sin": 1, "cos": 1,
+	"tan": 1, "asin": 1, "acos": 1, "atan": 1, "exp": 1, "log": 1,
+	"round": 1, "pow": 2, "atan2": 2, "min": 2, "max": 2,
+}
+
+func (b *builder) callMethod(in bytecode.Instr) error {
+	recv := b.readVar(b.cur, int(in.B))
+	name := b.bc.Names[in.E]
+	args := b.argValues(int(in.C), int(in.D))
+	fb := &b.prof.Calls[b.pc]
+	dst := int(in.A)
+
+	if fb.Monomorphic() && fb.RecvShape != nil {
+		if off := fb.RecvShape.Lookup(name); off >= 0 {
+			b.ensureShape(recv, fb.RecvShape)
+			m := b.emit(OpLoadSlot, TypeGeneric, recv)
+			m.AuxInt = int64(off)
+			chk := b.emitCheck(OpCheckCallee, stats.CheckOther, m)
+			chk.Callee = fb.Target
+			if n, ok := mathIntrinsics[name]; ok && fb.Target.IsNative() && fb.Target.Name == name && len(args) == n {
+				var dargs []*Value
+				for _, a := range args {
+					dargs = append(dargs, b.ensureDouble(a))
+				}
+				mo := b.emit(OpMathOp, TypeDouble, dargs...)
+				mo.AuxStr = name
+				b.writeVar(b.cur, dst, mo)
+				return nil
+			}
+			call := b.emit(OpCallDirect, TypeGeneric, append([]*Value{recv}, args...)...)
+			call.Callee = fb.Target
+			b.invalidateHeapFacts()
+			b.writeVar(b.cur, dst, call)
+			return nil
+		}
+	}
+	nameC := b.constVal(value.Str(name))
+	b.writeVar(b.cur, dst, b.runtimeCall("callmethod", 0, TypeGeneric, append([]*Value{recv, nameC}, args...)...))
+	return nil
+}

@@ -1,0 +1,163 @@
+package ir
+
+import "testing"
+
+// Synthetic CFG tests for dominators and loop discovery (the builder tests
+// cover compiled shapes; these cover hand-built corner cases).
+
+// diamond: e -> a -> {b, c} -> d
+func buildDiamond() (*Func, *Block, *Block, *Block, *Block) {
+	f := NewFunc("diamond", nil)
+	a := f.NewBlock()
+	b := f.NewBlock()
+	c := f.NewBlock()
+	d := f.NewBlock()
+	f.Entry = a
+	a.Kind = BlockIf
+	cond := a.NewValue(OpConst, TypeBool)
+	a.Control = cond
+	AddEdge(a, b)
+	AddEdge(a, c)
+	AddEdge(b, d)
+	AddEdge(c, d)
+	d.Kind = BlockReturn
+	d.Control = cond
+	return f, a, b, c, d
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f, a, b, c, d := buildDiamond()
+	dom := BuildDom(f)
+	if dom.Idom(d) != a {
+		t.Errorf("idom(d) = b%d, want a", dom.Idom(d).ID)
+	}
+	if !dom.Dominates(a, d) || !dom.Dominates(a, b) || !dom.Dominates(a, c) {
+		t.Error("a must dominate everything")
+	}
+	if dom.Dominates(b, d) || dom.Dominates(c, d) {
+		t.Error("neither branch dominates the merge")
+	}
+	if !dom.Dominates(d, d) {
+		t.Error("dominance is reflexive")
+	}
+	if len(FindLoops(f, dom)) != 0 {
+		t.Error("diamond has no loops")
+	}
+}
+
+// loop: e -> pre -> h <-> body, h -> exit
+func buildLoop() (*Func, *Block, *Block, *Block, *Block) {
+	f := NewFunc("loop", nil)
+	pre := f.NewBlock()
+	h := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Entry = pre
+	pre.Kind = BlockPlain
+	AddEdge(pre, h)
+	h.Kind = BlockIf
+	cond := h.NewValue(OpConst, TypeBool)
+	h.Control = cond
+	AddEdge(h, body)
+	AddEdge(h, exit)
+	body.Kind = BlockPlain
+	AddEdge(body, h)
+	exit.Kind = BlockReturn
+	exit.Control = cond
+	return f, pre, h, body, exit
+}
+
+func TestLoopDiscovery(t *testing.T) {
+	f, pre, h, body, exit := buildLoop()
+	dom := BuildDom(f)
+	loops := FindLoops(f, dom)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops", len(loops))
+	}
+	l := loops[0]
+	if l.Header != h {
+		t.Errorf("header = b%d", l.Header.ID)
+	}
+	if !l.Contains(body) || !l.Contains(h) {
+		t.Error("loop must contain header and body")
+	}
+	if l.Contains(pre) || l.Contains(exit) {
+		t.Error("loop must not contain preheader or exit")
+	}
+	if l.Preheader() != pre {
+		t.Error("wrong preheader")
+	}
+	if got := l.Latches(); len(got) != 1 || got[0] != body {
+		t.Errorf("latches = %v", got)
+	}
+	if got := l.Exits(); len(got) != 1 || got[0] != exit {
+		t.Errorf("exits = %v", got)
+	}
+	if l.Depth != 1 || l.Parent != nil {
+		t.Error("top-level loop nesting wrong")
+	}
+}
+
+func TestUnreachableBlockTolerated(t *testing.T) {
+	f, _, _, _, _ := buildDiamond()
+	dead := f.NewBlock()
+	dead.Kind = BlockReturn
+	dead.Control = f.Entry.Control
+	dom := BuildDom(f)
+	if dom.Reachable(dead) {
+		t.Error("dead block must be unreachable")
+	}
+	// Dominance queries against unreachable blocks must not loop forever.
+	if dom.Dominates(f.Entry, dead) {
+		t.Error("entry does not dominate an unreachable block")
+	}
+}
+
+func TestResolveEntryStatePhiProjection(t *testing.T) {
+	_, pre, h, body, _ := buildLoop()
+	init := pre.NewValue(OpConst, TypeInt32)
+	step := body.NewValue(OpConst, TypeInt32)
+	phi := h.InsertValueAt(0, OpPhi, TypeInt32)
+	// Preds order: pre (added first), body.
+	phi.Args = []*Value{init, step}
+	h.EntryState = &StackMap{PC: 5, Entries: []StackMapEntry{{Reg: 0, Val: phi}, {Reg: 1, Val: init}}}
+
+	sm := ResolveEntryState(h, pre)
+	if sm.PC != 5 {
+		t.Errorf("PC = %d", sm.PC)
+	}
+	if sm.Entries[0].Val != init {
+		t.Error("phi must project to the preheader argument")
+	}
+	if sm.Entries[1].Val != init {
+		t.Error("non-phi entries pass through")
+	}
+	sm2 := ResolveEntryState(h, body)
+	if sm2.Entries[0].Val != step {
+		t.Error("phi must project to the latch argument on the latch edge")
+	}
+}
+
+func TestVerifyCatchesBrokenIR(t *testing.T) {
+	// Phi with wrong arity.
+	f, _, h, _, _ := buildLoop()
+	_ = f
+	phi := h.InsertValueAt(0, OpPhi, TypeInt32)
+	phi.Args = []*Value{h.Control} // 1 arg, 2 preds
+	if err := Verify(f); err == nil {
+		t.Error("verifier must reject wrong phi arity")
+	}
+
+	// Use before def within a block.
+	g := NewFunc("bad", nil)
+	b := g.NewBlock()
+	g.Entry = b
+	b.Kind = BlockReturn
+	x := b.NewValue(OpAddInt, TypeInt32) // placeholder, args patched below
+	y := b.NewValue(OpConst, TypeInt32)
+	x.Args = []*Value{y, y} // x uses later y
+	b.Control = x
+	if err := Verify(g); err == nil {
+		t.Error("verifier must reject use-before-def")
+	}
+}

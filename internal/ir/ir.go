@@ -1,0 +1,301 @@
+// Package ir defines the SSA intermediate representation used by the
+// speculative tiers (DFG and FTL), including the Stack Map Points the paper
+// studies: every speculation check carries a deoptimization stack map that
+// transfers execution to the Baseline tier when the check fails (paper §II-B,
+// §III). NoMap's transformation replaces those stack maps with transactional
+// aborts (paper §IV-B).
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"nomap/internal/bytecode"
+	"nomap/internal/stats"
+	"nomap/internal/value"
+)
+
+// Type is the static type an IR value is speculated to have. Checks enforce
+// the speculation dynamically; failing checks deoptimize (or abort).
+type Type uint8
+
+const (
+	TypeGeneric Type = iota // boxed JS value of unknown representation
+	TypeInt32
+	TypeDouble
+	TypeBool
+	TypeObject
+	TypeString
+	TypeNone // produces no value (stores, checks, control)
+)
+
+// String returns a short type name.
+func (t Type) String() string {
+	switch t {
+	case TypeGeneric:
+		return "gen"
+	case TypeInt32:
+		return "i32"
+	case TypeDouble:
+		return "f64"
+	case TypeBool:
+		return "b"
+	case TypeObject:
+		return "obj"
+	case TypeString:
+		return "str"
+	case TypeNone:
+		return "none"
+	}
+	return "?"
+}
+
+// Cmp is a comparison code for CmpInt/CmpDouble (stored in AuxInt).
+type Cmp int64
+
+const (
+	CmpLT Cmp = iota
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+// String returns the comparison mnemonic.
+func (c Cmp) String() string {
+	return [...]string{"lt", "le", "gt", "ge", "eq", "ne"}[c]
+}
+
+// StackMapEntry maps one bytecode register to the IR value holding its
+// content at a Stack Map Point.
+type StackMapEntry struct {
+	Reg int
+	Val *Value
+}
+
+// StackMap is the paper's Stack Map Entry: it describes where every live
+// program variable lives so On-Stack Replacement can materialize a Baseline
+// frame (paper §II-B).
+type StackMap struct {
+	// PC is the bytecode pc at which Baseline execution resumes.
+	PC int
+	// Entries lists live bytecode registers and their IR values.
+	Entries []StackMapEntry
+}
+
+// Value is one SSA value / instruction.
+type Value struct {
+	ID    int
+	Op    Op
+	Type  Type
+	Args  []*Value
+	Block *Block
+
+	// Immediates (meaning depends on Op).
+	AuxInt   int64
+	AuxFloat float64
+	AuxStr   string
+	AuxVal   value.Value     // Const payload
+	Shape    *value.Shape    // CheckShape expectation
+	Callee   *value.Function // CallDirect / CheckCallee target
+
+	// Check is the check class for Check* ops (Figure 3 categories).
+	Check stats.CheckClass
+
+	// Free marks a check whose instructions were eliminated by NoMap (the
+	// SOF removes in-transaction overflow checks, §IV-C2; the unrealistic
+	// NoMap_BC removes every in-transaction check). The machine still
+	// enforces the guarded condition — failing a free check aborts — but it
+	// costs zero instructions and is excluded from the Figure 3 counts.
+	Free bool
+
+	// Deopt is the Stack Map Point guarding this check: non-nil means "on
+	// failure, OSR-exit to Baseline here". NoMap sets it to nil inside
+	// transactions, turning the check into a transactional abort. For
+	// TxBegin/TxTile values it is the abort-recovery entry (Entry₃ in paper
+	// Figure 5).
+	Deopt *StackMap
+
+	// BCPos is the bytecode pc this value derives from (diagnostics).
+	BCPos int
+}
+
+// BlockKind says how a block ends.
+type BlockKind uint8
+
+const (
+	BlockPlain  BlockKind = iota // one successor
+	BlockIf                      // two successors: [then, else], Control is the condition
+	BlockReturn                  // no successors, Control is the result
+)
+
+// Block is a basic block.
+type Block struct {
+	ID      int
+	Kind    BlockKind
+	Values  []*Value
+	Control *Value
+	Succs   []*Block
+	Preds   []*Block
+
+	// StartPC is the bytecode pc of the block's first instruction (-1 for
+	// synthetic blocks).
+	StartPC int
+	// EntryState is the Baseline register state at block entry, captured at
+	// construction. NoMap's transaction formation derives its recovery
+	// stack maps from loop headers' entry states. Valid until DCE runs.
+	EntryState *StackMap
+
+	Fn *Func
+}
+
+// Func is an IR function.
+type Func struct {
+	Name   string
+	Source *bytecode.Function
+	Blocks []*Block
+	Entry  *Block
+
+	nextValueID int
+	nextBlockID int
+
+	// TxAware is set once NoMap has formed transactions in this function.
+	TxAware bool
+}
+
+// NewFunc creates an empty function for source fn.
+func NewFunc(name string, source *bytecode.Function) *Func {
+	return &Func{Name: name, Source: source}
+}
+
+// NewBlock appends a fresh block.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: f.nextBlockID, Fn: f, StartPC: -1}
+	f.nextBlockID++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewValue creates a value in block b.
+func (b *Block) NewValue(op Op, t Type, args ...*Value) *Value {
+	v := &Value{ID: b.Fn.nextValueID, Op: op, Type: t, Args: args, Block: b}
+	b.Fn.nextValueID++
+	b.Values = append(b.Values, v)
+	return v
+}
+
+// InsertValueAt creates a value placed at index i within b.
+func (b *Block) InsertValueAt(i int, op Op, t Type, args ...*Value) *Value {
+	v := &Value{ID: b.Fn.nextValueID, Op: op, Type: t, Args: args, Block: b}
+	b.Fn.nextValueID++
+	b.Values = append(b.Values, nil)
+	copy(b.Values[i+1:], b.Values[i:])
+	b.Values[i] = v
+	return v
+}
+
+// NumValues returns the number of values allocated in the function (IDs are
+// dense in [0, NumValues)).
+func (f *Func) NumValues() int { return f.nextValueID }
+
+// AddEdge links b -> succ, maintaining both edge lists.
+func AddEdge(b, succ *Block) {
+	b.Succs = append(b.Succs, succ)
+	succ.Preds = append(succ.Preds, b)
+}
+
+// RemoveValue deletes v from its block (v must have no remaining uses).
+func (b *Block) RemoveValue(v *Value) {
+	for i, w := range b.Values {
+		if w == v {
+			b.Values = append(b.Values[:i], b.Values[i+1:]...)
+			return
+		}
+	}
+}
+
+// PredIndex returns the index of pred within b.Preds (phi argument order).
+func (b *Block) PredIndex(pred *Block) int {
+	for i, p := range b.Preds {
+		if p == pred {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the value for IR dumps.
+func (v *Value) String() string {
+	var sb strings.Builder
+	if v.Type != TypeNone {
+		fmt.Fprintf(&sb, "v%d:%s = ", v.ID, v.Type)
+	}
+	sb.WriteString(v.Op.String())
+	switch v.Op {
+	case OpConst:
+		fmt.Fprintf(&sb, " %s", v.AuxVal.ToStringValue())
+	case OpParam:
+		fmt.Fprintf(&sb, " #%d", v.AuxInt)
+	case OpCmpInt, OpCmpDouble:
+		fmt.Fprintf(&sb, ".%s", Cmp(v.AuxInt))
+	case OpLoadSlot, OpStoreSlot:
+		fmt.Fprintf(&sb, " [%d]", v.AuxInt)
+	case OpLoadGlobal, OpStoreGlobal, OpCallRuntime:
+		fmt.Fprintf(&sb, " %q", v.AuxStr)
+	case OpCheckShape:
+		if v.Shape != nil {
+			fmt.Fprintf(&sb, " shape#%d", v.Shape.ID)
+		}
+	case OpCallDirect, OpCheckCallee:
+		if v.Callee != nil {
+			fmt.Fprintf(&sb, " %s", v.Callee.Name)
+		}
+	}
+	for _, a := range v.Args {
+		fmt.Fprintf(&sb, " v%d", a.ID)
+	}
+	if v.Op.IsCheck() {
+		if v.Deopt != nil {
+			fmt.Fprintf(&sb, " deopt@%d", v.Deopt.PC)
+		} else {
+			sb.WriteString(" abort")
+		}
+	}
+	if v.Op == OpTxBegin || v.Op == OpTxTile {
+		if v.Deopt != nil {
+			fmt.Fprintf(&sb, " recover@%d", v.Deopt.PC)
+		}
+	}
+	return sb.String()
+}
+
+// String renders the whole function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s:\n", f.Name)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.ID)
+		if len(b.Preds) > 0 {
+			sb.WriteString(" <-")
+			for _, p := range b.Preds {
+				fmt.Fprintf(&sb, " b%d", p.ID)
+			}
+		}
+		sb.WriteString("\n")
+		for _, v := range b.Values {
+			fmt.Fprintf(&sb, "    %s\n", v)
+		}
+		switch b.Kind {
+		case BlockPlain:
+			if len(b.Succs) > 0 {
+				fmt.Fprintf(&sb, "    -> b%d\n", b.Succs[0].ID)
+			}
+		case BlockIf:
+			fmt.Fprintf(&sb, "    if v%d -> b%d else b%d\n", b.Control.ID, b.Succs[0].ID, b.Succs[1].ID)
+		case BlockReturn:
+			fmt.Fprintf(&sb, "    ret v%d\n", b.Control.ID)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,165 @@
+// Package jit drives the speculative tiers: it compiles hot functions with
+// the DFG or FTL pipeline (under the configured NoMap architecture), runs
+// them on the machine, and implements the two recovery paths — OSR exits
+// into the Baseline tier and transaction-abort recovery with the §V-C
+// footprint policy (retreat from loop-nest transactions to innermost loops,
+// then remove transactions; call-containing overflowing transactions are
+// removed immediately).
+package jit
+
+import (
+	"nomap/internal/bytecode"
+	"nomap/internal/core"
+	"nomap/internal/dfg"
+	"nomap/internal/ftl"
+	"nomap/internal/htm"
+	"nomap/internal/interp"
+	"nomap/internal/ir"
+	"nomap/internal/machine"
+	"nomap/internal/profile"
+	"nomap/internal/value"
+	"nomap/internal/vm"
+)
+
+// Backend implements vm.JITBackend.
+type Backend struct {
+	mach     *machine.Machine
+	code     map[*bytecode.Function]*unit
+	txLevels map[*bytecode.Function]core.TxLevel
+	arch     vm.Arch
+}
+
+type unit struct {
+	tier    profile.Tier
+	f       *ir.Func
+	txLevel core.TxLevel
+}
+
+// Attach creates a backend for v (selecting lightweight ROT or heavyweight
+// RTM per the configured architecture) and installs it.
+func Attach(v *vm.VM) *Backend {
+	cfg := htm.ROTConfig()
+	if v.Config().Arch.HeavyweightHTM() {
+		cfg = htm.RTMConfig()
+	}
+	b := &Backend{
+		mach:     machine.New(v, cfg),
+		code:     make(map[*bytecode.Function]*unit),
+		txLevels: make(map[*bytecode.Function]core.TxLevel),
+		arch:     v.Config().Arch,
+	}
+	v.SetJIT(b)
+	return b
+}
+
+// Machine exposes the execution engine (for the harness: cache and HTM
+// statistics).
+func (b *Backend) Machine() *machine.Machine { return b.mach }
+
+// TxLevelOf reports the current §V-C transaction placement level for a
+// function (TxLoopNest until capacity aborts lower it).
+func (b *Backend) TxLevelOf(fn *bytecode.Function) core.TxLevel {
+	if l, ok := b.txLevels[fn]; ok {
+		return l
+	}
+	return core.TxLoopNest
+}
+
+// CompiledFunctions returns the currently cached speculative-tier code, for
+// diagnostics (nomap-profile's IR dumps).
+func (b *Backend) CompiledFunctions() []*ir.Func {
+	var out []*ir.Func
+	for _, u := range b.code {
+		out = append(out, u.f)
+	}
+	return out
+}
+
+// InTransaction reports whether a hardware transaction is open.
+func (b *Backend) InTransaction() bool { return b.mach.InTx() }
+
+// Execute runs fn in the given speculative tier, falling back to Baseline
+// (handled=false) when compilation is not possible.
+func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionProfile, tier profile.Tier, args []value.Value) (value.Value, bool, error) {
+	bcFn, ok := fn.Code.(*bytecode.Function)
+	if !ok || prof.JITUnsupported {
+		return value.Undefined(), false, nil
+	}
+	u := b.code[bcFn]
+	if u == nil || u.tier != tier {
+		var err error
+		u, err = b.compile(bcFn, prof, tier)
+		if err != nil {
+			prof.JITUnsupported = true
+			return value.Undefined(), false, nil
+		}
+		b.code[bcFn] = u
+		v.Counters().Compilations[tier]++
+		b.mach.Emit(machine.Event{Kind: machine.EventCompile, Fn: bcFn.Name, Tier: tier})
+	}
+
+	res, deopt, err := b.mach.Run(u.f, tier, args)
+	if err != nil {
+		return value.Undefined(), true, err
+	}
+	if deopt == nil {
+		return res, true, nil
+	}
+
+	// Recovery. Aborts apply the footprint policy; all non-capacity
+	// transfers count against the function's deopt budget.
+	if deopt.Aborted && deopt.Cause == htm.AbortCapacity {
+		b.lowerTxLevel(bcFn, deopt.HadCalls)
+	} else {
+		prof.Deopts++
+	}
+	delete(b.code, bcFn) // recompile with refreshed feedback next call
+
+	env := value.NewEnvironment(fn.Env, bcFn.NumCells)
+	fr := &interp.Frame{Fn: bcFn, Regs: deopt.Regs, Env: env, PC: deopt.PC}
+	out, err := interp.Exec(v, fr, profile.TierBaseline)
+	return out, true, err
+}
+
+func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile, tier profile.Tier) (*unit, error) {
+	if tier == profile.TierDFG {
+		f, err := dfg.Compile(bcFn, prof)
+		if err != nil {
+			return nil, err
+		}
+		return &unit{tier: tier, f: f}, nil
+	}
+	level, ok := b.txLevels[bcFn]
+	if !ok {
+		level = core.TxLoopNest
+	}
+	opts := optionsFor(b.arch, level)
+	f, err := ftl.Compile(bcFn, prof, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &unit{tier: tier, f: f, txLevel: level}, nil
+}
+
+// lowerTxLevel retreats the transaction placement after a capacity abort
+// (paper §V-C): loop-nest -> innermost -> tiled -> off, or straight to off
+// when the overflowing transaction contained a call.
+func (b *Backend) lowerTxLevel(bcFn *bytecode.Function, hadCalls bool) {
+	cur, ok := b.txLevels[bcFn]
+	if !ok {
+		cur = core.TxLoopNest
+	}
+	b.txLevels[bcFn] = cur.Lower(hadCalls, !b.arch.HeavyweightHTM())
+}
+
+func optionsFor(arch vm.Arch, level core.TxLevel) ftl.Options {
+	return ftl.Options{
+		Transactions:   arch.UsesTransactions(),
+		TxLevel:        level,
+		CombineBounds:  arch.CombinesBoundsChecks() && !arch.RemovesAllChecks(),
+		RemoveOverflow: arch.RemovesOverflowChecks() && !arch.RemovesAllChecks(),
+		RemoveAll:      arch.RemovesAllChecks(),
+	}
+}
+
+var _ vm.JITBackend = (*Backend)(nil)

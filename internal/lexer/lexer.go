@@ -1,0 +1,322 @@
+// Package lexer tokenizes the JavaScript subset. It supports decimal and hex
+// numeric literals, single- and double-quoted strings with the common escape
+// sequences, line and block comments, and the full operator set of the
+// subset grammar.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies tokens.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	Number
+	String
+	Ident
+	Keyword
+	Punct
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string  // identifier / keyword / punctuator text, or raw literal
+	Num  float64 // numeric value for Number tokens
+	Str  string  // decoded value for String tokens
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "<eof>"
+	case Number:
+		return fmt.Sprintf("num(%v)", t.Num)
+	case String:
+		return fmt.Sprintf("str(%q)", t.Str)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"var": true, "function": true, "return": true, "if": true, "else": true,
+	"for": true, "while": true, "do": true, "break": true, "continue": true,
+	"true": true, "false": true, "null": true, "undefined": true,
+	"typeof": true, "new": true, "in": true,
+	"switch": true, "case": true, "default": true,
+}
+
+// Error is a lexical error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lex error at %d:%d: %s", e.Line, e.Col, e.Msg) }
+
+// Lexer scans a source string into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the entire input, returning the token stream terminated by
+// an EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// puncts are matched longest-first.
+var puncts = []string{
+	">>>=", "===", "!==", ">>>", "<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+	"{", "}", "(", ")", "[", "]", ";", ",", ".", "?", ":",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: line, Col: col}, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		return l.number(line, col)
+	case c == '"' || c == '\'':
+		return l.stringLit(line, col)
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		k := Ident
+		if keywords[text] {
+			k = Keyword
+		}
+		return Token{Kind: k, Text: text, Line: line, Col: col}, nil
+	default:
+		rest := l.src[l.pos:]
+		for _, p := range puncts {
+			if strings.HasPrefix(rest, p) {
+				for range p {
+					l.advance()
+				}
+				return Token{Kind: Punct, Text: p, Line: line, Col: col}, nil
+			}
+		}
+		return Token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func (l *Lexer) number(line, col int) (Token, error) {
+	start := l.pos
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		if !isHexDigit(l.peek()) {
+			return Token{}, l.errf("malformed hex literal")
+		}
+		for l.pos < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		u, err := strconv.ParseUint(l.src[start+2:l.pos], 16, 64)
+		if err != nil {
+			return Token{}, l.errf("malformed hex literal: %v", err)
+		}
+		return Token{Kind: Number, Text: l.src[start:l.pos], Num: float64(u), Line: line, Col: col}, nil
+	}
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' {
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			return Token{}, l.errf("malformed exponent")
+		}
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.pos]
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Token{}, l.errf("malformed number %q: %v", text, err)
+	}
+	return Token{Kind: Number, Text: text, Num: f, Line: line, Col: col}, nil
+}
+
+func (l *Lexer) stringLit(line, col int) (Token, error) {
+	quote := l.advance()
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, l.errf("unterminated string")
+		}
+		c := l.advance()
+		if c == quote {
+			break
+		}
+		if c == '\n' {
+			return Token{}, l.errf("newline in string")
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, l.errf("unterminated escape")
+		}
+		e := l.advance()
+		switch e {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '0':
+			b.WriteByte(0)
+		case '\\', '\'', '"':
+			b.WriteByte(e)
+		case 'x':
+			if l.pos+1 >= len(l.src) || !isHexDigit(l.peek()) || !isHexDigit(l.peek2()) {
+				return Token{}, l.errf("malformed \\x escape")
+			}
+			h := string(l.advance()) + string(l.advance())
+			u, _ := strconv.ParseUint(h, 16, 8)
+			b.WriteByte(byte(u))
+		case 'u':
+			if l.pos+3 >= len(l.src) {
+				return Token{}, l.errf("malformed \\u escape")
+			}
+			h := ""
+			for i := 0; i < 4; i++ {
+				if !isHexDigit(l.peek()) {
+					return Token{}, l.errf("malformed \\u escape")
+				}
+				h += string(l.advance())
+			}
+			u, _ := strconv.ParseUint(h, 16, 32)
+			b.WriteRune(rune(u))
+		default:
+			return Token{}, l.errf("unknown escape \\%c", e)
+		}
+	}
+	return Token{Kind: String, Str: b.String(), Line: line, Col: col}, nil
+}

@@ -1,0 +1,124 @@
+package lexer
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"0", 0},
+		{"42", 42},
+		{"3.5", 3.5},
+		{".5", 0.5},
+		{"1e3", 1000},
+		{"2.5e-1", 0.25},
+		{"0xff", 255},
+		{"0XFF", 255},
+	}
+	for _, c := range cases {
+		toks, err := Tokenize(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if len(toks) != 2 || toks[0].Kind != Number || toks[0].Num != c.want {
+			t.Errorf("%q: got %v", c.src, toks)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`"abc"`, "abc"},
+		{`'abc'`, "abc"},
+		{`"a\nb"`, "a\nb"},
+		{`"a\tb"`, "a\tb"},
+		{`"q\"q"`, `q"q`},
+		{`"\x41"`, "A"},
+		{`"A"`, "A"},
+		{`"\\"`, `\`},
+	}
+	for _, c := range cases {
+		toks, err := Tokenize(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if toks[0].Kind != String || toks[0].Str != c.want {
+			t.Errorf("%q: got %q", c.src, toks[0].Str)
+		}
+	}
+}
+
+func TestOperatorsLongestMatch(t *testing.T) {
+	toks, err := Tokenize("a >>> b >> c >>>= d === e == f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == Punct {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{">>>", ">>", ">>>=", "===", "=="}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op[%d] = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	toks, err := Tokenize("a // line\n /* block\n more */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	toks, err := Tokenize("var varx function fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != Keyword || toks[1].Kind != Ident || toks[2].Kind != Keyword || toks[3].Kind != Ident {
+		t.Fatalf("got %v", kinds(toks))
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"\"unterminated", "'no\nnewline'", "@", "/* open", `"\q"`, "0x"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}

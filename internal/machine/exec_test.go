@@ -1,0 +1,268 @@
+package machine
+
+// White-box execution tests: hand-built IR run on the machine with a stub
+// host, covering op semantics the integration tests reach only indirectly
+// (garbage-tolerant loads past removed checks, overflow flag wiring, phi
+// parallel copies).
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"nomap/internal/bytecode"
+	"nomap/internal/htm"
+	"nomap/internal/ir"
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+	"nomap/internal/value"
+)
+
+type stubHost struct {
+	shapes  *value.ShapeTable
+	globals *value.Object
+	ctrs    stats.Counters
+	calls   int
+}
+
+func newStubHost() *stubHost {
+	t := value.NewShapeTable()
+	h := &stubHost{shapes: t}
+	h.globals = value.NewObject(t)
+	return h
+}
+
+func (h *stubHost) Shapes() *value.ShapeTable { return h.shapes }
+func (h *stubHost) Globals() *value.Object    { return h.globals }
+func (h *stubHost) Counters() *stats.Counters { return &h.ctrs }
+func (h *stubHost) Call(fn *value.Function, this value.Value, args []value.Value) (value.Value, error) {
+	h.calls++
+	if fn.Native != nil {
+		return fn.Native(this, args)
+	}
+	return value.Undefined(), fmt.Errorf("stub host cannot run user code")
+}
+func (h *stubHost) Construct(fn *value.Function, args []value.Value) (value.Value, error) {
+	return value.Obj(value.NewObject(h.shapes)), nil
+}
+func (h *stubHost) InvokeMethod(recv value.Value, name string, args []value.Value) (value.Value, error) {
+	return value.Undefined(), fmt.Errorf("stub host has no methods")
+}
+
+// fnReturning builds `return <op>(params...)` with a source function sized
+// for deopt materialization.
+func fnReturning(op ir.Op, t ir.Type, nParams int, aux int64) *ir.Func {
+	f := ir.NewFunc("t", stubSource(nParams))
+	b := f.NewBlock()
+	f.Entry = b
+	var args []*ir.Value
+	for i := 0; i < nParams; i++ {
+		p := b.NewValue(ir.OpParam, ir.TypeGeneric)
+		p.AuxInt = int64(i)
+		args = append(args, p)
+	}
+	v := b.NewValue(op, t, args...)
+	v.AuxInt = aux
+	b.Kind = ir.BlockReturn
+	b.Control = v
+	return f
+}
+
+// stubSource provides the only piece of the source function the machine
+// touches: NumRegs, used when materializing deopt register files.
+func stubSource(nRegs int) *bytecode.Function {
+	return &bytecode.Function{Name: "stub", NumRegs: nRegs}
+}
+
+func run1(t *testing.T, f *ir.Func, args ...value.Value) value.Value {
+	t.Helper()
+	m := New(newStubHost(), htm.ROTConfig())
+	res, d, err := m.Run(f, profile.TierFTL, args)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d != nil {
+		t.Fatalf("unexpected deopt to pc %d", d.PC)
+	}
+	return res
+}
+
+func TestIntArithOps(t *testing.T) {
+	cases := []struct {
+		op   ir.Op
+		a, b int32
+		want int32
+	}{
+		{ir.OpAddInt, 2, 3, 5},
+		{ir.OpSubInt, 2, 3, -1},
+		{ir.OpMulInt, 4, 5, 20},
+		{ir.OpBitAnd, 6, 3, 2},
+		{ir.OpBitOr, 6, 3, 7},
+		{ir.OpBitXor, 6, 3, 5},
+		{ir.OpShl, 1, 4, 16},
+		{ir.OpShr, -8, 1, -4},
+	}
+	for _, c := range cases {
+		f := fnReturning(c.op, ir.TypeInt32, 2, 0)
+		got := run1(t, f, value.Int(c.a), value.Int(c.b))
+		if !got.IsInt32() || got.Int32() != c.want {
+			t.Errorf("%v(%d,%d) = %v, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOverflowFlagFeedsCheck(t *testing.T) {
+	// add = a+b; CheckOverflow(add) with a deopt map; return add.
+	f := ir.NewFunc("ovf", stubSource(4))
+	b := f.NewBlock()
+	f.Entry = b
+	p0 := b.NewValue(ir.OpParam, ir.TypeGeneric)
+	p1 := b.NewValue(ir.OpParam, ir.TypeGeneric)
+	p1.AuxInt = 1
+	add := b.NewValue(ir.OpAddInt, ir.TypeInt32, p0, p1)
+	chk := b.NewValue(ir.OpCheckOverflow, ir.TypeNone, add)
+	chk.Check = stats.CheckOverflow
+	chk.Deopt = &ir.StackMap{PC: 7, Entries: []ir.StackMapEntry{{Reg: 0, Val: p0}, {Reg: 1, Val: p1}}}
+	b.Kind = ir.BlockReturn
+	b.Control = add
+
+	m := New(newStubHost(), htm.ROTConfig())
+	res, d, err := m.Run(f, profile.TierFTL, []value.Value{value.Int(2), value.Int(3)})
+	if err != nil || d != nil {
+		t.Fatalf("clean case: res=%v d=%v err=%v", res, d, err)
+	}
+	if res.Int32() != 5 {
+		t.Fatalf("res = %v", res)
+	}
+
+	// Overflowing case must deopt with the pre-op state.
+	_, d, err = m.Run(f, profile.TierFTL, []value.Value{value.Int(math.MaxInt32), value.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.PC != 7 {
+		t.Fatalf("expected deopt at pc 7, got %+v", d)
+	}
+	if d.Regs[0].Int32() != math.MaxInt32 || d.Regs[1].Int32() != 1 {
+		t.Fatalf("deopt regs = %v", d.Regs)
+	}
+	if m.host.Counters().Deopts != 1 {
+		t.Error("deopt not counted")
+	}
+}
+
+func TestGarbageTolerantLoads(t *testing.T) {
+	// LoadElem with an out-of-bounds index (as after bounds-check combining)
+	// must produce undefined, not panic.
+	host := newStubHost()
+	arr := value.NewArray(host.shapes, 4)
+	for i := 0; i < 4; i++ {
+		arr.SetElement(i, value.Int(int32(i*10)))
+	}
+	f := ir.NewFunc("ld", stubSource(2))
+	b := f.NewBlock()
+	f.Entry = b
+	pa := b.NewValue(ir.OpParam, ir.TypeGeneric)
+	pi := b.NewValue(ir.OpParam, ir.TypeGeneric)
+	pi.AuxInt = 1
+	ld := b.NewValue(ir.OpLoadElem, ir.TypeGeneric, pa, pi)
+	b.Kind = ir.BlockReturn
+	b.Control = ld
+
+	m := New(host, htm.ROTConfig())
+	res, _, err := m.Run(f, profile.TierFTL, []value.Value{value.Obj(arr), value.Int(2)})
+	if err != nil || res.Int32() != 20 {
+		t.Fatalf("in bounds: %v %v", res, err)
+	}
+	res, _, err = m.Run(f, profile.TierFTL, []value.Value{value.Obj(arr), value.Int(99)})
+	if err != nil || !res.IsUndefined() {
+		t.Fatalf("OOB must yield undefined garbage: %v %v", res, err)
+	}
+	res, _, err = m.Run(f, profile.TierFTL, []value.Value{value.Undefined(), value.Int(0)})
+	if err != nil || !res.IsUndefined() {
+		t.Fatalf("non-object base must yield undefined garbage: %v %v", res, err)
+	}
+}
+
+func TestPhiParallelCopy(t *testing.T) {
+	// Swap phis: (x, y) = (y, x) each iteration, 3 iterations — requires a
+	// genuinely parallel copy at the block boundary.
+	f := ir.NewFunc("swap", stubSource(4))
+	entry := f.NewBlock()
+	head := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Entry = entry
+
+	px := entry.NewValue(ir.OpParam, ir.TypeGeneric)
+	py := entry.NewValue(ir.OpParam, ir.TypeGeneric)
+	py.AuxInt = 1
+	zero := entry.NewValue(ir.OpConst, ir.TypeInt32)
+	zero.AuxVal = value.Int(0)
+	three := entry.NewValue(ir.OpConst, ir.TypeInt32)
+	three.AuxVal = value.Int(3)
+	one := entry.NewValue(ir.OpConst, ir.TypeInt32)
+	one.AuxVal = value.Int(1)
+	entry.Kind = ir.BlockPlain
+	ir.AddEdge(entry, head)
+
+	phiI := head.NewValue(ir.OpPhi, ir.TypeInt32)
+	phiX := head.NewValue(ir.OpPhi, ir.TypeGeneric)
+	phiY := head.NewValue(ir.OpPhi, ir.TypeGeneric)
+	cmp := head.NewValue(ir.OpCmpInt, ir.TypeBool, phiI, three)
+	cmp.AuxInt = int64(ir.CmpLT)
+	head.Kind = ir.BlockIf
+	head.Control = cmp
+	ir.AddEdge(head, body)
+	ir.AddEdge(head, exit)
+
+	inc := body.NewValue(ir.OpAddInt, ir.TypeInt32, phiI, one)
+	body.Kind = ir.BlockPlain
+	ir.AddEdge(body, head)
+
+	// Preds of head: [entry, body].
+	phiI.Args = []*ir.Value{zero, inc}
+	phiX.Args = []*ir.Value{px, phiY} // swap each iteration
+	phiY.Args = []*ir.Value{py, phiX}
+
+	exit.Kind = ir.BlockReturn
+	exit.Control = phiX
+
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	// After 3 swaps, x holds the original y.
+	got := run1(t, f, value.Int(111), value.Int(222))
+	if got.Int32() != 222 {
+		t.Errorf("after odd swaps x = %v, want 222", got)
+	}
+}
+
+func TestNativeCallThroughMachine(t *testing.T) {
+	host := newStubHost()
+	native := &value.Function{
+		Name: "twice",
+		Native: func(this value.Value, args []value.Value) (value.Value, error) {
+			return value.Number(args[0].ToNumber() * 2), nil
+		},
+	}
+	f := ir.NewFunc("call", stubSource(2))
+	b := f.NewBlock()
+	f.Entry = b
+	this := b.NewValue(ir.OpConst, ir.TypeGeneric)
+	this.AuxVal = value.Undefined()
+	p := b.NewValue(ir.OpParam, ir.TypeGeneric)
+	call := b.NewValue(ir.OpCallDirect, ir.TypeGeneric, this, p)
+	call.Callee = native
+	b.Kind = ir.BlockReturn
+	b.Control = call
+
+	m := New(host, htm.ROTConfig())
+	res, _, err := m.Run(f, profile.TierFTL, []value.Value{value.Int(21)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ToNumber() != 42 || host.calls != 1 {
+		t.Errorf("res=%v calls=%d", res, host.calls)
+	}
+}

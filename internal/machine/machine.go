@@ -1,0 +1,713 @@
+// Package machine executes speculative-tier IR on a modeled microarchitecture:
+// per-op dynamic x86-64 instruction weights, a simulated cache hierarchy, and
+// a hardware-transactional-memory system (lightweight ROT or Intel RTM).
+//
+// It implements the two control transfers at the heart of the paper:
+//
+//   - Deoptimization: a failed check with a Stack Map Point materializes the
+//     Baseline register file from the stack map and returns a Deopt for the
+//     JIT driver to resume in the Baseline tier (paper §II-B).
+//
+//   - Transactional abort: a failed check inside a transaction (its SMP
+//     removed by NoMap) rolls back the transaction's write set via the undo
+//     log and transfers to the Baseline entry recorded at the transaction
+//     begin (paper Figure 5, Entry₃). Aborts unwind through nested frames to
+//     the owner of the outermost transaction (flattened nesting, §V-A).
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"nomap/internal/cache"
+	"nomap/internal/htm"
+	"nomap/internal/ir"
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+	"nomap/internal/value"
+)
+
+// Host is the engine facade the machine calls back into.
+type Host interface {
+	Shapes() *value.ShapeTable
+	Globals() *value.Object
+	Call(fn *value.Function, this value.Value, args []value.Value) (value.Value, error)
+	Construct(fn *value.Function, args []value.Value) (value.Value, error)
+	InvokeMethod(recv value.Value, name string, args []value.Value) (value.Value, error)
+	Counters() *stats.Counters
+}
+
+// Machine is the execution engine for one VM.
+type Machine struct {
+	host  Host
+	Mem   *Memory
+	Cache *cache.Hierarchy
+	HTM   *htm.System
+
+	hook            *txHook
+	trace           Tracer
+	frameSeq        int
+	pendingCapacity bool
+}
+
+// New creates a machine with the given HTM flavour.
+func New(host Host, htmCfg htm.Config) *Machine {
+	m := &Machine{
+		host:  host,
+		Mem:   NewMemory(),
+		Cache: cache.NewHierarchy(),
+		HTM:   htm.New(htmCfg),
+	}
+	m.hook = &txHook{m: m}
+	return m
+}
+
+// InTx reports whether a hardware transaction is open.
+func (m *Machine) InTx() bool { return m.HTM.InTx() }
+
+// RecoverState is the materialized Baseline state captured at a transaction
+// begin (or tile commit): where to resume and with what register file after
+// an abort.
+type RecoverState struct {
+	PC   int
+	Regs []value.Value
+}
+
+// Deopt describes a transfer to the Baseline tier.
+type Deopt struct {
+	PC   int
+	Regs []value.Value
+	// Aborted is set when the transfer came from a transaction abort
+	// rather than a plain OSR exit.
+	Aborted bool
+	Cause   htm.AbortCause
+	// CheckClass is the failing check's class for check-caused transfers.
+	CheckClass stats.CheckClass
+	// HadCalls reports whether the aborted transaction's function contained
+	// calls (used by the §V-C policy: call-containing transactions that
+	// overflow are removed rather than tiled).
+	HadCalls bool
+}
+
+// txUnwind propagates a transaction abort out of nested frames until it
+// reaches the frame that owns the outermost transaction.
+type txUnwind struct {
+	owner int
+	rec   *RecoverState
+	cause htm.AbortCause
+}
+
+func (e *txUnwind) Error() string {
+	return fmt.Sprintf("machine: transaction abort (%s) unwinding to frame %d", e.cause, e.owner)
+}
+
+// RuntimeError is a JavaScript-level error raised by optimized code.
+type RuntimeError struct {
+	Fn  string
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error in %s (FTL): %s", e.Fn, e.Msg)
+}
+
+// commitFraction: a TxTile commits early once the write footprint exceeds
+// this fraction of capacity (paper §V-C tiling so state fits in cache).
+const commitFractionNum, commitFractionDen = 3, 4
+
+// Run executes f with the given tier's cost model. It returns either a
+// result, a Deopt (OSR exit or abort), or an error.
+func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.Value, *Deopt, error) {
+	m.frameSeq++
+	tok := m.frameSeq
+	w := WeightsFor(tier)
+	ctrs := m.host.Counters()
+	if tier == profile.TierFTL {
+		ctrs.FTLCalls++
+	} else {
+		ctrs.DFGCalls++
+	}
+
+	vals := make([]value.Value, f.NumValues())
+	oflow := make([]bool, f.NumValues())
+	var phiScratch []value.Value
+
+	account := func(instr, extraCycles int64) {
+		inTx := m.HTM.InTx()
+		class := stats.NoTM
+		if inTx {
+			if f.TxAware {
+				class = stats.TMOpt
+			} else {
+				class = stats.TMUnopt
+			}
+		}
+		ctrs.AddInstr(class, instr)
+		ctrs.AddCycles(instr+extraCycles, inTx)
+	}
+
+	errf := func(format string, a ...any) error {
+		return &RuntimeError{Fn: f.Name, Msg: fmt.Sprintf(format, a...)}
+	}
+
+	// materialize builds Baseline registers from a stack map.
+	materialize := func(sm *ir.StackMap) *RecoverState {
+		regs := make([]value.Value, f.Source.NumRegs)
+		for i := range regs {
+			regs[i] = value.Undefined()
+		}
+		for _, e := range sm.Entries {
+			if e.Reg < len(regs) {
+				regs[e.Reg] = vals[e.Val.ID]
+			}
+		}
+		return &RecoverState{PC: sm.PC, Regs: regs}
+	}
+
+	// abort rolls back the open transaction nest and routes control to the
+	// owner frame's recovery state.
+	abort := func(cause htm.AbortCause, class stats.CheckClass) (*Deopt, error) {
+		t := m.HTM.Current()
+		if t == nil {
+			return nil, errf("abort without open transaction")
+		}
+		owner := t.Owner.(int)
+		rec := t.Recover.(*RecoverState)
+		m.noteTxStats(ctrs, t)
+		m.emit(Event{Kind: EventTxAbort, Fn: f.Name, Cause: cause, CheckClass: class, PC: rec.PC, WriteBytes: t.WriteBytes()})
+		m.uninstallHook()
+		if err := m.HTM.Abort(cause); err != nil {
+			return nil, err
+		}
+		ctrs.TxAborts++
+		switch cause {
+		case htm.AbortCapacity:
+			ctrs.TxCapacityAborts++
+		case htm.AbortSOF:
+			ctrs.TxSOFAborts++
+		case htm.AbortCheck:
+			ctrs.TxCheckAborts++
+		}
+		if owner == tok {
+			return &Deopt{PC: rec.PC, Regs: rec.Regs, Aborted: true, Cause: cause, CheckClass: class, HadCalls: f.TxAware && funcHasCalls(f)}, nil
+		}
+		return nil, &txUnwind{owner: owner, rec: rec, cause: cause}
+	}
+
+	// handleCallErr routes errors coming back from calls: transaction
+	// unwinds addressed to this frame become Deopts; irrevocable-operation
+	// errors abort the open transaction.
+	handleCallErr := func(err error) (*Deopt, error) {
+		if u, ok := err.(*txUnwind); ok {
+			if u.owner == tok {
+				return &Deopt{PC: u.rec.PC, Regs: u.rec.Regs, Aborted: true, Cause: u.cause, HadCalls: funcHasCalls(f)}, nil
+			}
+			return nil, err
+		}
+		if err == htm.ErrIrrevocable && m.HTM.InTx() {
+			return abort(htm.AbortIrrevocable, stats.CheckOther)
+		}
+		return nil, err
+	}
+
+	block := f.Entry
+	var prev *ir.Block
+	for {
+		// Phi parallel copy on block entry.
+		if prev != nil {
+			k := block.PredIndex(prev)
+			phiScratch = phiScratch[:0]
+			for _, v := range block.Values {
+				if v.Op != ir.OpPhi {
+					break
+				}
+				if k < len(v.Args) {
+					phiScratch = append(phiScratch, vals[v.Args[k].ID])
+				} else {
+					phiScratch = append(phiScratch, value.Undefined())
+				}
+			}
+			i := 0
+			for _, v := range block.Values {
+				if v.Op != ir.OpPhi {
+					break
+				}
+				vals[v.ID] = phiScratch[i]
+				i++
+			}
+		}
+
+		for _, v := range block.Values {
+			if v.Op == ir.OpPhi {
+				continue
+			}
+			instr := w.Op(v)
+			var extra int64
+
+			switch v.Op {
+			case ir.OpConst:
+				vals[v.ID] = v.AuxVal
+			case ir.OpParam:
+				if int(v.AuxInt) < len(args) {
+					vals[v.ID] = args[v.AuxInt]
+				} else {
+					vals[v.ID] = value.Undefined()
+				}
+
+			case ir.OpAddInt, ir.OpSubInt, ir.OpMulInt, ir.OpNegInt:
+				a := int64(vals[v.Args[0].ID].Int32())
+				var r int64
+				switch v.Op {
+				case ir.OpAddInt:
+					r = a + int64(vals[v.Args[1].ID].Int32())
+				case ir.OpSubInt:
+					r = a - int64(vals[v.Args[1].ID].Int32())
+				case ir.OpMulInt:
+					b := int64(vals[v.Args[1].ID].Int32())
+					r = a * b
+					if r == 0 && (a < 0 || b < 0) {
+						oflow[v.ID] = true
+					}
+				case ir.OpNegInt:
+					r = -a
+					if a == 0 {
+						oflow[v.ID] = true
+					}
+				}
+				if r < math.MinInt32 || r > math.MaxInt32 {
+					oflow[v.ID] = true
+				}
+				vals[v.ID] = value.Int(int32(uint32(uint64(r))))
+
+			case ir.OpBitAnd:
+				vals[v.ID] = value.Int(vals[v.Args[0].ID].Int32() & vals[v.Args[1].ID].Int32())
+			case ir.OpBitOr:
+				vals[v.ID] = value.Int(vals[v.Args[0].ID].Int32() | vals[v.Args[1].ID].Int32())
+			case ir.OpBitXor:
+				vals[v.ID] = value.Int(vals[v.Args[0].ID].Int32() ^ vals[v.Args[1].ID].Int32())
+			case ir.OpShl:
+				vals[v.ID] = value.Int(vals[v.Args[0].ID].Int32() << (uint32(vals[v.Args[1].ID].Int32()) & 31))
+			case ir.OpShr:
+				vals[v.ID] = value.Int(vals[v.Args[0].ID].Int32() >> (uint32(vals[v.Args[1].ID].Int32()) & 31))
+			case ir.OpUShr:
+				u := uint32(vals[v.Args[0].ID].Int32()) >> (uint32(vals[v.Args[1].ID].Int32()) & 31)
+				if u > math.MaxInt32 {
+					oflow[v.ID] = true
+				}
+				vals[v.ID] = value.Int(int32(u))
+
+			case ir.OpAddDouble:
+				vals[v.ID] = value.Number(vals[v.Args[0].ID].Float() + vals[v.Args[1].ID].Float())
+			case ir.OpSubDouble:
+				vals[v.ID] = value.Number(vals[v.Args[0].ID].Float() - vals[v.Args[1].ID].Float())
+			case ir.OpMulDouble:
+				vals[v.ID] = value.Number(vals[v.Args[0].ID].Float() * vals[v.Args[1].ID].Float())
+			case ir.OpDivDouble:
+				vals[v.ID] = value.Number(vals[v.Args[0].ID].Float() / vals[v.Args[1].ID].Float())
+			case ir.OpModDouble:
+				vals[v.ID] = value.Number(math.Mod(vals[v.Args[0].ID].Float(), vals[v.Args[1].ID].Float()))
+			case ir.OpNegDouble:
+				vals[v.ID] = value.Number(-vals[v.Args[0].ID].Float())
+
+			case ir.OpIntToDouble, ir.OpNumberToDouble:
+				vals[v.ID] = vals[v.Args[0].ID] // Float() reads either kind
+			case ir.OpTruncDouble:
+				vals[v.ID] = value.Int(value.DoubleToInt32(vals[v.Args[0].ID].Float()))
+			case ir.OpUint32ToDouble:
+				vals[v.ID] = value.Number(float64(uint32(vals[v.Args[0].ID].Int32())))
+			case ir.OpToBool:
+				vals[v.ID] = value.Boolean(vals[v.Args[0].ID].ToBoolean())
+			case ir.OpBoolNot:
+				vals[v.ID] = value.Boolean(!vals[v.Args[0].ID].Bool())
+			case ir.OpNormalizeHole:
+				x := vals[v.Args[0].ID]
+				if x.IsHole() {
+					x = value.Undefined()
+				}
+				vals[v.ID] = x
+
+			case ir.OpCmpInt:
+				a, b := vals[v.Args[0].ID].Int32(), vals[v.Args[1].ID].Int32()
+				vals[v.ID] = value.Boolean(cmpInt(ir.Cmp(v.AuxInt), a, b))
+			case ir.OpCmpDouble:
+				a, b := vals[v.Args[0].ID].Float(), vals[v.Args[1].ID].Float()
+				vals[v.ID] = value.Boolean(cmpFloat(ir.Cmp(v.AuxInt), a, b))
+			case ir.OpStrictEqGeneric:
+				vals[v.ID] = value.Boolean(value.StrictEquals(vals[v.Args[0].ID], vals[v.Args[1].ID]))
+
+			case ir.OpCheckInt32, ir.OpCheckNumber, ir.OpCheckShape,
+				ir.OpCheckArray, ir.OpCheckBounds, ir.OpCheckOverflow,
+				ir.OpCheckUint32, ir.OpCheckHole, ir.OpCheckCallee:
+				free := v.Free
+				if free {
+					instr = 0
+				} else {
+					if tier == profile.TierFTL {
+						ctrs.AddCheck(v.Check)
+					}
+					extra += m.checkMemCost(v, vals)
+				}
+				if m.checkPasses(v, vals, oflow) {
+					break
+				}
+				// Check failed.
+				account(instr, extra)
+				if v.Deopt != nil {
+					ctrs.Deopts++
+					ctrs.OSRExits++
+					rec := materialize(v.Deopt)
+					m.emit(Event{Kind: EventDeopt, Fn: f.Name, CheckClass: v.Check, PC: rec.PC})
+					return value.Undefined(), &Deopt{PC: rec.PC, Regs: rec.Regs, CheckClass: v.Check}, nil
+				}
+				cause := htm.AbortCause(htm.AbortCheck)
+				if free && v.Check == stats.CheckOverflow {
+					cause = htm.AbortSOF
+				}
+				d, err := abort(cause, v.Check)
+				return value.Undefined(), d, err
+
+			case ir.OpLoadSlot:
+				o := vals[v.Args[0].ID].Object()
+				off := int(v.AuxInt)
+				if o == nil || off >= len(o.Slots) {
+					vals[v.ID] = value.Undefined() // garbage pre-abort
+					break
+				}
+				vals[v.ID] = o.GetSlot(off)
+				extra += m.load(m.Mem.SlotAddr(o, off))
+			case ir.OpStoreSlot:
+				o := vals[v.Args[0].ID].Object()
+				off := int(v.AuxInt)
+				if o == nil || off >= len(o.Slots) {
+					break
+				}
+				o.SetSlot(off, vals[v.Args[1].ID])
+				extra += m.Cache.Access(m.Mem.SlotAddr(o, off))
+			case ir.OpLoadElem:
+				o := vals[v.Args[0].ID].Object()
+				i := int(vals[v.Args[1].ID].Int32())
+				if o == nil || !o.InBounds(i) {
+					vals[v.ID] = value.Undefined() // garbage pre-abort
+					break
+				}
+				vals[v.ID] = o.ElementRaw(i)
+				extra += m.load(m.Mem.ElemAddr(o, i))
+			case ir.OpStoreElem:
+				o := vals[v.Args[0].ID].Object()
+				i := int(vals[v.Args[1].ID].Int32())
+				if o == nil || i < 0 {
+					break
+				}
+				o.SetElement(i, vals[v.Args[2].ID])
+				extra += m.Cache.Access(m.Mem.ElemAddr(o, i))
+			case ir.OpLoadLength:
+				o := vals[v.Args[0].ID].Object()
+				if o == nil {
+					vals[v.ID] = value.Int(0)
+					break
+				}
+				vals[v.ID] = value.Int(int32(o.Length))
+				extra += m.load(m.Mem.LengthAddr(o))
+			case ir.OpLoadGlobal:
+				g := m.host.Globals()
+				if !g.Has(v.AuxStr) {
+					account(instr, extra)
+					return value.Undefined(), nil, errf("%s is not defined", v.AuxStr)
+				}
+				vals[v.ID] = g.Get(v.AuxStr)
+				if off := g.OffsetOf(v.AuxStr); off >= 0 {
+					extra += m.load(m.Mem.SlotAddr(g, off))
+				}
+			case ir.OpStoreGlobal:
+				g := m.host.Globals()
+				g.Set(v.AuxStr, vals[v.Args[0].ID])
+				if off := g.OffsetOf(v.AuxStr); off >= 0 {
+					extra += m.Cache.Access(m.Mem.SlotAddr(g, off))
+				}
+
+			case ir.OpMathOp:
+				vals[v.ID] = evalMath(v.AuxStr, v.Args, vals)
+
+			case ir.OpCallDirect:
+				this := vals[v.Args[0].ID]
+				callArgs := make([]value.Value, len(v.Args)-1)
+				for i := 1; i < len(v.Args); i++ {
+					callArgs[i-1] = vals[v.Args[i].ID]
+				}
+				account(instr, extra)
+				res, err := m.host.Call(v.Callee, this, callArgs)
+				if err != nil {
+					d, err2 := handleCallErr(err)
+					return value.Undefined(), d, err2
+				}
+				vals[v.ID] = res
+				instr, extra = 0, 0
+
+			case ir.OpCallRuntime:
+				account(instr, extra)
+				res, err := m.runtimeCall(v, vals)
+				if err != nil {
+					d, err2 := handleCallErr(err)
+					return value.Undefined(), d, err2
+				}
+				vals[v.ID] = res
+				instr, extra = 0, 0
+
+			case ir.OpTxBegin:
+				if m.HTM.InTx() {
+					m.HTM.Begin(tok, nil) // flattened nesting: depth only
+				} else {
+					rec := materialize(v.Deopt)
+					m.HTM.Begin(tok, rec)
+					m.installHook()
+					ctrs.TxBegins++
+					extra += m.HTM.Config().BeginCycles
+					m.emit(Event{Kind: EventTxBegin, Fn: f.Name})
+				}
+			case ir.OpTxEnd:
+				t := m.HTM.Current()
+				if t == nil {
+					account(instr, extra)
+					return value.Undefined(), nil, errf("txend without transaction")
+				}
+				outer, err := m.HTM.Commit()
+				if err != nil {
+					account(instr, extra)
+					return value.Undefined(), nil, err
+				}
+				if outer {
+					m.uninstallHook()
+					ctrs.TxCommits++
+					m.noteTxStats(ctrs, t)
+					ctrs.TxWriteBytesTotal += t.WriteBytes()
+					extra += m.HTM.Config().CommitCycles
+					m.emit(Event{Kind: EventTxCommit, Fn: f.Name, WriteBytes: t.WriteBytes()})
+				}
+			case ir.OpTxTile:
+				t := m.HTM.Current()
+				if t != nil && t.Owner == any(tok) && m.footprintNearCapacity(t) {
+					m.noteTxStats(ctrs, t)
+					ctrs.TxWriteBytesTotal += t.WriteBytes()
+					if _, err := m.HTM.Commit(); err != nil {
+						account(instr, extra)
+						return value.Undefined(), nil, err
+					}
+					ctrs.TxCommits++
+					m.emit(Event{Kind: EventTxTileCommit, Fn: f.Name, WriteBytes: t.WriteBytes()})
+					rec := materialize(v.Deopt)
+					m.HTM.Begin(tok, rec)
+					ctrs.TxBegins++
+					extra += m.HTM.Config().CommitCycles + m.HTM.Config().BeginCycles
+				}
+
+			default:
+				account(instr, extra)
+				return value.Undefined(), nil, errf("unhandled IR op %v", v.Op)
+			}
+
+			account(instr, extra)
+
+			// A write from this op (or a callee) may have overflowed the
+			// transactional capacity; the undo log covers it, so abort now.
+			if m.pendingCapacity {
+				m.pendingCapacity = false
+				d, err := abort(htm.AbortCapacity, stats.CheckOther)
+				return value.Undefined(), d, err
+			}
+		}
+
+		account(blockEdgeCost, 0)
+		prev = block
+		switch block.Kind {
+		case ir.BlockPlain:
+			block = block.Succs[0]
+		case ir.BlockIf:
+			if vals[block.Control.ID].ToBoolean() {
+				block = block.Succs[0]
+			} else {
+				block = block.Succs[1]
+			}
+		case ir.BlockReturn:
+			return vals[block.Control.ID], nil, nil
+		default:
+			return value.Undefined(), nil, errf("bad block kind")
+		}
+	}
+}
+
+// load simulates a data-cache load, applying the RTM in-transaction read
+// penalty and read-set tracking.
+func (m *Machine) load(addr uint64) int64 {
+	lat := m.Cache.Access(addr)
+	if m.HTM.InTx() {
+		cfg := m.HTM.Config()
+		if cfg.ReadSets > 0 {
+			if err := m.HTM.RecordRead(addr, valueSize); err != nil {
+				m.pendingCapacity = true
+			}
+		}
+		if cfg.ReadPenaltyNum != cfg.ReadPenaltyDen {
+			lat += (lat+4)*(cfg.ReadPenaltyNum-cfg.ReadPenaltyDen)/cfg.ReadPenaltyDen + 1
+		}
+	}
+	return lat
+}
+
+// checkMemCost charges the cache accesses a check performs (shape word,
+// length word).
+func (m *Machine) checkMemCost(v *ir.Value, vals []value.Value) int64 {
+	switch v.Op {
+	case ir.OpCheckShape, ir.OpCheckArray:
+		if o := vals[v.Args[0].ID].Object(); o != nil {
+			return m.load(m.Mem.ShapeAddr(o))
+		}
+	case ir.OpCheckBounds:
+		if o := vals[v.Args[0].ID].Object(); o != nil {
+			return m.load(m.Mem.LengthAddr(o))
+		}
+	}
+	return 0
+}
+
+func (m *Machine) checkPasses(v *ir.Value, vals []value.Value, oflow []bool) bool {
+	switch v.Op {
+	case ir.OpCheckInt32:
+		return vals[v.Args[0].ID].IsInt32()
+	case ir.OpCheckNumber:
+		return vals[v.Args[0].ID].IsNumber()
+	case ir.OpCheckShape:
+		o := vals[v.Args[0].ID].Object()
+		return o != nil && o.Shape == v.Shape
+	case ir.OpCheckArray:
+		o := vals[v.Args[0].ID].Object()
+		return o != nil && o.IsArray
+	case ir.OpCheckBounds:
+		o := vals[v.Args[0].ID].Object()
+		if o == nil {
+			return false
+		}
+		idx := vals[v.Args[1].ID]
+		return o.InBounds(int(idx.Int32()))
+	case ir.OpCheckOverflow, ir.OpCheckUint32:
+		return !oflow[v.Args[0].ID]
+	case ir.OpCheckHole:
+		return !vals[v.Args[0].ID].IsHole()
+	case ir.OpCheckCallee:
+		x := vals[v.Args[0].ID]
+		return x.IsCallable() && x.Object().Fn == v.Callee
+	}
+	return false
+}
+
+func (m *Machine) footprintNearCapacity(t *htm.Txn) bool {
+	cfg := m.HTM.Config()
+	capBytes := int64(cfg.WriteSets*cfg.WriteWays) * int64(cfg.LineSize)
+	return t.WriteBytes() >= capBytes*commitFractionNum/commitFractionDen
+}
+
+func (m *Machine) noteTxStats(ctrs *stats.Counters, t *htm.Txn) {
+	if wb := t.WriteBytes(); wb > ctrs.TxWriteBytesMax {
+		ctrs.TxWriteBytesMax = wb
+	}
+	if rb := t.ReadBytes(); rb > ctrs.TxReadBytesMax {
+		ctrs.TxReadBytesMax = rb
+	}
+	if a := int64(t.MaxWriteAssoc()); a > ctrs.TxMaxAssoc {
+		ctrs.TxMaxAssoc = a
+	}
+}
+
+func funcHasCalls(f *ir.Func) bool {
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpCallDirect || v.Op == ir.OpCallRuntime {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func cmpInt(c ir.Cmp, a, b int32) bool {
+	switch c {
+	case ir.CmpLT:
+		return a < b
+	case ir.CmpLE:
+		return a <= b
+	case ir.CmpGT:
+		return a > b
+	case ir.CmpGE:
+		return a >= b
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	}
+	return false
+}
+
+func cmpFloat(c ir.Cmp, a, b float64) bool {
+	switch c {
+	case ir.CmpLT:
+		return a < b
+	case ir.CmpLE:
+		return a <= b
+	case ir.CmpGT:
+		return a > b
+	case ir.CmpGE:
+		return a >= b
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	}
+	return false
+}
+
+func evalMath(name string, args []*ir.Value, vals []value.Value) value.Value {
+	a := vals[args[0].ID].Float()
+	var b float64
+	if len(args) > 1 {
+		b = vals[args[1].ID].Float()
+	}
+	var r float64
+	switch name {
+	case "abs":
+		r = math.Abs(a)
+	case "floor":
+		r = math.Floor(a)
+	case "ceil":
+		r = math.Ceil(a)
+	case "round":
+		r = math.Floor(a + 0.5)
+	case "sqrt":
+		r = math.Sqrt(a)
+	case "sin":
+		r = math.Sin(a)
+	case "cos":
+		r = math.Cos(a)
+	case "tan":
+		r = math.Tan(a)
+	case "asin":
+		r = math.Asin(a)
+	case "acos":
+		r = math.Acos(a)
+	case "atan":
+		r = math.Atan(a)
+	case "exp":
+		r = math.Exp(a)
+	case "log":
+		r = math.Log(a)
+	case "pow":
+		r = math.Pow(a, b)
+	case "atan2":
+		r = math.Atan2(a, b)
+	case "min":
+		r = math.Min(a, b)
+	case "max":
+		r = math.Max(a, b)
+	default:
+		r = math.NaN()
+	}
+	return value.Number(r)
+}

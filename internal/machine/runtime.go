@@ -1,0 +1,195 @@
+package machine
+
+import (
+	"fmt"
+
+	"nomap/internal/bytecode"
+	"nomap/internal/ir"
+	"nomap/internal/stats"
+	"nomap/internal/value"
+)
+
+// runtimeCall executes an OpCallRuntime: the generic, corner-case-covering
+// runtime entries that optimized code falls back to when speculation is not
+// worthwhile (paper Figure 4(b)). Their cost is attributed to the NoFTL
+// instruction class, like the paper's C runtime code.
+func (m *Machine) runtimeCall(v *ir.Value, vals []value.Value) (value.Value, error) {
+	ctrs := m.host.Counters()
+	charge := func(n int64) {
+		ctrs.AddInstr(stats.NoFTL, n)
+		ctrs.AddCycles(n, m.HTM.InTx())
+	}
+	a := func(i int) value.Value { return vals[v.Args[i].ID] }
+
+	switch v.AuxStr {
+	case "binop":
+		charge(22)
+		return evalGenericBinop(bytecode.Op(v.AuxInt), a(0), a(1))
+	case "unop":
+		charge(16)
+		switch bytecode.Op(v.AuxInt) {
+		case bytecode.OpNeg:
+			return value.Neg(a(0)), nil
+		case bytecode.OpBitNot:
+			return value.BitNot(a(0)), nil
+		}
+		return value.Undefined(), fmt.Errorf("machine: bad unop %d", v.AuxInt)
+	case "typeof":
+		charge(14)
+		return value.Str(a(0).TypeOf()), nil
+	case "tonumber":
+		charge(14)
+		x := a(0)
+		if x.IsNumber() {
+			return x, nil
+		}
+		return value.Number(x.ToNumber()), nil
+
+	case "getprop":
+		charge(32)
+		obj, name := a(0), a(1).StringVal()
+		switch obj.Kind() {
+		case value.KindObject:
+			return obj.Object().Get(name), nil
+		case value.KindString:
+			if name == "length" {
+				return value.Int(int32(len(obj.StringVal()))), nil
+			}
+			return value.Undefined(), nil
+		case value.KindUndefined, value.KindNull:
+			return value.Undefined(), fmt.Errorf("cannot read property %q of %s", name, obj.TypeOf())
+		default:
+			return value.Undefined(), nil
+		}
+	case "setprop":
+		charge(32)
+		obj := a(0)
+		o := obj.Object()
+		if o == nil {
+			return value.Undefined(), fmt.Errorf("cannot set property %q of %s", a(1).StringVal(), obj.TypeOf())
+		}
+		o.Set(a(1).StringVal(), a(2))
+		return value.Undefined(), nil
+
+	case "getelem":
+		charge(20)
+		obj, idx := a(0), a(1)
+		o := obj.Object()
+		if o == nil {
+			if obj.IsString() {
+				s := obj.StringVal()
+				i := int(idx.ToNumber())
+				if idx.IsNumber() && float64(i) == idx.ToNumber() && i >= 0 && i < len(s) {
+					return value.Str(s[i : i+1]), nil
+				}
+				return value.Undefined(), nil
+			}
+			return value.Undefined(), fmt.Errorf("cannot index %s", obj.TypeOf())
+		}
+		if o.IsArray && idx.IsNumber() {
+			fi := idx.ToNumber()
+			if i := int(fi); float64(i) == fi {
+				return o.GetElement(i), nil
+			}
+		}
+		return o.Get(idx.ToStringValue()), nil
+	case "setelem":
+		charge(20)
+		obj, idx, val := a(0), a(1), a(2)
+		o := obj.Object()
+		if o == nil {
+			return value.Undefined(), fmt.Errorf("cannot index-assign %s", obj.TypeOf())
+		}
+		if o.IsArray && idx.IsNumber() {
+			fi := idx.ToNumber()
+			if i := int(fi); float64(i) == fi && i >= 0 {
+				o.SetElement(i, val)
+				return value.Undefined(), nil
+			}
+		}
+		o.Set(idx.ToStringValue(), val)
+		return value.Undefined(), nil
+
+	case "call":
+		charge(24)
+		callee := a(0)
+		if !callee.IsCallable() {
+			return value.Undefined(), fmt.Errorf("%s is not a function", callee.TypeOf())
+		}
+		args := gatherArgs(v, vals, 1)
+		return m.host.Call(callee.Object().Fn, value.Undefined(), args)
+	case "callmethod":
+		charge(28)
+		recv, name := a(0), a(1).StringVal()
+		args := gatherArgs(v, vals, 2)
+		return m.host.InvokeMethod(recv, name, args)
+	case "construct":
+		charge(36)
+		callee := a(0)
+		if !callee.IsCallable() {
+			return value.Undefined(), fmt.Errorf("%s is not a constructor", callee.TypeOf())
+		}
+		args := gatherArgs(v, vals, 1)
+		return m.host.Construct(callee.Object().Fn, args)
+
+	case "newobject":
+		charge(28)
+		return value.Obj(value.NewObject(m.host.Shapes())), nil
+	case "newarray":
+		charge(28)
+		return value.Obj(value.NewArray(m.host.Shapes(), int(v.AuxInt))), nil
+	}
+	return value.Undefined(), fmt.Errorf("machine: unknown runtime entry %q", v.AuxStr)
+}
+
+func gatherArgs(v *ir.Value, vals []value.Value, from int) []value.Value {
+	args := make([]value.Value, 0, len(v.Args)-from)
+	for i := from; i < len(v.Args); i++ {
+		args = append(args, vals[v.Args[i].ID])
+	}
+	return args
+}
+
+func evalGenericBinop(op bytecode.Op, a, b value.Value) (value.Value, error) {
+	switch op {
+	case bytecode.OpAdd:
+		return value.Add(a, b), nil
+	case bytecode.OpSub:
+		return value.Sub(a, b), nil
+	case bytecode.OpMul:
+		return value.Mul(a, b), nil
+	case bytecode.OpDiv:
+		return value.Div(a, b), nil
+	case bytecode.OpMod:
+		return value.Mod(a, b), nil
+	case bytecode.OpBitAnd:
+		return value.BitAnd(a, b), nil
+	case bytecode.OpBitOr:
+		return value.BitOr(a, b), nil
+	case bytecode.OpBitXor:
+		return value.BitXor(a, b), nil
+	case bytecode.OpShl:
+		return value.Shl(a, b), nil
+	case bytecode.OpShr:
+		return value.Shr(a, b), nil
+	case bytecode.OpUShr:
+		return value.UShr(a, b), nil
+	case bytecode.OpLess:
+		return value.Compare(a, b, "<"), nil
+	case bytecode.OpLessEq:
+		return value.Compare(a, b, "<="), nil
+	case bytecode.OpGreater:
+		return value.Compare(a, b, ">"), nil
+	case bytecode.OpGreaterEq:
+		return value.Compare(a, b, ">="), nil
+	case bytecode.OpEq:
+		return value.Boolean(value.LooseEquals(a, b)), nil
+	case bytecode.OpNeq:
+		return value.Boolean(!value.LooseEquals(a, b)), nil
+	case bytecode.OpStrictEq:
+		return value.Boolean(value.StrictEquals(a, b)), nil
+	case bytecode.OpStrictNeq:
+		return value.Boolean(!value.StrictEquals(a, b)), nil
+	}
+	return value.Undefined(), fmt.Errorf("machine: bad binop %d", op)
+}

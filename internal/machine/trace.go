@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"fmt"
+
+	"nomap/internal/htm"
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+)
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+const (
+	// EventTxBegin fires when an outermost transaction opens.
+	EventTxBegin EventKind = iota
+	// EventTxCommit fires when an outermost transaction commits.
+	EventTxCommit
+	// EventTxTileCommit fires when a tile commit splits a transaction at a
+	// loop back edge (§V-C).
+	EventTxTileCommit
+	// EventTxAbort fires when a transaction aborts (any cause).
+	EventTxAbort
+	// EventDeopt fires on an OSR exit to the Baseline tier.
+	EventDeopt
+	// EventCompile fires when the JIT compiles a function for a tier.
+	EventCompile
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventTxBegin:
+		return "tx-begin"
+	case EventTxCommit:
+		return "tx-commit"
+	case EventTxTileCommit:
+		return "tx-tile-commit"
+	case EventTxAbort:
+		return "tx-abort"
+	case EventDeopt:
+		return "deopt"
+	case EventCompile:
+		return "compile"
+	}
+	return "?"
+}
+
+// Event is one trace record. Only the fields relevant to the kind are set.
+type Event struct {
+	Kind EventKind
+	// Fn is the function involved.
+	Fn string
+	// Cause is the abort cause for EventTxAbort.
+	Cause htm.AbortCause
+	// CheckClass is the failing check's class for aborts and deopts caused
+	// by a check.
+	CheckClass stats.CheckClass
+	// PC is the Baseline bytecode pc execution transfers to (aborts/deopts).
+	PC int
+	// WriteBytes is the transactional write footprint (commit/abort/tile).
+	WriteBytes int64
+	// Tier is the tier compiled for EventCompile.
+	Tier profile.Tier
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventTxBegin:
+		return fmt.Sprintf("[%s] %s", e.Kind, e.Fn)
+	case EventTxCommit, EventTxTileCommit:
+		return fmt.Sprintf("[%s] %s write-footprint=%dB", e.Kind, e.Fn, e.WriteBytes)
+	case EventTxAbort:
+		return fmt.Sprintf("[%s] %s cause=%s check=%s resume@%d write-footprint=%dB",
+			e.Kind, e.Fn, e.Cause, e.CheckClass, e.PC, e.WriteBytes)
+	case EventDeopt:
+		return fmt.Sprintf("[%s] %s check=%s resume@%d", e.Kind, e.Fn, e.CheckClass, e.PC)
+	case EventCompile:
+		return fmt.Sprintf("[%s] %s tier=%s", e.Kind, e.Fn, e.Tier)
+	}
+	return "[?]"
+}
+
+// Tracer receives execution events. It must not call back into the engine.
+type Tracer func(Event)
+
+// SetTracer installs (or clears, with nil) the event tracer.
+func (m *Machine) SetTracer(t Tracer) { m.trace = t }
+
+// Emit sends an event to the installed tracer. Exposed so the JIT driver
+// can report compile events through the same stream.
+func (m *Machine) Emit(e Event) { m.emit(e) }
+
+func (m *Machine) emit(e Event) {
+	if m.trace != nil {
+		m.trace(e)
+	}
+}

@@ -1,0 +1,172 @@
+package opt
+
+import (
+	"fmt"
+
+	"nomap/internal/ir"
+	"nomap/internal/value"
+)
+
+// GVN performs global value numbering over pure operations, memory loads,
+// and checks, plus constant folding of pure integer/boolean operations.
+//
+// Loads and heap-reading checks participate only within an unbroken memory
+// generation: any write to the same alias class bumps that class, and any
+// barrier — an opaque call, a transaction boundary, or an SMP-carrying
+// check (paper §III-A3) — bumps every class. Eliminating a dominated
+// identical check removes its instructions entirely, which is one of the
+// two benefits NoMap unlocks (paper §IV-C).
+func GVN(f *ir.Func) {
+	dom := ir.BuildDom(f)
+	gen := map[memKey]int{}
+	allGen := 0
+	table := map[string]*ir.Value{}
+
+	keyOf := func(v *ir.Value) (string, bool) {
+		pure := v.Op.IsPure() && v.Op != ir.OpPhi && v.Op != ir.OpParam
+		load := v.Op.ReadsMemory() && !v.Op.WritesMemory() && !v.Op.IsCall()
+		check := v.Op.IsCheck()
+		if !pure && !load && !check {
+			return "", false
+		}
+		if check && v.Deopt != nil {
+			// An SMP is a barrier and is never deduplicated across itself;
+			// conservatively leave SMP-carrying checks alone.
+			return "", false
+		}
+		k := fmt.Sprintf("%d|%d|%q|%g", v.Op, v.AuxInt, v.AuxStr, v.AuxFloat)
+		if v.Op == ir.OpConst {
+			k += "|" + v.AuxVal.ToStringValue() + "|" + v.AuxVal.Kind().String()
+		}
+		if v.Shape != nil {
+			k += fmt.Sprintf("|s%d", v.Shape.ID)
+		}
+		if v.Callee != nil {
+			k += fmt.Sprintf("|c%p", v.Callee)
+		}
+		for _, a := range v.Args {
+			k += fmt.Sprintf("|v%d", a.ID)
+		}
+		// Reads incorporate their alias-class generations.
+		for _, rk := range readKeys(v) {
+			k += fmt.Sprintf("|g%d.%d.%s=%d.%d", rk.kind, rk.off, rk.name, gen[rk], allGen)
+		}
+		return k, true
+	}
+
+	for _, b := range dom.RPO() {
+		for i := 0; i < len(b.Values); i++ {
+			v := b.Values[i]
+			if folded := foldConst(v); folded {
+				// Constant-folded in place; fall through to numbering so
+				// identical constants merge.
+			}
+			if v.IsBarrier() {
+				allGen++
+				continue
+			}
+			for _, wk := range writeKeys(v) {
+				gen[wk]++
+			}
+			k, ok := keyOf(v)
+			if !ok {
+				continue
+			}
+			if prev, hit := table[k]; hit && dom.Dominates(prev.Block, b) && prev != v {
+				if v.Op.IsCheck() {
+					// A dominating identical check makes this one redundant.
+					b.RemoveValue(v)
+					i--
+					continue
+				}
+				if v.Type != ir.TypeNone {
+					ir.ReplaceUses(f, v, prev)
+					b.RemoveValue(v)
+					i--
+					continue
+				}
+			}
+			table[k] = v
+		}
+	}
+}
+
+// foldConst rewrites v in place into an OpConst when all args are constants
+// and the operation folds safely. Returns whether folding happened.
+func foldConst(v *ir.Value) bool {
+	allConst := len(v.Args) > 0
+	for _, a := range v.Args {
+		if a.Op != ir.OpConst {
+			allConst = false
+			break
+		}
+	}
+	if !allConst {
+		return false
+	}
+	setConst := func(val value.Value, t ir.Type) bool {
+		v.Op = ir.OpConst
+		v.AuxVal = val
+		v.Type = t
+		v.Args = nil
+		v.AuxInt = 0
+		v.AuxStr = ""
+		return true
+	}
+	c := func(i int) value.Value { return v.Args[i].AuxVal }
+	switch v.Op {
+	case ir.OpAddInt, ir.OpSubInt, ir.OpMulInt:
+		a, b := int64(c(0).Int32()), int64(c(1).Int32())
+		var r int64
+		switch v.Op {
+		case ir.OpAddInt:
+			r = a + b
+		case ir.OpSubInt:
+			r = a - b
+		default:
+			r = a * b
+			if r == 0 && (a < 0 || b < 0) {
+				return false
+			}
+		}
+		if r < -2147483648 || r > 2147483647 {
+			return false // would overflow: keep op + its check
+		}
+		return setConst(value.Int(int32(r)), ir.TypeInt32)
+	case ir.OpBitAnd:
+		return setConst(value.Int(c(0).Int32()&c(1).Int32()), ir.TypeInt32)
+	case ir.OpBitOr:
+		return setConst(value.Int(c(0).Int32()|c(1).Int32()), ir.TypeInt32)
+	case ir.OpBitXor:
+		return setConst(value.Int(c(0).Int32()^c(1).Int32()), ir.TypeInt32)
+	case ir.OpShl:
+		return setConst(value.Int(c(0).Int32()<<(uint32(c(1).Int32())&31)), ir.TypeInt32)
+	case ir.OpShr:
+		return setConst(value.Int(c(0).Int32()>>(uint32(c(1).Int32())&31)), ir.TypeInt32)
+	case ir.OpCmpInt:
+		a, b := c(0).Int32(), c(1).Int32()
+		var r bool
+		switch ir.Cmp(v.AuxInt) {
+		case ir.CmpLT:
+			r = a < b
+		case ir.CmpLE:
+			r = a <= b
+		case ir.CmpGT:
+			r = a > b
+		case ir.CmpGE:
+			r = a >= b
+		case ir.CmpEQ:
+			r = a == b
+		case ir.CmpNE:
+			r = a != b
+		}
+		return setConst(value.Boolean(r), ir.TypeBool)
+	case ir.OpToBool:
+		return setConst(value.Boolean(c(0).ToBoolean()), ir.TypeBool)
+	case ir.OpBoolNot:
+		return setConst(value.Boolean(!c(0).Bool()), ir.TypeBool)
+	case ir.OpIntToDouble:
+		return setConst(value.Double(float64(c(0).Int32())), ir.TypeDouble)
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+// Package opt implements the "LLVM-level" optimization pipeline of the FTL
+// tier: global value numbering, loop-invariant code motion, loop store
+// promotion, and dead code elimination.
+//
+// Every pass honours the paper's central legality rule (§III-A3): a Stack
+// Map Point — a check that can deoptimize, lowered as an opaque patchpoint —
+// may read and write all memory, so loads, stores, and checks cannot move
+// across it and memory CSE is cut at it. When NoMap converts in-transaction
+// SMPs into aborts (§IV-B), those barriers disappear and the same passes
+// suddenly find the optimizations the paper reports.
+package opt
+
+import "nomap/internal/ir"
+
+// memKey identifies an alias class of the JS heap. Slots are distinguished
+// by offset (a store to obj.sum at offset 1 does not disturb obj.values at
+// offset 0 — the paper's Figure 4 loop depends on this), globals by name.
+type memKey struct {
+	kind int
+	off  int64
+	name string
+}
+
+const (
+	kindShape = iota
+	kindSlot
+	kindElems
+	kindLength
+	kindGlobal
+)
+
+// readKeys returns the alias classes v reads, or nil for non-memory ops.
+func readKeys(v *ir.Value) []memKey {
+	switch v.Op {
+	case ir.OpLoadSlot:
+		return []memKey{{kind: kindSlot, off: v.AuxInt}}
+	case ir.OpLoadElem:
+		return []memKey{{kind: kindElems}}
+	case ir.OpLoadLength:
+		return []memKey{{kind: kindLength}}
+	case ir.OpLoadGlobal:
+		return []memKey{{kind: kindGlobal, name: v.AuxStr}}
+	case ir.OpCheckShape, ir.OpCheckArray:
+		return []memKey{{kind: kindShape}}
+	case ir.OpCheckBounds:
+		return []memKey{{kind: kindLength}}
+	}
+	return nil
+}
+
+// writeKeys returns the alias classes v writes, or nil. Opaque calls and
+// SMPs clobber everything and are handled by the barrier rule instead.
+func writeKeys(v *ir.Value) []memKey {
+	switch v.Op {
+	case ir.OpStoreSlot:
+		return []memKey{{kind: kindSlot, off: v.AuxInt}}
+	case ir.OpStoreElem:
+		// In-bounds speculation holds in committed executions, so element
+		// stores do not change the length or shape.
+		return []memKey{{kind: kindElems}}
+	case ir.OpStoreGlobal:
+		return []memKey{{kind: kindGlobal, name: v.AuxStr}}
+	}
+	return nil
+}

@@ -1,0 +1,775 @@
+// Package parser builds ASTs for the JavaScript subset with a
+// recursive-descent / precedence-climbing parser.
+package parser
+
+import (
+	"fmt"
+
+	"nomap/internal/ast"
+	"nomap/internal/lexer"
+)
+
+// Error is a syntax error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a complete program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{}
+	for !p.atEOF() {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Body = append(prog.Body, s)
+	}
+	return prog, nil
+}
+
+// ParseExpr parses a single expression (used by tests and the REPL-style
+// quickstart example).
+func ParseExpr(src string) (ast.Expr, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input after expression")
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+func (p *parser) cur() lexer.Token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool       { return p.cur().Kind == lexer.EOF }
+func (p *parser) next() lexer.Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) here() ast.Position {
+	t := p.cur()
+	return ast.Position{Line: t.Line, Col: t.Col}
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isPunct(text string) bool {
+	t := p.cur()
+	return t.Kind == lexer.Punct && t.Text == text
+}
+
+func (p *parser) isKeyword(text string) bool {
+	t := p.cur()
+	return t.Kind == lexer.Keyword && t.Text == text
+}
+
+func (p *parser) acceptPunct(text string) bool {
+	if p.isPunct(text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(text string) error {
+	if !p.acceptPunct(text) {
+		return p.errf("expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(text string) bool {
+	if p.isKeyword(text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// statement parses one statement.
+func (p *parser) statement() (ast.Stmt, error) {
+	pos := p.here()
+	switch {
+	case p.isKeyword("var"):
+		s, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		p.acceptPunct(";")
+		return s, nil
+	case p.isKeyword("function"):
+		p.next()
+		fn, err := p.functionLiteral(true)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.FunctionDecl{P: pos, Fn: fn}, nil
+	case p.isPunct("{"):
+		return p.block()
+	case p.isKeyword("if"):
+		return p.ifStmt()
+	case p.isKeyword("while"):
+		return p.whileStmt()
+	case p.isKeyword("do"):
+		return p.doWhileStmt()
+	case p.isKeyword("for"):
+		return p.forStmt()
+	case p.isKeyword("switch"):
+		return p.switchStmt()
+	case p.isKeyword("return"):
+		p.next()
+		r := &ast.ReturnStmt{P: pos}
+		if !p.isPunct(";") && !p.isPunct("}") && !p.atEOF() {
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			r.X = x
+		}
+		p.acceptPunct(";")
+		return r, nil
+	case p.isKeyword("break"):
+		p.next()
+		p.acceptPunct(";")
+		return &ast.BreakStmt{P: pos}, nil
+	case p.isKeyword("continue"):
+		p.next()
+		p.acceptPunct(";")
+		return &ast.ContinueStmt{P: pos}, nil
+	case p.isPunct(";"):
+		p.next()
+		return &ast.BlockStmt{P: pos}, nil
+	default:
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		p.acceptPunct(";")
+		return &ast.ExprStmt{P: pos, X: x}, nil
+	}
+}
+
+func (p *parser) varDecl() (*ast.VarDecl, error) {
+	pos := p.here()
+	p.next() // var
+	d := &ast.VarDecl{P: pos}
+	for {
+		if p.cur().Kind != lexer.Ident {
+			return nil, p.errf("expected identifier in var declaration, found %s", p.cur())
+		}
+		d.Names = append(d.Names, p.next().Text)
+		if p.acceptPunct("=") {
+			init, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Inits = append(d.Inits, init)
+		} else {
+			d.Inits = append(d.Inits, nil)
+		}
+		if !p.acceptPunct(",") {
+			return d, nil
+		}
+	}
+}
+
+func (p *parser) block() (*ast.BlockStmt, error) {
+	pos := p.here()
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &ast.BlockStmt{P: pos}
+	for !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Body = append(b.Body, s)
+	}
+	p.next()
+	return b, nil
+}
+
+func (p *parser) ifStmt() (ast.Stmt, error) {
+	pos := p.here()
+	p.next() // if
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	s := &ast.IfStmt{P: pos, Cond: cond, Then: then}
+	if p.acceptKeyword("else") {
+		els, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (ast.Stmt, error) {
+	pos := p.here()
+	p.next() // while
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WhileStmt{P: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) doWhileStmt() (ast.Stmt, error) {
+	pos := p.here()
+	p.next() // do
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptKeyword("while") {
+		return nil, p.errf("expected 'while' after do body")
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	p.acceptPunct(";")
+	return &ast.DoWhileStmt{P: pos, Body: body, Cond: cond}, nil
+}
+
+func (p *parser) forStmt() (ast.Stmt, error) {
+	pos := p.here()
+	p.next() // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	s := &ast.ForStmt{P: pos}
+	if !p.isPunct(";") {
+		if p.isKeyword("var") {
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &ast.ExprStmt{P: x.Pos(), X: x}
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(";") {
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		post, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *parser) switchStmt() (ast.Stmt, error) {
+	pos := p.here()
+	p.next() // switch
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	disc, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	s := &ast.SwitchStmt{P: pos, Disc: disc}
+	sawDefault := false
+	for !p.isPunct("}") {
+		var c ast.SwitchCase
+		switch {
+		case p.acceptKeyword("case"):
+			test, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			c.Test = test
+		case p.acceptKeyword("default"):
+			if sawDefault {
+				return nil, p.errf("duplicate default clause")
+			}
+			sawDefault = true
+		default:
+			return nil, p.errf("expected 'case' or 'default', found %s", p.cur())
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		for !p.isPunct("}") && !p.isKeyword("case") && !p.isKeyword("default") {
+			if p.atEOF() {
+				return nil, p.errf("unterminated switch")
+			}
+			st, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			c.Body = append(c.Body, st)
+		}
+		s.Cases = append(s.Cases, c)
+	}
+	p.next() // }
+	return s, nil
+}
+
+func (p *parser) functionLiteral(requireName bool) (*ast.FunctionLiteral, error) {
+	pos := p.here()
+	fn := &ast.FunctionLiteral{P: pos}
+	if p.cur().Kind == lexer.Ident {
+		fn.Name = p.next().Text
+	} else if requireName {
+		return nil, p.errf("expected function name")
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.isPunct(")") {
+		if p.cur().Kind != lexer.Ident {
+			return nil, p.errf("expected parameter name, found %s", p.cur())
+		}
+		fn.Params = append(fn.Params, p.next().Text)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// expression parses a full expression (assignment level; no comma operator).
+func (p *parser) expression() (ast.Expr, error) { return p.assignExpr() }
+
+var compoundOps = map[string]string{
+	"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>", ">>>=": ">>>",
+}
+
+func (p *parser) assignExpr() (ast.Expr, error) {
+	pos := p.here()
+	left, err := p.conditional()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == lexer.Punct {
+		if t.Text == "=" {
+			p.next()
+			if !isAssignTarget(left) {
+				return nil, p.errf("invalid assignment target")
+			}
+			v, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Assign{P: pos, Target: left, Value: v}, nil
+		}
+		if op, ok := compoundOps[t.Text]; ok {
+			p.next()
+			if !isAssignTarget(left) {
+				return nil, p.errf("invalid assignment target")
+			}
+			v, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Assign{P: pos, Op: op, Target: left, Value: v}, nil
+		}
+	}
+	return left, nil
+}
+
+func isAssignTarget(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.Member, *ast.Index:
+		return true
+	}
+	return false
+}
+
+func (p *parser) conditional() (ast.Expr, error) {
+	pos := p.here()
+	cond, err := p.binaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptPunct("?") {
+		return cond, nil
+	}
+	a, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	b, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Conditional{P: pos, Cond: cond, A: a, B: b}, nil
+}
+
+// Binary operator precedence (JavaScript levels; higher binds tighter).
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6, "===": 6, "!==": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8, ">>>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) binaryExpr(minPrec int) (ast.Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != lexer.Punct {
+			return left, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		op := p.next().Text
+		right, err := p.binaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		pos := ast.Position{Line: t.Line, Col: t.Col}
+		if op == "&&" || op == "||" {
+			left = &ast.Logical{P: pos, Op: op, L: left, R: right}
+		} else {
+			left = &ast.Binary{P: pos, Op: op, L: left, R: right}
+		}
+	}
+}
+
+func (p *parser) unary() (ast.Expr, error) {
+	pos := p.here()
+	t := p.cur()
+	if t.Kind == lexer.Punct {
+		switch t.Text {
+		case "-", "+", "!", "~":
+			p.next()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Unary{P: pos, Op: t.Text, X: x}, nil
+		case "++", "--":
+			p.next()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			if !isAssignTarget(x) {
+				return nil, p.errf("invalid %s target", t.Text)
+			}
+			return &ast.Update{P: pos, Op: t.Text, Prefix: true, X: x}, nil
+		}
+	}
+	if p.isKeyword("typeof") {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{P: pos, Op: "typeof", X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (ast.Expr, error) {
+	x, err := p.callOrMember()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == lexer.Punct && (t.Text == "++" || t.Text == "--") {
+		if !isAssignTarget(x) {
+			return nil, p.errf("invalid %s target", t.Text)
+		}
+		p.next()
+		return &ast.Update{P: x.Pos(), Op: t.Text, Prefix: false, X: x}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) callOrMember() (ast.Expr, error) {
+	var x ast.Expr
+	var err error
+	if p.isKeyword("new") {
+		pos := p.here()
+		p.next()
+		callee, err := p.callOrMemberNoCall()
+		if err != nil {
+			return nil, err
+		}
+		call := &ast.Call{P: pos, Callee: callee, IsNew: true}
+		if p.isPunct("(") {
+			if call.Args, err = p.arguments(); err != nil {
+				return nil, err
+			}
+		}
+		x = call
+	} else {
+		x, err = p.primary()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p.memberSuffixes(x, true)
+}
+
+// callOrMemberNoCall parses the callee of `new` — member accesses bind
+// tighter than the new-call arguments.
+func (p *parser) callOrMemberNoCall() (ast.Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	return p.memberSuffixes(x, false)
+}
+
+func (p *parser) memberSuffixes(x ast.Expr, allowCall bool) (ast.Expr, error) {
+	for {
+		pos := p.here()
+		switch {
+		case p.acceptPunct("."):
+			if p.cur().Kind != lexer.Ident && p.cur().Kind != lexer.Keyword {
+				return nil, p.errf("expected property name after '.'")
+			}
+			x = &ast.Member{P: pos, X: x, Name: p.next().Text}
+		case p.acceptPunct("["):
+			i, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &ast.Index{P: pos, X: x, I: i}
+		case allowCall && p.isPunct("("):
+			args, err := p.arguments()
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.Call{P: pos, Callee: x, Args: args}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) arguments() ([]ast.Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []ast.Expr
+	for !p.isPunct(")") {
+		a, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) primary() (ast.Expr, error) {
+	pos := p.here()
+	t := p.cur()
+	switch t.Kind {
+	case lexer.Number:
+		p.next()
+		return &ast.NumberLit{P: pos, Value: t.Num}, nil
+	case lexer.String:
+		p.next()
+		return &ast.StringLit{P: pos, Value: t.Str}, nil
+	case lexer.Ident:
+		p.next()
+		return &ast.Ident{P: pos, Name: t.Text}, nil
+	case lexer.Keyword:
+		switch t.Text {
+		case "true", "false":
+			p.next()
+			return &ast.BoolLit{P: pos, Value: t.Text == "true"}, nil
+		case "null":
+			p.next()
+			return &ast.NullLit{P: pos}, nil
+		case "undefined":
+			p.next()
+			return &ast.UndefinedLit{P: pos}, nil
+		case "function":
+			p.next()
+			return p.functionLiteral(false)
+		}
+		return nil, p.errf("unexpected keyword %q", t.Text)
+	case lexer.Punct:
+		switch t.Text {
+		case "(":
+			p.next()
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		case "[":
+			p.next()
+			a := &ast.ArrayLit{P: pos}
+			for !p.isPunct("]") {
+				e, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				a.Elems = append(a.Elems, e)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return a, nil
+		case "{":
+			p.next()
+			o := &ast.ObjectLit{P: pos}
+			for !p.isPunct("}") {
+				kt := p.cur()
+				var key string
+				switch kt.Kind {
+				case lexer.Ident, lexer.Keyword:
+					key = kt.Text
+				case lexer.String:
+					key = kt.Str
+				case lexer.Number:
+					key = kt.Text
+				default:
+					return nil, p.errf("expected property key, found %s", kt)
+				}
+				p.next()
+				if err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+				v, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				o.Keys = append(o.Keys, key)
+				o.Values = append(o.Values, v)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+			return o, nil
+		}
+	}
+	return nil, p.errf("unexpected token %s", t)
+}

@@ -1,0 +1,271 @@
+package parser
+
+import (
+	"testing"
+
+	"nomap/internal/ast"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return prog
+}
+
+func TestVarDecl(t *testing.T) {
+	prog := parseOK(t, "var a = 1, b, c = a + 2;")
+	d, ok := prog.Body[0].(*ast.VarDecl)
+	if !ok {
+		t.Fatalf("got %T", prog.Body[0])
+	}
+	if len(d.Names) != 3 || d.Names[0] != "a" || d.Names[1] != "b" || d.Names[2] != "c" {
+		t.Fatalf("names = %v", d.Names)
+	}
+	if d.Inits[1] != nil {
+		t.Fatal("b should have no initializer")
+	}
+	if _, ok := d.Inits[2].(*ast.Binary); !ok {
+		t.Fatalf("c init = %T", d.Inits[2])
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog := parseOK(t, "x = 1 + 2 * 3;")
+	as := prog.Body[0].(*ast.ExprStmt).X.(*ast.Assign)
+	add := as.Value.(*ast.Binary)
+	if add.Op != "+" {
+		t.Fatalf("top op = %q", add.Op)
+	}
+	mul := add.R.(*ast.Binary)
+	if mul.Op != "*" {
+		t.Fatalf("right op = %q", mul.Op)
+	}
+}
+
+func TestLogicalVsBitwise(t *testing.T) {
+	prog := parseOK(t, "x = a || b && c | d;")
+	or := prog.Body[0].(*ast.ExprStmt).X.(*ast.Assign).Value.(*ast.Logical)
+	if or.Op != "||" {
+		t.Fatalf("top = %q", or.Op)
+	}
+	and := or.R.(*ast.Logical)
+	if and.Op != "&&" {
+		t.Fatalf("and = %q", and.Op)
+	}
+	bor := and.R.(*ast.Binary)
+	if bor.Op != "|" {
+		t.Fatalf("bitor = %q", bor.Op)
+	}
+}
+
+func TestCompoundAssign(t *testing.T) {
+	prog := parseOK(t, "a += 1; a <<= 2; a >>>= 3;")
+	ops := []string{"+", "<<", ">>>"}
+	for i, want := range ops {
+		as := prog.Body[i].(*ast.ExprStmt).X.(*ast.Assign)
+		if as.Op != want {
+			t.Errorf("stmt %d op = %q, want %q", i, as.Op, want)
+		}
+	}
+}
+
+func TestMemberIndexCallChain(t *testing.T) {
+	prog := parseOK(t, "obj.a[i].f(1, 2);")
+	call := prog.Body[0].(*ast.ExprStmt).X.(*ast.Call)
+	if len(call.Args) != 2 {
+		t.Fatalf("args = %d", len(call.Args))
+	}
+	m := call.Callee.(*ast.Member)
+	if m.Name != "f" {
+		t.Fatalf("method = %q", m.Name)
+	}
+	idx := m.X.(*ast.Index)
+	inner := idx.X.(*ast.Member)
+	if inner.Name != "a" {
+		t.Fatalf("inner member = %q", inner.Name)
+	}
+}
+
+func TestNewExpression(t *testing.T) {
+	prog := parseOK(t, "var a = new Array(10);")
+	call := prog.Body[0].(*ast.VarDecl).Inits[0].(*ast.Call)
+	if !call.IsNew || len(call.Args) != 1 {
+		t.Fatalf("new parse wrong: %+v", call)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	prog := parseOK(t, "for (var i = 0; i < n; i++) { s += i; }")
+	f := prog.Body[0].(*ast.ForStmt)
+	if _, ok := f.Init.(*ast.VarDecl); !ok {
+		t.Fatalf("init = %T", f.Init)
+	}
+	if _, ok := f.Cond.(*ast.Binary); !ok {
+		t.Fatalf("cond = %T", f.Cond)
+	}
+	u, ok := f.Post.(*ast.Update)
+	if !ok || u.Prefix || u.Op != "++" {
+		t.Fatalf("post = %#v", f.Post)
+	}
+}
+
+func TestForWithEmptyClauses(t *testing.T) {
+	prog := parseOK(t, "for (;;) { break; }")
+	f := prog.Body[0].(*ast.ForStmt)
+	if f.Init != nil || f.Cond != nil || f.Post != nil {
+		t.Fatal("clauses should be nil")
+	}
+}
+
+func TestFunctionDeclAndExpr(t *testing.T) {
+	prog := parseOK(t, `
+function add(a, b) { return a + b; }
+var f = function(x) { return x; };
+var g = function named() { return 0; };
+`)
+	d := prog.Body[0].(*ast.FunctionDecl)
+	if d.Fn.Name != "add" || len(d.Fn.Params) != 2 {
+		t.Fatalf("decl = %+v", d.Fn)
+	}
+	anon := prog.Body[1].(*ast.VarDecl).Inits[0].(*ast.FunctionLiteral)
+	if anon.Name != "" {
+		t.Fatalf("anon name = %q", anon.Name)
+	}
+	named := prog.Body[2].(*ast.VarDecl).Inits[0].(*ast.FunctionLiteral)
+	if named.Name != "named" {
+		t.Fatalf("named = %q", named.Name)
+	}
+}
+
+func TestConditionalExpr(t *testing.T) {
+	prog := parseOK(t, "x = a < b ? a : b;")
+	c := prog.Body[0].(*ast.ExprStmt).X.(*ast.Assign).Value.(*ast.Conditional)
+	if _, ok := c.Cond.(*ast.Binary); !ok {
+		t.Fatalf("cond = %T", c.Cond)
+	}
+}
+
+func TestObjectAndArrayLiterals(t *testing.T) {
+	prog := parseOK(t, `var o = {a: 1, "b": 2, 3: 4}; var arr = [1, 2, 3];`)
+	o := prog.Body[0].(*ast.VarDecl).Inits[0].(*ast.ObjectLit)
+	if len(o.Keys) != 3 || o.Keys[0] != "a" || o.Keys[1] != "b" || o.Keys[2] != "3" {
+		t.Fatalf("keys = %v", o.Keys)
+	}
+	a := prog.Body[1].(*ast.VarDecl).Inits[0].(*ast.ArrayLit)
+	if len(a.Elems) != 3 {
+		t.Fatalf("elems = %d", len(a.Elems))
+	}
+}
+
+func TestTypeofAndUnary(t *testing.T) {
+	prog := parseOK(t, "x = typeof -y;")
+	u := prog.Body[0].(*ast.ExprStmt).X.(*ast.Assign).Value.(*ast.Unary)
+	if u.Op != "typeof" {
+		t.Fatalf("op = %q", u.Op)
+	}
+	if inner := u.X.(*ast.Unary); inner.Op != "-" {
+		t.Fatalf("inner = %q", inner.Op)
+	}
+}
+
+func TestUpdatePrefixPostfix(t *testing.T) {
+	prog := parseOK(t, "++a; a--;")
+	pre := prog.Body[0].(*ast.ExprStmt).X.(*ast.Update)
+	if !pre.Prefix || pre.Op != "++" {
+		t.Fatalf("pre = %+v", pre)
+	}
+	post := prog.Body[1].(*ast.ExprStmt).X.(*ast.Update)
+	if post.Prefix || post.Op != "--" {
+		t.Fatalf("post = %+v", post)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	prog := parseOK(t, "do { x++; } while (x < 10);")
+	if _, ok := prog.Body[0].(*ast.DoWhileStmt); !ok {
+		t.Fatalf("got %T", prog.Body[0])
+	}
+}
+
+func TestKeywordPropertyNames(t *testing.T) {
+	prog := parseOK(t, "x = a.in; y = b.new;")
+	m := prog.Body[0].(*ast.ExprStmt).X.(*ast.Assign).Value.(*ast.Member)
+	if m.Name != "in" {
+		t.Fatalf("name = %q", m.Name)
+	}
+}
+
+func TestSwitchStatement(t *testing.T) {
+	prog := parseOK(t, `
+switch (x + 1) {
+case 1:
+case 2: y = 2; break;
+default: y = 0;
+case "s": y = 9;
+}`)
+	s := prog.Body[0].(*ast.SwitchStmt)
+	if len(s.Cases) != 4 {
+		t.Fatalf("cases = %d", len(s.Cases))
+	}
+	if s.Cases[0].Test == nil || len(s.Cases[0].Body) != 0 {
+		t.Error("empty fallthrough case parsed wrong")
+	}
+	if len(s.Cases[1].Body) != 2 {
+		t.Errorf("case 2 body = %d stmts", len(s.Cases[1].Body))
+	}
+	if s.Cases[2].Test != nil {
+		t.Error("default must have nil test")
+	}
+	if _, ok := s.Cases[3].Test.(*ast.StringLit); !ok {
+		t.Error("string case test lost")
+	}
+	for _, bad := range []string{
+		"switch (x) { case 1 }",            // missing colon
+		"switch (x) { default: default: }", // duplicate default
+		"switch x { }",                     // missing parens
+		"switch (x) { y = 2; }",            // statement outside a clause
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q: expected parse error", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"var 1 = 2;",
+		"if (x {",
+		"for (;;",
+		"function () {}", // declarations need names
+		"a + ;",
+		"1 = 2;",
+		"++1;",
+		"do { } until (x);",
+		"{ unterminated",
+		"x = (1 + 2;",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseExprHelper(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*ast.Binary); !ok {
+		t.Fatalf("got %T", e)
+	}
+	if _, err := ParseExpr("1 + "); err == nil {
+		t.Error("expected error for truncated expression")
+	}
+	if _, err := ParseExpr("1 2"); err == nil {
+		t.Error("expected error for trailing input")
+	}
+}

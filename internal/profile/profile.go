@@ -1,0 +1,263 @@
+// Package profile holds the runtime feedback the Baseline tier gathers and
+// the speculative tiers consume: per-site type feedback, inline caches, and
+// the invocation counters that drive tier-up (paper §II-A: "advanced JIT
+// compilers perform extensive profiling to detect the common case").
+package profile
+
+import (
+	"nomap/internal/bytecode"
+	"nomap/internal/value"
+)
+
+// Tier identifies a compiler tier (paper Figure 2).
+type Tier uint8
+
+const (
+	TierInterp Tier = iota
+	TierBaseline
+	TierDFG
+	TierFTL
+)
+
+// String returns the JavaScriptCore name of the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierInterp:
+		return "Interpreter"
+	case TierBaseline:
+		return "Baseline"
+	case TierDFG:
+		return "DFG"
+	case TierFTL:
+		return "FTL"
+	}
+	return "Tier(?)"
+}
+
+// ArithFeedback records the operand representations seen at an arithmetic or
+// comparison bytecode site.
+type ArithFeedback struct {
+	SawInt32  bool
+	SawDouble bool
+	SawString bool
+	SawOther  bool
+	// SawOverflow records that the int32 fast path overflowed here (the
+	// result escaped to a double although both operands were int32). The
+	// speculative tiers then compile the site with double arithmetic
+	// instead of deopt-looping on the overflow check — JavaScriptCore's
+	// exit-site profiling does the same.
+	SawOverflow bool
+	Count       int64
+}
+
+// Observe merges one executed operand pair into the feedback.
+func (f *ArithFeedback) Observe(a, b value.Value) {
+	f.observeOne(a)
+	f.observeOne(b)
+	f.Count++
+}
+
+func (f *ArithFeedback) observeOne(v value.Value) {
+	switch v.Kind() {
+	case value.KindInt32:
+		f.SawInt32 = true
+	case value.KindDouble:
+		f.SawDouble = true
+	case value.KindString:
+		f.SawString = true
+	default:
+		f.SawOther = true
+	}
+}
+
+// IntOnly reports that both operands were always int32 — the precondition
+// for the FTL tier to emit overflow-checked integer arithmetic. Sites whose
+// fast path has overflowed are excluded: they compile to double arithmetic.
+func (f *ArithFeedback) IntOnly() bool {
+	return f.SawInt32 && !f.SawDouble && !f.SawString && !f.SawOther &&
+		!f.SawOverflow && f.Count > 0
+}
+
+// IntOperands reports int32-only operands regardless of overflow history.
+func (f *ArithFeedback) IntOperands() bool {
+	return f.SawInt32 && !f.SawDouble && !f.SawString && !f.SawOther && f.Count > 0
+}
+
+// NumberOnly reports purely numeric operands (int32 and/or double).
+func (f *ArithFeedback) NumberOnly() bool {
+	return (f.SawInt32 || f.SawDouble) && !f.SawString && !f.SawOther && f.Count > 0
+}
+
+// ElemFeedback records array-access behaviour at a GetElem/SetElem site.
+type ElemFeedback struct {
+	SawArray    bool
+	SawNonArray bool
+	SawOOB      bool
+	SawHole     bool
+	SawNonInt   bool
+	Count       int64
+}
+
+// Observe merges one executed element access.
+func (f *ElemFeedback) Observe(obj value.Value, idx value.Value, inBounds, hole bool) {
+	if obj.IsObject() && obj.Object().IsArray {
+		f.SawArray = true
+	} else {
+		f.SawNonArray = true
+	}
+	if !idx.IsInt32() {
+		f.SawNonInt = true
+	}
+	if !inBounds {
+		f.SawOOB = true
+	}
+	if hole {
+		f.SawHole = true
+	}
+	f.Count++
+}
+
+// FastArray reports the access pattern is int-indexed dense-array-only — the
+// precondition for FTL's checked fast-path element access.
+func (f *ElemFeedback) FastArray() bool {
+	return f.SawArray && !f.SawNonArray && !f.SawNonInt && f.Count > 0
+}
+
+// PropIC is a monomorphic inline cache for a property access site. A hit
+// means the receiver shape matches and the property is at Offset.
+type PropIC struct {
+	Shape  *value.Shape
+	Offset int
+	// Transition caches SetProp sites that add a property: oldShape->NewShape.
+	NewShape *value.Shape
+	Hits     int64
+	Misses   int64
+	// Poly is set after the cache has been invalidated repeatedly; the
+	// speculative tiers then refuse to emit a shape-checked fast path.
+	Poly         bool
+	SawNonObject bool
+	// SawArrayLength marks sites that read .length of an array (which
+	// bypasses the shape cache and compiles to a checked length load).
+	SawArrayLength bool
+}
+
+// Monomorphic reports the site always saw one shape on an object receiver.
+func (ic *PropIC) Monomorphic() bool {
+	return ic.Shape != nil && !ic.Poly && !ic.SawNonObject
+}
+
+// CallFeedback records the callee observed at a call site. For method calls
+// it also records the receiver shape, enabling the FTL tier to emit a
+// shape-checked method load plus a callee check.
+type CallFeedback struct {
+	Target    *value.Function
+	RecvShape *value.Shape
+	Poly      bool
+	Count     int64
+}
+
+// Observe merges one executed call.
+func (f *CallFeedback) Observe(fn *value.Function) {
+	if f.Target == nil {
+		f.Target = fn
+	} else if f.Target != fn {
+		f.Poly = true
+	}
+	f.Count++
+}
+
+// ObserveMethod merges one executed method call with its receiver shape.
+func (f *CallFeedback) ObserveMethod(fn *value.Function, shape *value.Shape) {
+	f.Observe(fn)
+	if f.RecvShape == nil {
+		f.RecvShape = shape
+	} else if f.RecvShape != shape {
+		f.Poly = true
+	}
+}
+
+// Monomorphic reports a single callee was ever observed.
+func (f *CallFeedback) Monomorphic() bool { return f.Target != nil && !f.Poly && f.Count > 0 }
+
+// FunctionProfile aggregates all feedback for one bytecode function.
+type FunctionProfile struct {
+	Fn *bytecode.Function
+
+	InvocationCount int64
+	BackEdgeCount   int64
+
+	Arith []ArithFeedback // indexed by pc
+	Elem  []ElemFeedback  // indexed by pc
+	Calls []CallFeedback  // indexed by pc
+	ICs   []PropIC        // indexed by IC slot
+
+	// Deopts counts OSR exits from speculative code of this function, used
+	// to blocklist functions that repeatedly misspeculate.
+	Deopts int64
+
+	// JITUnsupported marks functions the speculative tiers declined to
+	// compile; they stay in Baseline permanently.
+	JITUnsupported bool
+}
+
+// New allocates a profile sized for fn.
+func New(fn *bytecode.Function) *FunctionProfile {
+	return &FunctionProfile{
+		Fn:    fn,
+		Arith: make([]ArithFeedback, len(fn.Code)),
+		Elem:  make([]ElemFeedback, len(fn.Code)),
+		Calls: make([]CallFeedback, len(fn.Code)),
+		ICs:   make([]PropIC, fn.NumICs),
+	}
+}
+
+// Policy sets the tier-up thresholds in weighted execution counts.
+type Policy struct {
+	BaselineThreshold int64
+	DFGThreshold      int64
+	FTLThreshold      int64
+	// MaxDeopts disables speculative tiers for a function after this many
+	// deoptimizations (JSC's "too many exits" heuristic).
+	MaxDeopts int64
+}
+
+// DefaultPolicy matches the ratios used by the evaluation harness: functions
+// reach FTL quickly enough that steady state dominates a measured run.
+func DefaultPolicy() Policy {
+	return Policy{
+		BaselineThreshold: 4,
+		DFGThreshold:      50,
+		FTLThreshold:      500,
+		MaxDeopts:         16,
+	}
+}
+
+// weightedCount folds loop back edges into the tier-up decision so
+// loop-heavy functions promote even when rarely re-invoked.
+func (p *FunctionProfile) weightedCount() int64 {
+	return p.InvocationCount + p.BackEdgeCount/16
+}
+
+// TierFor returns the tier a function at this profile level should run in,
+// given the policy and the configured maximum tier.
+func (pol Policy) TierFor(p *FunctionProfile, maxTier Tier) Tier {
+	c := p.weightedCount()
+	t := TierInterp
+	switch {
+	case c >= pol.FTLThreshold && p.Deopts < pol.MaxDeopts:
+		t = TierFTL
+	case c >= pol.DFGThreshold && p.Deopts < pol.MaxDeopts:
+		t = TierDFG
+	case c >= pol.BaselineThreshold:
+		t = TierBaseline
+	}
+	if t > maxTier {
+		t = maxTier
+	}
+	// Functions that use closures are pinned to Baseline (paper-faithful
+	// simplification: such functions contribute NoFTL instructions).
+	if p.Fn.UsesClosure && t > TierBaseline {
+		t = TierBaseline
+	}
+	return t
+}

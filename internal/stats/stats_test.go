@@ -1,0 +1,76 @@
+package stats
+
+import "testing"
+
+func TestAddInstrAndTotals(t *testing.T) {
+	var c Counters
+	c.AddInstr(NoFTL, 10)
+	c.AddInstr(NoTM, 20)
+	c.AddInstr(TMUnopt, 30)
+	c.AddInstr(TMOpt, 40)
+	if c.TotalInstr() != 100 {
+		t.Errorf("TotalInstr = %d", c.TotalInstr())
+	}
+	if c.Instr[TMOpt] != 40 {
+		t.Errorf("TMOpt = %d", c.Instr[TMOpt])
+	}
+}
+
+func TestAddCyclesSplit(t *testing.T) {
+	var c Counters
+	c.AddCycles(7, true)
+	c.AddCycles(5, false)
+	if c.CyclesTM != 7 || c.CyclesNonTM != 5 || c.TotalCycles() != 12 {
+		t.Errorf("cycles: tm=%d nontm=%d", c.CyclesTM, c.CyclesNonTM)
+	}
+}
+
+func TestChecks(t *testing.T) {
+	var c Counters
+	c.AddCheck(CheckBounds)
+	c.AddCheck(CheckBounds)
+	c.AddCheck(CheckOverflow)
+	if c.Checks[CheckBounds] != 2 || c.TotalChecks() != 3 {
+		t.Errorf("checks = %v", c.Checks)
+	}
+}
+
+func TestAddMergesAndMaxes(t *testing.T) {
+	a := Counters{TxWriteBytesMax: 100, TxMaxAssoc: 2}
+	b := Counters{TxWriteBytesMax: 50, TxMaxAssoc: 5}
+	a.AddInstr(NoFTL, 1)
+	b.AddInstr(NoFTL, 2)
+	a.TxCommits, b.TxCommits = 3, 4
+	a.Add(&b)
+	if a.Instr[NoFTL] != 3 {
+		t.Errorf("summed instr = %d", a.Instr[NoFTL])
+	}
+	if a.TxCommits != 7 {
+		t.Errorf("summed commits = %d", a.TxCommits)
+	}
+	if a.TxWriteBytesMax != 100 {
+		t.Errorf("max footprint = %d (must take max, not sum)", a.TxWriteBytesMax)
+	}
+	if a.TxMaxAssoc != 5 {
+		t.Errorf("max assoc = %d", a.TxMaxAssoc)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counters
+	c.AddInstr(TMOpt, 5)
+	c.Deopts = 9
+	c.Reset()
+	if c.TotalInstr() != 0 || c.Deopts != 0 {
+		t.Error("reset must zero everything")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if NoFTL.String() != "NoFTL" || TMOpt.String() != "TMOpt" {
+		t.Error("instruction class labels wrong")
+	}
+	if CheckBounds.String() != "Bounds" || CheckOther.String() != "Other" {
+		t.Error("check class labels wrong")
+	}
+}

@@ -1,0 +1,62 @@
+package value
+
+// Function is the runtime representation of a callable. User functions carry
+// opaque references to their AST and per-tier compiled artifacts (set by the
+// bytecode compiler and the JIT tiers; typed as any to keep this package at
+// the bottom of the dependency graph). Native functions implement builtins.
+type Function struct {
+	Name      string
+	NumParams int
+
+	// Decl is the *ast.FunctionLiteral for user functions.
+	Decl any
+	// Code is the *bytecode.Function once compiled.
+	Code any
+	// Tier artifacts, managed by the VM: profile data, DFG/FTL code.
+	Meta any
+
+	// Native implements builtin functions.
+	Native func(this Value, args []Value) (Value, error)
+
+	// Irrevocable marks natives with effects that cannot be rolled back
+	// (I/O such as print). Calling one inside a hardware transaction aborts
+	// the transaction first (paper §V-A: irrevocable events abort).
+	Irrevocable bool
+
+	// Env is the defining closure environment for user functions.
+	Env *Environment
+
+	// UsesClosure reports that the function captures or provides captured
+	// variables; such functions are pinned to the lower tiers (the JIT
+	// declines to promote them, a common engine bailout).
+	UsesClosure bool
+}
+
+// IsNative reports whether the function is a builtin.
+func (f *Function) IsNative() bool { return f.Native != nil }
+
+// Cell boxes a captured variable so closures share mutations.
+type Cell struct{ V Value }
+
+// Environment is a chain of closure scopes with boxed slots.
+type Environment struct {
+	Parent *Environment
+	Slots  []*Cell
+}
+
+// NewEnvironment creates an environment with n boxed slots under parent.
+func NewEnvironment(parent *Environment, n int) *Environment {
+	e := &Environment{Parent: parent, Slots: make([]*Cell, n)}
+	for i := range e.Slots {
+		e.Slots[i] = &Cell{V: Undefined()}
+	}
+	return e
+}
+
+// At returns the cell at (depth, index): depth 0 is e itself.
+func (e *Environment) At(depth, index int) *Cell {
+	for d := 0; d < depth; d++ {
+		e = e.Parent
+	}
+	return e.Slots[index]
+}

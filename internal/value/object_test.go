@@ -1,0 +1,208 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeTransitionsShared(t *testing.T) {
+	table := NewShapeTable()
+	a := NewObject(table)
+	b := NewObject(table)
+	a.Set("x", Int(1))
+	a.Set("y", Int(2))
+	b.Set("x", Int(10))
+	b.Set("y", Int(20))
+	if a.Shape != b.Shape {
+		t.Fatal("objects built with the same property order must share a shape")
+	}
+	c := NewObject(table)
+	c.Set("y", Int(1))
+	c.Set("x", Int(2))
+	if c.Shape == a.Shape {
+		t.Fatal("different property order must yield a different shape")
+	}
+	if a.Shape.Lookup("x") != 0 || a.Shape.Lookup("y") != 1 {
+		t.Fatalf("offsets: x=%d y=%d", a.Shape.Lookup("x"), a.Shape.Lookup("y"))
+	}
+	if a.Shape.Lookup("z") != -1 {
+		t.Fatal("missing property must report -1")
+	}
+}
+
+func TestShapeKeysOrder(t *testing.T) {
+	table := NewShapeTable()
+	o := NewObject(table)
+	o.Set("a", Int(1))
+	o.Set("b", Int(2))
+	o.Set("c", Int(3))
+	keys := o.Shape.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("Keys() = %v", keys)
+	}
+}
+
+func TestPropertyGetSet(t *testing.T) {
+	table := NewShapeTable()
+	o := NewObject(table)
+	if !o.Get("missing").IsUndefined() {
+		t.Fatal("missing property must be undefined")
+	}
+	o.Set("p", Str("v"))
+	if o.Get("p").ToStringValue() != "v" {
+		t.Fatal("property read-back failed")
+	}
+	o.Set("p", Int(9)) // overwrite must not transition
+	s := o.Shape
+	o.Set("p", Int(10))
+	if o.Shape != s {
+		t.Fatal("overwriting must not change shape")
+	}
+	if !StrictEquals(o.Get("p"), Int(10)) {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestArrayElongationAndHoles(t *testing.T) {
+	table := NewShapeTable()
+	a := NewArray(table, 0)
+	a.SetElement(0, Int(1))
+	a.SetElement(5, Int(6)) // creates holes 1..4
+	if a.Length != 6 {
+		t.Fatalf("Length = %d, want 6", a.Length)
+	}
+	if !StrictEquals(a.Get("length"), Int(6)) {
+		t.Fatal("length property wrong")
+	}
+	if !a.GetElement(3).IsUndefined() {
+		t.Fatal("hole must read as undefined")
+	}
+	if !a.HasHoleAt(3) {
+		t.Fatal("HasHoleAt must see the hole")
+	}
+	if a.HasHoleAt(0) || a.HasHoleAt(5) {
+		t.Fatal("populated elements are not holes")
+	}
+	if !a.GetElement(100).IsUndefined() {
+		t.Fatal("out of bounds must read as undefined")
+	}
+	if !a.GetElement(-1).IsUndefined() {
+		t.Fatal("negative index must read as undefined")
+	}
+}
+
+func TestArrayLengthTruncation(t *testing.T) {
+	table := NewShapeTable()
+	a := NewArray(table, 4)
+	for i := 0; i < 4; i++ {
+		a.SetElement(i, Int(int32(i)))
+	}
+	a.Set("length", Int(2))
+	if a.Length != 2 {
+		t.Fatalf("Length = %d", a.Length)
+	}
+	if !a.GetElement(3).IsUndefined() {
+		t.Fatal("truncated element must be gone")
+	}
+}
+
+func TestArrayPushPop(t *testing.T) {
+	table := NewShapeTable()
+	a := NewArray(table, 0)
+	if n := a.Push(Int(1)); n != 1 {
+		t.Fatalf("push returned %d", n)
+	}
+	a.Push(Int(2))
+	if v := a.Pop(); !StrictEquals(v, Int(2)) {
+		t.Fatalf("pop = %v", v)
+	}
+	if a.Length != 1 {
+		t.Fatalf("Length = %d", a.Length)
+	}
+	a.Pop()
+	if v := a.Pop(); !v.IsUndefined() {
+		t.Fatalf("pop of empty = %v", v)
+	}
+}
+
+func TestArrayPropertiesCoexistWithElements(t *testing.T) {
+	table := NewShapeTable()
+	a := NewArray(table, 2)
+	a.Set("tag", Str("t"))
+	a.SetElement(0, Int(5))
+	if a.Get("tag").ToStringValue() != "t" {
+		t.Fatal("named property lost on array")
+	}
+	if !StrictEquals(a.GetElement(0), Int(5)) {
+		t.Fatal("element lost")
+	}
+}
+
+func TestEnvironmentCapture(t *testing.T) {
+	outer := NewEnvironment(nil, 2)
+	inner := NewEnvironment(outer, 1)
+	outer.Slots[1].V = Int(42)
+	if got := inner.At(1, 1).V; !StrictEquals(got, Int(42)) {
+		t.Fatalf("At(1,1) = %v", got)
+	}
+	inner.At(1, 1).V = Int(43) // mutation through the cell is shared
+	if got := outer.Slots[1].V; !StrictEquals(got, Int(43)) {
+		t.Fatalf("shared cell mutation lost: %v", got)
+	}
+}
+
+// Property: after any sequence of SetElement at indices < 64, GetElement
+// returns the last written value and Length is 1 + max index written.
+func TestQuickArraySetGet(t *testing.T) {
+	table := NewShapeTable()
+	f := func(writes []uint8) bool {
+		a := NewArray(table, 0)
+		last := map[int]int32{}
+		maxIdx := -1
+		for n, w := range writes {
+			idx := int(w % 64)
+			a.SetElement(idx, Int(int32(n)))
+			last[idx] = int32(n)
+			if idx > maxIdx {
+				maxIdx = idx
+			}
+		}
+		if a.Length != maxIdx+1 {
+			return false
+		}
+		for idx, want := range last {
+			if !StrictEquals(a.GetElement(idx), Int(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shape lookup agrees with a plain map for any property sequence.
+func TestQuickShapeLookupMatchesMap(t *testing.T) {
+	table := NewShapeTable()
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	f := func(seq []uint8) bool {
+		o := NewObject(table)
+		ref := map[string]Value{}
+		for n, s := range seq {
+			key := names[int(s)%len(names)]
+			v := Int(int32(n))
+			o.Set(key, v)
+			ref[key] = v
+		}
+		for k, want := range ref {
+			if !StrictEquals(o.Get(k), want) {
+				return false
+			}
+		}
+		return len(ref) == o.Shape.NumSlots
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+package value
+
+import "math"
+
+// Generic operator semantics. These are the "runtime calls" the Baseline
+// tier emits (paper Figure 4(b): loadProperty, loadArrayValue, add, ...):
+// they handle every corner case, which is exactly why they are slow and why
+// the FTL tier replaces them with checked fast paths.
+
+// Add implements the JavaScript + operator: string concatenation when either
+// operand is (or coerces to) a string, numeric addition otherwise, with the
+// int32 fast path and overflow promotion to double.
+func Add(a, b Value) Value {
+	if a.kind == KindString || b.kind == KindString {
+		return Str(a.ToStringValue() + b.ToStringValue())
+	}
+	if a.kind == KindObject || b.kind == KindObject {
+		// Simplified ToPrimitive: arrays and plain objects stringify.
+		return Str(a.ToStringValue() + b.ToStringValue())
+	}
+	if a.kind == KindInt32 && b.kind == KindInt32 {
+		if s, ok := AddInt32(a.i, b.i); ok {
+			return Int(s)
+		}
+		return Double(float64(a.i) + float64(b.i))
+	}
+	return Number(a.ToNumber() + b.ToNumber())
+}
+
+// Sub implements the JavaScript - operator.
+func Sub(a, b Value) Value {
+	if a.kind == KindInt32 && b.kind == KindInt32 {
+		if d, ok := SubInt32(a.i, b.i); ok {
+			return Int(d)
+		}
+		return Double(float64(a.i) - float64(b.i))
+	}
+	return Number(a.ToNumber() - b.ToNumber())
+}
+
+// Mul implements the JavaScript * operator.
+func Mul(a, b Value) Value {
+	if a.kind == KindInt32 && b.kind == KindInt32 {
+		if p, ok := MulInt32(a.i, b.i); ok {
+			return Int(p)
+		}
+		return Double(float64(a.i) * float64(b.i))
+	}
+	return Number(a.ToNumber() * b.ToNumber())
+}
+
+// Div implements the JavaScript / operator (always double semantics; engines
+// only keep an int32 result when it divides exactly, which we mirror through
+// Number's canonicalization).
+func Div(a, b Value) Value {
+	return Number(a.ToNumber() / b.ToNumber())
+}
+
+// Mod implements the JavaScript % operator (C-style fmod semantics).
+func Mod(a, b Value) Value {
+	if a.kind == KindInt32 && b.kind == KindInt32 && b.i != 0 && !(a.i == math.MinInt32 && b.i == -1) {
+		r := a.i % b.i
+		if r == 0 && a.i < 0 {
+			return Double(math.Copysign(0, -1))
+		}
+		return Int(r)
+	}
+	return Number(math.Mod(a.ToNumber(), b.ToNumber()))
+}
+
+// Neg implements unary minus.
+func Neg(a Value) Value {
+	if a.kind == KindInt32 && a.i != 0 && a.i != math.MinInt32 {
+		return Int(-a.i)
+	}
+	return Number(-a.ToNumber())
+}
+
+// AddInt32 adds with overflow detection (the FTL fast path; the overflow
+// flag result is what the paper's SMP-guarded overflow checks test).
+func AddInt32(a, b int32) (int32, bool) {
+	s := int64(a) + int64(b)
+	if s < math.MinInt32 || s > math.MaxInt32 {
+		return 0, false
+	}
+	return int32(s), true
+}
+
+// SubInt32 subtracts with overflow detection.
+func SubInt32(a, b int32) (int32, bool) {
+	d := int64(a) - int64(b)
+	if d < math.MinInt32 || d > math.MaxInt32 {
+		return 0, false
+	}
+	return int32(d), true
+}
+
+// MulInt32 multiplies with overflow detection. A zero result with a negative
+// operand must be -0, which int32 cannot represent, so it reports overflow —
+// the same corner JavaScriptCore deoptimizes on.
+func MulInt32(a, b int32) (int32, bool) {
+	p := int64(a) * int64(b)
+	if p < math.MinInt32 || p > math.MaxInt32 {
+		return 0, false
+	}
+	if p == 0 && (a < 0 || b < 0) {
+		return 0, false
+	}
+	return int32(p), true
+}
+
+// Compare evaluates a relational operator; op is one of "<", "<=", ">", ">=".
+func Compare(a, b Value, op string) Value {
+	if a.kind == KindString && b.kind == KindString {
+		switch op {
+		case "<":
+			return Boolean(a.s < b.s)
+		case "<=":
+			return Boolean(a.s <= b.s)
+		case ">":
+			return Boolean(a.s > b.s)
+		case ">=":
+			return Boolean(a.s >= b.s)
+		}
+	}
+	x, y := a.ToNumber(), b.ToNumber()
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return Boolean(false)
+	}
+	switch op {
+	case "<":
+		return Boolean(x < y)
+	case "<=":
+		return Boolean(x <= y)
+	case ">":
+		return Boolean(x > y)
+	case ">=":
+		return Boolean(x >= y)
+	}
+	return Boolean(false)
+}
+
+// StrictEquals implements ===.
+func StrictEquals(a, b Value) bool {
+	an, bn := a.IsNumber(), b.IsNumber()
+	if an && bn {
+		return a.Float() == b.Float()
+	}
+	if a.kind != b.kind {
+		// Hole never reaches user code; undefined===undefined handled above.
+		return false
+	}
+	switch a.kind {
+	case KindUndefined, KindNull:
+		return true
+	case KindBool:
+		return a.b == b.b
+	case KindString:
+		return a.s == b.s
+	case KindObject:
+		return a.o == b.o
+	}
+	return false
+}
+
+// LooseEquals implements == with the coercions our subset exercises.
+func LooseEquals(a, b Value) bool {
+	if a.kind == b.kind || (a.IsNumber() && b.IsNumber()) {
+		return StrictEquals(a, b)
+	}
+	if (a.kind == KindNull && b.kind == KindUndefined) || (a.kind == KindUndefined && b.kind == KindNull) {
+		return true
+	}
+	if a.IsNumber() && b.kind == KindString {
+		return a.Float() == stringToNumber(b.s)
+	}
+	if a.kind == KindString && b.IsNumber() {
+		return stringToNumber(a.s) == b.Float()
+	}
+	if a.kind == KindBool {
+		return LooseEquals(Number(a.ToNumber()), b)
+	}
+	if b.kind == KindBool {
+		return LooseEquals(a, Number(b.ToNumber()))
+	}
+	if a.kind == KindObject && (b.IsNumber() || b.kind == KindString) {
+		return LooseEquals(Str(a.ToStringValue()), b)
+	}
+	if b.kind == KindObject && (a.IsNumber() || a.kind == KindString) {
+		return LooseEquals(a, Str(b.ToStringValue()))
+	}
+	return false
+}
+
+// BitAnd implements &.
+func BitAnd(a, b Value) Value { return Int(a.ToInt32() & b.ToInt32()) }
+
+// BitOr implements |.
+func BitOr(a, b Value) Value { return Int(a.ToInt32() | b.ToInt32()) }
+
+// BitXor implements ^.
+func BitXor(a, b Value) Value { return Int(a.ToInt32() ^ b.ToInt32()) }
+
+// BitNot implements unary ~.
+func BitNot(a Value) Value { return Int(^a.ToInt32()) }
+
+// Shl implements <<.
+func Shl(a, b Value) Value { return Int(a.ToInt32() << (b.ToUint32() & 31)) }
+
+// Shr implements the sign-propagating >>.
+func Shr(a, b Value) Value { return Int(a.ToInt32() >> (b.ToUint32() & 31)) }
+
+// UShr implements the zero-fill >>>. The result is a uint32 and may need the
+// double representation — one of the classic JS overflow corners.
+func UShr(a, b Value) Value {
+	u := a.ToUint32() >> (b.ToUint32() & 31)
+	return Number(float64(u))
+}

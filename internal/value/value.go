@@ -1,0 +1,336 @@
+// Package value implements the dynamic value model of the JavaScript subset:
+// tagged values, numeric semantics (int32 fast path over IEEE doubles, as in
+// JavaScriptCore), hidden-class objects, elongating arrays with holes, and
+// functions with closure environments.
+//
+// Everything a program can observe lives here; the tiers (interpreter,
+// Baseline, DFG, FTL) and the NoMap transformation all operate on these
+// values, so differential tests across tiers compare like with like.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the representations a Value can take.
+type Kind uint8
+
+const (
+	KindUndefined Kind = iota
+	KindNull
+	KindBool
+	KindInt32
+	KindDouble
+	KindString
+	KindObject
+	// KindHole marks an absent array element. It is engine-internal: reading
+	// a hole through any user-visible path yields undefined.
+	KindHole
+)
+
+// String returns the engine-internal name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt32:
+		return "int32"
+	case KindDouble:
+		return "double"
+	case KindString:
+		return "string"
+	case KindObject:
+		return "object"
+	case KindHole:
+		return "hole"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a dynamically typed JavaScript value. The zero Value is undefined.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int32
+	f    float64
+	s    string
+	o    *Object
+}
+
+// Undefined returns the undefined value.
+func Undefined() Value { return Value{kind: KindUndefined} }
+
+// Null returns the null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Hole returns the engine-internal absent-element marker.
+func Hole() Value { return Value{kind: KindHole} }
+
+// Boolean returns a boolean value.
+func Boolean(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int returns an int32-represented number.
+func Int(i int32) Value { return Value{kind: KindInt32, i: i} }
+
+// Double returns a double-represented number without int32 canonicalization.
+func Double(f float64) Value { return Value{kind: KindDouble, f: f} }
+
+// Number returns a numeric value, canonicalized to the int32 representation
+// when the double is integral, in range, and not negative zero — mirroring
+// the boxing discipline of JavaScriptCore.
+func Number(f float64) Value {
+	if f == math.Trunc(f) && f >= math.MinInt32 && f <= math.MaxInt32 && !math.IsInf(f, 0) {
+		if f == 0 && math.Signbit(f) {
+			return Double(f)
+		}
+		return Int(int32(f))
+	}
+	return Double(f)
+}
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Obj returns an object value. A nil object yields null.
+func Obj(o *Object) Value {
+	if o == nil {
+		return Null()
+	}
+	return Value{kind: KindObject, o: o}
+}
+
+// Kind reports the representation of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsUndefined reports whether v is undefined.
+func (v Value) IsUndefined() bool { return v.kind == KindUndefined }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsHole reports whether v is the internal absent-element marker.
+func (v Value) IsHole() bool { return v.kind == KindHole }
+
+// IsNumber reports whether v is numeric (int32 or double representation).
+func (v Value) IsNumber() bool { return v.kind == KindInt32 || v.kind == KindDouble }
+
+// IsInt32 reports whether v uses the int32 fast-path representation.
+func (v Value) IsInt32() bool { return v.kind == KindInt32 }
+
+// IsString reports whether v is a string.
+func (v Value) IsString() bool { return v.kind == KindString }
+
+// IsObject reports whether v is an object.
+func (v Value) IsObject() bool { return v.kind == KindObject }
+
+// IsCallable reports whether v is a callable object.
+func (v Value) IsCallable() bool { return v.kind == KindObject && v.o.Fn != nil }
+
+// Bool returns the boolean payload; v must be a bool.
+func (v Value) Bool() bool { return v.b }
+
+// Int32 returns the int32 payload; v must be an int32.
+func (v Value) Int32() int32 { return v.i }
+
+// Float returns the numeric payload as a float64 for either numeric kind.
+func (v Value) Float() float64 {
+	if v.kind == KindInt32 {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// StringVal returns the string payload; v must be a string.
+func (v Value) StringVal() string { return v.s }
+
+// Object returns the object payload, or nil when v is not an object.
+func (v Value) Object() *Object {
+	if v.kind != KindObject {
+		return nil
+	}
+	return v.o
+}
+
+// ToBoolean applies JavaScript truthiness.
+func (v Value) ToBoolean() bool {
+	switch v.kind {
+	case KindUndefined, KindNull, KindHole:
+		return false
+	case KindBool:
+		return v.b
+	case KindInt32:
+		return v.i != 0
+	case KindDouble:
+		return v.f != 0 && !math.IsNaN(v.f)
+	case KindString:
+		return v.s != ""
+	case KindObject:
+		return true
+	}
+	return false
+}
+
+// ToNumber applies the JavaScript ToNumber coercion.
+func (v Value) ToNumber() float64 {
+	switch v.kind {
+	case KindUndefined, KindHole:
+		return math.NaN()
+	case KindNull:
+		return 0
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindInt32:
+		return float64(v.i)
+	case KindDouble:
+		return v.f
+	case KindString:
+		return stringToNumber(v.s)
+	case KindObject:
+		// Objects coerce via a simplified ToPrimitive: arrays join, other
+		// objects are NaN. Sufficient for the numeric workloads we model.
+		if v.o.IsArray && v.o.Length == 0 {
+			return 0
+		}
+		if v.o.IsArray && v.o.Length == 1 {
+			return v.o.GetElement(0).ToNumber()
+		}
+		return math.NaN()
+	}
+	return math.NaN()
+}
+
+func stringToNumber(s string) float64 {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0
+	}
+	if strings.HasPrefix(t, "0x") || strings.HasPrefix(t, "0X") {
+		if u, err := strconv.ParseUint(t[2:], 16, 64); err == nil {
+			return float64(u)
+		}
+		return math.NaN()
+	}
+	f, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return f
+}
+
+// ToInt32 applies the JavaScript ToInt32 (modulo 2^32) conversion.
+func (v Value) ToInt32() int32 {
+	if v.kind == KindInt32 {
+		return v.i
+	}
+	return DoubleToInt32(v.ToNumber())
+}
+
+// ToUint32 applies the JavaScript ToUint32 conversion.
+func (v Value) ToUint32() uint32 {
+	return uint32(v.ToInt32())
+}
+
+// DoubleToInt32 converts per the ECMAScript ToInt32 algorithm.
+func DoubleToInt32(f float64) int32 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return int32(uint32(uint64(int64(math.Trunc(f)))))
+}
+
+// ToStringValue applies the JavaScript ToString coercion.
+func (v Value) ToStringValue() string {
+	switch v.kind {
+	case KindUndefined, KindHole:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt32:
+		return strconv.FormatInt(int64(v.i), 10)
+	case KindDouble:
+		return NumberToString(v.f)
+	case KindString:
+		return v.s
+	case KindObject:
+		if v.o.IsArray {
+			parts := make([]string, v.o.Length)
+			for i := 0; i < v.o.Length; i++ {
+				e := v.o.GetElement(i)
+				if e.IsUndefined() || e.IsNull() {
+					parts[i] = ""
+				} else {
+					parts[i] = e.ToStringValue()
+				}
+			}
+			return strings.Join(parts, ",")
+		}
+		if v.o.Fn != nil {
+			return "function " + v.o.Fn.Name + "() { [code] }"
+		}
+		return "[object Object]"
+	}
+	return "undefined"
+}
+
+// NumberToString formats a double the way JavaScript does for the common
+// cases exercised by the workloads.
+func NumberToString(f float64) string {
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	if math.IsInf(f, 1) {
+		return "Infinity"
+	}
+	if math.IsInf(f, -1) {
+		return "-Infinity"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e21 {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// TypeOf returns the JavaScript typeof string.
+func (v Value) TypeOf() string {
+	switch v.kind {
+	case KindUndefined, KindHole:
+		return "undefined"
+	case KindNull:
+		return "object"
+	case KindBool:
+		return "boolean"
+	case KindInt32, KindDouble:
+		return "number"
+	case KindString:
+		return "string"
+	case KindObject:
+		if v.o.Fn != nil {
+			return "function"
+		}
+		return "object"
+	}
+	return "undefined"
+}
+
+// String implements fmt.Stringer with the JavaScript ToString conversion.
+func (v Value) String() string { return v.ToStringValue() }
+
+// SameObject reports whether both values reference the same object identity.
+func (v Value) SameObject(w Value) bool {
+	return v.kind == KindObject && w.kind == KindObject && v.o == w.o
+}

@@ -1,0 +1,247 @@
+// Package vm is the engine facade: it owns the global object, the shape
+// table, per-function profiles, and the tier-up machinery that moves hot
+// functions from the Interpreter through Baseline and DFG up to FTL
+// (paper Figure 2). The NoMap configurations plug in here as FTL variants.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"nomap/internal/bytecode"
+	"nomap/internal/htm"
+	"nomap/internal/interp"
+	"nomap/internal/parser"
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+	"nomap/internal/value"
+)
+
+// Config selects the engine behaviour for a run.
+type Config struct {
+	// MaxTier caps tier-up (Table I is measured by sweeping this).
+	MaxTier profile.Tier
+	// Policy sets tier-up thresholds.
+	Policy profile.Policy
+	// Arch selects the architecture configuration for the FTL tier
+	// (Base, NoMap_S, NoMap_B, NoMap, NoMap_BC, NoMap_RTM). See arch.go.
+	Arch Arch
+	// MaxCallDepth bounds recursion (default 2500).
+	MaxCallDepth int
+	// RandomSeed seeds Math.random deterministically.
+	RandomSeed uint64
+}
+
+// DefaultConfig runs the full tier stack on the unmodified Base architecture.
+func DefaultConfig() Config {
+	return Config{
+		MaxTier:      profile.TierFTL,
+		Policy:       profile.DefaultPolicy(),
+		Arch:         ArchBase,
+		MaxCallDepth: 2500,
+		RandomSeed:   0x9E3779B97F4A7C15,
+	}
+}
+
+// VM is one engine instance. Not safe for concurrent use — JavaScript is
+// single-threaded, which is precisely why the paper can target a lightweight
+// rollback-only HTM.
+type VM struct {
+	cfg      Config
+	shapes   *value.ShapeTable
+	globals  *value.Object
+	counters stats.Counters
+	profiles map[*bytecode.Function]*profile.FunctionProfile
+
+	jit JITBackend
+
+	callDepth int
+	rng       uint64
+
+	// Output collects print() lines so runs are checkable.
+	Output []string
+}
+
+// JITBackend executes a function in a speculative tier (DFG/FTL). It is
+// implemented by the jit package and injected to keep the dependency graph
+// acyclic. Execute returns handled=false to decline (e.g. unsupported
+// feature), in which case the VM falls back to Baseline.
+type JITBackend interface {
+	Execute(vm *VM, fn *value.Function, prof *profile.FunctionProfile, tier profile.Tier, args []value.Value) (res value.Value, handled bool, err error)
+	// InTransaction reports whether the backend currently has an open
+	// hardware transaction (for cycle attribution of lower-tier code
+	// called from inside one).
+	InTransaction() bool
+}
+
+// New creates a VM.
+func New(cfg Config) *VM {
+	if cfg.MaxCallDepth == 0 {
+		cfg.MaxCallDepth = 2500
+	}
+	if cfg.RandomSeed == 0 {
+		cfg.RandomSeed = 0x9E3779B97F4A7C15
+	}
+	vm := &VM{
+		cfg:      cfg,
+		shapes:   value.NewShapeTable(),
+		profiles: make(map[*bytecode.Function]*profile.FunctionProfile),
+		rng:      cfg.RandomSeed,
+	}
+	vm.globals = value.NewObject(vm.shapes)
+	vm.installBuiltins()
+	return vm
+}
+
+// SetJIT injects the speculative-tier backend.
+func (vm *VM) SetJIT(j JITBackend) { vm.jit = j }
+
+// Config returns the VM's configuration.
+func (vm *VM) Config() Config { return vm.cfg }
+
+// Counters returns the measurement sink.
+func (vm *VM) Counters() *stats.Counters { return &vm.counters }
+
+// ResetCounters zeroes measurements (after warm-up, before the measured run).
+func (vm *VM) ResetCounters() { vm.counters.Reset() }
+
+// Shapes returns the shape table.
+func (vm *VM) Shapes() *value.ShapeTable { return vm.shapes }
+
+// Globals returns the global object.
+func (vm *VM) Globals() *value.Object { return vm.globals }
+
+// ProfileFor returns (allocating on first use) the profile of fn.
+func (vm *VM) ProfileFor(fn *bytecode.Function) *profile.FunctionProfile {
+	p, ok := vm.profiles[fn]
+	if !ok {
+		p = profile.New(fn)
+		vm.profiles[fn] = p
+	}
+	return p
+}
+
+// InTransaction reports whether a hardware transaction is currently open.
+func (vm *VM) InTransaction() bool {
+	return vm.jit != nil && vm.jit.InTransaction()
+}
+
+// CompileSource parses and compiles a program to its top-level function.
+func CompileSource(src string) (*bytecode.Function, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return bytecode.Compile(prog)
+}
+
+// Run executes a complete program source and returns the value of the last
+// global named "result" if defined, else undefined. Output from print() is
+// collected in vm.Output.
+func (vm *VM) Run(src string) (value.Value, error) {
+	main, err := CompileSource(src)
+	if err != nil {
+		return value.Undefined(), err
+	}
+	return vm.RunMain(main)
+}
+
+// RunMain executes a previously compiled top-level function.
+func (vm *VM) RunMain(main *bytecode.Function) (value.Value, error) {
+	fr := interp.NewFrame(main, nil, nil)
+	if _, err := interp.Exec(vm, fr, profile.TierInterp); err != nil {
+		return value.Undefined(), err
+	}
+	if vm.globals.Has("result") {
+		return vm.globals.Get("result"), nil
+	}
+	return value.Undefined(), nil
+}
+
+// CallGlobal invokes a global function by name (the harness entry point:
+// benchmarks define a run() function called once per iteration).
+func (vm *VM) CallGlobal(name string, args ...value.Value) (value.Value, error) {
+	f := vm.globals.Get(name)
+	if !f.IsCallable() {
+		return value.Undefined(), fmt.Errorf("global %q is not a function", name)
+	}
+	return vm.Call(f.Object().Fn, value.Undefined(), args)
+}
+
+var errCallDepth = errors.New("maximum call depth exceeded")
+
+// Call invokes a function through the tiering machinery. This is the single
+// call path: every tier and every builtin routes function calls here.
+func (vm *VM) Call(fn *value.Function, this value.Value, args []value.Value) (value.Value, error) {
+	if vm.callDepth >= vm.cfg.MaxCallDepth {
+		return value.Undefined(), errCallDepth
+	}
+	vm.callDepth++
+	defer func() { vm.callDepth-- }()
+
+	if fn.IsNative() {
+		if fn.Irrevocable && vm.InTransaction() {
+			return value.Undefined(), htm.ErrIrrevocable
+		}
+		vm.counters.AddInstr(stats.NoFTL, nativeCallCost)
+		vm.counters.AddCycles(nativeCallCost, vm.InTransaction())
+		return fn.Native(this, args)
+	}
+
+	bcFn, ok := fn.Code.(*bytecode.Function)
+	if !ok {
+		return value.Undefined(), fmt.Errorf("function %q has no code", fn.Name)
+	}
+	prof := vm.ProfileFor(bcFn)
+	prof.InvocationCount++
+	tier := vm.cfg.Policy.TierFor(prof, vm.cfg.MaxTier)
+
+	if tier >= profile.TierDFG && vm.jit != nil {
+		res, handled, err := vm.jit.Execute(vm, fn, prof, tier, args)
+		if handled || err != nil {
+			return res, err
+		}
+		tier = profile.TierBaseline
+	} else if tier >= profile.TierDFG {
+		tier = profile.TierBaseline
+	}
+
+	env := value.NewEnvironment(fn.Env, bcFn.NumCells)
+	fr := interp.NewFrame(bcFn, env, args)
+	return interp.Exec(vm, fr, tier)
+}
+
+// Construct implements `new fn(args)`.
+func (vm *VM) Construct(fn *value.Function, args []value.Value) (value.Value, error) {
+	if fn.IsNative() {
+		// Builtin constructors (Array, Object) construct directly.
+		return fn.Native(value.Undefined(), args)
+	}
+	obj := value.Obj(value.NewObject(vm.shapes))
+	res, err := vm.Call(fn, obj, args)
+	if err != nil {
+		return value.Undefined(), err
+	}
+	if res.IsObject() {
+		return res, nil
+	}
+	return obj, nil
+}
+
+// MakeClosure wraps a nested bytecode function with its defining environment.
+func (vm *VM) MakeClosure(fn *bytecode.Function, env *value.Environment) value.Value {
+	f := &value.Function{
+		Name:        fn.Name,
+		NumParams:   fn.NumParams,
+		Code:        fn,
+		Env:         env,
+		UsesClosure: fn.UsesClosure,
+	}
+	return value.Obj(value.NewFunctionObject(vm.shapes, f))
+}
+
+// nativeCallCost approximates the C++ runtime entry/exit sequence.
+const nativeCallCost = 20
+
+// Interface conformance: the VM is the Host for the bytecode tiers.
+var _ interp.Host = (*VM)(nil)

@@ -1,0 +1,371 @@
+package workloads
+
+// The Kraken-like suite (K01 = ai-astar ... K14 = stanford-crypto-sha256).
+// The imaging benchmarks operate on buffers whose transactional write
+// footprint exceeds Intel RTM's 32KB L1D budget but fits the lightweight
+// HTM's 256KB L2 budget — reproducing the paper's finding that NoMap_RTM
+// loses its transactions on Kraken (§VII-A).
+
+var kraken = []Workload{
+	{ID: "K01", Name: "ai-astar", Suite: "Kraken", InAvgS: true, Iterations: 1, Source: `
+// Grid path cost propagation (A*-flavoured relaxation sweeps).
+var gw = 48, gh = 48;
+var gridCost = new Array(gw * gh);
+var gridBest = new Array(gw * gh);
+for (var i = 0; i < gw * gh; i++) gridCost[i] = 1 + ((i * 2654435761) >>> 28);
+function relax() {
+  for (var i = 0; i < gw * gh; i++) gridBest[i] = 1000000;
+  gridBest[0] = 0;
+  for (var sweep = 0; sweep < 4; sweep++) {
+    for (var y = 0; y < gh; y++) {
+      for (var x = 0; x < gw; x++) {
+        var idx = y * gw + x;
+        var b = gridBest[idx];
+        if (x > 0 && gridBest[idx - 1] + gridCost[idx] < b) b = gridBest[idx - 1] + gridCost[idx];
+        if (y > 0 && gridBest[idx - gw] + gridCost[idx] < b) b = gridBest[idx - gw] + gridCost[idx];
+        gridBest[idx] = b;
+      }
+    }
+  }
+  return gridBest[gw * gh - 1];
+}
+function run() { return relax(); }`},
+
+	{ID: "K02", Name: "audio-beat-detection", Suite: "Kraken", InAvgS: false, Iterations: 1, Source: `
+// Beat detection driven through generic helpers and method calls: ≥95%
+// of instructions execute outside FTL code (Table III).
+var beatEnergy = [];
+function pushEnergy(history, e) {
+  history.push(e);
+  if (history.length > 43) history.shift();
+  return history;
+}
+function averageOf(history) {
+  var s = 0;
+  for (var i = 0; i < history.length; i++) s += history[i];
+  return history.length > 0 ? s / history.length : 0;
+}
+function run() {
+  beatEnergy = [];
+  var beats = 0;
+  for (var f = 0; f < 150; f++) {
+    var e = Math.abs(Math.sin(f * 0.37)) + Math.abs(Math.cos(f * 0.11));
+    pushEnergy(beatEnergy, e);
+    if (e > 1.3 * averageOf(beatEnergy)) beats++;
+  }
+  return beats;
+}`},
+
+	{ID: "K03", Name: "audio-dft", Suite: "Kraken", InAvgS: false, Iterations: 1, Source: `
+// Direct DFT via repeated trig method calls: dominated by runtime math
+// dispatch rather than FTL loops (≥95% non-FTL class).
+var dftSignal = [];
+for (var i = 0; i < 64; i++) dftSignal.push(Math.sin(i * 0.2) + 0.5 * Math.sin(i * 0.55));
+function dftBin(signal, k) {
+  var re = 0.0, im = 0.0;
+  var step = 2 * Math.PI * k / signal.length;
+  for (var n = 0; n < signal.length; n++) {
+    re += signal[n] * Math.cos(step * n);
+    im -= signal[n] * Math.sin(step * n);
+  }
+  return re * re + im * im;
+}
+function run() {
+  var power = 0.0;
+  for (var k = 0; k < 32; k++) power += dftBin(dftSignal, k);
+  return Math.floor(power * 1000);
+}`},
+
+	{ID: "K04", Name: "audio-fft", Suite: "Kraken", InAvgS: false, Iterations: 1, Source: `
+// Recursive radix-2 FFT butterflies: call-tree dominated (non-FTL class).
+var fftRe = new Array(128), fftIm = new Array(128);
+function fft(re, im, start, stride, n) {
+  if (n == 1) return 0;
+  var half = n >> 1;
+  fft(re, im, start, stride * 2, half);
+  fft(re, im, start + stride, stride * 2, half);
+  for (var k = 0; k < half; k++) {
+    var ang = -2 * Math.PI * k / n;
+    var wr = Math.cos(ang), wi = Math.sin(ang);
+    var i0 = start + k * stride * 2;
+    var i1 = i0 + stride;
+    var tr = wr * re[i1] - wi * im[i1];
+    var ti = wr * im[i1] + wi * re[i1];
+    re[i1] = re[i0] - tr; im[i1] = im[i0] - ti;
+    re[i0] = re[i0] + tr; im[i0] = im[i0] + ti;
+  }
+  return n;
+}
+function run() {
+  for (var i = 0; i < 128; i++) { fftRe[i] = Math.sin(i * 0.3); fftIm[i] = 0.0; }
+  fft(fftRe, fftIm, 0, 1, 128);
+  var p = 0.0;
+  for (var k = 0; k < 128; k++) p += fftRe[k] * fftRe[k] + fftIm[k] * fftIm[k];
+  return Math.floor(p * 100);
+}`},
+
+	{ID: "K05", Name: "audio-oscillator", Suite: "Kraken", InAvgS: true, Iterations: 1, Source: `
+// Wavetable oscillator: the generation loop is FTL code, but it invokes a
+// generic mixing helper every sample — in the paper much of this
+// benchmark's transaction time executes unoptimized callee code (§VII-B).
+var waveTable = new Array(1024);
+for (var i = 0; i < 1024; i++) waveTable[i] = Math.sin(i * 2 * Math.PI / 1024);
+var oscOut = new Array(2048);
+function mixSample(a, b) {
+  // Polymorphic on purpose: stays out of FTL.
+  var m = {l: a, r: b, mixed: 0};
+  m.mixed = (m.l + m.r) * 0.5;
+  return m.mixed;
+}
+function run() {
+  var phase = 0, phase2 = 0;
+  var inc = 37, inc2 = 11;
+  var acc = 0.0;
+  for (var s = 0; s < 2048; s++) {
+    var v1 = waveTable[phase & 1023];
+    var v2 = waveTable[phase2 & 1023];
+    oscOut[s] = mixSample(v1, v2);
+    acc += oscOut[s];
+    phase += inc;
+    phase2 += inc2;
+  }
+  return Math.floor(acc * 1000);
+}`},
+
+	{ID: "K06", Name: "imaging-darkroom", Suite: "Kraken", InAvgS: true, Iterations: 1, Source: `
+// Brightness/contrast/levels over a large pixel buffer: the per-frame
+// write footprint (~96KB) exceeds RTM's L1D budget, so heavyweight HTM
+// loses its transactions here (paper §VII-A).
+var drW = 128, drH = 96;
+var drPixels = new Array(drW * drH);
+for (var i = 0; i < drW * drH; i++) drPixels[i] = (i * 2654435761) & 0xFFFFFF;
+var drOut = new Array(drW * drH);
+function adjust(brightness, contrast) {
+  var n = drW * drH;
+  for (var i = 0; i < n; i++) {
+    var p = drPixels[i];
+    var r = (p >> 16) & 0xFF, g = (p >> 8) & 0xFF, b = p & 0xFF;
+    r = ((r - 128) * contrast >> 8) + 128 + brightness;
+    g = ((g - 128) * contrast >> 8) + 128 + brightness;
+    b = ((b - 128) * contrast >> 8) + 128 + brightness;
+    if (r < 0) r = 0; if (r > 255) r = 255;
+    if (g < 0) g = 0; if (g > 255) g = 255;
+    if (b < 0) b = 0; if (b > 255) b = 255;
+    drOut[i] = (r << 16) | (g << 8) | b;
+  }
+}
+function run() {
+  adjust(10, 280);
+  var h = 0;
+  for (var i = 0; i < drW * drH; i += 97) h = (h * 31 + drOut[i]) & 0xFFFFFF;
+  return h;
+}`},
+
+	{ID: "K07", Name: "imaging-desaturate", Suite: "Kraken", InAvgS: true, Iterations: 1, Source: `
+// Grayscale conversion over a large buffer (RTM-overflowing footprint).
+var dsW = 128, dsH = 80;
+var dsPixels = new Array(dsW * dsH);
+for (var i = 0; i < dsW * dsH; i++) dsPixels[i] = (i * 40503) & 0xFFFFFF;
+function desaturate() {
+  var n = dsW * dsH;
+  for (var i = 0; i < n; i++) {
+    var p = dsPixels[i];
+    var r = (p >> 16) & 0xFF, g = (p >> 8) & 0xFF, b = p & 0xFF;
+    var lum = (r * 77 + g * 151 + b * 28) >> 8;
+    dsPixels[i] = (lum << 16) | (lum << 8) | lum;
+  }
+}
+function run() {
+  desaturate();
+  var h = 0;
+  for (var i = 0; i < dsW * dsH; i += 89) h = (h * 33 + dsPixels[i]) & 0xFFFFFF;
+  return h;
+}`},
+
+	{ID: "K08", Name: "imaging-gaussian-blur", Suite: "Kraken", InAvgS: true, Iterations: 1, Source: `
+// Separable 5-tap blur over a large float buffer: double math, big
+// read/write footprints, nested loops.
+var gbW = 96, gbH = 72;
+var gbSrc = new Array(gbW * gbH), gbTmp = new Array(gbW * gbH);
+for (var i = 0; i < gbW * gbH; i++) gbSrc[i] = (i % 251) * 1.0;
+var gbK0 = 0.4, gbK1 = 0.24, gbK2 = 0.06;
+function blurPass(src, dst, w, h) {
+  for (var y = 0; y < h; y++) {
+    var row = y * w;
+    for (var x = 2; x < w - 2; x++) {
+      dst[row + x] = src[row + x] * gbK0 +
+        (src[row + x - 1] + src[row + x + 1]) * gbK1 +
+        (src[row + x - 2] + src[row + x + 2]) * gbK2;
+    }
+  }
+}
+function run() {
+  for (var i0 = 0; i0 < gbW * gbH; i0++) gbSrc[i0] = (i0 % 251) * 1.0;
+  blurPass(gbSrc, gbTmp, gbW, gbH);
+  blurPass(gbTmp, gbSrc, gbW, gbH);
+  var s = 0.0;
+  for (var i = 0; i < gbW * gbH; i += 61) s += gbSrc[i];
+  return Math.floor(s);
+}`},
+
+	{ID: "K09", Name: "json-parse", Suite: "Kraken", InAvgS: false, Iterations: 1, Source: `
+// Hand-rolled JSON tokenizer: character-at-a-time string processing
+// through builtins (≥95% non-FTL class).
+var jsonText = "";
+for (var i = 0; i < 40; i++) {
+  jsonText += '{"id":' + i + ',"name":"item' + i + '","vals":[1,2,' + (i % 9) + ']},';
+}
+function run() {
+  var depth = 0, maxDepth = 0, numbers = 0, strings = 0;
+  var i = 0;
+  while (i < jsonText.length) {
+    var c = jsonText.charAt(i);
+    if (c == "{" || c == "[") { depth++; if (depth > maxDepth) maxDepth = depth; }
+    else if (c == "}" || c == "]") depth--;
+    else if (c == '"') {
+      strings++;
+      i++;
+      while (i < jsonText.length && jsonText.charAt(i) != '"') i++;
+    }
+    else if (c >= "0" && c <= "9") {
+      numbers++;
+      while (i + 1 < jsonText.length) {
+        var d = jsonText.charAt(i + 1);
+        if (d >= "0" && d <= "9") i++; else break;
+      }
+    }
+    i++;
+  }
+  return maxDepth * 100000 + strings * 100 + numbers;
+}`},
+
+	{ID: "K10", Name: "json-stringify", Suite: "Kraken", InAvgS: false, Iterations: 1, Source: `
+// Serialize object records into JSON text: string building dominates.
+var jsonRecords = [];
+for (var i = 0; i < 60; i++) {
+  jsonRecords.push({id: i, score: i * 1.5, tag: "rec" + i});
+}
+function stringifyRecord(r) {
+  return '{"id":' + r.id + ',"score":' + r.score + ',"tag":"' + r.tag + '"}';
+}
+function run() {
+  var out = "[";
+  for (var i = 0; i < jsonRecords.length; i++) {
+    if (i > 0) out += ",";
+    out += stringifyRecord(jsonRecords[i]);
+  }
+  out += "]";
+  return out.length + out.charCodeAt(10);
+}`},
+
+	{ID: "K11", Name: "stanford-crypto-aes", Suite: "Kraken", InAvgS: true, Iterations: 1, Source: `
+// AES encryption of a 4KB message with table lookups: word-level rounds,
+// bounds-check dense, moderate write footprint.
+var scaT = new Array(256);
+for (var i = 0; i < 256; i++) scaT[i] = ((i * 0x01010101) ^ (i << 3) ^ (i >> 2)) | 0;
+var scaMsg = new Array(1024);
+for (var j = 0; j < 1024; j++) scaMsg[j] = (j * 2654435761) | 0;
+var scaOut = new Array(1024);
+function encryptBlock(w0, w1, w2, w3, rounds) {
+  for (var r = 0; r < rounds; r++) {
+    var t0 = scaT[w0 & 0xFF] ^ ((w1 >> 8) & 0xFFFF);
+    var t1 = scaT[w1 & 0xFF] ^ ((w2 >> 8) & 0xFFFF);
+    var t2 = scaT[w2 & 0xFF] ^ ((w3 >> 8) & 0xFFFF);
+    var t3 = scaT[w3 & 0xFF] ^ ((w0 >> 8) & 0xFFFF);
+    w0 = (t0 + r) | 0; w1 = t1; w2 = t2; w3 = t3;
+  }
+  return w0 ^ w1 ^ w2 ^ w3;
+}
+function run() {
+  for (var b = 0; b < 1024; b += 4) {
+    scaOut[b] = encryptBlock(scaMsg[b], scaMsg[b + 1], scaMsg[b + 2], scaMsg[b + 3], 10);
+    scaOut[b + 1] = scaOut[b] ^ scaMsg[b + 1];
+    scaOut[b + 2] = scaOut[b + 1] ^ scaMsg[b + 2];
+    scaOut[b + 3] = scaOut[b + 2] ^ scaMsg[b + 3];
+  }
+  var h = 0;
+  for (var i = 0; i < 1024; i += 33) h = (h * 31 + scaOut[i]) | 0;
+  return h;
+}`},
+
+	{ID: "K12", Name: "stanford-crypto-ccm", Suite: "Kraken", InAvgS: true, Iterations: 1, Source: `
+// CCM-style CBC-MAC plus counter-mode XOR over message words.
+var ccmMsg = new Array(2048);
+for (var i = 0; i < 2048; i++) ccmMsg[i] = (i * 0x9E3779B9) | 0;
+var ccmCipher = new Array(2048);
+function macStep(mac, w) {
+  mac = (mac ^ w) | 0;
+  mac = ((mac << 5) | (mac >>> 27)) | 0;
+  mac = (mac + 0x7ED55D16) | 0;
+  return mac;
+}
+function run() {
+  var mac = 0x1F123BB5 | 0;
+  for (var i = 0; i < 2048; i++) mac = macStep(mac, ccmMsg[i]);
+  var ctr = 0;
+  for (var j = 0; j < 2048; j++) {
+    ctr = (ctr + 0x01000193) | 0;
+    ccmCipher[j] = ccmMsg[j] ^ ctr;
+  }
+  var h = mac;
+  for (var k = 0; k < 2048; k += 67) h = (h * 33 + ccmCipher[k]) | 0;
+  return h;
+}`},
+
+	{ID: "K13", Name: "stanford-crypto-pbkdf2", Suite: "Kraken", InAvgS: true, Iterations: 1, Source: `
+// PBKDF2-style iterated HMAC mixing: long dependent int chains.
+function prf(key, block) {
+  var x = key ^ block;
+  for (var r = 0; r < 8; r++) {
+    x = (x + ((x << 10) | 0)) | 0;
+    x = x ^ (x >>> 6);
+  }
+  return x;
+}
+function run() {
+  var dk = 0;
+  for (var block = 1; block <= 4; block++) {
+    var u = prf(0x5C5C5C5C | 0, block);
+    var t = u;
+    for (var c = 1; c < 300; c++) {
+      u = prf(u, c);
+      t = (t ^ u) | 0;
+    }
+    dk = (dk + t) | 0;
+  }
+  return dk;
+}`},
+
+	{ID: "K14", Name: "stanford-crypto-sha256", Suite: "Kraken", InAvgS: true, Iterations: 1, Source: `
+// SHA-256-style compression rounds: sigma functions, word schedule,
+// overflow-checked int adds everywhere.
+var shaK = new Array(64);
+for (var i = 0; i < 64; i++) shaK[i] = ((i + 1) * 0x428A2F98) | 0;
+var shaW = new Array(64);
+function s0(x) { return ((x >>> 7) | (x << 25)) ^ ((x >>> 18) | (x << 14)) ^ (x >>> 3); }
+function s1(x) { return ((x >>> 17) | (x << 15)) ^ ((x >>> 19) | (x << 13)) ^ (x >>> 10); }
+function run() {
+  var h0 = 0x6A09E667 | 0, h1 = 0xBB67AE85 | 0, h2 = 0x3C6EF372 | 0, h3 = 0xA54FF53A | 0;
+  var h4 = 0x510E527F | 0, h5 = 0x9B05688C | 0, h6 = 0x1F83D9AB | 0, h7 = 0x5BE0CD19 | 0;
+  for (var blk = 0; blk < 30; blk++) {
+    for (var t = 0; t < 16; t++) shaW[t] = (blk * 64 + t * 3) | 0;
+    for (var t2 = 16; t2 < 64; t2++) {
+      shaW[t2] = (s1(shaW[t2 - 2]) + shaW[t2 - 7] + s0(shaW[t2 - 15]) + shaW[t2 - 16]) | 0;
+    }
+    var a = h0, b = h1, c = h2, d = h3, e = h4, f = h5, g = h6, h = h7;
+    for (var t3 = 0; t3 < 64; t3++) {
+      var S1 = ((e >>> 6) | (e << 26)) ^ ((e >>> 11) | (e << 21)) ^ ((e >>> 25) | (e << 7));
+      var ch = (e & f) ^ (~e & g);
+      var temp1 = (h + S1 + ch + shaK[t3] + shaW[t3]) | 0;
+      var S0 = ((a >>> 2) | (a << 30)) ^ ((a >>> 13) | (a << 19)) ^ ((a >>> 22) | (a << 10));
+      var maj = (a & b) ^ (a & c) ^ (b & c);
+      var temp2 = (S0 + maj) | 0;
+      h = g; g = f; f = e; e = (d + temp1) | 0;
+      d = c; c = b; b = a; a = (temp1 + temp2) | 0;
+    }
+    h0 = (h0 + a) | 0; h1 = (h1 + b) | 0; h2 = (h2 + c) | 0; h3 = (h3 + d) | 0;
+    h4 = (h4 + e) | 0; h5 = (h5 + f) | 0; h6 = (h6 + g) | 0; h7 = (h7 + h) | 0;
+  }
+  return (h0 ^ h1 ^ h2 ^ h3 ^ h4 ^ h5 ^ h6 ^ h7) | 0;
+}`},
+}

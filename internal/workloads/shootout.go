@@ -1,0 +1,196 @@
+package workloads
+
+// Shootout-like kernels for the paper's Figure 1 (cross-language steady
+// state). The paper runs C, JavaScript, Python, PHP, and Ruby versions of
+// the Shootout benchmarks; here the same kernels are executed by our engine
+// while the harness models the other languages with calibrated cost factors
+// (see harness.Figure1 for the substitution notes).
+
+var shootout = []Workload{
+	{ID: "X01", Name: "random", Suite: "Shootout", Iterations: 1, Source: `
+var IM = 139968, IA = 3877, IC = 29573;
+var lastRandom = 42;
+function genRandom(max) {
+  lastRandom = (lastRandom * IA + IC) % IM;
+  return max * lastRandom / IM;
+}
+function run() {
+  lastRandom = 42;
+  var r = 0.0;
+  for (var i = 0; i < 4000; i++) r = genRandom(100.0);
+  return Math.floor(r * 1000);
+}`},
+
+	{ID: "X02", Name: "nbody", Suite: "Shootout", Iterations: 1, Source: `
+var xs = [], ys = [], vxs = [], vys = [];
+var ms = [39.47, 0.037, 0.011, 0.0017, 0.002];
+function resetNBody() {
+  var x0 = [0.0, 4.84, 8.34, 12.89, 15.37];
+  var y0 = [0.0, -1.16, 4.12, -15.11, -25.91];
+  var vx0 = [0.0, 0.6, -1.01, 1.08, 0.97];
+  var vy0 = [0.0, 2.81, 1.82, 0.86, 0.59];
+  for (var i = 0; i < 5; i++) { xs[i] = x0[i]; ys[i] = y0[i]; vxs[i] = vx0[i]; vys[i] = vy0[i]; }
+}
+function run() {
+  resetNBody();
+  for (var s = 0; s < 200; s++) {
+    for (var i = 0; i < 5; i++) {
+      for (var j = i + 1; j < 5; j++) {
+        var dx = xs[i] - xs[j], dy = ys[i] - ys[j];
+        var d2 = dx * dx + dy * dy;
+        var mag = 0.01 / (d2 * Math.sqrt(d2));
+        vxs[i] -= dx * ms[j] * mag; vys[i] -= dy * ms[j] * mag;
+        vxs[j] += dx * ms[i] * mag; vys[j] += dy * ms[i] * mag;
+      }
+    }
+    for (var k = 0; k < 5; k++) { xs[k] += 0.01 * vxs[k]; ys[k] += 0.01 * vys[k]; }
+  }
+  var e = 0.0;
+  for (var b = 0; b < 5; b++) e += 0.5 * ms[b] * (vxs[b] * vxs[b] + vys[b] * vys[b]);
+  return Math.floor(e * 100000);
+}`},
+
+	{ID: "X03", Name: "matrix", Suite: "Shootout", Iterations: 1, Source: `
+var SIZE = 16;
+var m1 = new Array(SIZE * SIZE), m2 = new Array(SIZE * SIZE), mm = new Array(SIZE * SIZE);
+for (var i = 0; i < SIZE * SIZE; i++) { m1[i] = i + 1; m2[i] = (i * 3) % 61; }
+function run() {
+  for (var rep = 0; rep < 8; rep++) {
+    for (var i = 0; i < SIZE; i++) {
+      for (var j = 0; j < SIZE; j++) {
+        var v = 0;
+        for (var k = 0; k < SIZE; k++) v += m1[i * SIZE + k] * m2[k * SIZE + j];
+        mm[i * SIZE + j] = v;
+      }
+    }
+  }
+  return mm[0] + mm[SIZE * SIZE - 1];
+}`},
+
+	{ID: "X04", Name: "heapsort", Suite: "Shootout", Iterations: 1, Source: `
+var hsN = 1200;
+var hsRand = 1;
+var hsArr = new Array(hsN + 1);
+function run() {
+  hsRand = 1;
+  for (var i = 1; i <= hsN; i++) {
+    hsRand = (hsRand * 1103515245 + 12345) & 0x7FFFFFFF;
+    hsArr[i] = hsRand % 10000;
+  }
+  var n = hsN;
+  var l = (n >> 1) + 1, ir = n;
+  var rra;
+  while (true) {
+    if (l > 1) { l--; rra = hsArr[l]; }
+    else {
+      rra = hsArr[ir];
+      hsArr[ir] = hsArr[1];
+      ir--;
+      if (ir == 1) { hsArr[1] = rra; break; }
+    }
+    var ii = l, jj = l << 1;
+    while (jj <= ir) {
+      if (jj < ir && hsArr[jj] < hsArr[jj + 1]) jj++;
+      if (rra < hsArr[jj]) { hsArr[ii] = hsArr[jj]; ii = jj; jj += jj; }
+      else jj = ir + 1;
+    }
+    hsArr[ii] = rra;
+  }
+  return hsArr[hsN >> 1];
+}`},
+
+	{ID: "X05", Name: "hash", Suite: "Shootout", Iterations: 1, Source: `
+function run() {
+  var table = {};
+  var count = 0;
+  for (var i = 1; i <= 600; i++) {
+    table["k" + i.toString(16)] = i;
+  }
+  for (var j = 600; j > 0; j--) {
+    if (table["k" + j.toString(16)] !== undefined) count++;
+  }
+  return count;
+}`},
+
+	{ID: "X06", Name: "harmonic", Suite: "Shootout", Iterations: 1, Source: `
+function run() {
+  var partialSum = 0.0;
+  for (var d = 1; d <= 30000; d++) partialSum += 1.0 / d;
+  return Math.floor(partialSum * 100000);
+}`},
+
+	{ID: "X07", Name: "fibo", Suite: "Shootout", Iterations: 1, Source: `
+function fibo(n) {
+  if (n < 2) return 1;
+  return fibo(n - 2) + fibo(n - 1);
+}
+function run() { return fibo(16); }`},
+
+	{ID: "X08", Name: "fannkuchredux", Suite: "Shootout", Iterations: 1, Source: `
+function run() {
+  var n = 6;
+  var perm = new Array(n), perm1 = new Array(n), count = new Array(n);
+  for (var i = 0; i < n; i++) perm1[i] = i;
+  var maxFlips = 0, r = n, steps = 0;
+  while (steps < 300) {
+    while (r != 1) { count[r - 1] = r; r--; }
+    for (var j = 0; j < n; j++) perm[j] = perm1[j];
+    var flips = 0, k = perm[0];
+    while (k != 0) {
+      var lo = 0, hi = k;
+      while (lo < hi) { var t = perm[lo]; perm[lo] = perm[hi]; perm[hi] = t; lo++; hi--; }
+      flips++;
+      k = perm[0];
+    }
+    if (flips > maxFlips) maxFlips = flips;
+    steps++;
+    var done = false;
+    while (!done) {
+      if (r == n) return maxFlips;
+      var p0 = perm1[0];
+      for (var m = 0; m < r; m++) perm1[m] = perm1[m + 1];
+      perm1[r] = p0;
+      count[r]--;
+      if (count[r] > 0) done = true; else r++;
+    }
+  }
+  return maxFlips;
+}`},
+
+	{ID: "X09", Name: "binarytrees", Suite: "Shootout", Iterations: 1, Source: `
+function buildCheck(depth, base) {
+  // Build-and-check fused to avoid retaining trees: returns the checksum of
+  // a complete tree of the given depth.
+  if (depth == 0) return base;
+  return base + buildCheck(depth - 1, base * 2 - 1) - buildCheck(depth - 1, base * 2 + 1);
+}
+function run() {
+  var sum = 0;
+  for (var d = 2; d <= 9; d++) sum += buildCheck(d, 1);
+  return sum;
+}`},
+
+	{ID: "X10", Name: "takfp", Suite: "Shootout", Iterations: 1, Source: `
+function tak(x, y, z) {
+  if (y >= x) return z;
+  return tak(tak(x - 1.0, y, z), tak(y - 1.0, z, x), tak(z - 1.0, x, y));
+}
+function run() { return Math.floor(tak(10.0, 5.0, 2.0) * 100); }`},
+
+	{ID: "X11", Name: "sieve", Suite: "Shootout", Iterations: 1, Source: `
+var svFlags = new Array(8193);
+function run() {
+  var count = 0;
+  for (var rep = 0; rep < 4; rep++) {
+    count = 0;
+    for (var i = 2; i <= 8192; i++) svFlags[i] = 1;
+    for (var i2 = 2; i2 <= 8192; i2++) {
+      if (svFlags[i2]) {
+        for (var k = i2 + i2; k <= 8192; k += i2) svFlags[k] = 0;
+        count++;
+      }
+    }
+  }
+  return count;
+}`},
+}

@@ -1,0 +1,665 @@
+package workloads
+
+// The SunSpider-like suite. IDs follow the paper's alphabetical numbering
+// (S01 = 3d-cube ... S26 = string-validate-input).
+
+var sunspider = []Workload{
+	{ID: "S01", Name: "3d-cube", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// Rotate a cube's vertices through precomputed angles and accumulate a
+// projected hash: double-heavy matrix math over small arrays.
+var cubeVerts = [];
+for (var i = 0; i < 8; i++) {
+  cubeVerts[i] = [ (i & 1) * 2 - 1, ((i >> 1) & 1) * 2 - 1, ((i >> 2) & 1) * 2 - 1 ];
+}
+function rotateAll(verts, ax, ay) {
+  var sx = Math.sin(ax), cx = Math.cos(ax);
+  var sy = Math.sin(ay), cy = Math.cos(ay);
+  var acc = 0.0;
+  for (var i = 0; i < verts.length; i++) {
+    var v = verts[i];
+    var x = v[0], y = v[1], z = v[2];
+    var y1 = y * cx - z * sx;
+    var z1 = y * sx + z * cx;
+    var x1 = x * cy + z1 * sy;
+    var z2 = z1 * cy - x * sy;
+    acc += x1 * 1.1 + y1 * 1.3 + z2 * 1.7;
+  }
+  return acc;
+}
+function run() {
+  var total = 0.0;
+  for (var f = 0; f < 300; f++) {
+    total += rotateAll(cubeVerts, f * 0.02, f * 0.03);
+  }
+  return Math.floor(total * 100);
+}`},
+
+	{ID: "S02", Name: "3d-morph", Suite: "SunSpider", InAvgS: false, Iterations: 1, Source: `
+// Morph a mesh's heights; the loop's results are never consumed — once
+// SMPs become aborts the work is candidate dead code (paper Table III).
+var nx = 30, nz = 30;
+var morphA = new Array(nx * nz);
+for (var i = 0; i < nx * nz; i++) morphA[i] = 0.0;
+function morph(a, f) {
+  var PI2nx = Math.PI * 8 / nx;
+  for (var i = 0; i < nz; i++) {
+    for (var j = 0; j < nx; j++) {
+      a[i * nx + j] = Math.sin((j - 1) * PI2nx) * 0.2 * f;
+    }
+  }
+}
+function run() {
+  for (var f = 0; f < 15; f++) morph(morphA, f / 15);
+  return 0;
+}`},
+
+	{ID: "S03", Name: "3d-raytrace", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// Sphere-ray intersections: object property traffic plus double math.
+var spheres = [];
+for (var i = 0; i < 12; i++) {
+  spheres[i] = {cx: i * 1.5 - 9.0, cy: (i % 3) - 1.0, cz: 5.0 + i, r: 1.0 + (i % 2) * 0.5};
+}
+function trace(ox, oy, dirx, diry, dirz) {
+  var best = 1.0e30;
+  var hit = -1;
+  for (var i = 0; i < spheres.length; i++) {
+    var s = spheres[i];
+    var lx = s.cx - ox, ly = s.cy - oy, lz = s.cz;
+    var tca = lx * dirx + ly * diry + lz * dirz;
+    if (tca < 0) continue;
+    var d2 = lx * lx + ly * ly + lz * lz - tca * tca;
+    var r2 = s.r * s.r;
+    if (d2 > r2) continue;
+    var t = tca - Math.sqrt(r2 - d2);
+    if (t < best) { best = t; hit = i; }
+  }
+  return hit;
+}
+function run() {
+  var img = 0;
+  for (var y = 0; y < 24; y++) {
+    for (var x = 0; x < 24; x++) {
+      var dx = (x - 12) / 12, dy = (y - 12) / 12;
+      var n = Math.sqrt(dx * dx + dy * dy + 1);
+      img += trace(0.0, 0.0, dx / n, dy / n, 1 / n) + 1;
+    }
+  }
+  return img;
+}`},
+
+	{ID: "S04", Name: "access-binary-trees", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// Bottom-up binary trees in flat arrays (left, right, item) with a
+// recursive checksum: allocation plus call-heavy traversal.
+function buildTree(depth) {
+  var n = (1 << (depth + 1)) - 1;
+  var left = new Array(n), right = new Array(n), item = new Array(n);
+  var next = 1;
+  for (var i = 0; i < n; i++) {
+    item[i] = i * 2 + 1;
+    if (next < n - 1) { left[i] = next; right[i] = next + 1; next += 2; }
+    else { left[i] = -1; right[i] = -1; }
+  }
+  return {left: left, right: right, item: item};
+}
+function check(t, node) {
+  if (node < 0) return 0;
+  return t.item[node] + check(t, t.left[node]) - check(t, t.right[node]);
+}
+function run() {
+  var sum = 0;
+  for (var d = 2; d <= 7; d++) {
+    var t = buildTree(d);
+    sum += check(t, 0);
+  }
+  return sum;
+}`},
+
+	{ID: "S05", Name: "access-fannkuch", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// Pancake flips over an int permutation: pure int32 array shuffling with
+// heavy bounds-check pressure inside loops.
+function fannkuch(n) {
+  var perm = new Array(n), perm1 = new Array(n), count = new Array(n);
+  for (var i = 0; i < n; i++) perm1[i] = i;
+  var r = n, maxFlips = 0, iters = 0;
+  while (iters < 400) {
+    while (r != 1) { count[r - 1] = r; r--; }
+    for (var j = 0; j < n; j++) perm[j] = perm1[j];
+    var flips = 0;
+    var k = perm[0];
+    while (k != 0) {
+      var i2 = 0, j2 = k;
+      while (i2 < j2) { var t = perm[i2]; perm[i2] = perm[j2]; perm[j2] = t; i2++; j2--; }
+      flips++;
+      k = perm[0];
+    }
+    if (flips > maxFlips) maxFlips = flips;
+    iters++;
+    var done = false;
+    while (!done) {
+      if (r == n) return maxFlips;
+      var p0 = perm1[0];
+      for (var m = 0; m < r; m++) perm1[m] = perm1[m + 1];
+      perm1[r] = p0;
+      count[r] = count[r] - 1;
+      if (count[r] > 0) done = true; else r++;
+    }
+  }
+  return maxFlips;
+}
+function run() { return fannkuch(7); }`},
+
+	{ID: "S06", Name: "access-nbody", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// Planetary n-body integration: double arithmetic over object properties.
+var bodyInit = [
+  {x: 0.0, y: 0.0, z: 0.0, vx: 0.0, vy: 0.0, vz: 0.0, mass: 39.47},
+  {x: 4.84, y: -1.16, z: -0.10, vx: 0.60, vy: 2.81, vz: -0.02, mass: 0.037},
+  {x: 8.34, y: 4.12, z: -0.40, vx: -1.01, vy: 1.82, vz: 0.008, mass: 0.011},
+  {x: 12.89, y: -15.11, z: -0.22, vx: 1.08, vy: 0.86, vz: -0.010, mass: 0.0017},
+  {x: 15.37, y: -25.91, z: 0.17, vx: 0.97, vy: 0.59, vz: -0.034, mass: 0.0020}
+];
+var bodies = [];
+for (var bi = 0; bi < bodyInit.length; bi++) {
+  bodies[bi] = {x: 0.0, y: 0.0, z: 0.0, vx: 0.0, vy: 0.0, vz: 0.0, mass: 0.0};
+}
+function resetBodies() {
+  for (var i = 0; i < bodyInit.length; i++) {
+    var s = bodyInit[i], d = bodies[i];
+    d.x = s.x; d.y = s.y; d.z = s.z;
+    d.vx = s.vx; d.vy = s.vy; d.vz = s.vz;
+    d.mass = s.mass;
+  }
+}
+function advance(dt) {
+  var n = bodies.length;
+  for (var i = 0; i < n; i++) {
+    var bi = bodies[i];
+    for (var j = i + 1; j < n; j++) {
+      var bj = bodies[j];
+      var dx = bi.x - bj.x, dy = bi.y - bj.y, dz = bi.z - bj.z;
+      var d2 = dx * dx + dy * dy + dz * dz;
+      var mag = dt / (d2 * Math.sqrt(d2));
+      bi.vx -= dx * bj.mass * mag; bi.vy -= dy * bj.mass * mag; bi.vz -= dz * bj.mass * mag;
+      bj.vx += dx * bi.mass * mag; bj.vy += dy * bi.mass * mag; bj.vz += dz * bi.mass * mag;
+    }
+  }
+  for (var k = 0; k < n; k++) {
+    var b = bodies[k];
+    b.x += dt * b.vx; b.y += dt * b.vy; b.z += dt * b.vz;
+  }
+}
+function energy() {
+  var e = 0.0;
+  for (var i = 0; i < bodies.length; i++) {
+    var bi = bodies[i];
+    e += 0.5 * bi.mass * (bi.vx * bi.vx + bi.vy * bi.vy + bi.vz * bi.vz);
+  }
+  return e;
+}
+function run() {
+  resetBodies();
+  for (var s = 0; s < 120; s++) advance(0.01);
+  return Math.floor(energy() * 1000000);
+}`},
+
+	{ID: "S07", Name: "access-nsieve", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// Sieve of Eratosthenes over a flag array: int loops, bounds checks.
+function nsieve(m, flags) {
+  var count = 0;
+  for (var i = 2; i < m; i++) flags[i] = 1;
+  for (var i2 = 2; i2 < m; i2++) {
+    if (flags[i2] == 1) {
+      count++;
+      for (var k = i2 + i2; k < m; k += i2) flags[k] = 0;
+    }
+  }
+  return count;
+}
+var sieveFlags = new Array(10000);
+function run() {
+  var total = 0;
+  for (var p = 0; p < 3; p++) total += nsieve(10000 >> p, sieveFlags);
+  return total;
+}`},
+
+	{ID: "S08", Name: "bitops-3bit-bits-in-byte", Suite: "SunSpider", InAvgS: false, Iterations: 1, Source: `
+// Population count via 3-bit trick; results discarded (dead-code class).
+function fast3bitlookup(b) {
+  var c = 0xE994;
+  var bi3b = ((c >> ((b & 7) << 1)) & 3) +
+             ((c >> (((b >> 3) & 7) << 1)) & 3) +
+             ((c >> (((b >> 6) & 3) << 1)) & 3);
+  return bi3b;
+}
+function run() {
+  for (var i = 0; i < 6000; i++) fast3bitlookup(i & 0xFF);
+  return 0;
+}`},
+
+	{ID: "S09", Name: "bitops-bits-in-byte", Suite: "SunSpider", InAvgS: false, Iterations: 1, Source: `
+// Naive per-bit population count; results discarded (dead-code class).
+function bitsinbyte(b) {
+  var m = 1, c = 0;
+  while (m < 0x100) {
+    if (b & m) c++;
+    m <<= 1;
+  }
+  return c;
+}
+function run() {
+  for (var i = 0; i < 4000; i++) bitsinbyte(i & 0xFF);
+  return 0;
+}`},
+
+	{ID: "S10", Name: "bitops-bitwise-and", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// A tight loop of simple integer arithmetic — the paper's showcase for
+// SOF-based overflow-check removal (§VII-A).
+function run() {
+  var bitwiseAndValue = 4294967296;
+  for (var i = 0; i < 12000; i++) {
+    bitwiseAndValue = (bitwiseAndValue & i) + 1;
+  }
+  return bitwiseAndValue;
+}`},
+
+	{ID: "S11", Name: "bitops-nsieve-bits", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// Bit-packed sieve: shifts, masks, and array traffic.
+function nsieveBits(m, seive) {
+  var count = 0;
+  var size = (m >> 5) + 1;
+  for (var i = 0; i < size; i++) seive[i] = -1;
+  for (var n = 2; n < m; n++) {
+    if ((seive[n >> 5] & (1 << (n & 31))) != 0) {
+      count++;
+      for (var k = n + n; k < m; k += n) {
+        seive[k >> 5] = seive[k >> 5] & ~(1 << (k & 31));
+      }
+    }
+  }
+  return count;
+}
+var bitSeive = new Array((20000 >> 5) + 1);
+function run() { return nsieveBits(20000, bitSeive); }`},
+
+	{ID: "S12", Name: "controlflow-recursive", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// ackermann / fib / tak: recursion-dominated control flow. Most
+// instructions are call overhead; transactions see TMUnopt callees.
+function ack(m, n) {
+  if (m == 0) return n + 1;
+  if (n == 0) return ack(m - 1, 1);
+  return ack(m - 1, ack(m, n - 1));
+}
+function fib(n) {
+  if (n < 2) return n;
+  return fib(n - 2) + fib(n - 1);
+}
+function tak(x, y, z) {
+  if (y >= x) return z;
+  return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+}
+function run() {
+  return ack(2, 4) + fib(13) + tak(9, 5, 2);
+}`},
+
+	{ID: "S13", Name: "crypto-aes", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// AES-like rounds: S-box substitutions and MixColumns-style byte mixing —
+// bounds checks in every loop (the paper sinks 72 checks from 29 loops).
+var sbox = new Array(256);
+for (var i = 0; i < 256; i++) sbox[i] = (i * 7 + 99) & 0xFF;
+var state = new Array(16);
+for (var j = 0; j < 16; j++) state[j] = j * 11 & 0xFF;
+function subBytes(s) {
+  for (var i = 0; i < 16; i++) s[i] = sbox[s[i]];
+}
+function shiftRows(s) {
+  for (var r = 1; r < 4; r++) {
+    for (var k = 0; k < r; k++) {
+      var t = s[r];
+      s[r] = s[r + 4]; s[r + 4] = s[r + 8]; s[r + 8] = s[r + 12]; s[r + 12] = t;
+    }
+  }
+}
+function mixColumns(s) {
+  for (var c = 0; c < 4; c++) {
+    var i0 = c * 4;
+    var a0 = s[i0], a1 = s[i0 + 1], a2 = s[i0 + 2], a3 = s[i0 + 3];
+    s[i0] = (a0 ^ a1 ^ a2) & 0xFF;
+    s[i0 + 1] = (a1 ^ a2 ^ a3) & 0xFF;
+    s[i0 + 2] = (a2 ^ a3 ^ a0) & 0xFF;
+    s[i0 + 3] = (a3 ^ a0 ^ a1) & 0xFF;
+  }
+}
+function encrypt(s, rounds) {
+  for (var r = 0; r < rounds; r++) {
+    subBytes(s);
+    shiftRows(s);
+    mixColumns(s);
+  }
+}
+function run() {
+  for (var j = 0; j < 16; j++) state[j] = j * 11 & 0xFF;
+  var h = 0;
+  for (var b = 0; b < 60; b++) {
+    encrypt(state, 10);
+    for (var i = 0; i < 16; i++) h = (h * 31 + state[i]) & 0xFFFFFF;
+  }
+  return h;
+}`},
+
+	{ID: "S14", Name: "crypto-md5", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// MD5-style rounds: int32 adds with constant rotation — overflow-check
+// dense.
+function rol(x, n) { return (x << n) | (x >>> (32 - n)); }
+function md5round(a, b, c, d, x, s, t) {
+  return ((rol((a + ((b & c) | (~b & d)) + x + t) | 0, s) + b) | 0);
+}
+var md5data = new Array(64);
+for (var i = 0; i < 64; i++) md5data[i] = (i * 0x5A827999) | 0;
+function run() {
+  var a = 0x67452301 | 0, b = 0xEFCDAB89 | 0, c = 0x98BADCFE | 0, d = 0x10325476 | 0;
+  for (var blk = 0; blk < 120; blk++) {
+    for (var i = 0; i < 64; i += 4) {
+      a = md5round(a, b, c, d, md5data[i], 7, 0xD76AA478 | 0);
+      d = md5round(d, a, b, c, md5data[i + 1], 12, 0xE8C7B756 | 0);
+      c = md5round(c, d, a, b, md5data[i + 2], 17, 0x242070DB | 0);
+      b = md5round(b, c, d, a, md5data[i + 3], 22, 0xC1BDCEEE | 0);
+    }
+  }
+  return (a + b + c + d) | 0;
+}`},
+
+	{ID: "S15", Name: "crypto-sha1", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// SHA1-style compression: word expansion plus 80 rounds of int mixing.
+var sha1W = new Array(80);
+function run() {
+  var h0 = 0x67452301 | 0, h1 = 0xEFCDAB89 | 0, h2 = 0x98BADCFE | 0;
+  var h3 = 0x10325476 | 0, h4 = 0xC3D2E1F0 | 0;
+  for (var blk = 0; blk < 40; blk++) {
+    for (var t = 0; t < 16; t++) sha1W[t] = (blk * 16 + t) | 0;
+    for (var t2 = 16; t2 < 80; t2++) {
+      var w = sha1W[t2 - 3] ^ sha1W[t2 - 8] ^ sha1W[t2 - 14] ^ sha1W[t2 - 16];
+      sha1W[t2] = (w << 1) | (w >>> 31);
+    }
+    var a = h0, b = h1, c = h2, d = h3, e = h4;
+    for (var t3 = 0; t3 < 80; t3++) {
+      var f, k;
+      if (t3 < 20) { f = (b & c) | (~b & d); k = 0x5A827999; }
+      else if (t3 < 40) { f = b ^ c ^ d; k = 0x6ED9EBA1; }
+      else if (t3 < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8F1BBCDC | 0; }
+      else { f = b ^ c ^ d; k = 0xCA62C1D6 | 0; }
+      var tmp = (((a << 5) | (a >>> 27)) + f + e + k + sha1W[t3]) | 0;
+      e = d; d = c; c = (b << 30) | (b >>> 2); b = a; a = tmp;
+    }
+    h0 = (h0 + a) | 0; h1 = (h1 + b) | 0; h2 = (h2 + c) | 0;
+    h3 = (h3 + d) | 0; h4 = (h4 + e) | 0;
+  }
+  return (h0 ^ h1 ^ h2 ^ h3 ^ h4) | 0;
+}`},
+
+	{ID: "S16", Name: "date-format-tofte", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// Date formatting: string building through builtin methods. In the paper's
+// breakdown this benchmark is mostly NoFTL instructions (Figure 8) even
+// though it belongs to AvgS.
+var monthNames = ["January","February","March","April","May","June",
+                  "July","August","September","October","November","December"];
+function pad(n) {
+  var s = "" + n;
+  if (s.length < 2) s = "0" + s;
+  return s;
+}
+function formatDate(day, month, year, h, m, s) {
+  return pad(day) + " " + monthNames[month] + " " + year + " " +
+         pad(h) + ":" + pad(m) + ":" + pad(s);
+}
+function run() {
+  var acc = 0;
+  for (var i = 0; i < 250; i++) {
+    var str = formatDate(1 + (i % 28), i % 12, 1970 + (i % 50), i % 24, i % 60, (i * 7) % 60);
+    acc += str.length + str.charCodeAt(i % str.length);
+  }
+  return acc;
+}`},
+
+	{ID: "S17", Name: "date-format-xparb", Suite: "SunSpider", InAvgS: false, Iterations: 1, Source: `
+// Alternative date formatter: string splits and method dispatch; ≥95%
+// non-FTL (Table III).
+var xparbFormats = "dd:mm:yyyy HH:MM:ss,yyyy-mm-dd,HH:MM".split(",");
+function stamp(fmt, d, mo, y, h, mi, s) {
+  var out = "";
+  for (var i = 0; i < fmt.length; i++) {
+    var c = fmt.charAt(i);
+    if (c == "d") out += "" + d;
+    else if (c == "m") out += "" + mo;
+    else if (c == "y") out += "" + (y % 10);
+    else if (c == "H") out += "" + h;
+    else if (c == "M") out += "" + mi;
+    else if (c == "s") out += "" + s;
+    else out += c;
+  }
+  return out;
+}
+function run() {
+  var n = 0;
+  for (var i = 0; i < 120; i++) {
+    var f = xparbFormats[i % xparbFormats.length];
+    n += stamp(f, i % 28, i % 12, 1970 + i, i % 24, i % 60, i % 60).length;
+  }
+  return n;
+}`},
+
+	{ID: "S18", Name: "math-cordic", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// CORDIC sin/cos in fixed point — the function the paper names: NoMap
+// finds a redundant load and sinks another inside cordicsincos (§VII-A).
+var angles = [ 11520, 6801, 3593, 1824, 916, 458, 229, 115, 57, 29, 14, 7, 4, 2, 1 ];
+var cordicState = {x: 0, y: 0};
+function cordicsincos(target) {
+  var x = 10188012; // 0.6072529 * 2^24
+  var y = 0;
+  var targetAngle = target;
+  var currAngle = 0;
+  for (var step = 0; step < angles.length; step++) {
+    var newX;
+    if (targetAngle > currAngle) {
+      newX = x - (y >> step);
+      y = (x >> step) + y;
+      x = newX;
+      currAngle += angles[step];
+    } else {
+      newX = x + (y >> step);
+      y = y - (x >> step);
+      x = newX;
+      currAngle -= angles[step];
+    }
+  }
+  cordicState.x = x;
+  cordicState.y = y;
+  return currAngle;
+}
+function run() {
+  var total = 0;
+  for (var i = 0; i < 1500; i++) {
+    total += cordicsincos(i * 61 % 23040);
+    total += cordicState.x >> 20;
+  }
+  return total;
+}`},
+
+	{ID: "S19", Name: "math-partial-sums", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// Nine partial series in one double loop.
+function partial(n) {
+  var a1 = 0.0, a2 = 0.0, a3 = 0.0, a4 = 0.0, a5 = 0.0;
+  var a6 = 0.0, a7 = 0.0, a8 = 0.0, a9 = 0.0;
+  var twothirds = 2.0 / 3.0;
+  var alt = -1.0;
+  for (var k = 1; k <= n; k++) {
+    var k2 = k * k, k3 = k2 * k;
+    var sk = Math.sin(k), ck = Math.cos(k);
+    alt = -alt;
+    a1 += Math.pow(twothirds, k - 1);
+    a2 += Math.pow(k, -0.5);
+    a3 += 1.0 / (k * (k + 1.0));
+    a4 += 1.0 / (k3 * sk * sk);
+    a5 += 1.0 / (k3 * ck * ck);
+    a6 += 1.0 / k;
+    a7 += 1.0 / k2;
+    a8 += alt / k;
+    a9 += alt / (2 * k - 1);
+  }
+  return a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8 + a9;
+}
+function run() { return Math.floor(partial(512) * 1000); }`},
+
+	{ID: "S20", Name: "math-spectral-norm", Suite: "SunSpider", InAvgS: true, Iterations: 1, Source: `
+// Spectral norm power iteration: double matrix-free products.
+function A(i, j) { return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1); }
+function Au(u, v, n) {
+  for (var i = 0; i < n; i++) {
+    var t = 0.0;
+    for (var j = 0; j < n; j++) t += A(i, j) * u[j];
+    v[i] = t;
+  }
+}
+function Atu(u, v, n) {
+  for (var i = 0; i < n; i++) {
+    var t = 0.0;
+    for (var j = 0; j < n; j++) t += A(j, i) * u[j];
+    v[i] = t;
+  }
+}
+var snU = new Array(24), snV = new Array(24), snW = new Array(24);
+function run() {
+  var n = 24;
+  for (var i = 0; i < n; i++) { snU[i] = 1.0; snV[i] = 0.0; snW[i] = 0.0; }
+  for (var it = 0; it < 6; it++) {
+    Au(snU, snW, n); Atu(snW, snV, n);
+    Au(snV, snW, n); Atu(snW, snU, n);
+  }
+  var vBv = 0.0, vv = 0.0;
+  for (var k = 0; k < n; k++) { vBv += snU[k] * snV[k]; vv += snV[k] * snV[k]; }
+  return Math.floor(Math.sqrt(vBv / vv) * 1000000);
+}`},
+
+	{ID: "S21", Name: "regexp-dna", Suite: "SunSpider", InAvgS: false, Iterations: 1, Source: `
+// DNA pattern scanning without regexps: substring matching through string
+// builtins; ≥95% non-FTL (Table III).
+var dnaSeq = "";
+var dnaBases = "acgt";
+var dnaSeed = 42;
+for (var i = 0; i < 600; i++) {
+  dnaSeed = (dnaSeed * 1103515245 + 12345) & 0x7FFFFFFF;
+  dnaSeq += dnaBases.charAt(dnaSeed % 4);
+}
+var dnaPatterns = ["agggta", "cgt", "ttat", "acga", "gggg"];
+function countMatches(seq, pat) {
+  var c = 0, at = 0;
+  while (true) {
+    var idx = seq.indexOf(pat, at);
+    if (idx < 0) break;
+    c++;
+    at = idx + 1;
+  }
+  return c;
+}
+function run() {
+  var total = 0;
+  for (var p = 0; p < dnaPatterns.length; p++) {
+    total += countMatches(dnaSeq, dnaPatterns[p]);
+  }
+  return total;
+}`},
+
+	{ID: "S22", Name: "string-base64", Suite: "SunSpider", InAvgS: false, Iterations: 1, Source: `
+// Base64 encode of a byte array via string builtins; ≥95% non-FTL.
+var b64chars = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+var b64input = new Array(300);
+for (var i = 0; i < 300; i++) b64input[i] = (i * 37) & 0xFF;
+function toBase64(data) {
+  var out = "";
+  for (var i = 0; i < data.length - 2; i += 3) {
+    var n = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2];
+    out += b64chars.charAt((n >> 18) & 63) + b64chars.charAt((n >> 12) & 63) +
+           b64chars.charAt((n >> 6) & 63) + b64chars.charAt(n & 63);
+  }
+  return out;
+}
+function run() {
+  var s = toBase64(b64input);
+  return s.length + s.charCodeAt(17);
+}`},
+
+	{ID: "S23", Name: "string-fasta", Suite: "SunSpider", InAvgS: false, Iterations: 1, Source: `
+// FASTA sequence generation: weighted random selection into strings.
+var fastaIub = "acgtBDHKMNRSVWY";
+var fastaSeed = 75;
+function fastaRand(max) {
+  fastaSeed = (fastaSeed * 3877 + 29573) % 139968;
+  return max * fastaSeed / 139968;
+}
+function makeSeq(n) {
+  var s = "";
+  for (var i = 0; i < n; i++) {
+    s += fastaIub.charAt(Math.floor(fastaRand(fastaIub.length)));
+  }
+  return s;
+}
+function run() {
+  fastaSeed = 75;
+  var s = makeSeq(400);
+  var h = 0;
+  for (var i = 0; i < s.length; i++) h = (h * 33 + s.charCodeAt(i)) & 0xFFFFFF;
+  return h;
+}`},
+
+	{ID: "S24", Name: "string-tagcloud", Suite: "SunSpider", InAvgS: false, Iterations: 1, Source: `
+// Tag-cloud markup generation: joins, splits, number formatting.
+var tagWords = "the quick brown fox jumps over lazy dog and runs far away today".split(" ");
+function run() {
+  var out = "";
+  for (var i = 0; i < 150; i++) {
+    var w = tagWords[i % tagWords.length];
+    var size = 10 + (i * 7) % 30;
+    out += "<span class='tag' style='font-size:" + size + "px'>" + w.toUpperCase() + "</span>";
+  }
+  return out.length + out.indexOf("FOX");
+}`},
+
+	{ID: "S25", Name: "string-unpack-code", Suite: "SunSpider", InAvgS: false, Iterations: 1, Source: `
+// Packer-style decompression: dictionary substitution over strings.
+var packedWords = "a|b|c|func|var|ret|if|else|for|while".split("|");
+var packedSrc = "";
+for (var i = 0; i < 120; i++) packedSrc += (i % 10) + ";";
+function run() {
+  var out = "";
+  var parts = packedSrc.split(";");
+  for (var i = 0; i < parts.length; i++) {
+    if (parts[i] === "") continue;
+    out += packedWords[parseInt(parts[i])] + " ";
+  }
+  return out.length;
+}`},
+
+	{ID: "S26", Name: "string-validate-input", Suite: "SunSpider", InAvgS: false, Iterations: 1, Source: `
+// Form validation: character classification over generated strings.
+function isDigit(c) { return c >= "0" && c <= "9"; }
+function isAlpha(c) { return (c >= "a" && c <= "z") || (c >= "A" && c <= "Z"); }
+function validateEmail(s) {
+  var at = s.indexOf("@");
+  if (at <= 0) return false;
+  var dot = s.indexOf(".", at);
+  if (dot < 0) return false;
+  for (var i = 0; i < s.length; i++) {
+    var c = s.charAt(i);
+    if (!isAlpha(c) && !isDigit(c) && c != "@" && c != ".") return false;
+  }
+  return true;
+}
+function run() {
+  var good = 0;
+  for (var i = 0; i < 200; i++) {
+    var name = "user" + i;
+    var addr = name + "@example" + (i % 7) + ".com";
+    if (i % 9 == 0) addr = name + "#bad";
+    if (validateEmail(addr)) good++;
+  }
+  return good;
+}`},
+}

@@ -1,0 +1,135 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"nomap/internal/jit"
+	"nomap/internal/profile"
+	"nomap/internal/value"
+	"nomap/internal/vm"
+	"nomap/internal/workloads"
+)
+
+func newEngine(arch vm.Arch, maxTier profile.Tier) *vm.VM {
+	cfg := vm.DefaultConfig()
+	cfg.Arch = arch
+	cfg.MaxTier = maxTier
+	// Fast tier-up keeps the test quick without changing steady state.
+	cfg.Policy = profile.Policy{BaselineThreshold: 2, DFGThreshold: 8, FTLThreshold: 40, MaxDeopts: 16}
+	v := vm.New(cfg)
+	jit.Attach(v)
+	return v
+}
+
+func runWorkload(t *testing.T, w workloads.Workload, arch vm.Arch, maxTier profile.Tier, calls int) (*vm.VM, value.Value) {
+	t.Helper()
+	v := newEngine(arch, maxTier)
+	if _, err := v.Run(w.Source); err != nil {
+		t.Fatalf("%s setup: %v", w.ID, err)
+	}
+	var last value.Value
+	for i := 0; i < calls; i++ {
+		r, err := v.CallGlobal("run")
+		if err != nil {
+			t.Fatalf("%s run #%d under %v: %v", w.ID, i, arch, err)
+		}
+		last = r
+	}
+	return v, last
+}
+
+func TestSuiteSizes(t *testing.T) {
+	if n := len(workloads.SunSpider()); n != 26 {
+		t.Errorf("SunSpider has %d workloads, want 26", n)
+	}
+	if n := len(workloads.Kraken()); n != 14 {
+		t.Errorf("Kraken has %d workloads, want 14", n)
+	}
+	if n := len(workloads.Shootout()); n != 11 {
+		t.Errorf("Shootout has %d workloads, want 11", n)
+	}
+	// Paper Table III: 16 SunSpider and 9 Kraken benchmarks in AvgS.
+	if n := len(workloads.AvgS(workloads.SunSpider())); n != 16 {
+		t.Errorf("SunSpider AvgS has %d, want 16", n)
+	}
+	if n := len(workloads.AvgS(workloads.Kraken())); n != 9 {
+		t.Errorf("Kraken AvgS has %d, want 9", n)
+	}
+}
+
+func TestByID(t *testing.T) {
+	w, ok := workloads.ByID("S18")
+	if !ok || w.Name != "math-cordic" {
+		t.Errorf("ByID(S18) = %+v, %v", w, ok)
+	}
+	if _, ok := workloads.ByID("S99"); ok {
+		t.Error("ByID(S99) should not exist")
+	}
+}
+
+// Every workload must run deterministically: same result on repeated calls
+// (steady-state measurement depends on this).
+func TestWorkloadsDeterministic(t *testing.T) {
+	all := append(append(workloads.SunSpider(), workloads.Kraken()...), workloads.Shootout()...)
+	for _, w := range all {
+		w := w
+		t.Run(w.ID, func(t *testing.T) {
+			t.Parallel()
+			v := newEngine(vm.ArchBase, profile.TierInterp)
+			if _, err := v.Run(w.Source); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			a, err := v.CallGlobal("run")
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			b, err := v.CallGlobal("run")
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if a.ToStringValue() != b.ToStringValue() {
+				t.Errorf("nondeterministic: %q then %q", a, b)
+			}
+		})
+	}
+}
+
+// The same result must come out of every architecture configuration after
+// warm-up — transactions, aborts, and check removal are semantics-preserving.
+func TestWorkloadsAgreeAcrossArchs(t *testing.T) {
+	all := append(append(workloads.SunSpider(), workloads.Kraken()...), workloads.Shootout()...)
+	for _, w := range all {
+		w := w
+		t.Run(w.ID, func(t *testing.T) {
+			t.Parallel()
+			_, want := runWorkload(t, w, vm.ArchBase, profile.TierInterp, 2)
+			for _, arch := range vm.AllArchs {
+				_, got := runWorkload(t, w, arch, profile.TierFTL, 50)
+				if got.ToStringValue() != want.ToStringValue() {
+					t.Errorf("%v: result %q, want %q", arch, got, want)
+				}
+			}
+		})
+	}
+}
+
+// AvgS workloads must actually exercise the FTL tier (that is why the paper
+// includes them), and each one's run() must be dominated by FTL
+// instructions under the Base configuration.
+func TestAvgSReachesFTL(t *testing.T) {
+	avgs := append(workloads.AvgS(workloads.SunSpider()), workloads.AvgS(workloads.Kraken())...)
+	for _, w := range avgs {
+		w := w
+		t.Run(w.ID, func(t *testing.T) {
+			t.Parallel()
+			v, _ := runWorkload(t, w, vm.ArchBase, profile.TierFTL, 50)
+			v.ResetCounters()
+			if _, err := v.CallGlobal("run"); err != nil {
+				t.Fatal(err)
+			}
+			if v.Counters().FTLCalls == 0 {
+				t.Errorf("steady state executed no FTL code")
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package nomap
+
+import (
+	"strings"
+	"testing"
+)
+
+// The tracer must observe the full lifecycle: compiles up the tiers,
+// transaction begins and commits in steady state, and an abort with its
+// cause when speculation fails.
+func TestTracerObservesLifecycle(t *testing.T) {
+	eng := NewEngine(Options{Arch: ArchNoMap})
+	var events []TraceEvent
+	eng.SetTracer(func(e TraceEvent) { events = append(events, e) })
+
+	src := `
+var a = [];
+for (var i = 0; i < 32; i++) a[i] = i;
+function run(n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) s += a[i];
+  return s;
+}
+`
+	if _, err := eng.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 700; i++ {
+		if _, err := eng.Call("run", 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kinds := map[string]int{}
+	for _, e := range events {
+		kinds[e.Kind.String()]++
+	}
+	for _, want := range []string{"compile", "tx-begin", "tx-commit"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q events; saw %v", want, kinds)
+		}
+	}
+	if kinds["tx-abort"] != 0 {
+		t.Errorf("unexpected aborts during clean run: %v", kinds)
+	}
+
+	// Poison the array: the next hot call must produce an abort event with
+	// a type-check cause.
+	if _, err := eng.Run(`a[10] = "boom";`); err != nil {
+		t.Fatal(err)
+	}
+	events = events[:0]
+	if _, err := eng.Call("run", 32); err != nil {
+		t.Fatal(err)
+	}
+	sawAbort := false
+	for _, e := range events {
+		if e.Kind.String() == "tx-abort" {
+			sawAbort = true
+			s := e.String()
+			if !strings.Contains(s, "cause=check") {
+				t.Errorf("abort event missing cause: %s", s)
+			}
+		}
+	}
+	if !sawAbort {
+		t.Error("no abort event after poisoning the array")
+	}
+
+	// Clearing the tracer stops events.
+	eng.SetTracer(nil)
+	n := len(events)
+	if _, err := eng.Call("run", 32); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != n {
+		t.Error("events delivered after tracer cleared")
+	}
+}
