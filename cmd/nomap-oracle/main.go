@@ -1,0 +1,149 @@
+// nomap-oracle runs the deterministic fault-injection oracle: it enumerates
+// every injectable site of a program (speculation checks, transaction
+// begin/commit/tile points, transactional write lines), re-runs the program
+// forcing an abort or deopt at each one, and checks that observable behaviour
+// matches the pure-interpreter reference under every architecture
+// configuration swept.
+//
+// Usage:
+//
+//	nomap-oracle -workload X01,X03,X06
+//	nomap-oracle -gen 50 -seed 1
+//	nomap-oracle -workload S01 -arch nomap,nomap_rtm -capacity -1 -v
+//
+// The exit status is nonzero if any sweep detects a divergence, a counter
+// invariant violation, an ir.Verify failure, or a missed injection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nomap/internal/machine"
+	"nomap/internal/oracle"
+	"nomap/internal/profile"
+	"nomap/internal/vm"
+	"nomap/internal/workloads"
+)
+
+var archNames = map[string]vm.Arch{
+	"base":      vm.ArchBase,
+	"nomap_s":   vm.ArchNoMapS,
+	"nomap_b":   vm.ArchNoMapB,
+	"nomap":     vm.ArchNoMap,
+	"nomap_bc":  vm.ArchNoMapBC,
+	"nomap_rtm": vm.ArchNoMapRTM,
+}
+
+var tierNames = map[string]profile.Tier{
+	"interp":   profile.TierInterp,
+	"baseline": profile.TierBaseline,
+	"dfg":      profile.TierDFG,
+	"ftl":      profile.TierFTL,
+}
+
+func main() {
+	workloadIDs := flag.String("workload", "", "comma-separated workload IDs to sweep (e.g. X01,X03)")
+	gen := flag.Int("gen", 0, "number of generated programs to sweep")
+	archList := flag.String("arch", "all", "comma-separated architectures, or \"all\"")
+	tierName := flag.String("tier", "ftl", "maximum tier: interp|baseline|dfg|ftl")
+	capacity := flag.Int("capacity", 3, "capacity-abort injection points per config (0 none, -1 every write line)")
+	random := flag.Int("random", 8, "random-schedule injection trials per config")
+	seed := flag.Int64("seed", 1, "seed for generated programs and random-schedule mode")
+	calls := flag.Int("calls", 60, "run() invocations per observation")
+	verbose := flag.Bool("v", false, "print per-configuration site tables")
+	flag.Parse()
+
+	cfg := oracle.Config{
+		MaxTier:        mustTier(*tierName),
+		CapacityPoints: *capacity,
+		RandomTrials:   *random,
+		Seed:           *seed,
+	}
+	if *archList != "all" {
+		for _, name := range strings.Split(*archList, ",") {
+			arch, ok := archNames[strings.ToLower(strings.TrimSpace(name))]
+			if !ok {
+				fatalf("unknown architecture %q", name)
+			}
+			cfg.Archs = append(cfg.Archs, arch)
+		}
+	}
+
+	var programs []oracle.Program
+	if *workloadIDs != "" {
+		for _, id := range strings.Split(*workloadIDs, ",") {
+			id = strings.TrimSpace(id)
+			w, ok := workloads.ByID(id)
+			if !ok {
+				fatalf("unknown workload %q", id)
+			}
+			programs = append(programs, oracle.Program{
+				Name:  fmt.Sprintf("%s (%s)", w.ID, w.Name),
+				Setup: w.Source,
+				Calls: *calls,
+			})
+		}
+	}
+	for i := 0; i < *gen; i++ {
+		g := oracle.Generate(*seed + int64(i))
+		programs = append(programs, g.Program(*calls, 3, 16))
+	}
+	if len(programs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: nomap-oracle -workload IDs and/or -gen N [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, p := range programs {
+		rep, err := oracle.Sweep(p, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		status := "ok"
+		if !rep.OK() {
+			status = fmt.Sprintf("FAIL (%d)", len(rep.Failures))
+			failed = true
+		}
+		fmt.Printf("%-28s %-9s sites=%-4d runs=%-5d injected-aborts=%d\n",
+			rep.Program, status, rep.TotalSites(), rep.TotalRuns(), rep.TotalInjectedAborts())
+		if *verbose {
+			for _, ar := range rep.Archs {
+				fmt.Printf("  %-10v sites=%-4d write-lines=%-4d runs=%-5d aborts=%-5d deopts=%d\n",
+					ar.Arch, len(ar.Sites), ar.WriteLines, ar.Runs, ar.InjectedAborts, ar.InjectedDeopts)
+				kinds := map[machine.SiteKind]int{}
+				for _, s := range ar.Sites {
+					kinds[s.Key.Kind]++
+				}
+				for _, kind := range []machine.SiteKind{machine.SiteCheck,
+					machine.SiteTxBegin, machine.SiteTxCommit, machine.SiteTxTile} {
+					if kinds[kind] > 0 {
+						fmt.Printf("    %v: %d\n", kind, kinds[kind])
+					}
+				}
+			}
+		}
+		for _, f := range rep.Failures {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func mustTier(name string) profile.Tier {
+	t, ok := tierNames[strings.ToLower(name)]
+	if !ok {
+		fatalf("unknown tier %q", name)
+	}
+	return t
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nomap-oracle: "+format+"\n", args...)
+	os.Exit(1)
+}

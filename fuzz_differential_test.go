@@ -108,6 +108,30 @@ func runSeq(t *testing.T, opts Options, src string, calls, n int) []string {
 	return out
 }
 
+// FuzzDifferential is the native fuzzing entry point over the same grammar:
+// the fuzzer explores generator seeds, and every generated program must
+// behave identically in the interpreter and in full NoMap FTL configurations.
+// The committed corpus under testdata/fuzz/FuzzDifferential seeds the search.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := genProgram(seed)
+		const calls, n = 700, 40
+		want := runSeq(t, Options{MaxTier: TierInterp}, src, calls, n)
+		for _, arch := range []Arch{ArchNoMap, ArchNoMapBC, ArchNoMapRTM} {
+			got := runSeq(t, Options{MaxTier: TierFTL, Arch: arch}, src, calls, n)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d arch %v call %d: got %q want %q\nprogram:\n%s",
+						seed, arch, i, got[i], want[i], src)
+				}
+			}
+		}
+	})
+}
+
 func TestFuzzDifferential(t *testing.T) {
 	seeds := 30
 	if testing.Short() {

@@ -101,7 +101,7 @@ func combineInLoop(f *ir.Func, dom *ir.DomTree, l *ir.Loop) int {
 	var toSink []sunk
 	seen := map[[2]*ir.Value]bool{}
 	removed := 0
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		for i := 0; i < len(b.Values); i++ {
 			v := b.Values[i]
 			if v.Op != ir.OpCheckBounds || v.Deopt != nil || v.Free {

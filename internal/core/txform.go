@@ -158,7 +158,7 @@ func wrapLoop(f *ir.Func, l *ir.Loop, tiled bool) bool {
 
 	// Convert in-transaction SMPs to aborts: it is safe to remove these
 	// SMPs because they are not entry points (§IV-B).
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		for _, v := range b.Values {
 			if v.Op.IsCheck() {
 				v.Deopt = nil

@@ -26,6 +26,10 @@ type Options struct {
 	RemoveOverflow bool
 	// RemoveAll removes every in-transaction check (NoMap_BC).
 	RemoveAll bool
+	// PassHook, when non-nil, observes the function after IR construction
+	// and after every pipeline pass (the oracle runs ir.Verify here to
+	// localize which pass broke an invariant).
+	PassHook func(pass string, f *ir.Func)
 }
 
 // Compile builds FTL-tier code for fn under the given configuration.
@@ -34,31 +38,48 @@ func Compile(fn *bytecode.Function, prof *profile.FunctionProfile, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	after := func(pass string) {
+		if opts.PassHook != nil {
+			opts.PassHook(pass, f)
+		}
+	}
+	after("build")
 	// JavaScriptCore's own check-removal phases run first (they exist in
 	// every configuration; SMPs limit them, paper §III-A1)...
 	opt.HoistTypeChecks(f)
+	after("hoist-type-checks")
 	// ...then NoMap's transformation, before the main optimization passes
 	// (§IV-B)...
 	if opts.Transactions && opts.TxLevel != core.TxOff {
 		core.FormTransactions(f, opts.TxLevel)
+		after("form-transactions")
 	}
 	// ...then the "-O2-grade" pipeline, now free of in-transaction SMPs.
 	opt.GVN(f)
+	after("gvn")
 	opt.LICM(f)
+	after("licm")
 	opt.PromoteLoopStores(f)
+	after("promote-loop-stores")
 	if opts.CombineBounds {
 		core.CombineBoundsChecks(f)
+		after("combine-bounds-checks")
 	}
 	if opts.RemoveOverflow {
 		core.RemoveOverflowChecks(f)
+		after("remove-overflow-checks")
 	}
 	if opts.RemoveAll {
 		core.RemoveAllChecks(f)
+		after("remove-all-checks")
 	}
 	opt.GVN(f)
+	after("gvn2")
 	opt.DCE(f)
+	after("dce")
 	// Block layout cleanup last: LLVM-quality codegen merges straight-line
 	// chains, which the DFG tier's simpler backend does not.
 	opt.SimplifyCFG(f)
+	after("simplify-cfg")
 	return f, nil
 }

@@ -32,12 +32,20 @@ type Config struct {
 	Progress func(w workloads.Workload, arch vm.Arch)
 }
 
+// FastPolicy promotes functions up the tiers quickly so simulated runs spend
+// their time in steady state rather than warm-up. Shared by the evaluation
+// harness and the fault-injection oracle, whose sweeps re-run each program
+// hundreds of times.
+func FastPolicy() profile.Policy {
+	return profile.Policy{BaselineThreshold: 2, DFGThreshold: 8, FTLThreshold: 40, MaxDeopts: 16}
+}
+
 // DefaultConfig returns the evaluation protocol used by nomap-bench.
 func DefaultConfig() Config {
 	return Config{
 		Warmup:  60,
 		Measure: 20,
-		Policy:  profile.Policy{BaselineThreshold: 2, DFGThreshold: 8, FTLThreshold: 40, MaxDeopts: 16},
+		Policy:  FastPolicy(),
 	}
 }
 

@@ -1,0 +1,87 @@
+package htm
+
+import "testing"
+
+// Geometry pins against the paper's Table II: POWER8-style ROT tracks writes
+// in a 256KB 8-way L2 with a 5-cycle flash-clear commit and the SOF
+// extension; Intel RTM tracks writes in a 32KB 8-way L1D and reads in the
+// 256KB L2, pays a 13-cycle commit drain and a 20% in-transaction read
+// penalty, and has no SOF.
+
+func TestROTGeometry(t *testing.T) {
+	c := ROTConfig()
+	if got := c.WriteSets * c.WriteWays * c.LineSize; got != 256<<10 {
+		t.Errorf("ROT write capacity = %d bytes, want 256KB", got)
+	}
+	if c.WriteSets != 512 || c.WriteWays != 8 || c.LineSize != 64 {
+		t.Errorf("ROT geometry = %d sets x %d ways x %dB, want 512x8x64B",
+			c.WriteSets, c.WriteWays, c.LineSize)
+	}
+	if c.ReadSets != 0 || c.ReadWays != 0 {
+		t.Errorf("ROT tracks reads (%dx%d), want none", c.ReadSets, c.ReadWays)
+	}
+	if c.CommitCycles != 5 {
+		t.Errorf("ROT commit = %d cycles, want 5", c.CommitCycles)
+	}
+	if c.ReadPenaltyNum != 1 || c.ReadPenaltyDen != 1 {
+		t.Errorf("ROT read penalty = %d/%d, want 1/1", c.ReadPenaltyNum, c.ReadPenaltyDen)
+	}
+	if !c.HasSOF {
+		t.Error("ROT must provide the Sticky Overflow Flag")
+	}
+}
+
+func TestRTMGeometry(t *testing.T) {
+	c := RTMConfig()
+	if got := c.WriteSets * c.WriteWays * c.LineSize; got != 32<<10 {
+		t.Errorf("RTM write capacity = %d bytes, want 32KB", got)
+	}
+	if got := c.ReadSets * c.ReadWays * c.LineSize; got != 256<<10 {
+		t.Errorf("RTM read capacity = %d bytes, want 256KB", got)
+	}
+	if c.WriteSets != 64 || c.WriteWays != 8 || c.ReadSets != 512 || c.ReadWays != 8 {
+		t.Errorf("RTM geometry = w%dx%d r%dx%d, want w64x8 r512x8",
+			c.WriteSets, c.WriteWays, c.ReadSets, c.ReadWays)
+	}
+	if c.CommitCycles != 13 {
+		t.Errorf("RTM commit = %d cycles, want 13", c.CommitCycles)
+	}
+	if c.ReadPenaltyNum != 6 || c.ReadPenaltyDen != 5 {
+		t.Errorf("RTM read penalty = %d/%d, want 6/5 (20%%)", c.ReadPenaltyNum, c.ReadPenaltyDen)
+	}
+	if c.HasSOF {
+		t.Error("RTM must not provide a Sticky Overflow Flag (§VI-B)")
+	}
+}
+
+// TestCapacityProbeForcesAbort covers the oracle's injection hook: a probe
+// that fires on the nth newly tracked write line must surface as a genuine
+// capacity error even though the geometric limit is not reached.
+func TestCapacityProbeForcesAbort(t *testing.T) {
+	s := New(ROTConfig())
+	lines := 0
+	s.SetCapacityProbe(func(write bool, line uint64) bool {
+		if !write {
+			return false
+		}
+		lines++
+		return lines == 3
+	})
+	s.Begin(nil, nil)
+	var err error
+	for i := 0; err == nil && i < 10; i++ {
+		err = s.RecordWrite(uint64(i*64), 8, func() {})
+	}
+	if err == nil {
+		t.Fatal("probe did not force a capacity error")
+	}
+	if _, ok := err.(*CapacityError); !ok {
+		t.Fatalf("got %T (%v), want *CapacityError", err, err)
+	}
+	if lines != 3 {
+		t.Errorf("probe saw %d new lines before firing, want 3", lines)
+	}
+	if err := s.Abort(AbortCapacity); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -155,6 +155,9 @@ type Txn struct {
 	sof        bool
 }
 
+// Depth returns the flat-nesting depth (1 for an outermost-only nest).
+func (t *Txn) Depth() int { return t.depth }
+
 // WriteBytes returns the write footprint in bytes.
 func (t *Txn) WriteBytes() int64 { return int64(len(t.writeLines)) * 64 }
 
@@ -173,10 +176,18 @@ func (t *Txn) MaxWriteAssoc() int {
 	return int(m)
 }
 
+// CapacityProbe is consulted once per newly tracked cache line. Returning
+// true forces a capacity overflow for that access, as if the target set were
+// already full — the deterministic-fault-injection oracle uses this to abort
+// a transaction at an arbitrary point of its write (or read) footprint.
+// Production runs install none; the only cost is one nil check per new line.
+type CapacityProbe func(write bool, line uint64) bool
+
 // System is the HTM state for one simulated hardware context.
 type System struct {
-	cfg Config
-	txn *Txn
+	cfg   Config
+	txn   *Txn
+	probe CapacityProbe
 
 	// Statistics over the system lifetime.
 	Begins   int64
@@ -195,6 +206,9 @@ func New(cfg Config) *System { return &System{cfg: cfg} }
 
 // Config returns the configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// SetCapacityProbe installs (or clears, with nil) the capacity fault probe.
+func (s *System) SetCapacityProbe(p CapacityProbe) { s.probe = p }
 
 // InTx reports whether a transaction is open.
 func (s *System) InTx() bool { return s.txn != nil }
@@ -245,6 +259,9 @@ func (s *System) RecordWrite(addr uint64, size int, undo func()) error {
 		if int(t.writeSets[set]) >= s.cfg.WriteWays {
 			return &CapacityError{Write: true, Set: set}
 		}
+		if s.probe != nil && s.probe(true, line) {
+			return &CapacityError{Write: true, Set: set}
+		}
 		t.writeLines[line] = struct{}{}
 		t.writeSets[set]++
 	}
@@ -270,6 +287,9 @@ func (s *System) RecordRead(addr uint64, size int) error {
 		// Writes occupy L2 too under RTM; approximate by counting both.
 		set := int(line % uint64(s.cfg.ReadSets))
 		if int(t.readSets[set]) >= s.cfg.ReadWays {
+			return &CapacityError{Write: false, Set: set}
+		}
+		if s.probe != nil && s.probe(false, line) {
 			return &CapacityError{Write: false, Set: set}
 		}
 		t.readLines[line] = struct{}{}

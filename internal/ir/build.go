@@ -243,8 +243,15 @@ func (b *builder) maybeSeal(blk *Block) {
 		}
 	}
 	b.sealed[blk] = true
-	for reg, phi := range b.incomplete[blk] {
-		b.addPhiOperands(phi, reg)
+	// Complete pending phis in register order: operand lookup can create
+	// new values, so map-order iteration would make numbering nondeterministic.
+	regs := make([]int, 0, len(b.incomplete[blk]))
+	for reg := range b.incomplete[blk] {
+		regs = append(regs, reg)
+	}
+	sortInts(regs)
+	for _, reg := range regs {
+		b.addPhiOperands(b.incomplete[blk][reg], reg)
 	}
 	delete(b.incomplete, blk)
 }

@@ -126,6 +126,22 @@ type Loop struct {
 // Contains reports whether b belongs to the loop.
 func (l *Loop) Contains(b *Block) bool { return l.Blocks[b] }
 
+// BlockList returns the loop's blocks ordered by ID. Blocks is a set; passes
+// that create or move values while walking it must use this instead so that
+// value numbering does not depend on map iteration order.
+func (l *Loop) BlockList() []*Block {
+	out := make([]*Block, 0, len(l.Blocks))
+	for b := range l.Blocks {
+		out = append(out, b)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
 // FindLoops discovers natural loops via back edges (an edge b->h where h
 // dominates b) and nests them into a forest ordered outermost-first.
 func FindLoops(f *Func, dom *DomTree) []*Loop {
@@ -204,11 +220,11 @@ func (l *Loop) Preheader() *Block {
 }
 
 // Exits returns the blocks outside the loop that are targets of edges from
-// inside the loop.
+// inside the loop, ordered by the exiting block's ID.
 func (l *Loop) Exits() []*Block {
 	seen := map[*Block]bool{}
 	var exits []*Block
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		for _, s := range b.Succs {
 			if !l.Blocks[s] && !seen[s] {
 				seen[s] = true

@@ -27,6 +27,7 @@ type Backend struct {
 	code     map[*bytecode.Function]*unit
 	txLevels map[*bytecode.Function]core.TxLevel
 	arch     vm.Arch
+	passHook func(pass string, f *ir.Func)
 }
 
 type unit struct {
@@ -78,6 +79,11 @@ func (b *Backend) CompiledFunctions() []*ir.Func {
 // InTransaction reports whether a hardware transaction is open.
 func (b *Backend) InTransaction() bool { return b.mach.InTx() }
 
+// SetPassHook installs a callback observing every compiled function after
+// each optimization pass (FTL) or after its pipeline (DFG). The oracle uses
+// it to run ir.Verify on all code compiled during a fault-injection run.
+func (b *Backend) SetPassHook(h func(pass string, f *ir.Func)) { b.passHook = h }
+
 // Execute runs fn in the given speculative tier, falling back to Baseline
 // (handled=false) when compilation is not possible.
 func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionProfile, tier profile.Tier, args []value.Value) (value.Value, bool, error) {
@@ -127,6 +133,9 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 		if err != nil {
 			return nil, err
 		}
+		if b.passHook != nil {
+			b.passHook("dfg", f)
+		}
 		return &unit{tier: tier, f: f}, nil
 	}
 	level, ok := b.txLevels[bcFn]
@@ -134,6 +143,7 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 		level = core.TxLoopNest
 	}
 	opts := optionsFor(b.arch, level)
+	opts.PassHook = b.passHook
 	f, err := ftl.Compile(bcFn, prof, opts)
 	if err != nil {
 		return nil, err

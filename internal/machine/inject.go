@@ -1,0 +1,131 @@
+package machine
+
+import (
+	"fmt"
+
+	"nomap/internal/htm"
+	"nomap/internal/stats"
+)
+
+// Fault injection. The oracle subsystem (internal/oracle) needs to force a
+// transaction abort or a deoptimization at an arbitrary point of a run and
+// then prove the fallback path re-executes with identical observable
+// behaviour. The machine exposes its decision points — every check, every
+// transaction begin/commit/tile — through the Injector interface below.
+// Production runs install no injector; the only cost on the hot path is one
+// nil check per site.
+
+// SiteKind classifies an injectable site.
+type SiteKind uint8
+
+const (
+	// SiteCheck is a speculation check: with a stack map (SMP) it deopts on
+	// failure, without one (SMP turned abort by NoMap) it aborts the
+	// enclosing transaction.
+	SiteCheck SiteKind = iota
+	// SiteTxBegin fires immediately after an outermost transaction opens.
+	SiteTxBegin
+	// SiteTxCommit fires immediately before an outermost commit retires.
+	SiteTxCommit
+	// SiteTxTile fires at each TxTile point while its transaction is open.
+	SiteTxTile
+)
+
+// String names the site kind.
+func (k SiteKind) String() string {
+	switch k {
+	case SiteCheck:
+		return "check"
+	case SiteTxBegin:
+		return "tx-begin"
+	case SiteTxCommit:
+		return "tx-commit"
+	case SiteTxTile:
+		return "tx-tile"
+	}
+	return "?"
+}
+
+// Site identifies one injectable point. (Fn, ValueID) is stable across the
+// deterministic re-runs the oracle performs: the same program compiled at the
+// same point in the run produces the same IR value numbering.
+type Site struct {
+	Kind SiteKind
+	// Fn is the executing function's name.
+	Fn string
+	// ValueID is the IR value id of the site's op.
+	ValueID int
+	// Check is the check's class (SiteCheck only).
+	Check stats.CheckClass
+	// HasSMP reports the check carries a stack map: failure deopts instead
+	// of aborting (SiteCheck only).
+	HasSMP bool
+	// InTx reports whether a hardware transaction is open at the site.
+	InTx bool
+	// Failed reports the check's real outcome (SiteCheck only) so an
+	// injector can react to failures it did not itself force.
+	Failed bool
+}
+
+// String renders the site for logs and sweep reports.
+func (s Site) String() string {
+	if s.Kind == SiteCheck {
+		smp := "abort"
+		if s.HasSMP {
+			smp = "smp"
+		}
+		return fmt.Sprintf("%s/%s[%s]@%s:v%d", s.Kind, s.Check, smp, s.Fn, s.ValueID)
+	}
+	return fmt.Sprintf("%s@%s:v%d", s.Kind, s.Fn, s.ValueID)
+}
+
+// Action is an injector's verdict for one site visit.
+type Action uint8
+
+const (
+	// ActNone leaves the site alone.
+	ActNone Action = iota
+	// ActFailCheck forces the check to fail: a deopt for SMP checks, a
+	// transactional abort for converted checks. Ignored at non-check sites
+	// and at checks that can neither deopt nor abort.
+	ActFailCheck
+	// ActPassCheck forces a failing check to be treated as passed. This is
+	// the oracle's planted compiler bug — a check removed without
+	// transactional protection — and exists only so the differential oracle
+	// can prove it catches that class of miscompilation.
+	ActPassCheck
+	// ActAbortCapacity aborts the open transaction as a capacity overflow.
+	ActAbortCapacity
+	// ActAbortSOF aborts the open transaction as a sticky-overflow event.
+	ActAbortSOF
+	// ActAbortIrrevocable aborts the open transaction as an irrevocable
+	// event.
+	ActAbortIrrevocable
+	// ActTileCommit forces a TxTile point to commit-and-reopen even though
+	// the footprint is below the tiling threshold (SiteTxTile only).
+	ActTileCommit
+)
+
+// Injector is consulted at every injectable site of a run.
+// Implementations must be deterministic: the oracle relies on a re-run
+// visiting the same site sequence up to the first injected fault.
+type Injector interface {
+	At(site Site) Action
+}
+
+// SetInjector installs (or clears, with nil) the fault injector.
+func (m *Machine) SetInjector(i Injector) { m.inject = i }
+
+// abortCause maps an abort action to its HTM cause; ok is false for
+// non-abort actions.
+func (a Action) abortCause() (htm.AbortCause, bool) {
+	switch a {
+	case ActAbortCapacity:
+		return htm.AbortCapacity, true
+	case ActAbortSOF:
+		return htm.AbortSOF, true
+	case ActAbortIrrevocable:
+		return htm.AbortIrrevocable, true
+	}
+	return 0, false
+}

@@ -46,6 +46,7 @@ type Machine struct {
 
 	hook            *txHook
 	trace           Tracer
+	inject          Injector
 	frameSeq        int
 	pendingCapacity bool
 }
@@ -347,7 +348,22 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 					}
 					extra += m.checkMemCost(v, vals)
 				}
-				if m.checkPasses(v, vals, oflow) {
+				passed := m.checkPasses(v, vals, oflow)
+				if m.inject != nil {
+					switch m.inject.At(Site{Kind: SiteCheck, Fn: f.Name, ValueID: v.ID,
+						Check: v.Check, HasSMP: v.Deopt != nil, InTx: m.HTM.InTx(), Failed: !passed}) {
+					case ActFailCheck:
+						// Only force failure where a recovery path exists:
+						// a stack map to deopt through, or an open
+						// transaction to abort.
+						if v.Deopt != nil || m.HTM.InTx() {
+							passed = false
+						}
+					case ActPassCheck:
+						passed = true
+					}
+				}
+				if passed {
 					break
 				}
 				// Check failed.
@@ -463,12 +479,28 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 					ctrs.TxBegins++
 					extra += m.HTM.Config().BeginCycles
 					m.emit(Event{Kind: EventTxBegin, Fn: f.Name})
+					if m.inject != nil {
+						act := m.inject.At(Site{Kind: SiteTxBegin, Fn: f.Name, ValueID: v.ID, InTx: true})
+						if cause, ok := act.abortCause(); ok {
+							account(instr, extra)
+							d, err := abort(cause, stats.CheckOther)
+							return value.Undefined(), d, err
+						}
+					}
 				}
 			case ir.OpTxEnd:
 				t := m.HTM.Current()
 				if t == nil {
 					account(instr, extra)
 					return value.Undefined(), nil, errf("txend without transaction")
+				}
+				if m.inject != nil && t.Depth() == 1 {
+					act := m.inject.At(Site{Kind: SiteTxCommit, Fn: f.Name, ValueID: v.ID, InTx: true})
+					if cause, ok := act.abortCause(); ok {
+						account(instr, extra)
+						d, err := abort(cause, stats.CheckOther)
+						return value.Undefined(), d, err
+					}
 				}
 				outer, err := m.HTM.Commit()
 				if err != nil {
@@ -485,7 +517,17 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 				}
 			case ir.OpTxTile:
 				t := m.HTM.Current()
-				if t != nil && t.Owner == any(tok) && m.footprintNearCapacity(t) {
+				forceTile := false
+				if m.inject != nil && t != nil && t.Owner == any(tok) {
+					act := m.inject.At(Site{Kind: SiteTxTile, Fn: f.Name, ValueID: v.ID, InTx: true})
+					if cause, ok := act.abortCause(); ok {
+						account(instr, extra)
+						d, err := abort(cause, stats.CheckOther)
+						return value.Undefined(), d, err
+					}
+					forceTile = act == ActTileCommit
+				}
+				if t != nil && t.Owner == any(tok) && (forceTile || m.footprintNearCapacity(t)) {
 					m.noteTxStats(ctrs, t)
 					ctrs.TxWriteBytesTotal += t.WriteBytes()
 					if _, err := m.HTM.Commit(); err != nil {

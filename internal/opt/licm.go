@@ -40,7 +40,7 @@ func hoistLoop(f *ir.Func, dom *ir.DomTree, l *ir.Loop) {
 	hasBarrier := false
 	written := map[memKey]bool{}
 	hasStore := false
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		for _, v := range b.Values {
 			if v.IsBarrier() {
 				hasBarrier = true

@@ -53,7 +53,7 @@ func promoteLoop(f *ir.Func, dom *ir.DomTree, l *ir.Loop) {
 	}
 	storeCount := map[memKey]int{}
 	var stores []*ir.Value
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		for _, v := range b.Values {
 			if v.IsBarrier() {
 				return
@@ -82,7 +82,7 @@ func promoteLoop(f *ir.Func, dom *ir.DomTree, l *ir.Loop) {
 		// accumulator value.
 		var loads []*ir.Value
 		ok := true
-		for b := range l.Blocks {
+		for _, b := range l.BlockList() {
 			for pos, v := range b.Values {
 				if v.Op == ir.OpLoadSlot && v.AuxInt == st.AuxInt {
 					if v.Args[0] != obj {

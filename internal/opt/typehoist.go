@@ -45,7 +45,7 @@ func hoistTypeChecksInLoop(f *ir.Func, l *ir.Loop) {
 		return
 	}
 	hasCalls := false
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		for _, v := range b.Values {
 			if v.Op == ir.OpCallDirect || v.Op == ir.OpCallRuntime {
 				hasCalls = true
@@ -61,7 +61,7 @@ func hoistTypeChecksInLoop(f *ir.Func, l *ir.Loop) {
 	hoisted := map[key]bool{}
 	preMap := ir.ResolveEntryState(l.Header, pre)
 
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		for i := 0; i < len(b.Values); i++ {
 			v := b.Values[i]
 			if !v.Op.IsCheck() || len(v.Args) != 1 {

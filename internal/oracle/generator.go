@@ -1,0 +1,158 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenSpec is a structured random program from the differential-fuzz grammar
+// (the same speculation-surface bias as fuzz_differential_test.go: int32
+// arithmetic near overflow, array loops, object property accumulation,
+// mixed-type corners), kept as independent chunks so the reducer can delete
+// them wholesale while preserving syntactic validity.
+type GenSpec struct {
+	Seed   int64
+	ArrLen int
+	Scale  int
+	Bias   int
+	TInit  int
+	// ArrInit holds one `ga[i] = v;` statement per element; dropping any
+	// subset leaves a legal (possibly holey) array.
+	ArrInit []string
+	// Body holds self-contained loop-body chunks (statements or whole
+	// switch blocks).
+	Body []string
+	// Poison is a mid-run speculation invalidation (type change, shape
+	// change, or extent growth) executed between call batches.
+	Poison string
+}
+
+// Generate builds a deterministic random spec from seed.
+func Generate(seed int64) *GenSpec {
+	r := rand.New(rand.NewSource(seed))
+	g := &GenSpec{
+		Seed:   seed,
+		ArrLen: 8 + r.Intn(24),
+		Scale:  1 + r.Intn(5),
+		Bias:   r.Intn(9),
+		TInit:  r.Intn(100),
+	}
+	for i := 0; i < g.ArrLen; i++ {
+		switch r.Intn(5) {
+		case 0:
+			g.ArrInit = append(g.ArrInit, fmt.Sprintf("ga[%d] = %d.5;", i, r.Intn(100)))
+		default:
+			g.ArrInit = append(g.ArrInit, fmt.Sprintf("ga[%d] = %d;", i, r.Intn(1<<20)-1<<19))
+		}
+	}
+
+	vars := []string{"s", "i", "t"}
+	var expr func(depth int) string
+	expr = func(depth int) string {
+		if depth <= 0 {
+			switch r.Intn(6) {
+			case 0:
+				return fmt.Sprintf("%d", r.Intn(2048)-1024)
+			case 1:
+				return fmt.Sprintf("ga[i %% %d]", g.ArrLen)
+			case 2:
+				return "gobj.scale"
+			case 3:
+				return "gobj.bias"
+			default:
+				return vars[r.Intn(len(vars))]
+			}
+		}
+		ops := []string{"+", "-", "*", "&", "|", "^", "%"}
+		op := ops[r.Intn(len(ops))]
+		l, rr := expr(depth-1), expr(depth-1)
+		if op == "%" {
+			return fmt.Sprintf("((%s) %% ((%s) | 1))", l, rr) // avoid %0 noise
+		}
+		return fmt.Sprintf("((%s) %s (%s))", l, op, rr)
+	}
+
+	stmts := 1 + r.Intn(3)
+	for k := 0; k < stmts; k++ {
+		switch r.Intn(6) {
+		case 0:
+			g.Body = append(g.Body, fmt.Sprintf("s = (s + %s) | 0;", expr(2)))
+		case 1:
+			g.Body = append(g.Body, fmt.Sprintf("t = %s;", expr(2)))
+		case 2:
+			g.Body = append(g.Body, fmt.Sprintf("gobj.acc = gobj.acc + (%s) %% 1000;", expr(1)))
+		case 3:
+			g.Body = append(g.Body, fmt.Sprintf("if ((%s) > 0) { s = s + 1; } else { s = s - 1; }", expr(1)))
+		case 4:
+			g.Body = append(g.Body, fmt.Sprintf(
+				"switch ((%s) & 3) {\n    case 0: s += 3; break;\n    case 1: s -= 1;\n    case 2: t = (t + 7) | 0; break;\n    default: s ^= 5;\n    }", expr(1)))
+		default:
+			g.Body = append(g.Body, fmt.Sprintf("ga[i %% %d] = (%s) %% 100000;", g.ArrLen, expr(1)))
+		}
+	}
+
+	k := r.Intn(g.ArrLen)
+	switch r.Intn(4) {
+	case 0:
+		g.Poison = fmt.Sprintf(`ga[%d] = "P";`, k) // int → string type change
+	case 1:
+		g.Poison = fmt.Sprintf("ga[%d] = 0.5;", k) // int → double type change
+	case 2:
+		g.Poison = "gobj.poison = 1;" // shape transition
+	default:
+		g.Poison = fmt.Sprintf("ga[%d] = 7;", g.ArrLen+4) // extent growth + holes
+	}
+	return g
+}
+
+// Render produces the program source: globals, then run(n) with the loop
+// body chunks. gobj.acc and ga mutate across calls, which is fine — every
+// engine executes the identical call sequence from identical initial state.
+func (g *GenSpec) Render() string {
+	var sb strings.Builder
+	sb.WriteString("var ga = [];\n")
+	for _, s := range g.ArrInit {
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "var gobj = {acc: 0, scale: %d, bias: %d};\n", g.Scale, g.Bias)
+	fmt.Fprintf(&sb, "function run(n) {\n  var s = 0, t = %d;\n", g.TInit)
+	sb.WriteString("  for (var i = 0; i < n; i++) {\n")
+	for _, s := range g.Body {
+		sb.WriteString("    ")
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  }\n  return (s + t + gobj.acc) % 1000000007;\n}\n")
+	return sb.String()
+}
+
+// Program wraps the spec in the oracle's call protocol.
+func (g *GenSpec) Program(calls, postCalls, arg int) Program {
+	return Program{
+		Name:      fmt.Sprintf("gen-%d", g.Seed),
+		Setup:     g.Render(),
+		Calls:     calls,
+		Arg:       arg,
+		Poison:    g.Poison,
+		PostCalls: postCalls,
+	}
+}
+
+// LineCount counts the source lines of the rendered reproducer (setup plus
+// poison).
+func (g *GenSpec) LineCount() int {
+	n := strings.Count(g.Render(), "\n")
+	if g.Poison != "" {
+		n += strings.Count(g.Poison, "\n") + 1
+	}
+	return n
+}
+
+func (g *GenSpec) clone() *GenSpec {
+	c := *g
+	c.ArrInit = append([]string(nil), g.ArrInit...)
+	c.Body = append([]string(nil), g.Body...)
+	return &c
+}

@@ -1,0 +1,240 @@
+// Package oracle is the deterministic fault-injection and differential
+// checking subsystem. NoMap's correctness argument rests entirely on its
+// fallback paths: any transactional abort (failed check, capacity overflow,
+// sticky overflow, irrevocable event) and any deoptimization must re-execute
+// in a lower tier with identical observable behaviour. The oracle proves
+// this mechanically:
+//
+//  1. It enumerates every injectable site of a run (each speculation check,
+//     each transaction begin/commit/tile point, each transactional write)
+//     using the machine's Injector hook and the HTM capacity probe.
+//
+//  2. It then re-runs the program once per site, forcing an abort or deopt
+//     there, and asserts that the observable behaviour — per-call results,
+//     print() output, and the final reachable heap — matches a pure
+//     interpreter reference, that the measurement counters stay
+//     invariant-clean, and that ir.Verify holds after every optimization
+//     pass of every (re)compilation the run performs.
+//
+//  3. A seeded random-schedule mode samples deeper occurrences of each site,
+//     and a test-case reducer shrinks failing generated programs to minimal
+//     reproducers.
+//
+// Because the engine is fully deterministic, a re-run visits the same site
+// sequence as the recording run up to the injected fault, which is what
+// makes the site enumeration sound.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nomap/internal/harness"
+	"nomap/internal/ir"
+	"nomap/internal/jit"
+	"nomap/internal/profile"
+	"nomap/internal/value"
+	"nomap/internal/vm"
+)
+
+// Program is one differential test subject: setup source defining run(),
+// a call protocol hot enough to reach the FTL tier, and an optional poison
+// step that invalidates speculation mid-run (type or shape changes).
+type Program struct {
+	Name string
+	// Setup defines globals and a run(n) function.
+	Setup string
+	// Calls is the number of run(Arg) invocations before the poison step.
+	Calls int
+	// Arg is passed to run on every call (ignored by workloads whose run
+	// takes no parameters).
+	Arg int
+	// Poison, when non-empty, is executed as program source after Calls
+	// invocations; PostCalls further invocations follow it.
+	Poison    string
+	PostCalls int
+}
+
+// Observation is everything a run makes observable: the string rendering of
+// each run() result, the print() output, the final reachable heap, and any
+// error. Two runs with equal Observations are behaviourally identical.
+type Observation struct {
+	Results []string
+	Output  []string
+	Heap    string
+	Err     string
+}
+
+// Diff returns a human-readable description of the first difference between
+// two observations, or "" when they are identical.
+func (o *Observation) Diff(other *Observation) string {
+	if o.Err != other.Err {
+		return fmt.Sprintf("error: %q vs %q", o.Err, other.Err)
+	}
+	if len(o.Results) != len(other.Results) {
+		return fmt.Sprintf("result count: %d vs %d", len(o.Results), len(other.Results))
+	}
+	for i := range o.Results {
+		if o.Results[i] != other.Results[i] {
+			return fmt.Sprintf("call %d result: %q vs %q", i, o.Results[i], other.Results[i])
+		}
+	}
+	if len(o.Output) != len(other.Output) {
+		return fmt.Sprintf("output line count: %d vs %d", len(o.Output), len(other.Output))
+	}
+	for i := range o.Output {
+		if o.Output[i] != other.Output[i] {
+			return fmt.Sprintf("output line %d: %q vs %q", i, o.Output[i], other.Output[i])
+		}
+	}
+	if o.Heap != other.Heap {
+		return fmt.Sprintf("final heap state:\n  %s\nvs\n  %s", o.Heap, other.Heap)
+	}
+	return ""
+}
+
+// engine bundles a VM with its JIT backend so the oracle can reach the
+// machine's injection hooks.
+type engine struct {
+	vm      *vm.VM
+	backend *jit.Backend
+}
+
+func newEngine(arch vm.Arch, maxTier profile.Tier) *engine {
+	cfg := vm.DefaultConfig()
+	cfg.Arch = arch
+	cfg.MaxTier = maxTier
+	cfg.Policy = harness.FastPolicy()
+	v := vm.New(cfg)
+	return &engine{vm: v, backend: jit.Attach(v)}
+}
+
+// observe executes the program's full call protocol and captures the
+// observation. Runtime errors are recorded, not returned: an injected fault
+// must never surface as an error, and a divergence in errors is itself an
+// observable difference.
+func (e *engine) observe(p Program) *Observation {
+	obs := &Observation{}
+	fail := func(err error) *Observation {
+		obs.Err = err.Error()
+		obs.Output = e.vm.Output
+		obs.Heap = SnapshotHeap(e.vm.Globals())
+		return obs
+	}
+	if _, err := e.vm.Run(p.Setup); err != nil {
+		return fail(err)
+	}
+	for i := 0; i < p.Calls; i++ {
+		v, err := e.vm.CallGlobal("run", value.Int(int32(p.Arg)))
+		if err != nil {
+			return fail(err)
+		}
+		obs.Results = append(obs.Results, v.ToStringValue())
+	}
+	if p.Poison != "" {
+		if _, err := e.vm.Run(p.Poison); err != nil {
+			return fail(err)
+		}
+		for i := 0; i < p.PostCalls; i++ {
+			v, err := e.vm.CallGlobal("run", value.Int(int32(p.Arg)))
+			if err != nil {
+				return fail(err)
+			}
+			obs.Results = append(obs.Results, v.ToStringValue())
+		}
+	}
+	obs.Output = e.vm.Output
+	obs.Heap = SnapshotHeap(e.vm.Globals())
+	return obs
+}
+
+// Reference runs the program on the pure interpreter and returns the oracle
+// observation every speculative configuration must match.
+func Reference(p Program) *Observation {
+	return newEngine(vm.ArchBase, profile.TierInterp).observe(p)
+}
+
+// SnapshotHeap renders the heap reachable from the global object in a
+// canonical, representation-independent form: numbers print by JS value (an
+// int32 6 and a double 6.0 are the same observable number), holes are
+// distinguished from stored undefineds (rollback must restore them exactly),
+// and cycles print as back-references.
+func SnapshotHeap(globals *value.Object) string {
+	var sb strings.Builder
+	seen := make(map[*value.Object]int)
+	var render func(v value.Value)
+	renderObj := func(o *value.Object) {
+		if id, ok := seen[o]; ok {
+			fmt.Fprintf(&sb, "@%d", id)
+			return
+		}
+		id := len(seen)
+		seen[o] = id
+		if o.Fn != nil {
+			fmt.Fprintf(&sb, "fn:%s", o.Fn.Name)
+			return
+		}
+		if o.IsArray {
+			fmt.Fprintf(&sb, "[len=%d|", o.Length)
+			for i := 0; i < o.Length; i++ {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				if !o.InBounds(i) || o.HasHoleAt(i) {
+					sb.WriteString("<hole>")
+					continue
+				}
+				render(o.ElementRaw(i))
+			}
+			sb.WriteByte(']')
+			return
+		}
+		sb.WriteByte('{')
+		for i, k := range o.Shape.Keys() {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%s:", k)
+			render(o.GetSlot(i))
+		}
+		sb.WriteByte('}')
+	}
+	render = func(v value.Value) {
+		switch {
+		case v.IsObject():
+			renderObj(v.Object())
+		case v.IsString():
+			fmt.Fprintf(&sb, "%q", v.StringVal())
+		case v.IsHole():
+			sb.WriteString("<hole>")
+		default:
+			sb.WriteString(v.ToStringValue())
+		}
+	}
+	renderObj(globals)
+	return sb.String()
+}
+
+// passVerifier runs ir.Verify after every optimization pass of every
+// compilation an engine performs, recording failures with the pass that
+// introduced them.
+type passVerifier struct {
+	errs []string
+}
+
+func (pv *passVerifier) hook(pass string, f *ir.Func) {
+	if err := ir.Verify(f); err != nil {
+		pv.errs = append(pv.errs, fmt.Sprintf("after %s: %v", pass, err))
+	}
+}
+
+// sortedKeys is a small helper for deterministic map iteration in reports.
+func sortedKeys[K comparable, V any](m map[K]V, less func(a, b K) bool) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}

@@ -1,0 +1,92 @@
+package oracle
+
+import (
+	"nomap/internal/machine"
+	"nomap/internal/profile"
+	"nomap/internal/vm"
+)
+
+// Test-case reduction. A failing generated program is shrunk to a minimal
+// reproducer by delta-debugging its chunk lists: array-initialization
+// statements and loop-body chunks are deleted in shrinking windows while the
+// failure predicate keeps holding. Chunks are self-contained statements, so
+// every candidate stays syntactically valid (a deleted ga[i] initializer
+// just leaves a hole).
+
+// Reduce shrinks g while pred (the "still fails" check) holds. pred must be
+// deterministic; it is re-evaluated for every candidate. The returned spec
+// is 1-minimal with respect to chunk deletion: removing any single remaining
+// chunk makes the failure disappear.
+func Reduce(g *GenSpec, pred func(*GenSpec) bool) *GenSpec {
+	cur := g.clone()
+	if !pred(cur) {
+		return cur // not a failure; nothing to reduce
+	}
+	for changed := true; changed; {
+		changed = false
+		next := cur.clone()
+		next.ArrInit = reduceList(cur.ArrInit, func(cand []string) bool {
+			c := cur.clone()
+			c.ArrInit = cand
+			return pred(c)
+		})
+		if len(next.ArrInit) < len(cur.ArrInit) {
+			changed = true
+			cur = next
+		}
+		next = cur.clone()
+		next.Body = reduceList(cur.Body, func(cand []string) bool {
+			c := cur.clone()
+			c.Body = cand
+			return pred(c)
+		})
+		if len(next.Body) < len(cur.Body) {
+			changed = true
+			cur = next
+		}
+	}
+	return cur
+}
+
+// reduceList is ddmin-style window deletion: try removing windows of
+// decreasing size; any removal that preserves the failure is kept.
+func reduceList(items []string, stillFails func([]string) bool) []string {
+	cur := append([]string(nil), items...)
+	size := len(cur) / 2
+	if size < 1 {
+		size = 1
+	}
+	for {
+		removed := false
+		for start := 0; start+size <= len(cur); {
+			cand := append(append([]string(nil), cur[:start]...), cur[start+size:]...)
+			if stillFails(cand) {
+				cur = cand
+				removed = true
+			} else {
+				start++
+			}
+		}
+		if size == 1 && !removed {
+			return cur
+		}
+		if size > 1 {
+			size /= 2
+		}
+	}
+}
+
+// DivergesUnderInjector runs p with the injector installed and reports
+// whether the observable behaviour diverges from the interpreter reference
+// (and how). Used with NewPlantedBug as the reducer predicate.
+func DivergesUnderInjector(p Program, arch vm.Arch, inj machine.Injector) (bool, string) {
+	ref := Reference(p)
+	if ref.Err != "" {
+		return false, ""
+	}
+	eng := newEngine(arch, profile.TierFTL)
+	eng.backend.Machine().SetInjector(inj)
+	obs := eng.observe(p)
+	d := ref.Diff(obs)
+	return d != "", d
+}

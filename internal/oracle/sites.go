@@ -1,0 +1,145 @@
+package oracle
+
+import (
+	"fmt"
+
+	"nomap/internal/machine"
+	"nomap/internal/stats"
+)
+
+// Key identifies a static injection site. The engine is deterministic, so
+// (function name, IR value id, site kind) is stable between a recording run
+// and an injection run of the same program under the same configuration.
+type Key struct {
+	Kind    machine.SiteKind
+	Fn      string
+	ValueID int
+}
+
+// String renders the key compactly.
+func (k Key) String() string { return fmt.Sprintf("%s@%s:v%d", k.Kind, k.Fn, k.ValueID) }
+
+// SiteInfo is one enumerated site with its dynamic behaviour during the
+// recording run.
+type SiteInfo struct {
+	Key Key
+	// Check and HasSMP describe check sites: HasSMP sites deopt on failure,
+	// the rest abort their transaction (the SMP was converted by NoMap).
+	Check  stats.CheckClass
+	HasSMP bool
+	// InTx reports whether a transaction was open at the first visit.
+	InTx bool
+	// Count is the number of dynamic visits.
+	Count int
+	// order is the index of the site's first dynamic visit, used to report
+	// sites in execution order.
+	order int
+}
+
+// recorder enumerates sites without perturbing the run.
+type recorder struct {
+	sites map[Key]*SiteInfo
+	// writeLines counts newly tracked transactional write lines, which is
+	// the index space for capacity injection.
+	writeLines int
+}
+
+func newRecorder() *recorder { return &recorder{sites: make(map[Key]*SiteInfo)} }
+
+func (r *recorder) At(s machine.Site) machine.Action {
+	k := Key{Kind: s.Kind, Fn: s.Fn, ValueID: s.ValueID}
+	info := r.sites[k]
+	if info == nil {
+		info = &SiteInfo{Key: k, Check: s.Check, HasSMP: s.HasSMP, InTx: s.InTx, order: len(r.sites)}
+		r.sites[k] = info
+	}
+	info.Count++
+	return machine.ActNone
+}
+
+// probe is installed as the HTM capacity probe during recording; it only
+// counts.
+func (r *recorder) probe(write bool, line uint64) bool {
+	if write {
+		r.writeLines++
+	}
+	return false
+}
+
+// Sites returns the enumerated sites in first-visit order.
+func (r *recorder) Sites() []*SiteInfo {
+	keys := sortedKeys(r.sites, func(a, b Key) bool { return r.sites[a].order < r.sites[b].order })
+	out := make([]*SiteInfo, len(keys))
+	for i, k := range keys {
+		out[i] = r.sites[k]
+	}
+	return out
+}
+
+// shot injects a single action at the n-th dynamic visit of one site, then
+// goes inert: one fault per run.
+type shot struct {
+	key        Key
+	occurrence int // 1-based
+	action     machine.Action
+	seen       int
+	fired      bool
+}
+
+func (s *shot) At(site machine.Site) machine.Action {
+	if s.fired || site.Kind != s.key.Kind || site.ValueID != s.key.ValueID || site.Fn != s.key.Fn {
+		return machine.ActNone
+	}
+	s.seen++
+	if s.seen < s.occurrence {
+		return machine.ActNone
+	}
+	s.fired = true
+	return s.action
+}
+
+// capShot forces a capacity overflow on the n-th newly tracked transactional
+// write line of the run (via the HTM capacity probe), then goes inert.
+type capShot struct {
+	target int // 1-based
+	seen   int
+	fired  bool
+}
+
+func (c *capShot) probe(write bool, line uint64) bool {
+	if c.fired || !write {
+		return false
+	}
+	c.seen++
+	if c.seen < c.target {
+		return false
+	}
+	c.fired = true
+	return true
+}
+
+// bug is the deliberately planted compiler defect used to prove the oracle
+// catches real miscompilation: every failing check of the selected classes
+// is treated as if it passed — exactly what a check-removal pass without
+// transactional protection would do. It is only ever installed by test
+// builds (Sweep never uses it).
+type bug struct {
+	classes map[stats.CheckClass]bool
+}
+
+// NewPlantedBug returns an injector that suppresses failures of the given
+// check classes; with no classes, every failing check is suppressed.
+func NewPlantedBug(classes ...stats.CheckClass) machine.Injector {
+	b := &bug{classes: make(map[stats.CheckClass]bool)}
+	for _, c := range classes {
+		b.classes[c] = true
+	}
+	return b
+}
+
+func (b *bug) At(s machine.Site) machine.Action {
+	if s.Kind == machine.SiteCheck && s.Failed && (len(b.classes) == 0 || b.classes[s.Check]) {
+		return machine.ActPassCheck
+	}
+	return machine.ActNone
+}

@@ -1,0 +1,68 @@
+package oracle
+
+import (
+	"fmt"
+
+	"nomap/internal/stats"
+)
+
+// CheckCounters validates the cycle/instruction accounting invariants after
+// a (possibly fault-injected) run. Aborted-transaction work is discarded and
+// re-attributed, which historically is where accounting bugs hide: a
+// mis-ordered rollback can drive a counter negative or leak an open
+// transaction.
+func CheckCounters(c *stats.Counters) error {
+	nonNeg := []struct {
+		name string
+		v    int64
+	}{
+		{"CyclesTM", c.CyclesTM},
+		{"CyclesNonTM", c.CyclesNonTM},
+		{"InterpOps", c.InterpOps},
+		{"BaselineOps", c.BaselineOps},
+		{"DFGCalls", c.DFGCalls},
+		{"FTLCalls", c.FTLCalls},
+		{"Deopts", c.Deopts},
+		{"OSRExits", c.OSRExits},
+		{"TxBegins", c.TxBegins},
+		{"TxCommits", c.TxCommits},
+		{"TxAborts", c.TxAborts},
+		{"TxCapacityAborts", c.TxCapacityAborts},
+		{"TxCheckAborts", c.TxCheckAborts},
+		{"TxSOFAborts", c.TxSOFAborts},
+		{"TxWriteBytesMax", c.TxWriteBytesMax},
+		{"TxWriteBytesTotal", c.TxWriteBytesTotal},
+		{"TxMaxAssoc", c.TxMaxAssoc},
+		{"TxReadBytesMax", c.TxReadBytesMax},
+	}
+	for _, f := range nonNeg {
+		if f.v < 0 {
+			return fmt.Errorf("counter %s is negative: %d", f.name, f.v)
+		}
+	}
+	for i, v := range c.Instr {
+		if v < 0 {
+			return fmt.Errorf("instruction class %v is negative: %d", stats.InstrClass(i), v)
+		}
+	}
+	for i, v := range c.Checks {
+		if v < 0 {
+			return fmt.Errorf("check class %v count is negative: %d", stats.CheckClass(i), v)
+		}
+	}
+	for i, v := range c.Compilations {
+		if v < 0 {
+			return fmt.Errorf("compilation count for tier %d is negative: %d", i, v)
+		}
+	}
+	// Every transaction that begins must retire exactly once, by commit or
+	// abort; anything else means a transaction leaked across a run.
+	if c.TxBegins != c.TxCommits+c.TxAborts {
+		return fmt.Errorf("transaction leak: %d begins vs %d commits + %d aborts",
+			c.TxBegins, c.TxCommits, c.TxAborts)
+	}
+	if sub := c.TxCapacityAborts + c.TxCheckAborts + c.TxSOFAborts; sub > c.TxAborts {
+		return fmt.Errorf("abort sub-causes (%d) exceed total aborts (%d)", sub, c.TxAborts)
+	}
+	return nil
+}

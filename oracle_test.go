@@ -1,0 +1,184 @@
+package nomap
+
+import (
+	"testing"
+
+	"nomap/internal/machine"
+	"nomap/internal/oracle"
+	"nomap/internal/stats"
+	"nomap/internal/vm"
+	"nomap/internal/workloads"
+)
+
+// Oracle acceptance tests: the fault-injection sweep must force an abort or
+// deopt at every enumerated injection site — every speculation check, every
+// transaction begin/commit/tile point, and chosen points of the transactional
+// write footprint — under all six architecture configurations, with zero
+// observable divergence from the pure interpreter, clean counter invariants,
+// and ir.Verify holding after every optimization pass. Sweep itself records
+// an "injection-missed" failure whenever a forced fault does not land or does
+// not produce an abort/deopt, so rep.OK() covers the per-site obligation.
+
+// oracleConfig keeps runs affordable: 16 calls still tier run() up to FTL
+// under the harness fast policy because backedge-weighted counting dominates
+// for loopy code.
+func oracleConfig() oracle.Config {
+	cfg := oracle.DefaultConfig()
+	cfg.CapacityPoints = 2
+	cfg.RandomTrials = 4
+	return cfg
+}
+
+func checkReport(t *testing.T, rep *oracle.Report) {
+	t.Helper()
+	for _, f := range rep.Failures {
+		t.Errorf("%s", f)
+	}
+	for _, ar := range rep.Archs {
+		if len(ar.Sites) == 0 {
+			t.Errorf("%v: no injection sites enumerated", ar.Arch)
+		}
+		if ar.InjectedAborts+ar.InjectedDeopts == 0 {
+			t.Errorf("%v: sweep injected no aborts and no deopts", ar.Arch)
+		}
+	}
+}
+
+func TestOracleWorkloads(t *testing.T) {
+	// X01 and X05 write to heap inside their hot loops, so their sweeps must
+	// also exercise capacity injection; X06 is pure scalar computation and
+	// legitimately has an empty transactional write footprint.
+	wantWrites := map[string]bool{"X01": true, "X05": true}
+	for _, id := range []string{"X01", "X05", "X06"} {
+		t.Run(id, func(t *testing.T) {
+			w, ok := workloads.ByID(id)
+			if !ok {
+				t.Fatalf("unknown workload %s", id)
+			}
+			rep, err := oracle.Sweep(oracle.Program{
+				Name:  w.ID,
+				Setup: w.Source,
+				Calls: 16,
+			}, oracleConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkReport(t, rep)
+			// Transactional configurations must expose transaction-boundary
+			// sites, not just checks.
+			for _, ar := range rep.Archs {
+				if !ar.Arch.UsesTransactions() {
+					continue
+				}
+				kinds := map[machine.SiteKind]int{}
+				for _, s := range ar.Sites {
+					kinds[s.Key.Kind]++
+				}
+				if kinds[machine.SiteTxBegin] == 0 || kinds[machine.SiteTxCommit] == 0 {
+					t.Errorf("%v: missing transaction boundary sites: %v", ar.Arch, kinds)
+				}
+				if wantWrites[id] && ar.WriteLines == 0 {
+					t.Errorf("%v: empty transactional write footprint", ar.Arch)
+				}
+			}
+			t.Logf("%s: %d sites, %d runs, %d injected aborts",
+				rep.Program, rep.TotalSites(), rep.TotalRuns(), rep.TotalInjectedAborts())
+		})
+	}
+}
+
+func TestOracleGeneratedPrograms(t *testing.T) {
+	const programs = 50
+	n := programs
+	if testing.Short() {
+		n = 8
+	}
+	cfg := oracleConfig()
+	cfg.CapacityPoints = 1
+	cfg.RandomTrials = 2
+	sites, runs := 0, 0
+	for seed := int64(1); seed <= int64(n); seed++ {
+		g := oracle.Generate(seed)
+		rep, err := oracle.Sweep(g.Program(40, 3, 16), cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.OK() {
+			for _, f := range rep.Failures {
+				t.Errorf("seed %d: %s", seed, f)
+			}
+			t.Fatalf("seed %d diverged; program:\n%s\npoison: %s", seed, g.Render(), g.Poison)
+		}
+		sites += rep.TotalSites()
+		runs += rep.TotalRuns()
+	}
+	t.Logf("%d generated programs: %d sites, %d runs, all six configs agree", n, sites, runs)
+}
+
+// TestOraclePlantedBug plants the paper's nightmare bug — a removed check
+// that should have fired (here: check verdicts forced to pass) — and demands
+// the oracle both catches the divergence and shrinks a failing generated
+// program to a minimal reproducer.
+func TestOraclePlantedBug(t *testing.T) {
+	bug := oracle.NewPlantedBug()
+	fails := func(g *oracle.GenSpec) bool {
+		d, _ := oracle.DivergesUnderInjector(g.Program(40, 3, 16), vm.ArchNoMap, bug)
+		return d
+	}
+	// Hunt failing seeds and reduce each; different seeds bottom out at
+	// different sizes (a reproducer is 1-minimal once no single chunk can go,
+	// and some failures need the whole array intact), so keep hunting until
+	// one shrinks below the 20-line bar.
+	var found, red *oracle.GenSpec
+	var seed, caught int64
+	for s := int64(1); s <= 200 && red == nil; s++ {
+		g := oracle.Generate(s)
+		if !fails(g) {
+			continue
+		}
+		caught++
+		if r := oracle.Reduce(g, fails); r.LineCount() < 20 {
+			found, red, seed = g, r, s
+		}
+	}
+	if caught == 0 {
+		t.Fatal("planted check-removal bug not caught by any of 200 generated programs")
+	}
+	if red == nil {
+		t.Fatalf("bug caught by %d programs but none reduced below 20 lines", caught)
+	}
+	// The same program must be clean without the planted bug, so the
+	// divergence is attributable to the bug alone.
+	if d, detail := oracle.DivergesUnderInjector(found.Program(40, 3, 16), vm.ArchNoMap, nil); d {
+		t.Fatalf("seed %d diverges even without the planted bug: %s", seed, detail)
+	}
+	if !fails(red) {
+		t.Fatal("reducer returned a non-failing spec")
+	}
+	_, detail := oracle.DivergesUnderInjector(red.Program(40, 3, 16), vm.ArchNoMap, bug)
+	t.Logf("seed %d shrunk %d→%d body chunks, %d→%d array inits (%d lines): %s",
+		seed, len(found.Body), len(red.Body), len(found.ArrInit), len(red.ArrInit),
+		red.LineCount(), detail)
+}
+
+// TestOracleCounterTamperDetected guards the guard: CheckCounters must flag
+// a tampered accounting state, so a silent pass cannot hide a broken check.
+func TestOracleCounterTamperDetected(t *testing.T) {
+	c := &stats.Counters{}
+	if err := oracle.CheckCounters(c); err != nil {
+		t.Fatalf("zero counters flagged: %v", err)
+	}
+	c.TxBegins = 3
+	c.TxCommits = 2
+	if err := oracle.CheckCounters(c); err == nil {
+		t.Error("transaction leak not detected")
+	}
+	c.TxAborts = 1
+	if err := oracle.CheckCounters(c); err != nil {
+		t.Fatalf("balanced counters flagged: %v", err)
+	}
+	c.Deopts = -1
+	if err := oracle.CheckCounters(c); err == nil {
+		t.Error("negative counter not detected")
+	}
+}

@@ -1,0 +1,105 @@
+package nomap
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestTraceGolden pins the engine's full event stream — every compile,
+// transaction begin/commit, abort, and deopt, in order — for a fixed program
+// under NoMap. The engine is deterministic, so any drift in this trace is a
+// behaviour change: a pass reordering, a tier-up policy change, a transaction
+// boundary moving. Run with -update to accept an intended change, and review
+// the golden diff like code.
+func TestTraceGolden(t *testing.T) {
+	eng := NewEngine(Options{Arch: ArchNoMap})
+	var lines []string
+	eng.SetTracer(func(e TraceEvent) { lines = append(lines, e.String()) })
+
+	src := `
+var a = [];
+for (var i = 0; i < 32; i++) a[i] = i;
+var o = {sum: 0};
+function run(n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    s = (s + a[i]) | 0;
+    o.sum = o.sum + 1;
+  }
+  return s;
+}
+`
+	if _, err := eng.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 520; i++ {
+		if _, err := eng.Call("run", 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One deopt-inducing type change, then a short recovery window: the
+	// trace must show the abort, the re-profile, and the recompilation.
+	if _, err := eng.Run(`a[20] = 0.5;`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		if _, err := eng.Call("run", 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := strings.Join(lines, "\n") + "\n"
+	goldenPath := filepath.Join("testdata", "golden", "trace_nomap.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d events)", goldenPath, len(lines))
+		return
+	}
+	wantBytes, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TraceGolden -update` to create it)", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	t.Errorf("trace drifted from %s (re-run with -update if intended):\n%s",
+		goldenPath, diffLines(want, got))
+}
+
+// diffLines renders a compact first-divergence diff with context.
+func diffLines(want, got string) string {
+	w := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	g := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	i := 0
+	for i < len(w) && i < len(g) && w[i] == g[i] {
+		i++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d golden lines, %d current; first divergence at line %d\n", len(w), len(g), i+1)
+	start := i - 3
+	if start < 0 {
+		start = 0
+	}
+	for k := start; k < i; k++ {
+		fmt.Fprintf(&sb, "  %4d   %s\n", k+1, w[k])
+	}
+	for k := i; k < i+5 && k < len(w); k++ {
+		fmt.Fprintf(&sb, "  %4d - %s\n", k+1, w[k])
+	}
+	for k := i; k < i+5 && k < len(g); k++ {
+		fmt.Fprintf(&sb, "  %4d + %s\n", k+1, g[k])
+	}
+	return sb.String()
+}
