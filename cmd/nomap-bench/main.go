@@ -21,7 +21,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: all|table1|fig1|fig3|deoptfreq|fig8|fig9|fig10|fig11|table4|appendix")
+		"experiment to run: all|table1|fig1|fig3|deoptfreq|fig8|fig9|fig10|fig11|table4|recovery|appendix")
 	warmup := flag.Int("warmup", 60, "warm-up run() calls before measuring")
 	measure := flag.Int("measure", 20, "measured steady-state run() calls")
 	verbose := flag.Bool("v", false, "print per-measurement progress")
@@ -50,6 +50,7 @@ func main() {
 		{"fig10", func(c harness.Config) (*harness.Table, error) { return harness.TimeFigure("SunSpider", c) }},
 		{"fig11", func(c harness.Config) (*harness.Table, error) { return harness.TimeFigure("Kraken", c) }},
 		{"table4", harness.Table4},
+		{"recovery", harness.RecoveryTable},
 		{"appendix", harness.AppendixValidation},
 	}
 

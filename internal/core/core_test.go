@@ -236,6 +236,10 @@ func TestRemoveAllChecks(t *testing.T) {
 	}
 }
 
+// TestTxLevelLadder exhaustively covers Lower over every (level, hadCalls,
+// allowTiling) combination: the §V-C retreat ladder, the straight-to-off
+// rule for call-containing transactions, and the RTM ladder that skips the
+// tiled level.
 func TestTxLevelLadder(t *testing.T) {
 	cases := []struct {
 		from     core.TxLevel
@@ -243,17 +247,100 @@ func TestTxLevelLadder(t *testing.T) {
 		tiling   bool
 		want     core.TxLevel
 	}{
+		// ROT ladder (tiling allowed): loop-nest → innermost → tiled → off.
 		{core.TxLoopNest, false, true, core.TxInnermost},
 		{core.TxInnermost, false, true, core.TxTiled},
 		{core.TxTiled, false, true, core.TxOff},
-		{core.TxLoopNest, true, true, core.TxOff},    // calls: straight off
-		{core.TxInnermost, false, false, core.TxOff}, // RTM: no tiling
+		{core.TxOff, false, true, core.TxOff},
+		// RTM ladder (no tiling): loop-nest → innermost → off.
+		{core.TxLoopNest, false, false, core.TxInnermost},
+		{core.TxInnermost, false, false, core.TxOff},
+		{core.TxTiled, false, false, core.TxOff},
+		{core.TxOff, false, false, core.TxOff},
+		// Calls: §V-C blames the callee, straight to off from every level.
+		{core.TxLoopNest, true, true, core.TxOff},
+		{core.TxInnermost, true, true, core.TxOff},
+		{core.TxTiled, true, true, core.TxOff},
+		{core.TxOff, true, true, core.TxOff},
+		{core.TxLoopNest, true, false, core.TxOff},
+		{core.TxInnermost, true, false, core.TxOff},
+		{core.TxTiled, true, false, core.TxOff},
+		{core.TxOff, true, false, core.TxOff},
 	}
 	for _, c := range cases {
 		if got := c.from.Lower(c.hadCalls, c.tiling); got != c.want {
 			t.Errorf("Lower(%v, calls=%v, tiling=%v) = %v, want %v",
 				c.from, c.hadCalls, c.tiling, got, c.want)
 		}
+	}
+	// Lower is monotone: no input ever raises the level. (Re-promotion is the
+	// governor's job, via its probationary windows — never Lower's.)
+	for _, l := range []core.TxLevel{core.TxLoopNest, core.TxInnermost, core.TxTiled, core.TxOff} {
+		for _, hadCalls := range []bool{false, true} {
+			for _, tiling := range []bool{false, true} {
+				if got := l.Lower(hadCalls, tiling); got < l {
+					t.Errorf("Lower(%v, calls=%v, tiling=%v) = %v raised the level",
+						l, hadCalls, tiling, got)
+				}
+			}
+		}
+	}
+}
+
+// TestFormTransactionsKeeping: a site in the governor keep set must retain
+// its SMP inside the transaction while every other check converts to an
+// abort, so a persistent failure deopts surgically instead of aborting.
+func TestFormTransactionsKeeping(t *testing.T) {
+	// Locate the bounds check the keep set will target.
+	probe := buildIR(t, sumSrc, "sum")
+	var site core.CheckSite
+	found := false
+	for _, b := range probe.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpCheckBounds {
+				site = core.CheckSite{PC: v.BCPos, Class: v.Check}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no bounds check in sum")
+	}
+
+	f := buildIR(t, sumSrc, "sum")
+	if n := core.FormTransactionsKeeping(f, core.TxLoopNest, core.KeepSet{site: true}); n != 1 {
+		t.Fatalf("formed %d transactions, want 1", n)
+	}
+	kept, converted := 0, 0
+	dom := ir.BuildDom(f)
+	for _, l := range ir.FindLoops(f, dom) {
+		for b := range l.Blocks {
+			for _, v := range b.Values {
+				if !v.Op.IsCheck() {
+					continue
+				}
+				if (core.CheckSite{PC: v.BCPos, Class: v.Check}) == site {
+					if v.Deopt == nil {
+						t.Errorf("kept check v%d lost its SMP", v.ID)
+					}
+					kept++
+				} else {
+					if v.Deopt != nil {
+						t.Errorf("non-kept check v%d retained an SMP", v.ID)
+					}
+					converted++
+				}
+			}
+		}
+	}
+	if kept == 0 {
+		t.Error("keep-set site not found inside the transaction")
+	}
+	if converted == 0 {
+		t.Error("no checks converted: keep set must be surgical, not global")
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
 	}
 }
 

@@ -8,7 +8,23 @@ package core
 
 import (
 	"nomap/internal/ir"
+	"nomap/internal/stats"
 )
+
+// CheckSite identifies one check site within a function, stable across
+// recompilations: feedback-refreshed compiles renumber SSA values, but the
+// bytecode position and check class of a site survive.
+type CheckSite struct {
+	PC    int
+	Class stats.CheckClass
+}
+
+// KeepSet selects check sites whose Stack Map Points must be preserved when
+// the site sits inside a transaction — the abort-recovery governor's surgical
+// SMP restoration: a site that aborts persistently deopts through its SMP
+// instead of aborting the whole transaction, while every other check in the
+// transaction keeps its NoMap treatment.
+type KeepSet map[CheckSite]bool
 
 // TxLevel is the transaction placement policy for one function (§V-C): by
 // default transactions wrap top-level loop nests (with tile commits at back
@@ -78,6 +94,14 @@ func (l TxLevel) Lower(hadCalls, allowTiling bool) TxLevel {
 // paper inserts its transformation before LLVM's passes (§IV-B). Returns
 // the number of transactions formed.
 func FormTransactions(f *ir.Func, level TxLevel) int {
+	return FormTransactionsKeeping(f, level, nil)
+}
+
+// FormTransactionsKeeping is FormTransactions with a governor keep set:
+// checks whose (bytecode position, class) is in keep retain their SMPs even
+// inside transactions, so a persistent failure deopts surgically instead of
+// aborting.
+func FormTransactionsKeeping(f *ir.Func, level TxLevel, keep KeepSet) int {
 	if level == TxOff {
 		return 0
 	}
@@ -98,7 +122,7 @@ func FormTransactions(f *ir.Func, level TxLevel) int {
 	}
 	formed := 0
 	for _, l := range selected {
-		if wrapLoop(f, l, level == TxTiled) {
+		if wrapLoop(f, l, level == TxTiled, keep) {
 			formed++
 		}
 	}
@@ -109,7 +133,7 @@ func FormTransactions(f *ir.Func, level TxLevel) int {
 }
 
 // wrapLoop places one transaction around loop l.
-func wrapLoop(f *ir.Func, l *ir.Loop, tiled bool) bool {
+func wrapLoop(f *ir.Func, l *ir.Loop, tiled bool, keep KeepSet) bool {
 	pre := l.Preheader()
 	if pre == nil || pre.Kind != ir.BlockPlain {
 		return false
@@ -157,10 +181,12 @@ func wrapLoop(f *ir.Func, l *ir.Loop, tiled bool) bool {
 	}
 
 	// Convert in-transaction SMPs to aborts: it is safe to remove these
-	// SMPs because they are not entry points (§IV-B).
+	// SMPs because they are not entry points (§IV-B). Sites in the keep set
+	// retain their SMP — the governor has diagnosed them as persistent
+	// aborters and routes their failures through deoptimization instead.
 	for _, b := range l.BlockList() {
 		for _, v := range b.Values {
-			if v.Op.IsCheck() {
+			if v.Op.IsCheck() && !keep[CheckSite{PC: v.BCPos, Class: v.Check}] {
 				v.Deopt = nil
 			}
 		}

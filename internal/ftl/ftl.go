@@ -26,6 +26,13 @@ type Options struct {
 	RemoveOverflow bool
 	// RemoveAll removes every in-transaction check (NoMap_BC).
 	RemoveAll bool
+	// KeepSMP lists check sites whose Stack Map Points survive transaction
+	// formation (the governor's surgical SMP restoration). A non-empty set
+	// disables the deferred-detection optimizations (bounds combining,
+	// remove-all) for this function: a kept-SMP failure commits the
+	// transaction before deopting, which is only sound when every committed
+	// write was validated at the site that produced it.
+	KeepSMP core.KeepSet
 	// PassHook, when non-nil, observes the function after IR construction
 	// and after every pipeline pass (the oracle runs ir.Verify here to
 	// localize which pass broke an invariant).
@@ -51,9 +58,13 @@ func Compile(fn *bytecode.Function, prof *profile.FunctionProfile, opts Options)
 	// ...then NoMap's transformation, before the main optimization passes
 	// (§IV-B)...
 	if opts.Transactions && opts.TxLevel != core.TxOff {
-		core.FormTransactions(f, opts.TxLevel)
+		core.FormTransactionsKeeping(f, opts.TxLevel, opts.KeepSMP)
 		after("form-transactions")
 	}
+	// A restored SMP commits its transaction on failure, so deferred
+	// detection (mid-loop garbage validated only at the loop exit) becomes
+	// observable; those passes are withheld for functions with kept sites.
+	deferred := len(opts.KeepSMP) == 0
 	// ...then the "-O2-grade" pipeline, now free of in-transaction SMPs.
 	opt.GVN(f)
 	after("gvn")
@@ -61,7 +72,7 @@ func Compile(fn *bytecode.Function, prof *profile.FunctionProfile, opts Options)
 	after("licm")
 	opt.PromoteLoopStores(f)
 	after("promote-loop-stores")
-	if opts.CombineBounds {
+	if opts.CombineBounds && deferred {
 		core.CombineBoundsChecks(f)
 		after("combine-bounds-checks")
 	}
@@ -69,7 +80,7 @@ func Compile(fn *bytecode.Function, prof *profile.FunctionProfile, opts Options)
 		core.RemoveOverflowChecks(f)
 		after("remove-overflow-checks")
 	}
-	if opts.RemoveAll {
+	if opts.RemoveAll && deferred {
 		core.RemoveAllChecks(f)
 		after("remove-all-checks")
 	}

@@ -1,0 +1,409 @@
+// Package governor is the deterministic abort-recovery governor: it owns all
+// post-abort policy for the speculative tiers, replacing the ad-hoc recovery
+// logic that used to live in the JIT driver. NoMap's performance hinges on
+// its fallback behaviour — every abort discards transactional work and
+// re-executes in Baseline (paper Figure 11's squashed-work analysis, §V-C's
+// footprint policy) — so the reaction to an abort must be surgical, not
+// global:
+//
+//   - Check-abort storms at one site restore the Stack Map Point for that
+//     check only (a core.KeepSet threaded into recompilation); the rest of
+//     the transaction keeps its NoMap optimizations and the whole-function
+//     deopt budget is not charged.
+//
+//   - Irrevocable aborts (I/O in a hot loop) drop the function to TxOff
+//     immediately but keep the FTL tier: transactions were the problem, not
+//     the speculation.
+//
+//   - Capacity aborts keep the paper's §V-C retreat ladder but gain
+//     probationary re-promotion: after a window of clean commits at the
+//     lower level the governor retries the next-higher level once, with
+//     window-doubling hysteresis so a phase-flapping workload converges to
+//     its stable level instead of oscillating.
+//
+// Every decision is a pure function of the event sequence — commit counts
+// and abort causes, never wall-clock time — so fault-injection sweeps remain
+// reproducible with the governor active.
+package governor
+
+import (
+	"sort"
+
+	"nomap/internal/core"
+	"nomap/internal/htm"
+	"nomap/internal/stats"
+)
+
+// Policy holds the governor's deterministic tuning constants.
+type Policy struct {
+	// CheckAbortBudget is the per-site abort count that triggers surgical
+	// SMP restoration for that site.
+	CheckAbortBudget int64
+	// DecayWindow is the clean-progress count after which every site
+	// ledger halves, so rare benign aborts never accumulate to the budget.
+	DecayWindow int64
+	// RepromoteWindow is the clean-progress count (committed transactions,
+	// or clean FTL calls while transactions are off) required before a
+	// demoted function probes the next-higher transaction level.
+	RepromoteWindow int64
+	// ProbationBackoff multiplies the window after every failed probe
+	// (hysteresis: flip-flopping gets exponentially rarer).
+	ProbationBackoff int64
+	// MaxProbations is the number of failed probes (or post-promotion
+	// regressions) after which the function's level is pinned.
+	MaxProbations int
+	// AllowTiling mirrors the §V-C ladder shape: lightweight ROT retreats
+	// through TxTiled, heavyweight RTM skips it.
+	AllowTiling bool
+	// Legacy reproduces the pre-governor policy for A/B comparison: one-way
+	// §V-C retreat on capacity aborts, every other transfer charged to the
+	// whole-function deopt budget, no SMP restoration, no re-promotion.
+	Legacy bool
+}
+
+// DefaultPolicy returns the tuning used by the runtime.
+func DefaultPolicy(allowTiling bool) Policy {
+	return Policy{
+		CheckAbortBudget: 4,
+		DecayWindow:      256,
+		RepromoteWindow:  24,
+		ProbationBackoff: 2,
+		MaxProbations:    3,
+		AllowTiling:      allowTiling,
+	}
+}
+
+// Transfer describes one control transfer out of FTL code (a transaction
+// abort or a plain OSR exit), as seen by the JIT driver.
+type Transfer struct {
+	// Fn is the function whose frame surfaced the transfer — for aborts,
+	// the owner of the outermost transaction; level policy applies to it.
+	Fn      string
+	Aborted bool
+	Cause   htm.AbortCause
+	Class   stats.CheckClass
+	// SiteFn/SitePC identify the failing site, which may sit in a callee
+	// executing inside Fn's transaction; ledger policy applies to it.
+	SiteFn string
+	SitePC int
+	// HadCalls reports whether the aborted transaction's function contained
+	// calls (§V-C: the callee is blamed for the overflow).
+	HadCalls bool
+}
+
+// Decision is the governor's verdict on one transfer (or clean run).
+type Decision struct {
+	// Recompile requests that the cached code of every function in Drop be
+	// discarded so the next call recompiles under the new policy state.
+	Recompile bool
+	Drop      []string
+	// ChargeDeopt charges the transfer against the function's whole-function
+	// deopt budget (profile.Policy.MaxDeopts).
+	ChargeDeopt bool
+	// RestoredSMP reports that this transfer pushed a site over its abort
+	// budget and its SMP will be kept from the next compile on.
+	RestoredSMP bool
+}
+
+// siteLedger tracks one check site's abort history (decayed) and its
+// post-restoration deopt count (diagnostic).
+type siteLedger struct {
+	aborts int64
+	deopts int64
+}
+
+// funcState is the governor's per-function state machine.
+type funcState struct {
+	level  core.TxLevel // operating transaction level
+	proven core.TxLevel // last level that survived a full window
+	// probing marks a probationary run at a level one step above proven.
+	probing bool
+	// pinned freezes the level: set by irrevocable aborts, call-containing
+	// overflows (§V-C blames the callee; tiling cannot bound callee
+	// footprints), and MaxProbations failed probes.
+	pinned bool
+	// promoted marks that the current level was reached by a confirmed
+	// probe, so a later capacity abort counts as a regression.
+	promoted   bool
+	failed     int   // failed probes / post-promotion regressions
+	window     int64 // current re-promotion window (doubles on failure)
+	progress   int64 // clean progress toward the next probe/confirmation
+	sinceDecay int64
+	keep       map[core.CheckSite]bool
+	sites      map[core.CheckSite]*siteLedger
+}
+
+// Governor owns per-function recovery state. It is deliberately keyed by
+// function name (not bytecode identity): policy decisions must survive
+// recompilation and code-cache invalidation.
+type Governor struct {
+	pol Policy
+	fns map[string]*funcState
+}
+
+// New creates a governor with the given policy.
+func New(pol Policy) *Governor {
+	return &Governor{pol: pol, fns: make(map[string]*funcState)}
+}
+
+// Policy returns the governor's tuning constants.
+func (g *Governor) Policy() Policy { return g.pol }
+
+// Reset discards all ledgers and level state — used between differential
+// runs so injected faults in one run cannot change policy in the next.
+func (g *Governor) Reset() { g.fns = make(map[string]*funcState) }
+
+func (g *Governor) state(fn string) *funcState {
+	st, ok := g.fns[fn]
+	if !ok {
+		st = &funcState{
+			level:  core.TxLoopNest,
+			proven: core.TxLoopNest,
+			window: g.pol.RepromoteWindow,
+			keep:   make(map[core.CheckSite]bool),
+			sites:  make(map[core.CheckSite]*siteLedger),
+		}
+		g.fns[fn] = st
+	}
+	return st
+}
+
+func (st *funcState) ledger(s core.CheckSite) *siteLedger {
+	l, ok := st.sites[s]
+	if !ok {
+		l = &siteLedger{}
+		st.sites[s] = l
+	}
+	return l
+}
+
+// LevelFor returns the transaction placement level fn must compile at.
+func (g *Governor) LevelFor(fn string) core.TxLevel {
+	if st, ok := g.fns[fn]; ok {
+		return st.level
+	}
+	return core.TxLoopNest
+}
+
+// KeepSet returns the restored-SMP sites for fn (nil when empty, so the
+// common case costs nothing at compile time).
+func (g *Governor) KeepSet(fn string) core.KeepSet {
+	st, ok := g.fns[fn]
+	if !ok || len(st.keep) == 0 {
+		return nil
+	}
+	return core.KeepSet(st.keep)
+}
+
+// fail records a failed probe or post-promotion regression with
+// window-doubling hysteresis.
+func (g *Governor) fail(st *funcState) {
+	st.failed++
+	st.window *= g.pol.ProbationBackoff
+	if st.failed >= g.pol.MaxProbations {
+		st.pinned = true
+	}
+}
+
+// raise is the inverse of core.TxLevel.Lower, one rung at a time.
+func raise(l core.TxLevel, allowTiling bool) core.TxLevel {
+	switch l {
+	case core.TxOff:
+		if allowTiling {
+			return core.TxTiled
+		}
+		return core.TxInnermost
+	case core.TxTiled:
+		return core.TxInnermost
+	case core.TxInnermost:
+		return core.TxLoopNest
+	}
+	return l
+}
+
+// OnTransfer reacts to one abort or OSR exit surfacing in fn's frame.
+func (g *Governor) OnTransfer(t Transfer) Decision {
+	if g.pol.Legacy {
+		st := g.state(t.Fn)
+		if t.Aborted && t.Cause == htm.AbortCapacity {
+			st.level = st.level.Lower(t.HadCalls, g.pol.AllowTiling)
+			st.proven = st.level
+			return Decision{Recompile: true, Drop: []string{t.Fn}}
+		}
+		return Decision{Recompile: true, ChargeDeopt: true, Drop: []string{t.Fn}}
+	}
+
+	st := g.state(t.Fn)
+	siteFn := t.SiteFn
+	if siteFn == "" {
+		siteFn = t.Fn
+	}
+	site := core.CheckSite{PC: t.SitePC, Class: t.Class}
+
+	if !t.Aborted {
+		// Plain OSR exit. A restored-SMP site deopting is the governed
+		// steady state: the tail of the call re-runs in Baseline, the
+		// cached code stays, and the budget is untouched. Any other exit
+		// keeps the legacy semantics — charge the budget and recompile
+		// with refreshed feedback, which is how type storms self-heal.
+		ss := g.state(siteFn)
+		if ss.keep[site] {
+			ss.ledger(site).deopts++
+			return Decision{}
+		}
+		return Decision{Recompile: true, ChargeDeopt: true, Drop: []string{t.Fn}}
+	}
+
+	switch t.Cause {
+	case htm.AbortIrrevocable:
+		// Transactions meet I/O: remove them for good, keep the tier, and
+		// do not touch the deopt budget — the speculation was fine.
+		st.level, st.proven = core.TxOff, core.TxOff
+		st.probing, st.pinned = false, true
+		st.progress = 0
+		return Decision{Recompile: true, Drop: []string{t.Fn}}
+
+	case htm.AbortCapacity:
+		if st.probing {
+			// The probe failed: fall back to the proven level and back off.
+			st.probing = false
+			st.level = st.proven
+			g.fail(st)
+		} else {
+			if st.promoted {
+				// A confirmed promotion regressed — hysteresis, so a
+				// phase-flapping workload converges instead of oscillating.
+				g.fail(st)
+			}
+			st.promoted = false
+			st.level = st.level.Lower(t.HadCalls, g.pol.AllowTiling)
+			st.proven = st.level
+			if t.HadCalls {
+				// §V-C blames the callee for the overflow; tiling cannot
+				// bound a callee's footprint, so probing is pointless.
+				st.pinned = true
+			}
+		}
+		st.progress = 0
+		return Decision{Recompile: true, Drop: []string{t.Fn}}
+
+	default: // AbortCheck, AbortSOF
+		ss := g.state(siteFn)
+		l := ss.ledger(site)
+		l.aborts++
+		if !ss.keep[site] && l.aborts >= g.pol.CheckAbortBudget {
+			ss.keep[site] = true
+			drop := []string{t.Fn}
+			if siteFn != t.Fn {
+				drop = append(drop, siteFn)
+			}
+			return Decision{Recompile: true, RestoredSMP: true, Drop: drop}
+		}
+		// Below budget: recompile with refreshed feedback (heals type and
+		// overflow storms) but never charge the whole-function budget for
+		// a transactional abort.
+		return Decision{Recompile: true, Drop: []string{t.Fn}}
+	}
+}
+
+// OnClean reacts to a deopt-free FTL call of fn that committed `commits`
+// outermost transactions. Progress is measured in commits where transactions
+// run, and in clean calls where they are off (a TxOff function commits
+// nothing, yet must still be able to earn a probe).
+func (g *Governor) OnClean(fn string, commits int64) Decision {
+	st := g.state(fn)
+	units := commits
+	if units <= 0 {
+		units = 1
+	}
+
+	// Deterministic ledger decay, counted in clean progress.
+	st.sinceDecay += units
+	if st.sinceDecay >= g.pol.DecayWindow {
+		st.sinceDecay = 0
+		for s, l := range st.sites {
+			l.aborts /= 2
+			if l.aborts == 0 && l.deopts == 0 && !st.keep[s] {
+				delete(st.sites, s)
+			}
+		}
+	}
+
+	if g.pol.Legacy || st.pinned {
+		return Decision{}
+	}
+	if st.probing {
+		st.progress += units
+		if st.progress >= st.window {
+			// Probe survived a full window: the higher level is proven.
+			st.probing = false
+			st.proven = st.level
+			st.promoted = true
+			st.progress = 0
+		}
+		return Decision{}
+	}
+	if st.level == core.TxLoopNest {
+		return Decision{}
+	}
+	st.progress += units
+	if st.progress >= st.window {
+		// Earned a probation: try one level higher on the next compile.
+		st.probing = true
+		st.level = raise(st.level, g.pol.AllowTiling)
+		st.progress = 0
+		return Decision{Recompile: true, Drop: []string{fn}}
+	}
+	return Decision{}
+}
+
+// SiteStat is one check site's ledger in a report.
+type SiteStat struct {
+	Site   core.CheckSite
+	Aborts int64
+	Deopts int64
+	Kept   bool
+}
+
+// FuncReport is one function's governor state, for diagnostics.
+type FuncReport struct {
+	Fn           string
+	Level        core.TxLevel
+	Proven       core.TxLevel
+	Probing      bool
+	Pinned       bool
+	FailedProbes int
+	Window       int64
+	Progress     int64
+	Sites        []SiteStat
+}
+
+// Report renders the full governor state, deterministically ordered.
+func (g *Governor) Report() []FuncReport {
+	names := make([]string, 0, len(g.fns))
+	for n := range g.fns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]FuncReport, 0, len(names))
+	for _, n := range names {
+		st := g.fns[n]
+		r := FuncReport{
+			Fn: n, Level: st.level, Proven: st.proven,
+			Probing: st.probing, Pinned: st.pinned,
+			FailedProbes: st.failed, Window: st.window, Progress: st.progress,
+		}
+		for s, l := range st.sites {
+			r.Sites = append(r.Sites, SiteStat{Site: s, Aborts: l.aborts, Deopts: l.deopts, Kept: st.keep[s]})
+		}
+		sort.Slice(r.Sites, func(i, j int) bool {
+			a, b := r.Sites[i].Site, r.Sites[j].Site
+			if a.PC != b.PC {
+				return a.PC < b.PC
+			}
+			return a.Class < b.Class
+		})
+		out = append(out, r)
+	}
+	return out
+}

@@ -204,6 +204,17 @@ type System struct {
 // New creates an HTM system.
 func New(cfg Config) *System { return &System{cfg: cfg} }
 
+// Reset discards any open transaction and all lifetime statistics, returning
+// the system to its post-New state. The capacity probe is kept, mirroring how
+// the machine keeps its injector: instrumentation is the caller's to manage.
+func (s *System) Reset() {
+	s.txn = nil
+	s.Begins, s.Commits = 0, 0
+	s.Aborts = [4]int64{}
+	s.MaxWrite, s.MaxRead, s.MaxAssoc = 0, 0, 0
+	s.TotalCommittedWriteBytes = 0
+}
+
 // Config returns the configuration.
 func (s *System) Config() Config { return s.cfg }
 

@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"errors"
 	"fmt"
 
 	"nomap/internal/bytecode"
@@ -20,7 +21,7 @@ import (
 // (closure users); the VM keeps those in Baseline.
 func Build(bc *bytecode.Function, prof *profile.FunctionProfile) (*Func, error) {
 	if bc.UsesClosure {
-		return nil, fmt.Errorf("ir: %s uses closures; pinned to Baseline", bc.Name)
+		return nil, &UnsupportedError{Fn: bc.Name, Reason: "uses closures; pinned to Baseline"}
 	}
 	b := &builder{
 		bc:         bc,
@@ -576,10 +577,10 @@ func (b *builder) instr(in bytecode.Instr) error {
 		v.AuxStr = b.bc.Names[in.A]
 
 	case bytecode.OpGetCell, bytecode.OpSetCell, bytecode.OpMakeClosure:
-		return fmt.Errorf("ir: closure op %v in %s", in.Op, b.bc.Name)
+		return &UnsupportedError{Fn: b.bc.Name, Reason: fmt.Sprintf("closure op %v", in.Op)}
 
 	default:
-		return fmt.Errorf("ir: unsupported bytecode op %v", in.Op)
+		return &UnsupportedError{Fn: b.bc.Name, Reason: fmt.Sprintf("unsupported bytecode op %v", in.Op)}
 	}
 	return nil
 }
@@ -837,4 +838,25 @@ func (b *builder) callMethod(in bytecode.Instr) error {
 	nameC := b.constVal(value.Str(name))
 	b.writeVar(b.cur, dst, b.runtimeCall("callmethod", 0, TypeGeneric, append([]*Value{recv, nameC}, args...)...))
 	return nil
+}
+
+// UnsupportedError marks a function the speculative tiers can never compile:
+// closure use or a bytecode op with no IR lowering. It is deterministic —
+// retrying the compile cannot succeed — which is what entitles the JIT driver
+// to pin the function to Baseline permanently. Transient compile errors must
+// NOT use this type: they are retried a bounded number of times instead.
+type UnsupportedError struct {
+	Fn     string
+	Reason string
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("ir: %s: %s", e.Fn, e.Reason)
+}
+
+// IsUnsupported reports whether err is (or wraps) a deterministic
+// unsupported-function compile error.
+func IsUnsupported(err error) bool {
+	var u *UnsupportedError
+	return errors.As(err, &u)
 }

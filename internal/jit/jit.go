@@ -1,10 +1,10 @@
 // Package jit drives the speculative tiers: it compiles hot functions with
 // the DFG or FTL pipeline (under the configured NoMap architecture), runs
-// them on the machine, and implements the two recovery paths — OSR exits
-// into the Baseline tier and transaction-abort recovery with the §V-C
-// footprint policy (retreat from loop-nest transactions to innermost loops,
-// then remove transactions; call-containing overflowing transactions are
-// removed immediately).
+// them on the machine, and routes the two recovery paths — OSR exits into
+// the Baseline tier and transaction-abort recovery — through the
+// abort-recovery governor, which owns all post-abort policy (per-site abort
+// ledgers, surgical SMP restoration, the §V-C footprint retreat with
+// probationary re-promotion, and irrevocable-abort handling).
 package jit
 
 import (
@@ -12,6 +12,7 @@ import (
 	"nomap/internal/core"
 	"nomap/internal/dfg"
 	"nomap/internal/ftl"
+	"nomap/internal/governor"
 	"nomap/internal/htm"
 	"nomap/internal/interp"
 	"nomap/internal/ir"
@@ -25,7 +26,7 @@ import (
 type Backend struct {
 	mach     *machine.Machine
 	code     map[*bytecode.Function]*unit
-	txLevels map[*bytecode.Function]core.TxLevel
+	gov      *governor.Governor
 	arch     vm.Arch
 	passHook func(pass string, f *ir.Func)
 }
@@ -44,10 +45,10 @@ func Attach(v *vm.VM) *Backend {
 		cfg = htm.RTMConfig()
 	}
 	b := &Backend{
-		mach:     machine.New(v, cfg),
-		code:     make(map[*bytecode.Function]*unit),
-		txLevels: make(map[*bytecode.Function]core.TxLevel),
-		arch:     v.Config().Arch,
+		mach: machine.New(v, cfg),
+		code: make(map[*bytecode.Function]*unit),
+		gov:  governor.New(governor.DefaultPolicy(!v.Config().Arch.HeavyweightHTM())),
+		arch: v.Config().Arch,
 	}
 	v.SetJIT(b)
 	return b
@@ -57,13 +58,32 @@ func Attach(v *vm.VM) *Backend {
 // statistics).
 func (b *Backend) Machine() *machine.Machine { return b.mach }
 
+// Governor exposes the abort-recovery governor (for diagnostics and tests).
+func (b *Backend) Governor() *governor.Governor { return b.gov }
+
+// SetGovernorPolicy replaces the governor (and all its ledgers) with a fresh
+// one under the given policy — used by the nomap-governor tool and the
+// harness recovery experiments to A/B the legacy policy.
+func (b *Backend) SetGovernorPolicy(p governor.Policy) {
+	b.gov = governor.New(p)
+	b.code = make(map[*bytecode.Function]*unit)
+}
+
+// Reset discards all cached code, governor state, and simulated hardware
+// state (address map, caches, HTM), returning the backend to its post-Attach
+// condition. Differential and fault-injection runs that reuse a backend call
+// it so an injected fault in one run cannot change policy decisions — or
+// cache warmth — in the next.
+func (b *Backend) Reset() {
+	b.code = make(map[*bytecode.Function]*unit)
+	b.gov.Reset()
+	b.mach.ResetState()
+}
+
 // TxLevelOf reports the current §V-C transaction placement level for a
-// function (TxLoopNest until capacity aborts lower it).
+// function (TxLoopNest until the governor lowers it).
 func (b *Backend) TxLevelOf(fn *bytecode.Function) core.TxLevel {
-	if l, ok := b.txLevels[fn]; ok {
-		return l
-	}
-	return core.TxLoopNest
+	return b.gov.LevelFor(fn.Name)
 }
 
 // CompiledFunctions returns the currently cached speculative-tier code, for
@@ -96,7 +116,17 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 		var err error
 		u, err = b.compile(bcFn, prof, tier)
 		if err != nil {
-			prof.JITUnsupported = true
+			// Deterministic unsupported-function errors pin the function to
+			// Baseline; anything else is treated as transient and only pins
+			// after a bounded number of failures.
+			if ir.IsUnsupported(err) {
+				prof.JITUnsupported = true
+			} else {
+				prof.CompileFailures++
+				if prof.CompileFailures >= profile.MaxTransientCompileFailures {
+					prof.JITUnsupported = true
+				}
+			}
 			return value.Undefined(), false, nil
 		}
 		b.code[bcFn] = u
@@ -104,27 +134,63 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 		b.mach.Emit(machine.Event{Kind: machine.EventCompile, Fn: bcFn.Name, Tier: tier})
 	}
 
+	ctrs := v.Counters()
+	commitsBefore := ctrs.TxCommits
 	res, deopt, err := b.mach.Run(u.f, tier, args)
 	if err != nil {
 		return value.Undefined(), true, err
 	}
 	if deopt == nil {
+		if tier == profile.TierFTL {
+			// Clean-run progress feeds ledger decay and probationary
+			// re-promotion; a started probe drops the cached code so the
+			// next call compiles one level higher.
+			dec := b.gov.OnClean(bcFn.Name, ctrs.TxCommits-commitsBefore)
+			b.apply(dec, nil)
+		}
 		return res, true, nil
 	}
 
-	// Recovery. Aborts apply the footprint policy; all non-capacity
-	// transfers count against the function's deopt budget.
-	if deopt.Aborted && deopt.Cause == htm.AbortCapacity {
-		b.lowerTxLevel(bcFn, deopt.HadCalls)
+	// Recovery. The governor owns all post-transfer policy for FTL code;
+	// DFG deopts keep the legacy semantics (charge the budget, recompile
+	// with refreshed feedback) since no transactions are involved.
+	if tier == profile.TierFTL {
+		dec := b.gov.OnTransfer(governor.Transfer{
+			Fn:       bcFn.Name,
+			Aborted:  deopt.Aborted,
+			Cause:    deopt.Cause,
+			Class:    deopt.CheckClass,
+			SiteFn:   deopt.SiteFn,
+			SitePC:   deopt.SitePC,
+			HadCalls: deopt.HadCalls,
+		})
+		b.apply(dec, prof)
 	} else {
 		prof.Deopts++
+		delete(b.code, bcFn)
 	}
-	delete(b.code, bcFn) // recompile with refreshed feedback next call
 
 	env := value.NewEnvironment(fn.Env, bcFn.NumCells)
 	fr := &interp.Frame{Fn: bcFn, Regs: deopt.Regs, Env: env, PC: deopt.PC}
 	out, err := interp.Exec(v, fr, profile.TierBaseline)
 	return out, true, err
+}
+
+// apply enacts a governor decision: budget charge and code-cache drops.
+func (b *Backend) apply(dec governor.Decision, prof *profile.FunctionProfile) {
+	if dec.ChargeDeopt && prof != nil {
+		prof.Deopts++
+	}
+	if !dec.Recompile {
+		return
+	}
+	for _, name := range dec.Drop {
+		for bcFn := range b.code {
+			if bcFn.Name == name {
+				delete(b.code, bcFn)
+			}
+		}
+	}
 }
 
 func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile, tier profile.Tier) (*unit, error) {
@@ -138,28 +204,15 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 		}
 		return &unit{tier: tier, f: f}, nil
 	}
-	level, ok := b.txLevels[bcFn]
-	if !ok {
-		level = core.TxLoopNest
-	}
+	level := b.gov.LevelFor(bcFn.Name)
 	opts := optionsFor(b.arch, level)
+	opts.KeepSMP = b.gov.KeepSet(bcFn.Name)
 	opts.PassHook = b.passHook
 	f, err := ftl.Compile(bcFn, prof, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &unit{tier: tier, f: f, txLevel: level}, nil
-}
-
-// lowerTxLevel retreats the transaction placement after a capacity abort
-// (paper §V-C): loop-nest -> innermost -> tiled -> off, or straight to off
-// when the overflowing transaction contained a call.
-func (b *Backend) lowerTxLevel(bcFn *bytecode.Function, hadCalls bool) {
-	cur, ok := b.txLevels[bcFn]
-	if !ok {
-		cur = core.TxLoopNest
-	}
-	b.txLevels[bcFn] = cur.Lower(hadCalls, !b.arch.HeavyweightHTM())
 }
 
 func optionsFor(arch vm.Arch, level core.TxLevel) ftl.Options {

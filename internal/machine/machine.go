@@ -63,6 +63,18 @@ func New(host Host, htmCfg htm.Config) *Machine {
 	return m
 }
 
+// ResetState returns the machine's simulated hardware to its initial
+// condition: a fresh address map, cold caches, and cleared HTM state. The
+// jit backend's Reset calls it so differential runs on a reused engine see
+// the same address stream and cache behaviour as a fresh one.
+func (m *Machine) ResetState() {
+	m.Mem = NewMemory()
+	m.Cache = cache.NewHierarchy()
+	m.HTM.Reset()
+	m.pendingCapacity = false
+	m.frameSeq = 0
+}
+
 // InTx reports whether a hardware transaction is open.
 func (m *Machine) InTx() bool { return m.HTM.InTx() }
 
@@ -88,14 +100,26 @@ type Deopt struct {
 	// calls (used by the §V-C policy: call-containing transactions that
 	// overflow are removed rather than tiled).
 	HadCalls bool
+	// SiteFn, SitePC and SiteValueID identify the IR site that triggered the
+	// transfer (the failing check, the overflowing write, or the call whose
+	// callee was irrevocable). The abort-recovery governor keys its per-site
+	// ledgers by (SiteFn, SitePC, CheckClass); SiteValueID is diagnostic
+	// only, as value numbering does not survive recompilation.
+	SiteFn      string
+	SitePC      int
+	SiteValueID int
 }
 
 // txUnwind propagates a transaction abort out of nested frames until it
 // reaches the frame that owns the outermost transaction.
 type txUnwind struct {
-	owner int
-	rec   *RecoverState
-	cause htm.AbortCause
+	owner   int
+	rec     *RecoverState
+	cause   htm.AbortCause
+	class   stats.CheckClass
+	siteFn  string
+	sitePC  int
+	siteVID int
 }
 
 func (e *txUnwind) Error() string {
@@ -166,8 +190,9 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 	}
 
 	// abort rolls back the open transaction nest and routes control to the
-	// owner frame's recovery state.
-	abort := func(cause htm.AbortCause, class stats.CheckClass) (*Deopt, error) {
+	// owner frame's recovery state. The failing site (this frame's IR value)
+	// travels with the transfer so the governor can attribute the abort.
+	abort := func(cause htm.AbortCause, class stats.CheckClass, sitePC, siteVID int) (*Deopt, error) {
 		t := m.HTM.Current()
 		if t == nil {
 			return nil, errf("abort without open transaction")
@@ -188,25 +213,31 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 			ctrs.TxSOFAborts++
 		case htm.AbortCheck:
 			ctrs.TxCheckAborts++
+		case htm.AbortIrrevocable:
+			ctrs.TxIrrevocableAborts++
 		}
+		ctrs.SquashOpenTx(int(cause))
 		if owner == tok {
-			return &Deopt{PC: rec.PC, Regs: rec.Regs, Aborted: true, Cause: cause, CheckClass: class, HadCalls: f.TxAware && funcHasCalls(f)}, nil
+			return &Deopt{PC: rec.PC, Regs: rec.Regs, Aborted: true, Cause: cause, CheckClass: class,
+				HadCalls: f.TxAware && funcHasCalls(f), SiteFn: f.Name, SitePC: sitePC, SiteValueID: siteVID}, nil
 		}
-		return nil, &txUnwind{owner: owner, rec: rec, cause: cause}
+		return nil, &txUnwind{owner: owner, rec: rec, cause: cause, class: class,
+			siteFn: f.Name, sitePC: sitePC, siteVID: siteVID}
 	}
 
 	// handleCallErr routes errors coming back from calls: transaction
 	// unwinds addressed to this frame become Deopts; irrevocable-operation
-	// errors abort the open transaction.
-	handleCallErr := func(err error) (*Deopt, error) {
+	// errors abort the open transaction, attributed to the call site v.
+	handleCallErr := func(v *ir.Value, err error) (*Deopt, error) {
 		if u, ok := err.(*txUnwind); ok {
 			if u.owner == tok {
-				return &Deopt{PC: u.rec.PC, Regs: u.rec.Regs, Aborted: true, Cause: u.cause, HadCalls: funcHasCalls(f)}, nil
+				return &Deopt{PC: u.rec.PC, Regs: u.rec.Regs, Aborted: true, Cause: u.cause, CheckClass: u.class,
+					HadCalls: funcHasCalls(f), SiteFn: u.siteFn, SitePC: u.sitePC, SiteValueID: u.siteVID}, nil
 			}
 			return nil, err
 		}
 		if err == htm.ErrIrrevocable && m.HTM.InTx() {
-			return abort(htm.AbortIrrevocable, stats.CheckOther)
+			return abort(htm.AbortIrrevocable, stats.CheckOther, v.BCPos, v.ID)
 		}
 		return nil, err
 	}
@@ -369,17 +400,36 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 				// Check failed.
 				account(instr, extra)
 				if v.Deopt != nil {
+					// A kept SMP inside this frame's own transaction: the
+					// governor restored this site, so the failure exits
+					// surgically. Every write so far was validated at its
+					// producing check (deferred detection is disabled when a
+					// keep set is present), so the transaction commits before
+					// the deopt instead of squandering its work in an abort.
+					if t := m.HTM.Current(); t != nil && t.Owner == any(tok) {
+						m.noteTxStats(ctrs, t)
+						ctrs.TxWriteBytesTotal += t.WriteBytes()
+						if _, err := m.HTM.Commit(); err != nil {
+							return value.Undefined(), nil, err
+						}
+						m.uninstallHook()
+						ctrs.TxCommits++
+						ctrs.RetireOpenTx()
+						account(0, m.HTM.Config().CommitCycles)
+						m.emit(Event{Kind: EventTxCommit, Fn: f.Name, WriteBytes: t.WriteBytes()})
+					}
 					ctrs.Deopts++
 					ctrs.OSRExits++
 					rec := materialize(v.Deopt)
 					m.emit(Event{Kind: EventDeopt, Fn: f.Name, CheckClass: v.Check, PC: rec.PC})
-					return value.Undefined(), &Deopt{PC: rec.PC, Regs: rec.Regs, CheckClass: v.Check}, nil
+					return value.Undefined(), &Deopt{PC: rec.PC, Regs: rec.Regs, CheckClass: v.Check,
+						SiteFn: f.Name, SitePC: v.BCPos, SiteValueID: v.ID}, nil
 				}
 				cause := htm.AbortCause(htm.AbortCheck)
 				if free && v.Check == stats.CheckOverflow {
 					cause = htm.AbortSOF
 				}
-				d, err := abort(cause, v.Check)
+				d, err := abort(cause, v.Check, v.BCPos, v.ID)
 				return value.Undefined(), d, err
 
 			case ir.OpLoadSlot:
@@ -453,7 +503,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 				account(instr, extra)
 				res, err := m.host.Call(v.Callee, this, callArgs)
 				if err != nil {
-					d, err2 := handleCallErr(err)
+					d, err2 := handleCallErr(v, err)
 					return value.Undefined(), d, err2
 				}
 				vals[v.ID] = res
@@ -463,7 +513,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 				account(instr, extra)
 				res, err := m.runtimeCall(v, vals)
 				if err != nil {
-					d, err2 := handleCallErr(err)
+					d, err2 := handleCallErr(v, err)
 					return value.Undefined(), d, err2
 				}
 				vals[v.ID] = res
@@ -483,7 +533,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 						act := m.inject.At(Site{Kind: SiteTxBegin, Fn: f.Name, ValueID: v.ID, InTx: true})
 						if cause, ok := act.abortCause(); ok {
 							account(instr, extra)
-							d, err := abort(cause, stats.CheckOther)
+							d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID)
 							return value.Undefined(), d, err
 						}
 					}
@@ -498,7 +548,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 					act := m.inject.At(Site{Kind: SiteTxCommit, Fn: f.Name, ValueID: v.ID, InTx: true})
 					if cause, ok := act.abortCause(); ok {
 						account(instr, extra)
-						d, err := abort(cause, stats.CheckOther)
+						d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID)
 						return value.Undefined(), d, err
 					}
 				}
@@ -510,6 +560,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 				if outer {
 					m.uninstallHook()
 					ctrs.TxCommits++
+					ctrs.RetireOpenTx()
 					m.noteTxStats(ctrs, t)
 					ctrs.TxWriteBytesTotal += t.WriteBytes()
 					extra += m.HTM.Config().CommitCycles
@@ -522,7 +573,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 					act := m.inject.At(Site{Kind: SiteTxTile, Fn: f.Name, ValueID: v.ID, InTx: true})
 					if cause, ok := act.abortCause(); ok {
 						account(instr, extra)
-						d, err := abort(cause, stats.CheckOther)
+						d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID)
 						return value.Undefined(), d, err
 					}
 					forceTile = act == ActTileCommit
@@ -535,6 +586,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 						return value.Undefined(), nil, err
 					}
 					ctrs.TxCommits++
+					ctrs.RetireOpenTx()
 					m.emit(Event{Kind: EventTxTileCommit, Fn: f.Name, WriteBytes: t.WriteBytes()})
 					rec := materialize(v.Deopt)
 					m.HTM.Begin(tok, rec)
@@ -553,7 +605,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 			// transactional capacity; the undo log covers it, so abort now.
 			if m.pendingCapacity {
 				m.pendingCapacity = false
-				d, err := abort(htm.AbortCapacity, stats.CheckOther)
+				d, err := abort(htm.AbortCapacity, stats.CheckOther, v.BCPos, v.ID)
 				return value.Undefined(), d, err
 			}
 		}

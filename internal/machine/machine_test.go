@@ -231,7 +231,10 @@ function run() {
 }
 `
 	v := newEngine(vm.ArchNoMap)
-	warm(t, v, src, 90)
+	// Warm past the governor's probationary re-promotion attempts: the
+	// footprint never shrinks, so each probe of the innermost level aborts
+	// once and doubles the retry window until the level pins at tiled.
+	warm(t, v, src, 180)
 	v.ResetCounters()
 	for i := 0; i < 5; i++ {
 		if _, err := v.CallGlobal("run"); err != nil {

@@ -236,6 +236,11 @@ func runInstrumented(p Program, arch vm.Arch, maxTier profile.Tier,
 	inj machine.Injector, probe htm.CapacityProbe, verifyFail func(string)) (*Observation, *stats.Counters) {
 	pv := &passVerifier{}
 	eng := newEngine(arch, maxTier)
+	// Defensive determinism guard: a freshly attached backend starts empty,
+	// but Reset makes the contract explicit — no cached code and no governor
+	// ledger state may leak between differential runs, or an injected fault
+	// in one run would change recovery-policy decisions in the next.
+	eng.backend.Reset()
 	if inj != nil {
 		eng.backend.Machine().SetInjector(inj)
 	}

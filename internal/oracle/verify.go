@@ -30,6 +30,8 @@ func CheckCounters(c *stats.Counters) error {
 		{"TxCapacityAborts", c.TxCapacityAborts},
 		{"TxCheckAborts", c.TxCheckAborts},
 		{"TxSOFAborts", c.TxSOFAborts},
+		{"TxIrrevocableAborts", c.TxIrrevocableAborts},
+		{"CyclesSquashed", c.CyclesSquashed},
 		{"TxWriteBytesMax", c.TxWriteBytesMax},
 		{"TxWriteBytesTotal", c.TxWriteBytesTotal},
 		{"TxMaxAssoc", c.TxMaxAssoc},
@@ -61,8 +63,25 @@ func CheckCounters(c *stats.Counters) error {
 		return fmt.Errorf("transaction leak: %d begins vs %d commits + %d aborts",
 			c.TxBegins, c.TxCommits, c.TxAborts)
 	}
-	if sub := c.TxCapacityAborts + c.TxCheckAborts + c.TxSOFAborts; sub > c.TxAborts {
-		return fmt.Errorf("abort sub-causes (%d) exceed total aborts (%d)", sub, c.TxAborts)
+	// Every abort has exactly one cause; with the irrevocable counter added
+	// the per-cause ledger must partition the total.
+	if sub := c.TxCapacityAborts + c.TxCheckAborts + c.TxSOFAborts + c.TxIrrevocableAborts; sub != c.TxAborts {
+		return fmt.Errorf("abort sub-causes (%d) do not partition total aborts (%d)", sub, c.TxAborts)
+	}
+	// Squashed cycles are a subset of in-transaction cycles, and the
+	// per-cause breakdown must partition the total wasted work.
+	if c.CyclesSquashed > c.CyclesTM {
+		return fmt.Errorf("CyclesSquashed (%d) exceeds CyclesTM (%d)", c.CyclesSquashed, c.CyclesTM)
+	}
+	var squashedBy int64
+	for i, v := range c.CyclesSquashedBy {
+		if v < 0 {
+			return fmt.Errorf("CyclesSquashedBy[%d] is negative: %d", i, v)
+		}
+		squashedBy += v
+	}
+	if squashedBy != c.CyclesSquashed {
+		return fmt.Errorf("per-cause squashed cycles (%d) do not partition CyclesSquashed (%d)", squashedBy, c.CyclesSquashed)
 	}
 	return nil
 }

@@ -196,9 +196,21 @@ type FunctionProfile struct {
 	Deopts int64
 
 	// JITUnsupported marks functions the speculative tiers declined to
-	// compile; they stay in Baseline permanently.
+	// compile; they stay in Baseline permanently. Only deterministic
+	// unsupported-function errors (ir.UnsupportedError) set it directly;
+	// transient compile errors accumulate in CompileFailures first.
 	JITUnsupported bool
+
+	// CompileFailures counts transient (non-deterministic) compile errors.
+	// The function is pinned to Baseline only after
+	// MaxTransientCompileFailures of them, so one bad compile cannot
+	// permanently disable the speculative tiers.
+	CompileFailures int64
 }
+
+// MaxTransientCompileFailures is the number of transient compile errors after
+// which a function is treated as uncompilable.
+const MaxTransientCompileFailures = 8
 
 // New allocates a profile sized for fn.
 func New(fn *bytecode.Function) *FunctionProfile {

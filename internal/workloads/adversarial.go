@@ -1,0 +1,84 @@
+package workloads
+
+// Adversarial recovery workloads: each one is built to defeat a naive
+// post-abort policy and demonstrate one arm of the abort-recovery governor.
+//
+//   - A01 abort-storm: after a warm phase, the hot loop's trip count drops
+//     to zero, forever. The combined bounds check (§IV-C1) then tests
+//     lastUsed = -1 and conservatively aborts on every call — but the
+//     Baseline re-run performs zero accesses, so element feedback never
+//     changes and every recompile reproduces the identical failing check.
+//     A naive policy aborts every call and burns the whole-function deopt
+//     budget; the governor restores that one check's SMP (disabling the
+//     too-strong combining for the site) and the storm goes silent with
+//     the function still transactional at full level.
+//
+//   - A02 capacity thrasher: a contiguous write footprint just above the
+//     L2 write budget. Loop-nest and innermost transactions overflow every
+//     call; tiled transactions commit at back edges and stabilize. The
+//     squashed-cycle ledger shows the cost of every policy step.
+//
+//   - A03 phase change: a few early calls write far past cache capacity
+//     (driving the §V-C retreat), then the footprint shrinks permanently.
+//     A one-way retreat strands the function at a low level forever; the
+//     governor's probationary re-promotion climbs back up.
+//
+//   - A04 I/O in a hot loop: print() inside transactional code aborts
+//     irrevocably. Charging such aborts to the deopt budget eventually
+//     bans the function from the FTL tier although the speculation is
+//     fine; the governor drops to TxOff and keeps the tier.
+var adversarial = []Workload{
+	{ID: "A01", Name: "abort-storm", Suite: "Adversarial", Iterations: 1, Source: `
+var STORM = new Array(64);
+for (var i = 0; i < 64; i++) STORM[i] = i * 2;
+var stormCalls = 0;
+function run() {
+  stormCalls = stormCalls + 1;
+  var lim = 64;
+  if (stormCalls > 40) lim = 0;
+  var s = 0;
+  for (var i = 0; i < lim; i++) s = s + STORM[i];
+  return s;
+}`},
+
+	{ID: "A02", Name: "capacity-thrasher", Suite: "Adversarial", Iterations: 1, Source: `
+var THRASH = new Array(8);
+function run() {
+  var s = 0;
+  for (var i = 0; i < 35200; i++) {
+    THRASH[i] = i & 255;
+    s = s + 1;
+  }
+  return s;
+}`},
+
+	{ID: "A03", Name: "phase-change", Suite: "Adversarial", Iterations: 1, Source: `
+var PHASE = new Array(8);
+var phaseCalls = 0;
+function run() {
+  phaseCalls = phaseCalls + 1;
+  var n = 40;
+  if (phaseCalls < 7) n = 33000;
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    PHASE[i] = i & 127;
+    s = s + 1;
+  }
+  return s;
+}`},
+
+	{ID: "A04", Name: "io-hot-loop", Suite: "Adversarial", Iterations: 1, Source: `
+var IOSUM = 0;
+function run() {
+  var s = 0;
+  for (var i = 0; i < 200; i++) {
+    s = s + i;
+    if (i == 199) print("tick", s);
+  }
+  IOSUM = s;
+  return s;
+}`},
+}
+
+// Adversarial returns the abort-recovery stress workloads (A01..A04).
+func Adversarial() []Workload { return adversarial }

@@ -173,9 +173,29 @@ func TestOracleCounterTamperDetected(t *testing.T) {
 	if err := oracle.CheckCounters(c); err == nil {
 		t.Error("transaction leak not detected")
 	}
+	// An abort with no recorded cause must be flagged: the per-cause ledger
+	// has to partition the total exactly.
 	c.TxAborts = 1
+	if err := oracle.CheckCounters(c); err == nil {
+		t.Error("causeless abort not detected")
+	}
+	c.TxCheckAborts = 1
 	if err := oracle.CheckCounters(c); err != nil {
 		t.Fatalf("balanced counters flagged: %v", err)
+	}
+	// Squashed cycles exceeding in-transaction cycles means wasted work was
+	// invented out of thin air.
+	c.CyclesSquashed = 5
+	if err := oracle.CheckCounters(c); err == nil {
+		t.Error("squashed > TM cycles not detected")
+	}
+	c.CyclesTM = 10
+	if err := oracle.CheckCounters(c); err == nil {
+		t.Error("unattributed squashed cycles not detected")
+	}
+	c.CyclesSquashedBy[0] = 5
+	if err := oracle.CheckCounters(c); err != nil {
+		t.Fatalf("balanced squash ledger flagged: %v", err)
 	}
 	c.Deopts = -1
 	if err := oracle.CheckCounters(c); err == nil {
