@@ -1,0 +1,250 @@
+// nomap-serve replays a mixed, repeat-heavy workload trace through the
+// multi-isolate serving layer and reports throughput, latency percentiles,
+// code-cache effectiveness, and warm-start coverage. It is both the serving
+// layer's demonstration driver and its smoke check: with -verify (default)
+// every pooled response is compared against a dedicated cold isolate, and
+// with -min-hit-rate the process exits nonzero when the shared code cache
+// underperforms — the assertion CI runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"nomap/internal/codecache"
+	"nomap/internal/isolate"
+	"nomap/internal/pool"
+	"nomap/internal/profile"
+	"nomap/internal/value"
+	"nomap/internal/vm"
+	"nomap/internal/workloads"
+)
+
+func main() {
+	var (
+		workers    = flag.Int("workers", 4, "pool worker isolates")
+		queue      = flag.Int("queue", 0, "queue depth (0 = 4x workers)")
+		repeat     = flag.Int("repeat", 6, "times each program is requested")
+		calls      = flag.Int("calls", 12, "run() invocations per request")
+		archName   = flag.String("arch", "NoMap", "architecture configuration")
+		programs   = flag.String("programs", "", "comma-separated workload IDs (default: serving mix)")
+		timeout    = flag.Duration("timeout", 0, "per-request deadline (0 = none)")
+		minHitRate = flag.Float64("min-hit-rate", 0, "exit nonzero if code-cache hit rate falls below this")
+		verify     = flag.Bool("verify", true, "check every response against a dedicated cold isolate")
+		noCache    = flag.Bool("no-cache", false, "disable the shared code cache")
+		noSnap     = flag.Bool("no-snapshots", false, "disable warm-start snapshots")
+	)
+	flag.Parse()
+
+	arch, ok := archByName(*archName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown arch %q\n", *archName)
+		os.Exit(2)
+	}
+	mix := servingMix(*programs)
+	if len(mix) == 0 {
+		fmt.Fprintln(os.Stderr, "no workloads selected")
+		os.Exit(2)
+	}
+
+	cfg := vm.DefaultConfig()
+	cfg.Arch = arch
+	p := pool.New(pool.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		VM:               cfg,
+		DisableCodeCache: *noCache,
+		DisableSnapshots: *noSnap,
+	})
+
+	// Cold references, one dedicated isolate per program: the behaviour the
+	// pool must reproduce byte-for-byte.
+	type refRun struct {
+		results []string
+		output  []string
+	}
+	refs := make(map[string]refRun, len(mix))
+	if *verify {
+		for _, w := range mix {
+			iso := isolate.New(cfg)
+			progs := codecache.NewPrograms()
+			entry, err := progs.Load(w.Source)
+			if err != nil {
+				fatalf("%s: %v", w.ID, err)
+			}
+			if err := iso.Load(entry); err != nil {
+				fatalf("%s: cold load: %v", w.ID, err)
+			}
+			var rr refRun
+			for i := 0; i < *calls; i++ {
+				v, err := iso.VM().CallGlobal("run", value.Int(0))
+				if err != nil {
+					fatalf("%s: cold run: %v", w.ID, err)
+				}
+				rr.results = append(rr.results, v.ToStringValue())
+			}
+			rr.output = append([]string(nil), iso.VM().Output...)
+			refs[w.ID] = rr
+		}
+	}
+
+	// Trace: round-robin over the mix so later waves hit warm state.
+	type tagged struct {
+		id string
+		ch <-chan pool.Response
+	}
+	var (
+		inflight  []tagged
+		latencies []time.Duration
+		mismatch  int
+		failed    int
+	)
+	drainOne := func() {
+		t := inflight[0]
+		inflight = inflight[1:]
+		resp := <-t.ch
+		if resp.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: %v\n", t.id, resp.Err)
+			return
+		}
+		latencies = append(latencies, resp.Latency)
+		if *verify {
+			ref := refs[t.id]
+			if strings.Join(resp.Results, "\n") != strings.Join(ref.results, "\n") ||
+				strings.Join(resp.Output, "\n") != strings.Join(ref.output, "\n") {
+				mismatch++
+				fmt.Fprintf(os.Stderr, "%s: pooled response diverges from cold isolate\n", t.id)
+			}
+		}
+	}
+
+	start := time.Now()
+	total := 0
+	for r := 0; r < *repeat; r++ {
+		for _, w := range mix {
+			req := pool.Request{Source: w.Source, Calls: *calls, Timeout: *timeout}
+			for {
+				ch, err := p.Submit(req)
+				if err == pool.ErrQueueFull {
+					// Backpressure: absorb it by completing the oldest
+					// in-flight request, then retry.
+					if len(inflight) == 0 {
+						fatalf("%s: queue full with nothing in flight", w.ID)
+					}
+					drainOne()
+					continue
+				}
+				if err != nil {
+					fatalf("%s: %v", w.ID, err)
+				}
+				inflight = append(inflight, tagged{id: w.ID, ch: ch})
+				total++
+				break
+			}
+		}
+	}
+	for len(inflight) > 0 {
+		drainOne()
+	}
+	elapsed := time.Since(start)
+	p.Close()
+
+	st := p.Stats()
+	fmt.Printf("nomap-serve: %d requests (%d programs x %d repeats, %d calls each) on %d workers [%s]\n",
+		total, len(mix), *repeat, *calls, *workers, arch)
+	fmt.Printf("  wall time      %v  (%.1f req/s)\n", elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds())
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(q float64) time.Duration {
+			i := int(q * float64(len(latencies)-1))
+			return latencies[i]
+		}
+		fmt.Printf("  latency        p50 %v  p90 %v  p99 %v  max %v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	}
+	fmt.Printf("  completed      %d ok, %d failed, %d rejected\n", st.Completed, st.Failed, st.Rejected)
+	fmt.Printf("  code cache     %d hits, %d misses, %d evictions, %d bind-fails, %d uncacheable (hit rate %.1f%%)\n",
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.BindFails,
+		st.Cache.Uncacheable, 100*st.Cache.HitRate())
+	fmt.Printf("  snapshots      %d restores (%d stored)\n", st.Counters.SnapshotRestores, st.Snapshots.Size)
+	fmt.Printf("  ftl compiles   %s\n", ftlCompileSummary(p))
+
+	if mismatch > 0 {
+		fatalf("%d pooled responses diverged from cold isolates", mismatch)
+	}
+	if failed > 0 {
+		fatalf("%d requests failed", failed)
+	}
+	if *minHitRate > 0 && !*noCache && st.Cache.HitRate() < *minHitRate {
+		fatalf("code-cache hit rate %.3f below required %.3f", st.Cache.HitRate(), *minHitRate)
+	}
+}
+
+// ftlCompileSummary reports the warm-start acceptance metric: FTL fill
+// counts per (function, arch) group, flagging any group compiled more than
+// once.
+func ftlCompileSummary(p *pool.Pool) string {
+	c := p.Cache()
+	if c == nil {
+		return "cache disabled"
+	}
+	fills := c.FillCounts()
+	total, groups, worst := int64(0), 0, int64(0)
+	for g, n := range fills {
+		if g.Tier != profile.TierFTL {
+			continue
+		}
+		groups++
+		total += n
+		if n > worst {
+			worst = n
+		}
+	}
+	return fmt.Sprintf("%d across %d (function, arch) groups (max %d per group)", total, groups, worst)
+}
+
+// servingMix selects the trace's program set: an explicit ID list, or the
+// default mix of AvgS-style loop kernels plus the four adversarial
+// workloads (A01-A04) that stress the abort-recovery governor.
+func servingMix(ids string) []workloads.Workload {
+	if ids != "" {
+		var out []workloads.Workload
+		for _, id := range strings.Split(ids, ",") {
+			w, ok := workloads.ByID(strings.TrimSpace(id))
+			if !ok {
+				fatalf("unknown workload %q", id)
+			}
+			out = append(out, w)
+		}
+		return out
+	}
+	var out []workloads.Workload
+	for _, id := range []string{"S01", "S03", "S05", "S07", "K01", "K02"} {
+		if w, ok := workloads.ByID(id); ok {
+			out = append(out, w)
+		}
+	}
+	out = append(out, workloads.Adversarial()...)
+	return out
+}
+
+func archByName(name string) (vm.Arch, bool) {
+	for _, a := range vm.AllArchs {
+		if a.String() == name {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,379 @@
+// Package codecache is the serving layer's shared compiled-code cache: a
+// concurrency-safe, immutable store of speculative-tier artifacts that lets
+// N isolates executing the same program pay for one FTL compilation instead
+// of N (the system-level analogue of the paper's §V observation that the
+// expensive FTL compile amortizes across many executions).
+//
+// The central difficulty is that compiled IR is not isolate-neutral: check
+// sites embed *value.Shape pointers (hidden-class identity is pointer
+// identity) and direct calls embed *value.Function pointers, both of which
+// belong to one isolate's heap. The cache therefore separates each artifact
+// into an immutable donor IR graph plus a relocation manifest describing
+// every isolate-bound reference portably — shapes as transition paths from
+// the root (replayable against any shape table), callees as either a
+// builtin's creation-order identity or shared program bytecode. Binding an
+// artifact into an isolate clones the graph and rewrites those references;
+// a function whose references cannot be described portably is marked
+// uncacheable and every isolate compiles it locally, degrading exactly to
+// cold-start behaviour.
+//
+// Keys capture every compilation input: the function's shared bytecode
+// identity (which subsumes the program hash — bytecode is interned per
+// program by Programs), the architecture, the tier-up policy, the tier, the
+// governor's transaction level and kept-SMP set, and a fingerprint of the
+// profile feedback the compiler consumed. Two isolates that would compile
+// identical code — and only those — share an entry, so a cache hit is
+// observationally equivalent to a local compile.
+package codecache
+
+import (
+	"container/list"
+	"sync"
+
+	"nomap/internal/bytecode"
+	"nomap/internal/core"
+	"nomap/internal/ir"
+	"nomap/internal/parser"
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+	"nomap/internal/value"
+)
+
+// Realm is the per-isolate naming context the cache relocates references
+// through. *vm.VM implements it; the indirection keeps this package below
+// the vm in the dependency graph.
+type Realm interface {
+	// Shapes is the isolate's hidden-class table.
+	Shapes() *value.ShapeTable
+	// NativeID returns a builtin's deterministic creation-order identity.
+	NativeID(f *value.Function) (int, bool)
+	// NativeByID is the inverse of NativeID in this isolate.
+	NativeByID(id int) *value.Function
+	// FunctionFor returns the isolate's canonical function object for a
+	// shared bytecode function (nil when the program has not run here).
+	FunctionFor(code *bytecode.Function) *value.Function
+}
+
+// Key identifies one compiled artifact. All fields are comparable; equal
+// keys imply the compiler would produce identical code up to isolate-bound
+// pointers.
+type Key struct {
+	// Code is the function's shared bytecode identity (program-interned).
+	Code *bytecode.Function
+	// Tier is the compiling tier (DFG or FTL).
+	Tier profile.Tier
+	// Arch is the architecture configuration (vm.Arch, widened to avoid an
+	// import cycle).
+	Arch uint8
+	// Level is the governor's §V-C transaction placement level.
+	Level core.TxLevel
+	// Policy is the tier-up policy the isolate runs under.
+	Policy profile.Policy
+	// KeepFP fingerprints the governor's kept-SMP set for the function.
+	KeepFP string
+	// ProfFP fingerprints the profile feedback consumed by the compile.
+	ProfFP uint64
+}
+
+// Stats is a point-in-time snapshot of cache activity (process-wide; the
+// per-isolate attribution lives in stats.Counters).
+type Stats struct {
+	Hits        int64 // artifact found and bound
+	Misses      int64 // compiled and inserted (the single flight's winner)
+	Waits       int64 // callers that waited on another isolate's compile
+	Evictions   int64 // LRU evictions
+	Uncacheable int64 // lookups that hit an uncacheable marker
+	BindFails   int64 // hits whose relocation failed (local compile fallback)
+	Compiles    int64 // fill executions (shared and local)
+}
+
+// HitRate returns hits / (hits + misses + uncacheable + bindfails).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Uncacheable + s.BindFails
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// FillGroup aggregates fill counts for reporting: the acceptance metric is
+// at most one FTL compile per distinct (program function, Arch) pair once
+// the cache is warm.
+type FillGroup struct {
+	Fn   string
+	Arch uint8
+	Tier profile.Tier
+}
+
+type entry struct {
+	key         Key
+	art         *Artifact
+	uncacheable bool
+	elem        *list.Element
+}
+
+type flight struct {
+	done chan struct{}
+}
+
+// Cache is the shared compiled-artifact store: bounded LRU over immutable
+// entries, with single-flight compilation so concurrent isolates requesting
+// the same key trigger one fill.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[Key]*entry
+	lru      *list.List // of *entry, most recent at front
+	inflight map[Key]*flight
+	stats    Stats
+	fills    map[FillGroup]int64
+}
+
+// DefaultCapacity bounds the cache when the caller passes 0.
+const DefaultCapacity = 256
+
+// NewCache creates a cache holding at most capacity artifacts.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[Key]*entry),
+		lru:      list.New(),
+		inflight: make(map[Key]*flight),
+		fills:    make(map[FillGroup]int64),
+	}
+}
+
+// Stats returns a snapshot of the process-wide counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// FillCounts returns how many times each (function, arch, tier) group was
+// actually compiled (shared fills and uncacheable local compiles alike).
+func (c *Cache) FillCounts() map[FillGroup]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[FillGroup]int64, len(c.fills))
+	for g, n := range c.fills {
+		out[g] = n
+	}
+	return out
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func (c *Cache) noteFill(key Key) {
+	c.stats.Compiles++
+	c.fills[FillGroup{Fn: key.Code.Name, Arch: key.Arch, Tier: key.Tier}]++
+}
+
+// Compile returns code for key bound to realm, compiling via fill at most
+// once per key across all isolates (uncacheable functions excepted). The
+// returned bool reports whether this caller executed fill — the signal the
+// JIT uses to charge a compilation to its isolate. ctrs, when non-nil,
+// receives the per-isolate hit/miss attribution.
+func (c *Cache) Compile(key Key, realm Realm, ctrs *stats.Counters, fill func() (*ir.Func, error)) (*ir.Func, bool, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			if e.uncacheable {
+				c.stats.Uncacheable++
+				c.noteFill(key)
+				c.mu.Unlock()
+				if ctrs != nil {
+					ctrs.CodeCacheMisses++
+				}
+				f, err := fill()
+				return f, err == nil, err
+			}
+			c.lru.MoveToFront(e.elem)
+			art := e.art
+			c.mu.Unlock()
+			if bound, ok := art.Bind(realm); ok {
+				c.mu.Lock()
+				c.stats.Hits++
+				c.mu.Unlock()
+				if ctrs != nil {
+					ctrs.CodeCacheHits++
+				}
+				return bound, false, nil
+			}
+			// The isolate cannot resolve the manifest (its program state
+			// lacks the referenced functions); compile locally.
+			c.mu.Lock()
+			c.stats.BindFails++
+			c.noteFill(key)
+			c.mu.Unlock()
+			if ctrs != nil {
+				ctrs.CodeCacheMisses++
+			}
+			f, err := fill()
+			return f, err == nil, err
+		}
+		if fl, ok := c.inflight[key]; ok {
+			c.stats.Waits++
+			c.mu.Unlock()
+			<-fl.done
+			continue // the winner stored an entry (or failed; retry fills)
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.mu.Unlock()
+
+		f, err := fill()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err != nil {
+			c.mu.Unlock()
+			close(fl.done)
+			return nil, true, err
+		}
+		e := &entry{key: key}
+		if man, ok := Extract(f, realm); ok {
+			e.art = &Artifact{donor: f, man: man}
+		} else {
+			e.uncacheable = true
+		}
+		e.elem = c.lru.PushFront(e)
+		c.entries[key] = e
+		c.stats.Misses++
+		c.noteFill(key)
+		evicted := int64(0)
+		for c.lru.Len() > c.capacity {
+			back := c.lru.Back()
+			old := back.Value.(*entry)
+			c.lru.Remove(back)
+			delete(c.entries, old.key)
+			c.stats.Evictions++
+			evicted++
+		}
+		c.mu.Unlock()
+		close(fl.done)
+		if ctrs != nil {
+			ctrs.CodeCacheMisses++
+			ctrs.CodeCacheEvictions += evicted
+		}
+		return f, true, nil
+	}
+}
+
+// ProgramEntry is one interned program: source, its hash, and the compiled
+// top-level bytecode. The bytecode (and everything it references) is
+// immutable after compilation, so every isolate of the program shares the
+// same *bytecode.Function pointers — the identity the code cache and the
+// snapshot facility key on.
+type ProgramEntry struct {
+	Source string
+	Hash   uint64
+	Main   *bytecode.Function
+}
+
+// Programs interns compiled programs by source text.
+type Programs struct {
+	mu sync.Mutex
+	m  map[string]*ProgramEntry
+}
+
+// NewPrograms creates an empty program registry.
+func NewPrograms() *Programs {
+	return &Programs{m: make(map[string]*ProgramEntry)}
+}
+
+// Load returns the interned entry for src, parsing and compiling it on
+// first use.
+func (p *Programs) Load(src string) (*ProgramEntry, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.m[src]; ok {
+		return e, nil
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	main, err := bytecode.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	e := &ProgramEntry{Source: src, Hash: fnv64(src), Main: main}
+	p.m[src] = e
+	return e, nil
+}
+
+// Len returns the number of interned programs.
+func (p *Programs) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.m)
+}
+
+// fnv64 is FNV-1a over s.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// KeepFingerprint renders a kept-SMP set canonically for use in a Key.
+func KeepFingerprint(keep core.KeepSet) string {
+	if len(keep) == 0 {
+		return ""
+	}
+	sites := make([]core.CheckSite, 0, len(keep))
+	for s := range keep {
+		sites = append(sites, s)
+	}
+	// Insertion sort: keep sets are tiny.
+	for i := 1; i < len(sites); i++ {
+		for j := i; j > 0 && siteLess(sites[j], sites[j-1]); j-- {
+			sites[j], sites[j-1] = sites[j-1], sites[j]
+		}
+	}
+	buf := make([]byte, 0, len(sites)*8)
+	for _, s := range sites {
+		buf = appendInt(buf, int64(s.PC))
+		buf = append(buf, ':')
+		buf = appendInt(buf, int64(s.Class))
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
+
+func siteLess(a, b core.CheckSite) bool {
+	if a.PC != b.PC {
+		return a.PC < b.PC
+	}
+	return a.Class < b.Class
+}
+
+func appendInt(b []byte, n int64) []byte {
+	if n < 0 {
+		b = append(b, '-')
+		n = -n
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}

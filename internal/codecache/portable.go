@@ -1,0 +1,201 @@
+package codecache
+
+import (
+	"nomap/internal/bytecode"
+	"nomap/internal/ir"
+	"nomap/internal/value"
+)
+
+// CalleeKind discriminates the portable identities a compiled direct-call
+// target can have.
+type CalleeKind uint8
+
+const (
+	// CalleeNone marks an absent or unrepresentable reference.
+	CalleeNone CalleeKind = iota
+	// CalleeNative identifies a builtin by creation order.
+	CalleeNative
+	// CalleeCode identifies a user function by its shared bytecode: the
+	// target isolate's canonical closure over the same *bytecode.Function.
+	CalleeCode
+)
+
+// CalleeRef names a function portably across isolates of one program.
+type CalleeRef struct {
+	Kind   CalleeKind
+	Native int                // creation-order id when Kind == CalleeNative
+	Code   *bytecode.Function // shared bytecode when Kind == CalleeCode
+}
+
+// Manifest records, by value ID, every isolate-bound pointer embedded in a
+// donor IR graph, in a form replayable against any isolate of the program.
+type Manifest struct {
+	// Shapes maps value ID → hidden-class transition path from the root.
+	Shapes map[int][]string
+	// Callees maps value ID → portable callee identity.
+	Callees map[int]CalleeRef
+}
+
+// Artifact is one cached compilation: the immutable donor graph plus its
+// relocation manifest. Neither is ever mutated after construction; binding
+// always clones.
+type Artifact struct {
+	donor *ir.Func
+	man   *Manifest
+}
+
+// calleeRef names fn portably in realm, or reports that it cannot.
+func calleeRef(fn *value.Function, realm Realm) (CalleeRef, bool) {
+	if fn == nil {
+		return CalleeRef{}, false
+	}
+	if id, ok := realm.NativeID(fn); ok {
+		return CalleeRef{Kind: CalleeNative, Native: id}, true
+	}
+	code, ok := fn.Code.(*bytecode.Function)
+	if !ok {
+		return CalleeRef{}, false
+	}
+	// Only the canonical (first-created) closure is portable: a later
+	// closure over the same code may capture a different environment, and
+	// the manifest cannot name environments.
+	if realm.FunctionFor(code) != fn {
+		return CalleeRef{}, false
+	}
+	return CalleeRef{Kind: CalleeCode, Code: code}, true
+}
+
+// resolveCallee is the inverse of calleeRef in the target isolate.
+func resolveCallee(ref CalleeRef, realm Realm) *value.Function {
+	switch ref.Kind {
+	case CalleeNative:
+		return realm.NativeByID(ref.Native)
+	case CalleeCode:
+		return realm.FunctionFor(ref.Code)
+	}
+	return nil
+}
+
+// shapePath returns s's transition path and verifies it is faithful in the
+// donor realm (Replay must reproduce the exact pointer; a shape outside the
+// transition tree — there are none today — would fail this and render the
+// artifact uncacheable rather than silently wrong).
+func shapePath(s *value.Shape, realm Realm) ([]string, bool) {
+	path := s.Path()
+	if realm.Shapes().Replay(path) != s {
+		return nil, false
+	}
+	return path, true
+}
+
+// Extract builds the relocation manifest for a freshly compiled donor graph,
+// or reports that the function is uncacheable (some embedded reference has
+// no portable name). It visits the same closure Clone copies — block values
+// plus everything reachable through args, controls, and stack maps (orphans
+// included) — so Bind never meets a reference the manifest is silent about.
+// A false return is always safe: the caller simply keeps per-isolate
+// compilation for that key.
+func Extract(f *ir.Func, realm Realm) (*Manifest, bool) {
+	man := &Manifest{
+		Shapes:  make(map[int][]string),
+		Callees: make(map[int]CalleeRef),
+	}
+	seen := make(map[*ir.Value]bool)
+	ok := true
+	var visit func(v *ir.Value)
+	visit = func(v *ir.Value) {
+		if v == nil || seen[v] || !ok {
+			return
+		}
+		seen[v] = true
+		if v.Shape != nil {
+			path, pok := shapePath(v.Shape, realm)
+			if !pok {
+				ok = false
+				return
+			}
+			man.Shapes[v.ID] = path
+		}
+		if v.Callee != nil {
+			ref, cok := calleeRef(v.Callee, realm)
+			if !cok {
+				ok = false
+				return
+			}
+			man.Callees[v.ID] = ref
+		}
+		// A constant holding a heap reference (object/function) would
+		// smuggle donor heap into another isolate; no pass materialises
+		// such constants today, but refuse defensively.
+		if v.Op == ir.OpConst && v.AuxVal.IsObject() {
+			ok = false
+			return
+		}
+		for _, a := range v.Args {
+			visit(a)
+		}
+		if v.Deopt != nil {
+			for _, e := range v.Deopt.Entries {
+				visit(e.Val)
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			visit(v)
+		}
+		visit(b.Control)
+		if b.EntryState != nil {
+			for _, e := range b.EntryState.Entries {
+				visit(e.Val)
+			}
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+	return man, true
+}
+
+// Bind clones the artifact into realm, rewriting every manifest reference to
+// the analogous object there. It fails (false) only when the target isolate
+// lacks a referenced function — e.g. the program's setup has not run — in
+// which case the caller compiles locally. Shapes always resolve: Replay
+// creates missing transition-tree nodes, and a shape that the isolate's
+// objects never reach simply means the guard deopts, which is the same
+// outcome a locally compiled stale guard would have.
+func (a *Artifact) Bind(realm Realm) (*ir.Func, bool) {
+	callees := make(map[int]*value.Function, len(a.man.Callees))
+	for id, ref := range a.man.Callees {
+		fn := resolveCallee(ref, realm)
+		if fn == nil {
+			return nil, false
+		}
+		callees[id] = fn
+	}
+	shapes := make(map[int]*value.Shape, len(a.man.Shapes))
+	for id, path := range a.man.Shapes {
+		shapes[id] = realm.Shapes().Replay(path)
+	}
+	nf, vmap := a.donor.Clone()
+	for _, nv := range vmap {
+		if nv.Shape != nil {
+			s, ok := shapes[nv.ID]
+			if !ok {
+				// Extract visits the same closure Clone copies, so every
+				// shape-bearing value is in the manifest; a miss means the
+				// artifact predates a traversal change — refuse to bind.
+				return nil, false
+			}
+			nv.Shape = s
+		}
+		if nv.Callee != nil {
+			fn, ok := callees[nv.ID]
+			if !ok {
+				return nil, false
+			}
+			nv.Callee = fn
+		}
+	}
+	return nf, true
+}

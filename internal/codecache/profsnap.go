@@ -1,0 +1,237 @@
+package codecache
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"nomap/internal/bytecode"
+	"nomap/internal/profile"
+	"nomap/internal/value"
+)
+
+// ShapeRef names a hidden class portably: its transition path from the
+// root. Absent (unrepresentable) shapes degrade the site to its generic
+// path, never to wrong code — a missing IC shape just means a miss.
+type ShapeRef struct {
+	Present bool
+	Path    []string
+}
+
+func snapShape(s *value.Shape, realm Realm) ShapeRef {
+	if s == nil {
+		return ShapeRef{}
+	}
+	path, ok := shapePath(s, realm)
+	if !ok {
+		return ShapeRef{}
+	}
+	return ShapeRef{Present: true, Path: path}
+}
+
+func (r ShapeRef) materialize(realm Realm) *value.Shape {
+	if !r.Present {
+		return nil
+	}
+	return realm.Shapes().Replay(r.Path)
+}
+
+// CallSnap is the portable form of profile.CallFeedback.
+type CallSnap struct {
+	Target CalleeRef
+	Recv   ShapeRef
+	Poly   bool
+	Count  int64
+}
+
+// ICSnap is the portable form of profile.PropIC.
+type ICSnap struct {
+	Shape          ShapeRef
+	Offset         int
+	NewShape       ShapeRef
+	Hits           int64
+	Misses         int64
+	Poly           bool
+	SawNonObject   bool
+	SawArrayLength bool
+}
+
+// ProfileSnap is a FunctionProfile with every isolate-bound pointer replaced
+// by its portable name. It is immutable once built and safe to share across
+// isolates: Materialize always allocates fresh per-isolate feedback.
+type ProfileSnap struct {
+	Invocations     int64
+	BackEdges       int64
+	Deopts          int64
+	CompileFailures int64
+	JITUnsupported  bool
+	Arith           []profile.ArithFeedback
+	Elem            []profile.ElemFeedback
+	Calls           []CallSnap
+	ICs             []ICSnap
+}
+
+// SnapProfile encodes p portably relative to its owning isolate. Feedback
+// that cannot be named portably (a non-canonical closure target, say) is
+// dropped to the site's generic state — strictly conservative: the warm
+// isolate then profiles that site from scratch.
+func SnapProfile(p *profile.FunctionProfile, realm Realm) *ProfileSnap {
+	s := &ProfileSnap{
+		Invocations:     p.InvocationCount,
+		BackEdges:       p.BackEdgeCount,
+		Deopts:          p.Deopts,
+		CompileFailures: p.CompileFailures,
+		JITUnsupported:  p.JITUnsupported,
+		Arith:           append([]profile.ArithFeedback(nil), p.Arith...),
+		Elem:            append([]profile.ElemFeedback(nil), p.Elem...),
+		Calls:           make([]CallSnap, len(p.Calls)),
+		ICs:             make([]ICSnap, len(p.ICs)),
+	}
+	for i := range p.Calls {
+		cf := &p.Calls[i]
+		cs := CallSnap{Poly: cf.Poly, Count: cf.Count, Recv: snapShape(cf.RecvShape, realm)}
+		if cf.Target != nil {
+			if ref, ok := calleeRef(cf.Target, realm); ok {
+				cs.Target = ref
+			} else {
+				// Unportable target: forget it. Monomorphic() then reports
+				// false and the compiler emits a generic call.
+				cs.Count = 0
+			}
+		}
+		s.Calls[i] = cs
+	}
+	for i := range p.ICs {
+		ic := &p.ICs[i]
+		s.ICs[i] = ICSnap{
+			Shape:          snapShape(ic.Shape, realm),
+			Offset:         ic.Offset,
+			NewShape:       snapShape(ic.NewShape, realm),
+			Hits:           ic.Hits,
+			Misses:         ic.Misses,
+			Poly:           ic.Poly,
+			SawNonObject:   ic.SawNonObject,
+			SawArrayLength: ic.SawArrayLength,
+		}
+	}
+	return s
+}
+
+// Materialize rebuilds a FunctionProfile for fn inside realm. The result is
+// freshly allocated — no state is shared with the snapshot or any other
+// isolate.
+func (s *ProfileSnap) Materialize(fn *bytecode.Function, realm Realm) *profile.FunctionProfile {
+	p := profile.New(fn)
+	p.InvocationCount = s.Invocations
+	p.BackEdgeCount = s.BackEdges
+	p.Deopts = s.Deopts
+	p.CompileFailures = s.CompileFailures
+	p.JITUnsupported = s.JITUnsupported
+	copy(p.Arith, s.Arith)
+	copy(p.Elem, s.Elem)
+	for i := range s.Calls {
+		cs := &s.Calls[i]
+		p.Calls[i] = profile.CallFeedback{
+			Target:    resolveCallee(cs.Target, realm),
+			RecvShape: cs.Recv.materialize(realm),
+			Poly:      cs.Poly,
+			Count:     cs.Count,
+		}
+	}
+	for i := range s.ICs {
+		ic := &s.ICs[i]
+		p.ICs[i] = profile.PropIC{
+			Shape:          ic.Shape.materialize(realm),
+			Offset:         ic.Offset,
+			NewShape:       ic.NewShape.materialize(realm),
+			Hits:           ic.Hits,
+			Misses:         ic.Misses,
+			Poly:           ic.Poly,
+			SawNonObject:   ic.SawNonObject,
+			SawArrayLength: ic.SawArrayLength,
+		}
+	}
+	return p
+}
+
+// Fingerprint hashes the feedback lattice the compilers actually consume —
+// saturating type flags, monomorphic targets and shapes, and Count only as
+// the predicate Count > 0 — and deliberately excludes raw counts
+// (invocations, back edges, per-site counts, IC hit/miss tallies): those
+// advance on every execution without changing a single codegen decision,
+// and hashing them would make every compile point a distinct cache key.
+// Because the encoding is portable, a donor isolate and a
+// snapshot-restored isolate whose profiles carry the same consumed
+// feedback produce the same fingerprint — which is what lets them share
+// code-cache entries.
+func (s *ProfileSnap) Fingerprint() uint64 {
+	h := fnv.New64a()
+	b := make([]byte, 0, 64)
+	flag := func(bs ...bool) {
+		var x byte
+		for i, v := range bs {
+			if v {
+				x |= 1 << i
+			}
+		}
+		b = append(b, x)
+	}
+	str := func(v string) {
+		b = appendInt(b, int64(len(v)))
+		b = append(b, v...)
+	}
+	shape := func(r ShapeRef) {
+		flag(r.Present)
+		if r.Present {
+			b = appendInt(b, int64(len(r.Path)))
+			for _, k := range r.Path {
+				str(k)
+			}
+		}
+	}
+	callee := func(r CalleeRef) {
+		b = append(b, byte(r.Kind))
+		switch r.Kind {
+		case CalleeNative:
+			b = appendInt(b, int64(r.Native))
+		case CalleeCode:
+			fmt.Fprintf(h, "%p", r.Code) // in-process-stable shared pointer
+		}
+	}
+	flush := func() {
+		h.Write(b)
+		b = b[:0]
+	}
+	flag(s.JITUnsupported)
+	for i := range s.Arith {
+		f := &s.Arith[i]
+		flag(f.SawInt32, f.SawDouble, f.SawString, f.SawOther, f.SawOverflow, f.Count > 0)
+	}
+	for i := range s.Elem {
+		f := &s.Elem[i]
+		flag(f.SawArray, f.SawNonArray, f.SawOOB, f.SawHole, f.SawNonInt, f.Count > 0)
+	}
+	flush()
+	for i := range s.Calls {
+		c := &s.Calls[i]
+		flag(c.Poly, c.Count > 0)
+		flush()
+		callee(c.Target)
+		shape(c.Recv)
+		flush()
+	}
+	for i := range s.ICs {
+		ic := &s.ICs[i]
+		flag(ic.Poly, ic.SawNonObject, ic.SawArrayLength)
+		b = appendInt(b, int64(ic.Offset))
+		shape(ic.Shape)
+		shape(ic.NewShape)
+		flush()
+	}
+	return h.Sum64()
+}
+
+// FingerprintProfile is SnapProfile + Fingerprint: the code-cache key
+// component for the profile feedback a compile consumes.
+func FingerprintProfile(p *profile.FunctionProfile, realm Realm) uint64 {
+	return SnapProfile(p, realm).Fingerprint()
+}

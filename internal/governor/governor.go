@@ -357,6 +357,102 @@ func (g *Governor) OnClean(fn string, commits int64) Decision {
 	return Decision{}
 }
 
+// SiteSnap is one check site's ledger in a snapshot.
+type SiteSnap struct {
+	Site   core.CheckSite
+	Aborts int64
+	Deopts int64
+}
+
+// FuncSnap is one function's complete governor state in portable form: plain
+// data keyed by function name and bytecode check site, valid across isolates
+// of the same program.
+type FuncSnap struct {
+	Fn         string
+	Level      core.TxLevel
+	Proven     core.TxLevel
+	Probing    bool
+	Pinned     bool
+	Promoted   bool
+	Failed     int
+	Window     int64
+	Progress   int64
+	SinceDecay int64
+	Keep       []core.CheckSite
+	Sites      []SiteSnap
+}
+
+// Snapshot is the governor's exported ledger state, deterministically
+// ordered. The warm-start facility captures it after a donor isolate's
+// warmup and restores it into fresh isolates, so a repeat program starts at
+// its converged transaction levels and kept-SMP sets instead of re-learning
+// them through aborts.
+type Snapshot []FuncSnap
+
+// Export captures the full per-function state under the current policy.
+func (g *Governor) Export() Snapshot {
+	names := make([]string, 0, len(g.fns))
+	for n := range g.fns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	snap := make(Snapshot, 0, len(names))
+	for _, n := range names {
+		st := g.fns[n]
+		fs := FuncSnap{
+			Fn: n, Level: st.level, Proven: st.proven,
+			Probing: st.probing, Pinned: st.pinned, Promoted: st.promoted,
+			Failed: st.failed, Window: st.window, Progress: st.progress,
+			SinceDecay: st.sinceDecay,
+		}
+		for s := range st.keep {
+			fs.Keep = append(fs.Keep, s)
+		}
+		sortSites(fs.Keep)
+		for s, l := range st.sites {
+			fs.Sites = append(fs.Sites, SiteSnap{Site: s, Aborts: l.aborts, Deopts: l.deopts})
+		}
+		sort.Slice(fs.Sites, func(i, j int) bool { return siteLess(fs.Sites[i].Site, fs.Sites[j].Site) })
+		snap = append(snap, fs)
+	}
+	return snap
+}
+
+// Restore replaces the governor's per-function state with the snapshot's,
+// keeping the current policy. Restoring Export()'s output into a fresh
+// governor reproduces the donor's decision state exactly.
+func (g *Governor) Restore(snap Snapshot) {
+	g.fns = make(map[string]*funcState, len(snap))
+	for _, fs := range snap {
+		st := &funcState{
+			level: fs.Level, proven: fs.Proven,
+			probing: fs.Probing, pinned: fs.Pinned, promoted: fs.Promoted,
+			failed: fs.Failed, window: fs.Window, progress: fs.Progress,
+			sinceDecay: fs.SinceDecay,
+			keep:       make(map[core.CheckSite]bool, len(fs.Keep)),
+			sites:      make(map[core.CheckSite]*siteLedger, len(fs.Sites)),
+		}
+		for _, s := range fs.Keep {
+			st.keep[s] = true
+		}
+		for _, ss := range fs.Sites {
+			st.sites[ss.Site] = &siteLedger{aborts: ss.Aborts, deopts: ss.Deopts}
+		}
+		g.fns[fs.Fn] = st
+	}
+}
+
+func siteLess(a, b core.CheckSite) bool {
+	if a.PC != b.PC {
+		return a.PC < b.PC
+	}
+	return a.Class < b.Class
+}
+
+func sortSites(sites []core.CheckSite) {
+	sort.Slice(sites, func(i, j int) bool { return siteLess(sites[i], sites[j]) })
+}
+
 // SiteStat is one check site's ledger in a report.
 type SiteStat struct {
 	Site   core.CheckSite

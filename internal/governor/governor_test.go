@@ -428,3 +428,79 @@ func TestReportDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestExportRestoreRoundTrip: Export into a fresh governor must reproduce
+// the donor's decision state exactly — levels, keep sets, ledgers, probe
+// state — which is what the serving layer's warm-start snapshots rely on.
+func TestExportRestoreRoundTrip(t *testing.T) {
+	g := New(DefaultPolicy(true))
+	// Drive varied state: a restored SMP on f, a capacity retreat on h, and
+	// some clean-run progress.
+	for i := int64(0); i < g.Policy().CheckAbortBudget; i++ {
+		g.OnTransfer(checkAbort("f", 7))
+	}
+	g.OnTransfer(capacityAbort("h", false))
+	g.OnTransfer(checkAbort("h", 3))
+	g.OnClean("f", 5)
+
+	snap := g.Export()
+	if len(snap) == 0 {
+		t.Fatal("export produced no state")
+	}
+
+	fresh := New(DefaultPolicy(true))
+	fresh.Restore(snap)
+
+	for _, fn := range []string{"f", "h"} {
+		if got, want := fresh.LevelFor(fn), g.LevelFor(fn); got != want {
+			t.Errorf("%s: restored level %v, want %v", fn, got, want)
+		}
+		gk, fk := g.KeepSet(fn), fresh.KeepSet(fn)
+		if len(gk) != len(fk) {
+			t.Fatalf("%s: keep sets differ: %v vs %v", fn, gk, fk)
+		}
+		for s := range gk {
+			if !fk[s] {
+				t.Errorf("%s: restored keep set missing %v", fn, s)
+			}
+		}
+	}
+
+	// Re-exporting the restored governor must be byte-identical, and the
+	// restored governor must make the same next decision as the donor.
+	snap2 := fresh.Export()
+	if len(snap2) != len(snap) {
+		t.Fatalf("re-export length %d, want %d", len(snap2), len(snap))
+	}
+	for i := range snap {
+		a, b := snap[i], snap2[i]
+		if a.Fn != b.Fn || a.Level != b.Level || a.Proven != b.Proven ||
+			a.Probing != b.Probing || a.Pinned != b.Pinned || a.Promoted != b.Promoted ||
+			a.Failed != b.Failed || a.Window != b.Window || a.Progress != b.Progress ||
+			a.SinceDecay != b.SinceDecay || len(a.Keep) != len(b.Keep) || len(a.Sites) != len(b.Sites) {
+			t.Fatalf("re-export differs at %s:\n%+v\nvs\n%+v", a.Fn, a, b)
+		}
+		for j := range a.Sites {
+			if a.Sites[j] != b.Sites[j] {
+				t.Fatalf("%s site %d differs: %+v vs %+v", a.Fn, j, a.Sites[j], b.Sites[j])
+			}
+		}
+		for j := range a.Keep {
+			if a.Keep[j] != b.Keep[j] {
+				t.Fatalf("%s keep %d differs", a.Fn, j)
+			}
+		}
+	}
+	d1 := g.OnTransfer(checkAbort("h", 3))
+	d2 := fresh.OnTransfer(checkAbort("h", 3))
+	if d1.Recompile != d2.Recompile || d1.ChargeDeopt != d2.ChargeDeopt ||
+		d1.RestoredSMP != d2.RestoredSMP || len(d1.Drop) != len(d2.Drop) {
+		t.Errorf("post-restore decisions diverge: %+v vs %+v", d1, d2)
+	}
+
+	// A snapshot must be inert state: restoring must not alias the donor.
+	fresh.OnTransfer(capacityAbort("f", true))
+	if g.LevelFor("f") != core.TxLoopNest {
+		t.Error("mutating the restored governor reached back into the donor")
+	}
+}

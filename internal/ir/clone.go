@@ -1,0 +1,85 @@
+package ir
+
+// Clone returns a deep copy of f that shares no mutable IR state with the
+// original, plus the original→copy value mapping. Per-isolate immutable
+// references carried on values — Shape, Callee, AuxVal — are copied verbatim;
+// the caller (the compiled-code cache's bind step) is expected to rewrite
+// them for the target isolate using the returned mapping. Value and block IDs
+// are preserved, so NumValues (which sizes the machine's register file) and
+// diagnostics match the original.
+func (f *Func) Clone() (*Func, map[*Value]*Value) {
+	nf := &Func{
+		Name:        f.Name,
+		Source:      f.Source,
+		nextValueID: f.nextValueID,
+		nextBlockID: f.nextBlockID,
+		TxAware:     f.TxAware,
+	}
+	bmap := make(map[*Block]*Block, len(f.Blocks))
+	vmap := make(map[*Value]*Value, f.nextValueID)
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Kind: b.Kind, StartPC: b.StartPC, Fn: nf}
+		bmap[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	// remap tolerates references to values no longer placed in any block
+	// (e.g. a stale EntryState surviving DCE) by cloning them as orphans:
+	// they are reachable only through the referencing stack map, exactly
+	// like the original's.
+	var remap func(v *Value) *Value
+	remap = func(v *Value) *Value {
+		if v == nil {
+			return nil
+		}
+		if nv, ok := vmap[v]; ok {
+			return nv
+		}
+		nv := &Value{
+			ID: v.ID, Op: v.Op, Type: v.Type,
+			AuxInt: v.AuxInt, AuxFloat: v.AuxFloat, AuxStr: v.AuxStr,
+			AuxVal: v.AuxVal, Shape: v.Shape, Callee: v.Callee,
+			Check: v.Check, Free: v.Free, BCPos: v.BCPos,
+			Block: bmap[v.Block],
+		}
+		vmap[v] = nv
+		if len(v.Args) > 0 {
+			nv.Args = make([]*Value, len(v.Args))
+			for i, a := range v.Args {
+				nv.Args[i] = remap(a)
+			}
+		}
+		nv.Deopt = cloneStackMap(v.Deopt, remap)
+		return nv
+	}
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		nb.Values = make([]*Value, len(b.Values))
+		for i, v := range b.Values {
+			nb.Values[i] = remap(v)
+		}
+	}
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		nb.Control = remap(b.Control)
+		nb.EntryState = cloneStackMap(b.EntryState, remap)
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, bmap[s])
+		}
+		for _, p := range b.Preds {
+			nb.Preds = append(nb.Preds, bmap[p])
+		}
+	}
+	nf.Entry = bmap[f.Entry]
+	return nf, vmap
+}
+
+func cloneStackMap(sm *StackMap, remap func(*Value) *Value) *StackMap {
+	if sm == nil {
+		return nil
+	}
+	nsm := &StackMap{PC: sm.PC, Entries: make([]StackMapEntry, len(sm.Entries))}
+	for i, e := range sm.Entries {
+		nsm.Entries[i] = StackMapEntry{Reg: e.Reg, Val: remap(e.Val)}
+	}
+	return nsm
+}

@@ -1,0 +1,217 @@
+// Package isolate wraps one engine instance (VM + speculative-tier backend)
+// as a reusable execution context for the serving layer. An isolate owns all
+// of its mutable state — shape table, globals, profiles, governor ledgers,
+// simulated hardware, RNG — and shares nothing mutable with its siblings;
+// the only cross-isolate artifacts are immutable (interned bytecode, code
+// cache entries, snapshots). Reset returns a recycled isolate to a state
+// indistinguishable from a freshly constructed one, clearing every
+// observation hook a previous tenant may have installed.
+//
+// The package also provides the warm-start facility: Snapshot captures an
+// isolate's post-warmup profile feedback and abort-recovery governor ledgers
+// in portable (pointer-free) form, and Restore installs them into a fresh
+// isolate of the same program, which then tiers up immediately — pulling
+// already-compiled artifacts from the shared code cache instead of
+// re-profiling and re-compiling from scratch.
+package isolate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nomap/internal/bytecode"
+	"nomap/internal/codecache"
+	"nomap/internal/governor"
+	"nomap/internal/jit"
+	"nomap/internal/profile"
+	"nomap/internal/vm"
+)
+
+// Isolate is one engine instance plus its backend.
+type Isolate struct {
+	cfg     vm.Config
+	v       *vm.VM
+	b       *jit.Backend
+	program *codecache.ProgramEntry // currently loaded program, nil when fresh
+}
+
+// New creates an isolate under cfg.
+func New(cfg vm.Config) *Isolate {
+	v := vm.New(cfg)
+	b := jit.Attach(v)
+	return &Isolate{cfg: v.Config(), v: v, b: b}
+}
+
+// VM returns the isolate's engine.
+func (iso *Isolate) VM() *vm.VM { return iso.v }
+
+// Backend returns the isolate's speculative-tier backend.
+func (iso *Isolate) Backend() *jit.Backend { return iso.b }
+
+// Config returns the configuration the isolate was created with.
+func (iso *Isolate) Config() vm.Config { return iso.cfg }
+
+// Program returns the currently loaded program (nil when fresh).
+func (iso *Isolate) Program() *codecache.ProgramEntry { return iso.program }
+
+// UseCache connects (or with nil disconnects) the shared compiled-code
+// cache.
+func (iso *Isolate) UseCache(c *codecache.Cache) { iso.b.SetCodeCache(c) }
+
+// Reset returns the isolate to its post-New state: VM state (shapes,
+// globals, builtins, profiles, RNG, counters, output), backend state (code,
+// governor, simulated hardware), and every observation or control hook a
+// previous tenant installed — interrupt, pass hook, fault injector, tracer,
+// HTM capacity probe. The code-cache connection survives: it holds only
+// immutable artifacts.
+func (iso *Isolate) Reset() {
+	iso.v.SetInterrupt(nil)
+	iso.b.SetPassHook(nil)
+	iso.b.Machine().SetInjector(nil)
+	iso.b.Machine().SetTracer(nil)
+	iso.b.Machine().HTM.SetCapacityProbe(nil)
+	iso.v.Reset()
+	iso.b.Reset()
+	iso.program = nil
+}
+
+// Load runs an interned program's top-level code (global declarations and
+// setup) in the isolate. It requires a fresh or freshly Reset isolate so
+// that per-program state never leaks between tenants.
+func (iso *Isolate) Load(entry *codecache.ProgramEntry) error {
+	if iso.program != nil {
+		return fmt.Errorf("isolate: Load on an isolate already running %q (Reset first)", iso.program.Main.Name)
+	}
+	if _, err := iso.v.RunMain(entry.Main); err != nil {
+		return err
+	}
+	iso.program = entry
+	return nil
+}
+
+// Snapshot captures the isolate's warm state — profile feedback and governor
+// ledgers — in portable form. Program-visible state (globals, heap, RNG) is
+// deliberately excluded: a restored isolate re-runs the program's setup, so
+// its observable behaviour is byte-identical to a cold run; only the
+// invisible warmup work (profiling, tier-up, compilation) is skipped.
+func (iso *Isolate) Snapshot() *Snapshot {
+	s := &Snapshot{Program: iso.program, Gov: iso.b.Governor().Export()}
+	iso.v.EachProfile(func(fn *bytecode.Function, p *profile.FunctionProfile) {
+		s.Profiles = append(s.Profiles, ProfileEntry{
+			Code: fn,
+			Snap: codecache.SnapProfile(p, iso.v),
+		})
+	})
+	sort.Slice(s.Profiles, func(i, j int) bool {
+		return s.Profiles[i].Code.Name < s.Profiles[j].Code.Name
+	})
+	return s
+}
+
+// Restore installs a snapshot's profiles and governor ledgers into this
+// isolate, which must have Loaded the same interned program (so the
+// snapshot's bytecode identities resolve).
+func (iso *Isolate) Restore(s *Snapshot) error {
+	if iso.program == nil || iso.program != s.Program {
+		return fmt.Errorf("isolate: snapshot is for a different program")
+	}
+	for _, e := range s.Profiles {
+		iso.v.SetProfile(e.Code, e.Snap.Materialize(e.Code, iso.v))
+	}
+	iso.b.Governor().Restore(s.Gov)
+	iso.v.Counters().SnapshotRestores++
+	return nil
+}
+
+// ProfileEntry pairs a shared bytecode function with its portable profile.
+type ProfileEntry struct {
+	Code *bytecode.Function
+	Snap *codecache.ProfileSnap
+}
+
+// Snapshot is an isolate's portable warm state. It is immutable once built
+// and safe to restore into any number of isolates concurrently.
+type Snapshot struct {
+	Program  *codecache.ProgramEntry
+	Profiles []ProfileEntry
+	Gov      governor.Snapshot
+}
+
+// StoreKey identifies the engine configuration a snapshot was captured
+// under. Feedback is only transferable between identically configured
+// isolates of the same program: a different arch, tier cap, policy, or seed
+// profiles differently.
+type StoreKey struct {
+	Program *codecache.ProgramEntry
+	Arch    vm.Arch
+	MaxTier profile.Tier
+	Policy  profile.Policy
+	Seed    uint64
+}
+
+// KeyFor builds the snapshot-store key for an isolate running entry.
+func KeyFor(cfg vm.Config, entry *codecache.ProgramEntry) StoreKey {
+	return StoreKey{
+		Program: entry,
+		Arch:    cfg.Arch,
+		MaxTier: cfg.MaxTier,
+		Policy:  cfg.Policy,
+		Seed:    cfg.RandomSeed,
+	}
+}
+
+// StoreStats counts snapshot-store activity.
+type StoreStats struct {
+	Hits   int64
+	Misses int64
+	Size   int
+}
+
+// Store is a concurrency-safe snapshot registry: first warm isolate in
+// saves, everyone after starts warm.
+type Store struct {
+	mu     sync.RWMutex
+	m      map[StoreKey]*Snapshot
+	hits   int64
+	misses int64
+}
+
+// NewStore creates an empty snapshot store.
+func NewStore() *Store {
+	return &Store{m: make(map[StoreKey]*Snapshot)}
+}
+
+// Get returns the snapshot for k, or nil.
+func (st *Store) Get(k StoreKey) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.m[k]
+	if s != nil {
+		st.hits++
+	} else {
+		st.misses++
+	}
+	return s
+}
+
+// SaveOnce stores s under k unless a snapshot is already present, reporting
+// whether s was stored. Keeping the first capture (rather than overwriting)
+// makes the warm path deterministic: every restored isolate starts from the
+// same ledger state.
+func (st *Store) SaveOnce(k StoreKey, s *Snapshot) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[k]; ok {
+		return false
+	}
+	st.m[k] = s
+	return true
+}
+
+// Stats returns a snapshot of store activity.
+func (st *Store) Stats() StoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return StoreStats{Hits: st.hits, Misses: st.misses, Size: len(st.m)}
+}

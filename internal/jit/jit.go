@@ -9,6 +9,7 @@ package jit
 
 import (
 	"nomap/internal/bytecode"
+	"nomap/internal/codecache"
 	"nomap/internal/core"
 	"nomap/internal/dfg"
 	"nomap/internal/ftl"
@@ -18,6 +19,7 @@ import (
 	"nomap/internal/ir"
 	"nomap/internal/machine"
 	"nomap/internal/profile"
+	"nomap/internal/stats"
 	"nomap/internal/value"
 	"nomap/internal/vm"
 )
@@ -29,6 +31,14 @@ type Backend struct {
 	gov      *governor.Governor
 	arch     vm.Arch
 	passHook func(pass string, f *ir.Func)
+
+	// cache, when set, is the serving layer's shared compiled-code cache;
+	// realm is the owning VM's naming context used to relocate cached
+	// artifacts into it, and policy rides in the cache key so isolates under
+	// different tier-up policies never share entries.
+	cache  *codecache.Cache
+	realm  codecache.Realm
+	policy profile.Policy
 }
 
 type unit struct {
@@ -45,14 +55,23 @@ func Attach(v *vm.VM) *Backend {
 		cfg = htm.RTMConfig()
 	}
 	b := &Backend{
-		mach: machine.New(v, cfg),
-		code: make(map[*bytecode.Function]*unit),
-		gov:  governor.New(governor.DefaultPolicy(!v.Config().Arch.HeavyweightHTM())),
-		arch: v.Config().Arch,
+		mach:   machine.New(v, cfg),
+		code:   make(map[*bytecode.Function]*unit),
+		gov:    governor.New(governor.DefaultPolicy(!v.Config().Arch.HeavyweightHTM())),
+		arch:   v.Config().Arch,
+		realm:  v,
+		policy: v.Config().Policy,
 	}
 	v.SetJIT(b)
 	return b
 }
+
+// SetCodeCache connects the backend to a shared compiled-code cache (nil
+// disconnects it). While connected, speculative-tier compiles go through the
+// cache: a hit binds another isolate's artifact instead of compiling. The
+// cache is bypassed whenever a pass hook is installed, since hooks observe
+// compilation itself and a bound artifact never compiles.
+func (b *Backend) SetCodeCache(c *codecache.Cache) { b.cache = c }
 
 // Machine exposes the execution engine (for the harness: cache and HTM
 // statistics).
@@ -113,8 +132,7 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 	}
 	u := b.code[bcFn]
 	if u == nil || u.tier != tier {
-		var err error
-		u, err = b.compile(bcFn, prof, tier)
+		u2, compiled, err := b.compile(bcFn, prof, tier, v.Counters())
 		if err != nil {
 			// Deterministic unsupported-function errors pin the function to
 			// Baseline; anything else is treated as transient and only pins
@@ -129,9 +147,12 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 			}
 			return value.Undefined(), false, nil
 		}
+		u = u2
 		b.code[bcFn] = u
-		v.Counters().Compilations[tier]++
-		b.mach.Emit(machine.Event{Kind: machine.EventCompile, Fn: bcFn.Name, Tier: tier})
+		if compiled {
+			v.Counters().Compilations[tier]++
+			b.mach.Emit(machine.Event{Kind: machine.EventCompile, Fn: bcFn.Name, Tier: tier})
+		}
 	}
 
 	ctrs := v.Counters()
@@ -193,26 +214,66 @@ func (b *Backend) apply(dec governor.Decision, prof *profile.FunctionProfile) {
 	}
 }
 
-func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile, tier profile.Tier) (*unit, error) {
+// compile produces (or, through the shared code cache, obtains) code for
+// bcFn at tier. The returned bool reports whether a compilation actually ran
+// on behalf of this isolate — false means a cached artifact was bound — so
+// Execute can charge Compilations honestly.
+func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile, tier profile.Tier, ctrs *stats.Counters) (*unit, bool, error) {
+	useCache := b.cache != nil && b.passHook == nil
 	if tier == profile.TierDFG {
+		if useCache {
+			key := codecache.Key{
+				Code:   bcFn,
+				Tier:   tier,
+				Arch:   uint8(b.arch),
+				Level:  core.TxOff,
+				Policy: b.policy,
+				ProfFP: codecache.FingerprintProfile(prof, b.realm),
+			}
+			f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
+				return dfg.Compile(bcFn, prof)
+			})
+			if err != nil {
+				return nil, compiled, err
+			}
+			return &unit{tier: tier, f: f}, compiled, nil
+		}
 		f, err := dfg.Compile(bcFn, prof)
 		if err != nil {
-			return nil, err
+			return nil, true, err
 		}
 		if b.passHook != nil {
 			b.passHook("dfg", f)
 		}
-		return &unit{tier: tier, f: f}, nil
+		return &unit{tier: tier, f: f}, true, nil
 	}
 	level := b.gov.LevelFor(bcFn.Name)
 	opts := optionsFor(b.arch, level)
 	opts.KeepSMP = b.gov.KeepSet(bcFn.Name)
+	if useCache {
+		key := codecache.Key{
+			Code:   bcFn,
+			Tier:   tier,
+			Arch:   uint8(b.arch),
+			Level:  level,
+			Policy: b.policy,
+			KeepFP: codecache.KeepFingerprint(opts.KeepSMP),
+			ProfFP: codecache.FingerprintProfile(prof, b.realm),
+		}
+		f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
+			return ftl.Compile(bcFn, prof, opts)
+		})
+		if err != nil {
+			return nil, compiled, err
+		}
+		return &unit{tier: tier, f: f, txLevel: level}, compiled, nil
+	}
 	opts.PassHook = b.passHook
 	f, err := ftl.Compile(bcFn, prof, opts)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
-	return &unit{tier: tier, f: f, txLevel: level}, nil
+	return &unit{tier: tier, f: f, txLevel: level}, true, nil
 }
 
 func optionsFor(arch vm.Arch, level core.TxLevel) ftl.Options {

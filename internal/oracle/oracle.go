@@ -94,12 +94,33 @@ func (o *Observation) Diff(other *Observation) string {
 	return ""
 }
 
+// Engine is one execution context a sweep can run against: a VM plus the
+// JIT backend whose machine exposes the injection hooks. The default
+// implementation constructs a throwaway engine per run; a factory (see
+// Config.Engines) can instead draw engines from the serving layer's isolate
+// pool, which is how the pool's recycled isolates are proven to satisfy the
+// same fault-injection oracle as dedicated ones.
+type Engine interface {
+	VM() *vm.VM
+	Backend() *jit.Backend
+	// Done releases the engine after a run (pool-drawn engines return to
+	// their pool; throwaway engines are simply dropped).
+	Done()
+}
+
+// EngineFactory supplies the Engine for one instrumented run.
+type EngineFactory func(arch vm.Arch, maxTier profile.Tier) Engine
+
 // engine bundles a VM with its JIT backend so the oracle can reach the
 // machine's injection hooks.
 type engine struct {
 	vm      *vm.VM
 	backend *jit.Backend
 }
+
+func (e *engine) VM() *vm.VM            { return e.vm }
+func (e *engine) Backend() *jit.Backend { return e.backend }
+func (e *engine) Done()                 {}
 
 func newEngine(arch vm.Arch, maxTier profile.Tier) *engine {
 	cfg := vm.DefaultConfig()
@@ -110,49 +131,49 @@ func newEngine(arch vm.Arch, maxTier profile.Tier) *engine {
 	return &engine{vm: v, backend: jit.Attach(v)}
 }
 
-// observe executes the program's full call protocol and captures the
+// observe executes the program's full call protocol on v and captures the
 // observation. Runtime errors are recorded, not returned: an injected fault
 // must never surface as an error, and a divergence in errors is itself an
 // observable difference.
-func (e *engine) observe(p Program) *Observation {
+func observe(v *vm.VM, p Program) *Observation {
 	obs := &Observation{}
 	fail := func(err error) *Observation {
 		obs.Err = err.Error()
-		obs.Output = e.vm.Output
-		obs.Heap = SnapshotHeap(e.vm.Globals())
+		obs.Output = v.Output
+		obs.Heap = SnapshotHeap(v.Globals())
 		return obs
 	}
-	if _, err := e.vm.Run(p.Setup); err != nil {
+	if _, err := v.Run(p.Setup); err != nil {
 		return fail(err)
 	}
 	for i := 0; i < p.Calls; i++ {
-		v, err := e.vm.CallGlobal("run", value.Int(int32(p.Arg)))
+		r, err := v.CallGlobal("run", value.Int(int32(p.Arg)))
 		if err != nil {
 			return fail(err)
 		}
-		obs.Results = append(obs.Results, v.ToStringValue())
+		obs.Results = append(obs.Results, r.ToStringValue())
 	}
 	if p.Poison != "" {
-		if _, err := e.vm.Run(p.Poison); err != nil {
+		if _, err := v.Run(p.Poison); err != nil {
 			return fail(err)
 		}
 		for i := 0; i < p.PostCalls; i++ {
-			v, err := e.vm.CallGlobal("run", value.Int(int32(p.Arg)))
+			r, err := v.CallGlobal("run", value.Int(int32(p.Arg)))
 			if err != nil {
 				return fail(err)
 			}
-			obs.Results = append(obs.Results, v.ToStringValue())
+			obs.Results = append(obs.Results, r.ToStringValue())
 		}
 	}
-	obs.Output = e.vm.Output
-	obs.Heap = SnapshotHeap(e.vm.Globals())
+	obs.Output = v.Output
+	obs.Heap = SnapshotHeap(v.Globals())
 	return obs
 }
 
 // Reference runs the program on the pure interpreter and returns the oracle
 // observation every speculative configuration must match.
 func Reference(p Program) *Observation {
-	return newEngine(vm.ArchBase, profile.TierInterp).observe(p)
+	return observe(newEngine(vm.ArchBase, profile.TierInterp).vm, p)
 }
 
 // SnapshotHeap renders the heap reachable from the global object in a

@@ -183,7 +183,7 @@ func TestReduceListMinimizes(t *testing.T) {
 
 func TestCheckCountersRejectsLeaksAndNegatives(t *testing.T) {
 	eng := newEngine(vm.ArchNoMap, profile.TierFTL)
-	eng.observe(hotProgram)
+	observe(eng.vm, hotProgram)
 	c := eng.vm.Counters()
 	if err := CheckCounters(c); err != nil {
 		t.Fatalf("clean run flagged: %v", err)

@@ -86,7 +86,7 @@ func DivergesUnderInjector(p Program, arch vm.Arch, inj machine.Injector) (bool,
 	}
 	eng := newEngine(arch, profile.TierFTL)
 	eng.backend.Machine().SetInjector(inj)
-	obs := eng.observe(p)
+	obs := observe(eng.vm, p)
 	d := ref.Diff(obs)
 	return d != "", d
 }

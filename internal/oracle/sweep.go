@@ -26,6 +26,10 @@ type Config struct {
 	RandomTrials int
 	// Seed seeds the random-schedule mode.
 	Seed int64
+	// Engines, when non-nil, supplies the engine for each instrumented run
+	// instead of constructing a throwaway one. The serving tests use it to
+	// point the sweep at pool-drawn isolates.
+	Engines EngineFactory
 }
 
 // DefaultConfig sweeps all six architecture configurations exhaustively with
@@ -151,7 +155,7 @@ func Sweep(p Program, cfg Config) (*Report, error) {
 		// Recording run: enumerate sites, count the write footprint, and
 		// establish the plain (un-injected) differential baseline.
 		rec := newRecorder()
-		obs, ctrs := runInstrumented(p, arch, cfg.MaxTier, rec, rec.probe, func(d string) {
+		obs, ctrs := runInstrumented(p, arch, cfg.MaxTier, cfg.Engines, rec, rec.probe, func(d string) {
 			fail("recording", "ir-verify", d)
 		})
 		ar.Runs++
@@ -165,7 +169,7 @@ func Sweep(p Program, cfg Config) (*Report, error) {
 		ar.WriteLines = rec.writeLines
 
 		inject := func(run string, inj machine.Injector, probe htm.CapacityProbe, fired func() bool, expectAbort bool) {
-			obs, ctrs := runInstrumented(p, arch, cfg.MaxTier, inj, probe, func(d string) {
+			obs, ctrs := runInstrumented(p, arch, cfg.MaxTier, cfg.Engines, inj, probe, func(d string) {
 				fail(run, "ir-verify", d)
 			})
 			ar.Runs++
@@ -231,28 +235,37 @@ func Sweep(p Program, cfg Config) (*Report, error) {
 
 // runInstrumented executes one observation run with the given injector,
 // capacity probe, and an ir.Verify pass hook; it returns the observation and
-// the engine's final counters.
-func runInstrumented(p Program, arch vm.Arch, maxTier profile.Tier,
+// a copy of the engine's final counters (a copy because a factory-supplied
+// engine may be recycled — and its counters reset — once released).
+func runInstrumented(p Program, arch vm.Arch, maxTier profile.Tier, factory EngineFactory,
 	inj machine.Injector, probe htm.CapacityProbe, verifyFail func(string)) (*Observation, *stats.Counters) {
 	pv := &passVerifier{}
-	eng := newEngine(arch, maxTier)
+	var eng Engine
+	if factory != nil {
+		eng = factory(arch, maxTier)
+	} else {
+		eng = newEngine(arch, maxTier)
+	}
+	defer eng.Done()
+	b := eng.Backend()
 	// Defensive determinism guard: a freshly attached backend starts empty,
 	// but Reset makes the contract explicit — no cached code and no governor
 	// ledger state may leak between differential runs, or an injected fault
 	// in one run would change recovery-policy decisions in the next.
-	eng.backend.Reset()
+	b.Reset()
 	if inj != nil {
-		eng.backend.Machine().SetInjector(inj)
+		b.Machine().SetInjector(inj)
 	}
 	if probe != nil {
-		eng.backend.Machine().HTM.SetCapacityProbe(probe)
+		b.Machine().HTM.SetCapacityProbe(probe)
 	}
-	eng.backend.SetPassHook(pv.hook)
-	obs := eng.observe(p)
+	b.SetPassHook(pv.hook)
+	obs := observe(eng.VM(), p)
 	for _, e := range pv.errs {
 		verifyFail(e)
 	}
-	return obs, eng.vm.Counters()
+	ctrs := *eng.VM().Counters()
+	return obs, &ctrs
 }
 
 // capacityTargets spreads n injection points over a footprint of w tracked

@@ -36,6 +36,10 @@ func CheckCounters(c *stats.Counters) error {
 		{"TxWriteBytesTotal", c.TxWriteBytesTotal},
 		{"TxMaxAssoc", c.TxMaxAssoc},
 		{"TxReadBytesMax", c.TxReadBytesMax},
+		{"CodeCacheHits", c.CodeCacheHits},
+		{"CodeCacheMisses", c.CodeCacheMisses},
+		{"CodeCacheEvictions", c.CodeCacheEvictions},
+		{"SnapshotRestores", c.SnapshotRestores},
 	}
 	for _, f := range nonNeg {
 		if f.v < 0 {

@@ -1,0 +1,392 @@
+// Package pool is the multi-isolate serving layer: a fixed set of worker
+// isolates consuming a bounded request queue, sharing the compiled-code
+// cache and warm-start snapshot store so that repeat traffic skips both
+// re-profiling and re-compilation. Backpressure is explicit — a full queue
+// rejects with ErrQueueFull rather than buffering unboundedly — and each
+// request may carry a deadline, enforced at tier boundaries through the
+// VM's interrupt hook so cancellation never tears an isolate mid-bytecode.
+//
+// Every response is produced by exactly one isolate, and isolates are fully
+// Reset between tenants, so a request observes the same program behaviour
+// it would on a dedicated cold engine; only the invisible warmup work is
+// shared. That is the pool's differential guarantee, and the root
+// serving_test exercises it across all architecture configurations.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nomap/internal/codecache"
+	"nomap/internal/isolate"
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+	"nomap/internal/value"
+	"nomap/internal/vm"
+)
+
+// Errors returned by Submit and surfaced in Response.Err.
+var (
+	// ErrQueueFull reports backpressure: the bounded queue is at its
+	// high-water mark and the request was rejected, not buffered.
+	ErrQueueFull = errors.New("pool: request queue full")
+	// ErrClosed reports a Submit after Close began.
+	ErrClosed = errors.New("pool: closed")
+	// ErrDeadline reports a request cancelled at a tier boundary after its
+	// deadline passed.
+	ErrDeadline = errors.New("pool: request deadline exceeded")
+)
+
+// Config sizes and parameterizes a pool.
+type Config struct {
+	// Workers is the number of isolates serving concurrently (default 1).
+	Workers int
+	// QueueDepth bounds the request queue (default 4× workers). A Submit
+	// beyond this depth fails with ErrQueueFull.
+	QueueDepth int
+	// VM is the engine configuration template. Requests may override Arch
+	// and MaxTier; everything else (policy, seed, call depth) is shared so
+	// snapshots and cache entries transfer.
+	VM vm.Config
+	// CacheCapacity bounds the shared code cache (entries; 0 → default).
+	CacheCapacity int
+	// SnapshotMinCalls is the minimum request size whose warm state is
+	// worth capturing (default 8): tiny requests never reach the
+	// speculative tiers, and their snapshots would freeze cold profiles.
+	SnapshotMinCalls int
+	// DisableCodeCache serves every request with per-isolate compilation.
+	DisableCodeCache bool
+	// DisableSnapshots serves every request cold (no warm-start restore).
+	DisableSnapshots bool
+}
+
+// Request is one unit of serving work: run an interned program and call its
+// run() entry point Calls times.
+type Request struct {
+	// Source is the program text (interned by the pool; repeat sources
+	// share bytecode, cache entries, and snapshots).
+	Source string
+	// Calls is the number of run() invocations (default 1).
+	Calls int
+	// Arg is passed to run() on each call.
+	Arg int
+	// Arch, when non-nil, overrides the pool template's architecture.
+	Arch *vm.Arch
+	// MaxTier, when non-nil, overrides the pool template's tier cap.
+	MaxTier *profile.Tier
+	// Timeout, when positive, bounds the request's execution; expiry
+	// cancels at the next tier boundary with ErrDeadline.
+	Timeout time.Duration
+	// Observe, when non-nil, runs on the worker after the calls complete
+	// (successfully or not) while the isolate still holds the program's
+	// heap — tests use it to snapshot globals before the isolate is
+	// recycled. It must not retain the *vm.VM.
+	Observe func(*vm.VM)
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	// Results holds run()'s stringified return value per call.
+	Results []string
+	// Output holds the program's accumulated print() lines.
+	Output []string
+	// Err is nil on success; ErrDeadline on cancellation; otherwise the
+	// runtime or load error.
+	Err error
+	// Counters is the isolate's measurement state at completion.
+	Counters stats.Counters
+	// Warm reports that a snapshot restore skipped the profiling warmup.
+	Warm bool
+	// Latency is queue wait plus execution time.
+	Latency time.Duration
+}
+
+type job struct {
+	req  Request
+	resp chan Response
+	enq  time.Time
+}
+
+type spec struct {
+	arch    vm.Arch
+	maxTier profile.Tier
+}
+
+// Pool is the serving layer. Create with New, submit with Submit, stop with
+// Close.
+type Pool struct {
+	cfg      Config
+	programs *codecache.Programs
+	cache    *codecache.Cache
+	snaps    *isolate.Store
+	queue    chan *job
+	wg       sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	idle      map[spec][]*isolate.Isolate
+	merged    stats.Counters
+	accepted  int64
+	rejected  int64
+	completed int64
+	failed    int64
+}
+
+// Stats is a point-in-time view of pool activity.
+type Stats struct {
+	Accepted  int64 // requests admitted to the queue
+	Rejected  int64 // requests refused with ErrQueueFull or ErrClosed
+	Completed int64 // responses produced without error
+	Failed    int64 // responses produced with an error (deadline included)
+	// Counters merges the per-isolate counters of error-free responses.
+	Counters stats.Counters
+	// Cache is the shared code cache's activity.
+	Cache codecache.Stats
+	// Snapshots is the warm-start store's activity.
+	Snapshots isolate.StoreStats
+}
+
+// New creates and starts a pool.
+func New(cfg Config) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.SnapshotMinCalls <= 0 {
+		cfg.SnapshotMinCalls = 8
+	}
+	if cfg.VM.MaxTier == 0 && cfg.VM.Policy == (profile.Policy{}) {
+		cfg.VM = vm.DefaultConfig()
+	}
+	p := &Pool{
+		cfg:      cfg,
+		programs: codecache.NewPrograms(),
+		snaps:    isolate.NewStore(),
+		queue:    make(chan *job, cfg.QueueDepth),
+		idle:     make(map[spec][]*isolate.Isolate),
+	}
+	if !cfg.DisableCodeCache {
+		p.cache = codecache.NewCache(cfg.CacheCapacity)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues a request and returns a channel delivering its single
+// Response. A full queue or a closed pool fails fast instead of blocking.
+func (p *Pool) Submit(req Request) (<-chan Response, error) {
+	j := &job{req: req, resp: make(chan Response, 1), enq: time.Now()}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.rejected++
+		return nil, ErrClosed
+	}
+	select {
+	case p.queue <- j:
+		p.accepted++
+		return j.resp, nil
+	default:
+		p.rejected++
+		return nil, ErrQueueFull
+	}
+}
+
+// Do submits and waits: a synchronous convenience for drivers and tests.
+func (p *Pool) Do(req Request) Response {
+	ch, err := p.Submit(req)
+	if err != nil {
+		return Response{Err: err}
+	}
+	return <-ch
+}
+
+// Close drains the queue gracefully: already-accepted requests complete,
+// new Submits fail with ErrClosed, and Close returns when every worker has
+// exited.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of pool activity.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	s := Stats{
+		Accepted:  p.accepted,
+		Rejected:  p.rejected,
+		Completed: p.completed,
+		Failed:    p.failed,
+		Counters:  p.merged,
+	}
+	p.mu.Unlock()
+	if p.cache != nil {
+		s.Cache = p.cache.Stats()
+	}
+	s.Snapshots = p.snaps.Stats()
+	return s
+}
+
+// Cache exposes the shared code cache (nil when disabled) for reporting.
+func (p *Pool) Cache() *codecache.Cache { return p.cache }
+
+// Programs exposes the program registry (for reporting and tests).
+func (p *Pool) Programs() *codecache.Programs { return p.programs }
+
+// Checkout borrows an isolate configured like the pool's workers for the
+// given (arch, tier) spec, bypassing the queue. The oracle integration uses
+// it to run fault-injection sweeps against a pool-drawn isolate. Return it
+// with Return.
+func (p *Pool) Checkout(arch vm.Arch, maxTier profile.Tier) *isolate.Isolate {
+	return p.take(spec{arch: arch, maxTier: maxTier})
+}
+
+// Return recycles a borrowed isolate after a full Reset.
+func (p *Pool) Return(iso *isolate.Isolate) {
+	p.put(iso)
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		resp := p.serve(j.req)
+		resp.Latency = time.Since(j.enq)
+		p.mu.Lock()
+		if resp.Err == nil {
+			p.completed++
+			// Only error-free responses merge: a cancelled run may have
+			// been cut mid-transaction, so its counters do not satisfy the
+			// commit/abort balance invariants.
+			p.merged.Add(&resp.Counters)
+		} else {
+			p.failed++
+		}
+		p.mu.Unlock()
+		j.resp <- resp
+	}
+}
+
+func (p *Pool) specFor(req *Request) spec {
+	s := spec{arch: p.cfg.VM.Arch, maxTier: p.cfg.VM.MaxTier}
+	if req.Arch != nil {
+		s.arch = *req.Arch
+	}
+	if req.MaxTier != nil {
+		s.maxTier = *req.MaxTier
+	}
+	return s
+}
+
+func (p *Pool) take(s spec) *isolate.Isolate {
+	p.mu.Lock()
+	if stack := p.idle[s]; len(stack) > 0 {
+		iso := stack[len(stack)-1]
+		p.idle[s] = stack[:len(stack)-1]
+		p.mu.Unlock()
+		return iso
+	}
+	p.mu.Unlock()
+	cfg := p.cfg.VM
+	cfg.Arch = s.arch
+	cfg.MaxTier = s.maxTier
+	iso := isolate.New(cfg)
+	if p.cache != nil {
+		iso.UseCache(p.cache)
+	}
+	return iso
+}
+
+func (p *Pool) put(iso *isolate.Isolate) {
+	iso.Reset()
+	cfg := iso.Config()
+	s := spec{arch: cfg.Arch, maxTier: cfg.MaxTier}
+	p.mu.Lock()
+	// Bound the free list: beyond 2× workers per spec the isolate is
+	// simply dropped (it holds no shared state).
+	if len(p.idle[s]) < 2*p.cfg.Workers {
+		p.idle[s] = append(p.idle[s], iso)
+	}
+	p.mu.Unlock()
+}
+
+// serve runs one request on a freshly checked-out isolate.
+func (p *Pool) serve(req Request) Response {
+	if req.Calls <= 0 {
+		req.Calls = 1
+	}
+	s := p.specFor(&req)
+	iso := p.take(s)
+	defer p.put(iso)
+
+	var deadline time.Time
+	if req.Timeout > 0 {
+		deadline = time.Now().Add(req.Timeout)
+		iso.VM().SetInterrupt(func() error {
+			if time.Now().After(deadline) {
+				return ErrDeadline
+			}
+			return nil
+		})
+	}
+
+	var resp Response
+	entry, err := p.programs.Load(req.Source)
+	if err != nil {
+		resp.Err = fmt.Errorf("pool: program: %w", err)
+		return resp
+	}
+	if err := iso.Load(entry); err != nil {
+		resp.Err = err
+		resp.Counters = *iso.VM().Counters()
+		return resp
+	}
+
+	skey := isolate.KeyFor(iso.Config(), entry)
+	if !p.cfg.DisableSnapshots {
+		if snap := p.snaps.Get(skey); snap != nil {
+			if err := iso.Restore(snap); err == nil {
+				resp.Warm = true
+			}
+		}
+	}
+
+	resp.Results = make([]string, 0, req.Calls)
+	for i := 0; i < req.Calls; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			resp.Err = ErrDeadline
+			break
+		}
+		v, err := iso.VM().CallGlobal("run", value.Int(int32(req.Arg)))
+		if err != nil {
+			resp.Err = err
+			break
+		}
+		resp.Results = append(resp.Results, v.ToStringValue())
+	}
+
+	if req.Observe != nil {
+		req.Observe(iso.VM())
+	}
+	if resp.Err == nil && !resp.Warm && !p.cfg.DisableSnapshots &&
+		req.Calls >= p.cfg.SnapshotMinCalls {
+		p.snaps.SaveOnce(skey, iso.Snapshot())
+	}
+	resp.Output = append([]string(nil), iso.VM().Output...)
+	resp.Counters = *iso.VM().Counters()
+	return resp
+}

@@ -1,0 +1,216 @@
+package pool
+
+import (
+	"testing"
+	"time"
+
+	"nomap/internal/profile"
+	"nomap/internal/vm"
+)
+
+const loopProgram = `
+var o = {acc: 0};
+function run(n) {
+  var s = 0;
+  for (var i = 0; i < 200; i++) {
+    s = (s + i * n) | 0;
+    o.acc = (o.acc + 1) | 0;
+  }
+  return s + o.acc;
+}
+`
+
+func newTestPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	p := New(cfg)
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestServeRepeatsWarmAndIdentical: repeat traffic must turn warm (snapshot
+// restores, cache hits) without changing a single byte of the response.
+func TestServeRepeatsWarmAndIdentical(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2})
+	req := Request{Source: loopProgram, Calls: 12, Arg: 3}
+
+	first := p.Do(req)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.Warm {
+		t.Error("first request cannot be warm")
+	}
+	if len(first.Results) != 12 {
+		t.Fatalf("got %d results", len(first.Results))
+	}
+
+	sawWarm := false
+	for i := 0; i < 6; i++ {
+		resp := p.Do(req)
+		if resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+		for j := range resp.Results {
+			if resp.Results[j] != first.Results[j] {
+				t.Fatalf("repeat %d call %d: %q != %q", i, j, resp.Results[j], first.Results[j])
+			}
+		}
+		sawWarm = sawWarm || resp.Warm
+	}
+	if !sawWarm {
+		t.Error("no repeat request started warm")
+	}
+	st := p.Stats()
+	if st.Accepted != 7 || st.Completed != 7 || st.Failed != 0 {
+		t.Errorf("accounting wrong: %+v", st)
+	}
+	if st.Cache.Hits == 0 {
+		t.Errorf("repeat traffic never hit the code cache: %+v", st.Cache)
+	}
+	if st.Counters.SnapshotRestores == 0 || st.Snapshots.Size == 0 {
+		t.Errorf("warm-start facility idle: restores=%d store=%+v",
+			st.Counters.SnapshotRestores, st.Snapshots)
+	}
+	if st.Counters.TxBegins != st.Counters.TxCommits+st.Counters.TxAborts {
+		t.Errorf("merged counters leak transactions: begins=%d commits=%d aborts=%d",
+			st.Counters.TxBegins, st.Counters.TxCommits, st.Counters.TxAborts)
+	}
+}
+
+// TestBackpressure: with the worker deterministically parked, the queue
+// admits exactly QueueDepth requests and rejects the next with ErrQueueFull
+// — no unbounded buffering, no blocking.
+func TestBackpressure(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, QueueDepth: 2})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := Request{Source: loopProgram, Calls: 1,
+		Observe: func(*vm.VM) { close(started); <-release }}
+
+	blockResp, err := p.Submit(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the lone worker is now parked inside the request
+
+	var queued []<-chan Response
+	for i := 0; i < 2; i++ {
+		ch, err := p.Submit(Request{Source: loopProgram, Calls: 1})
+		if err != nil {
+			t.Fatalf("queue slot %d rejected: %v", i, err)
+		}
+		queued = append(queued, ch)
+	}
+	if _, err := p.Submit(Request{Source: loopProgram, Calls: 1}); err != ErrQueueFull {
+		t.Fatalf("overflow submit: got %v, want ErrQueueFull", err)
+	}
+
+	close(release)
+	if resp := <-blockResp; resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	for _, ch := range queued {
+		if resp := <-ch; resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	st := p.Stats()
+	if st.Rejected != 1 || st.Accepted != 3 {
+		t.Errorf("accounting: %+v", st)
+	}
+}
+
+// TestDeadline: an expired deadline cancels with ErrDeadline, counts as a
+// failure, and leaves the pool fully serviceable.
+func TestDeadline(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1})
+	resp := p.Do(Request{Source: loopProgram, Calls: 50, Timeout: time.Nanosecond})
+	if resp.Err != ErrDeadline {
+		t.Fatalf("got %v, want ErrDeadline", resp.Err)
+	}
+	// The recycled isolate must serve the next request normally — no leaked
+	// interrupt hook.
+	ok := p.Do(Request{Source: loopProgram, Calls: 3})
+	if ok.Err != nil {
+		t.Fatalf("pool unusable after deadline: %v", ok.Err)
+	}
+	st := p.Stats()
+	if st.Failed != 1 || st.Completed != 1 {
+		t.Errorf("accounting: %+v", st)
+	}
+}
+
+// TestClose: accepted work completes, new submits fail, Close is idempotent.
+func TestClose(t *testing.T) {
+	p := New(Config{Workers: 2})
+	ch, err := p.Submit(Request{Source: loopProgram, Calls: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if resp := <-ch; resp.Err != nil {
+		t.Errorf("accepted request dropped on Close: %v", resp.Err)
+	}
+	if _, err := p.Submit(Request{Source: loopProgram}); err != ErrClosed {
+		t.Errorf("submit after Close: got %v, want ErrClosed", err)
+	}
+	p.Close() // must not panic or deadlock
+}
+
+// TestArchOverride: per-request arch/tier overrides draw from per-spec free
+// lists and — for a deterministic program — produce identical results across
+// configurations.
+func TestArchOverride(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1})
+	base := p.Do(Request{Source: loopProgram, Calls: 4})
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+	for _, arch := range vm.AllArchs {
+		arch := arch
+		interp := profile.TierInterp
+		resp := p.Do(Request{Source: loopProgram, Calls: 4, Arch: &arch})
+		if resp.Err != nil {
+			t.Fatalf("%v: %v", arch, resp.Err)
+		}
+		for i := range resp.Results {
+			if resp.Results[i] != base.Results[i] {
+				t.Errorf("%v: result %d diverges: %q != %q", arch, i, resp.Results[i], base.Results[i])
+			}
+		}
+		low := p.Do(Request{Source: loopProgram, Calls: 4, Arch: &arch, MaxTier: &interp})
+		if low.Err != nil {
+			t.Fatalf("%v interp-only: %v", arch, low.Err)
+		}
+		if low.Results[0] != base.Results[0] {
+			t.Errorf("%v interp-only diverges", arch)
+		}
+	}
+}
+
+// TestCheckoutReturn: borrowed isolates are pool-configured, recycled clean,
+// and reused.
+func TestCheckoutReturn(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1})
+	iso := p.Checkout(vm.ArchNoMapRTM, profile.TierFTL)
+	if iso.Config().Arch != vm.ArchNoMapRTM || iso.Config().MaxTier != profile.TierFTL {
+		t.Fatalf("checkout spec not honoured: %+v", iso.Config())
+	}
+	entry, err := p.Programs().Load(loopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iso.Load(entry); err != nil {
+		t.Fatal(err)
+	}
+	p.Return(iso)
+
+	again := p.Checkout(vm.ArchNoMapRTM, profile.TierFTL)
+	if again != iso {
+		t.Error("free list not reused")
+	}
+	if again.Program() != nil {
+		t.Error("returned isolate not Reset")
+	}
+	p.Return(again)
+}

@@ -74,3 +74,50 @@ func TestLabels(t *testing.T) {
 		t.Error("check class labels wrong")
 	}
 }
+
+// Merge must aggregate per-isolate counters without mutating its inputs —
+// the pool-level rollup the serving layer reports.
+func TestMergeAggregatesWithoutAliasing(t *testing.T) {
+	a := &Counters{TxCommits: 3, CodeCacheHits: 2, SnapshotRestores: 1, TxWriteBytesMax: 10}
+	b := &Counters{TxCommits: 4, CodeCacheMisses: 5, TxWriteBytesMax: 30}
+	a.AddInstr(TMOpt, 7)
+	b.AddInstr(TMOpt, 11)
+
+	total := Merge(a, b)
+	if total.TxCommits != 7 || total.CodeCacheHits != 2 || total.CodeCacheMisses != 5 ||
+		total.SnapshotRestores != 1 || total.Instr[TMOpt] != 18 {
+		t.Errorf("merge totals wrong: %+v", total)
+	}
+	if total.TxWriteBytesMax != 30 {
+		t.Errorf("merge must take max of footprint maxima, got %d", total.TxWriteBytesMax)
+	}
+	// Inputs must be untouched (no aliasing into the merged value).
+	if a.TxCommits != 3 || b.TxCommits != 4 || a.Instr[TMOpt] != 7 {
+		t.Error("Merge mutated its inputs")
+	}
+	// And mutating the result must not reach back into the parts.
+	total.TxCommits = 100
+	total.Instr[TMOpt] = 99
+	if a.TxCommits != 3 || b.Instr[TMOpt] != 11 {
+		t.Error("merged value aliases an input")
+	}
+	if m := Merge(); m.TotalInstr() != 0 || m.TxCommits != 0 {
+		t.Error("empty merge must be zero")
+	}
+}
+
+// The serving-layer counters must participate in Add and Reset like every
+// other counter.
+func TestCodeCacheCountersAddAndReset(t *testing.T) {
+	var c Counters
+	c.CodeCacheHits, c.CodeCacheMisses, c.CodeCacheEvictions, c.SnapshotRestores = 1, 2, 3, 4
+	var d Counters
+	d.Add(&c)
+	if d.CodeCacheHits != 1 || d.CodeCacheMisses != 2 || d.CodeCacheEvictions != 3 || d.SnapshotRestores != 4 {
+		t.Errorf("Add dropped serving counters: %+v", d)
+	}
+	d.Reset()
+	if d.CodeCacheHits != 0 || d.SnapshotRestores != 0 {
+		t.Error("Reset must zero serving counters")
+	}
+}

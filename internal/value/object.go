@@ -79,6 +79,33 @@ func (t *ShapeTable) Transition(s *Shape, key string) *Shape {
 	return next
 }
 
+// Path returns the transition keys that reach s from its table's root, in
+// transition order. Because shapes are immutable nodes of a transition tree,
+// the path is a table-independent identity: replaying it against any table
+// (Replay) yields the analogous shape. The serving layer uses this to
+// relocate shape references between isolates.
+func (s *Shape) Path() []string {
+	path := make([]string, 0, s.NumSlots)
+	for cur := s; cur != nil && cur.Key != ""; cur = cur.Parent {
+		path = append(path, cur.Key)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Replay walks a transition path from the table's root, creating any missing
+// shapes, and returns the shape it reaches. Replay(s.Path()) on another table
+// returns that table's analogue of s; on s's own table it returns s itself.
+func (t *ShapeTable) Replay(path []string) *Shape {
+	s := t.Root
+	for _, key := range path {
+		s = t.Transition(s, key)
+	}
+	return s
+}
+
 // Lookup returns the slot offset of key in s, or -1 when absent.
 func (s *Shape) Lookup(key string) int {
 	if s.table == nil {

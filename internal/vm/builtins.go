@@ -78,6 +78,7 @@ func (vm *VM) installBuiltins() {
 			return value.Undefined(), nil
 		},
 	}
+	vm.registerNative(printFn)
 	g.Set("print", value.Obj(value.NewFunctionObject(vm.shapes, printFn)))
 
 	g.Set("Array", vm.native("Array", func(this value.Value, args []value.Value) (value.Value, error) {
@@ -163,7 +164,17 @@ func (vm *VM) installBuiltins() {
 }
 
 func (vm *VM) native(name string, f func(value.Value, []value.Value) (value.Value, error)) value.Value {
-	return value.Obj(value.NewFunctionObject(vm.shapes, &value.Function{Name: name, Native: f}))
+	fn := &value.Function{Name: name, Native: f}
+	vm.registerNative(fn)
+	return value.Obj(value.NewFunctionObject(vm.shapes, fn))
+}
+
+// registerNative assigns the builtin its creation-order identity (see
+// NativeID). installBuiltins is deterministic, so identities line up across
+// VMs — the property compiled-code relocation relies on.
+func (vm *VM) registerNative(fn *value.Function) {
+	vm.nativeIDs[fn] = len(vm.natives)
+	vm.natives = append(vm.natives, fn)
 }
 
 func arg(args []value.Value, i int) value.Value {

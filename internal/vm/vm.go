@@ -58,6 +58,25 @@ type VM struct {
 	callDepth int
 	rng       uint64
 
+	// interrupt, when non-nil, is polled at every tier boundary (the single
+	// Call path). A non-nil error cancels execution: it propagates out like
+	// a runtime error, unwinding every tier. The serving pool uses it for
+	// per-request deadlines.
+	interrupt func() error
+
+	// natives registers every builtin function in creation order. Because
+	// installBuiltins is deterministic, the i-th native of one VM is the
+	// analogue of the i-th native of any other — the identity the serving
+	// layer uses to relocate compiled callee references between isolates.
+	natives   []*value.Function
+	nativeIDs map[*value.Function]int
+
+	// closures records the first function object created for each bytecode
+	// function. For top-level declarations (run once at setup) this is the
+	// unique instance, which is what makes compiled-code relocation between
+	// isolates of the same program sound.
+	closures map[*bytecode.Function]*value.Function
+
 	// Output collects print() lines so runs are checkable.
 	Output []string
 }
@@ -82,15 +101,29 @@ func New(cfg Config) *VM {
 	if cfg.RandomSeed == 0 {
 		cfg.RandomSeed = 0x9E3779B97F4A7C15
 	}
-	vm := &VM{
-		cfg:      cfg,
-		shapes:   value.NewShapeTable(),
-		profiles: make(map[*bytecode.Function]*profile.FunctionProfile),
-		rng:      cfg.RandomSeed,
-	}
+	vm := &VM{cfg: cfg}
+	vm.Reset()
+	return vm
+}
+
+// Reset returns the VM to its freshly constructed state under its original
+// configuration: a fresh shape table, global object, builtins, profiles, and
+// output, with the RNG re-seeded from Config.RandomSeed and the call depth
+// (bounded by Config.MaxCallDepth) cleared. A recycled isolate calls it so a
+// reused VM is indistinguishable from a new one — including the RandomSeed
+// and MaxCallDepth settings, which are part of cfg and survive verbatim.
+func (vm *VM) Reset() {
+	vm.shapes = value.NewShapeTable()
+	vm.profiles = make(map[*bytecode.Function]*profile.FunctionProfile)
+	vm.rng = vm.cfg.RandomSeed
+	vm.callDepth = 0
+	vm.counters.Reset()
+	vm.Output = nil
+	vm.natives = nil
+	vm.nativeIDs = make(map[*value.Function]int)
+	vm.closures = make(map[*bytecode.Function]*value.Function)
 	vm.globals = value.NewObject(vm.shapes)
 	vm.installBuiltins()
-	return vm
 }
 
 // SetJIT injects the speculative-tier backend.
@@ -119,6 +152,48 @@ func (vm *VM) ProfileFor(fn *bytecode.Function) *profile.FunctionProfile {
 		vm.profiles[fn] = p
 	}
 	return p
+}
+
+// SetProfile replaces fn's profile wholesale. The warm-start facility uses it
+// to install a snapshot's post-warmup feedback into a fresh isolate.
+func (vm *VM) SetProfile(fn *bytecode.Function, p *profile.FunctionProfile) {
+	vm.profiles[fn] = p
+}
+
+// EachProfile visits every allocated function profile (iteration order is
+// unspecified; callers needing determinism must sort).
+func (vm *VM) EachProfile(f func(*bytecode.Function, *profile.FunctionProfile)) {
+	for fn, p := range vm.profiles {
+		f(fn, p)
+	}
+}
+
+// SetInterrupt installs (or, with nil, removes) the tier-boundary poll used
+// to cancel execution: Call checks it on entry, so a pending cancellation
+// takes effect at the next tier transition rather than mid-loop.
+func (vm *VM) SetInterrupt(f func() error) { vm.interrupt = f }
+
+// NativeID returns the creation-order identity of a builtin function, which
+// is stable across VMs (installBuiltins is deterministic).
+func (vm *VM) NativeID(f *value.Function) (int, bool) {
+	id, ok := vm.nativeIDs[f]
+	return id, ok
+}
+
+// NativeByID returns the builtin with the given creation-order identity.
+func (vm *VM) NativeByID(id int) *value.Function {
+	if id < 0 || id >= len(vm.natives) {
+		return nil
+	}
+	return vm.natives[id]
+}
+
+// FunctionFor returns this VM's canonical function object for a bytecode
+// function: the first closure created over it (for top-level declarations,
+// the only one). It returns nil when the program defining code has not run
+// in this VM.
+func (vm *VM) FunctionFor(code *bytecode.Function) *value.Function {
+	return vm.closures[code]
 }
 
 // InTransaction reports whether a hardware transaction is currently open.
@@ -173,6 +248,11 @@ var errCallDepth = errors.New("maximum call depth exceeded")
 // Call invokes a function through the tiering machinery. This is the single
 // call path: every tier and every builtin routes function calls here.
 func (vm *VM) Call(fn *value.Function, this value.Value, args []value.Value) (value.Value, error) {
+	if vm.interrupt != nil {
+		if err := vm.interrupt(); err != nil {
+			return value.Undefined(), err
+		}
+	}
 	if vm.callDepth >= vm.cfg.MaxCallDepth {
 		return value.Undefined(), errCallDepth
 	}
@@ -236,6 +316,9 @@ func (vm *VM) MakeClosure(fn *bytecode.Function, env *value.Environment) value.V
 		Code:        fn,
 		Env:         env,
 		UsesClosure: fn.UsesClosure,
+	}
+	if _, ok := vm.closures[fn]; !ok {
+		vm.closures[fn] = f
 	}
 	return value.Obj(value.NewFunctionObject(vm.shapes, f))
 }

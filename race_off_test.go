@@ -1,0 +1,8 @@
+//go:build !race
+
+package nomap
+
+// raceDetectorEnabled mirrors the race build tag so the heaviest
+// differential matrices can scale themselves down under -race (the detector
+// costs ~10x; full coverage runs in the regular suite).
+const raceDetectorEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package nomap
+
+const raceDetectorEnabled = true
