@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"nomap/internal/harness"
+	"nomap/internal/jit"
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+	"nomap/internal/vm"
+	"nomap/internal/workloads"
+)
+
+// benchEntry is one workload's steady-state snapshot under Arch=NoMap.
+type benchEntry struct {
+	ID         string  `json:"id"`
+	Suite      string  `json:"suite"`
+	WallMS     float64 `json:"wall_ms"`
+	Cycles     int64   `json:"cycles"`
+	Instr      int64   `json:"instr"`
+	TxCommits  int64   `json:"tx_commits"`
+	TxAborts   int64   `json:"tx_aborts"`
+	Deopts     int64   `json:"deopts"`
+	OSREntries int64   `json:"osr_entries"`
+	Result     string  `json:"result"`
+}
+
+// benchFile is the BENCH_<n>.json schema: one record per PR so the perf
+// trajectory of the repo is recorded alongside the code.
+type benchFile struct {
+	Schema    int          `json:"schema"`
+	Arch      string       `json:"arch"`
+	Warmup    int          `json:"warmup"`
+	Measure   int          `json:"measure"`
+	Workloads []benchEntry `json:"workloads"`
+}
+
+// emitBenchJSON measures every suite under Arch=NoMap at TierFTL and writes
+// the snapshot to path. The OSR suite is measured differently on purpose:
+// one cold call, no warm-up and no counter reset, because the thing being
+// recorded is the mid-execution tier-up itself (OSREntries > 0 in the
+// snapshot proves the single call reached optimized code).
+func emitBenchJSON(path string, cfg harness.Config) error {
+	out := benchFile{Schema: 1, Arch: vm.ArchNoMap.String(), Warmup: cfg.Warmup, Measure: cfg.Measure}
+
+	var steady []workloads.Workload
+	steady = append(steady, workloads.SunSpider()...)
+	steady = append(steady, workloads.Kraken()...)
+	steady = append(steady, workloads.Adversarial()...)
+	for _, w := range steady {
+		start := time.Now()
+		m, err := harness.Run(w, vm.ArchNoMap, profile.TierFTL, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.ID, err)
+		}
+		out.Workloads = append(out.Workloads, snapshot(w, &m.Counters, m.Result, time.Since(start)))
+	}
+	for _, w := range workloads.OSREntry() {
+		e, err := coldCall(w, cfg)
+		if err != nil {
+			return err
+		}
+		out.Workloads = append(out.Workloads, e)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// coldCall runs a workload's setup plus exactly one run() invocation on a
+// fresh engine and snapshots the whole call, tier-up included.
+func coldCall(w workloads.Workload, cfg harness.Config) (benchEntry, error) {
+	vcfg := vm.DefaultConfig()
+	vcfg.Arch = vm.ArchNoMap
+	if cfg.Policy != (profile.Policy{}) {
+		vcfg.Policy = cfg.Policy
+	}
+	v := vm.New(vcfg)
+	jit.Attach(v)
+	if _, err := v.Run(w.Source); err != nil {
+		return benchEntry{}, fmt.Errorf("%s setup: %w", w.ID, err)
+	}
+	start := time.Now()
+	r, err := v.CallGlobal("run")
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("%s run: %w", w.ID, err)
+	}
+	return snapshot(w, v.Counters(), r.ToStringValue(), time.Since(start)), nil
+}
+
+func snapshot(w workloads.Workload, c *stats.Counters, result string, wall time.Duration) benchEntry {
+	return benchEntry{
+		ID:         w.ID,
+		Suite:      w.Suite,
+		WallMS:     float64(wall.Microseconds()) / 1000,
+		Cycles:     c.TotalCycles(),
+		Instr:      c.TotalInstr(),
+		TxCommits:  c.TxCommits,
+		TxAborts:   c.TxAborts,
+		Deopts:     c.Deopts,
+		OSREntries: c.OSREntries,
+		Result:     result,
+	}
+}

@@ -29,6 +29,9 @@ func main() {
 	parallel := flag.Int("parallel", 0,
 		"fan the benchmark suite across a K-worker isolate pool instead of running experiments; "+
 			"per-benchmark results are verified against a serial pass before any speedup is reported")
+	jsonOut := flag.String("json", "",
+		"write a BENCH_<n>.json perf snapshot (per-workload steady-state timings and counters "+
+			"under Arch=NoMap, plus cold single-call OSR workloads) to this path instead of running experiments")
 	verbose := flag.Bool("v", false, "print per-measurement progress")
 	flag.Parse()
 
@@ -43,6 +46,16 @@ func main() {
 	cfg := harness.DefaultConfig()
 	cfg.Warmup = *warmup
 	cfg.Measure = *measure
+
+	if *jsonOut != "" {
+		start := time.Now()
+		if err := emitBenchJSON(*jsonOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "nomap-bench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %.1fs\n", *jsonOut, time.Since(start).Seconds())
+		return
+	}
 	if *verbose {
 		cfg.Progress = func(w workloads.Workload, arch vm.Arch) {
 			fmt.Fprintf(os.Stderr, "  measured %s (%s) under %v\n", w.ID, w.Name, arch)

@@ -1,0 +1,73 @@
+// nomap-osr is the CI smoke check for mid-execution tier-up: a
+// single-invocation hot loop must reach optimized code through OSR entry
+// (OSREntries > 0 under Arch=NoMap with the full tier stack), must record
+// zero OSR entries when tier-up is capped at Baseline, and both runs must
+// produce the interpreter's exact result. Exits non-zero on any violation.
+//
+// Usage:
+//
+//	nomap-osr                       # singlecall workload
+//	nomap-osr -workload singlecall
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nomap/internal/jit"
+	"nomap/internal/profile"
+	"nomap/internal/vm"
+	"nomap/internal/workloads"
+)
+
+func main() {
+	id := flag.String("workload", "singlecall", "workload ID (single-invocation hot loop)")
+	flag.Parse()
+
+	w, ok := workloads.ByID(*id)
+	if !ok {
+		fail("unknown workload %q", *id)
+	}
+
+	run := func(arch vm.Arch, maxTier profile.Tier) (string, int64, int64) {
+		cfg := vm.DefaultConfig()
+		cfg.Arch = arch
+		cfg.MaxTier = maxTier
+		v := vm.New(cfg)
+		jit.Attach(v)
+		if _, err := v.Run(w.Source); err != nil {
+			fail("%s setup: %v", w.ID, err)
+		}
+		r, err := v.CallGlobal("run")
+		if err != nil {
+			fail("%s run: %v", w.ID, err)
+		}
+		c := v.Counters()
+		return r.ToStringValue(), c.OSREntries, c.TotalCycles()
+	}
+
+	interpRes, _, interpCycles := run(vm.ArchBase, profile.TierInterp)
+	nomapRes, nomapOSR, nomapCycles := run(vm.ArchNoMap, profile.TierFTL)
+	baseRes, baseOSR, _ := run(vm.ArchNoMap, profile.TierBaseline)
+
+	if nomapRes != interpRes {
+		fail("%s: NoMap result %q diverges from interpreter %q", w.ID, nomapRes, interpRes)
+	}
+	if baseRes != interpRes {
+		fail("%s: Baseline-capped result %q diverges from interpreter %q", w.ID, baseRes, interpRes)
+	}
+	if nomapOSR == 0 {
+		fail("%s: single call never OSR-entered optimized code under NoMap (OSREntries = 0)", w.ID)
+	}
+	if baseOSR != 0 {
+		fail("%s: Baseline-capped run recorded %d OSR entries, want 0", w.ID, baseOSR)
+	}
+	fmt.Printf("%s: %d OSR entries in one call, %d cycles vs %d interpreted (%.1fx), results identical\n",
+		w.ID, nomapOSR, nomapCycles, interpCycles, float64(interpCycles)/float64(nomapCycles))
+}
+
+func fail(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "nomap-osr: "+format+"\n", a...)
+	os.Exit(1)
+}

@@ -73,6 +73,11 @@ type Key struct {
 	KeepFP string
 	// ProfFP fingerprints the profile feedback consumed by the compile.
 	ProfFP uint64
+	// OSR is the artifact's OSR-entry loop-header pc, or -1 for an
+	// invocation-entry artifact. OSR artifacts are cached per header: the
+	// same function can have one invocation-entry artifact plus one OSR
+	// artifact per hot loop.
+	OSR int
 }
 
 // Stats is a point-in-time snapshot of cache activity (process-wide; the

@@ -208,7 +208,7 @@ func (s *ProfileSnap) Fingerprint() uint64 {
 	}
 	for i := range s.Elem {
 		f := &s.Elem[i]
-		flag(f.SawArray, f.SawNonArray, f.SawOOB, f.SawHole, f.SawNonInt, f.Count > 0)
+		flag(f.SawArray, f.SawNonArray, f.SawOOB, f.SawAppend, f.SawHole, f.SawNonInt, f.Count > 0)
 	}
 	flush()
 	for i := range s.Calls {

@@ -17,6 +17,20 @@ func Compile(fn *bytecode.Function, prof *profile.FunctionProfile) (*ir.Func, er
 	if err != nil {
 		return nil, err
 	}
+	return finish(f), nil
+}
+
+// CompileOSR builds a DFG-tier OSR-entry artifact entering at loop header
+// entryPC, with live state bound from the OSR frame's locals.
+func CompileOSR(fn *bytecode.Function, prof *profile.FunctionProfile, entryPC int) (*ir.Func, error) {
+	f, err := ir.BuildOSR(fn, prof, entryPC)
+	if err != nil {
+		return nil, err
+	}
+	return finish(f), nil
+}
+
+func finish(f *ir.Func) *ir.Func {
 	// The DFG tier runs local cleanups plus its check-removal phases:
 	// TypeCheckHoisting (modelled directly) and IntegerCheckCombining
 	// (modelled by the builder's block-local fact cache plus GVN) — both
@@ -24,5 +38,5 @@ func Compile(fn *bytecode.Function, prof *profile.FunctionProfile) (*ir.Func, er
 	opt.HoistTypeChecks(f)
 	opt.GVN(f)
 	opt.DCE(f)
-	return f, nil
+	return f
 }

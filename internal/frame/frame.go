@@ -1,0 +1,62 @@
+// Package frame defines the single materialized activation-record format
+// shared by every tier transfer in the engine. Before it existed the same
+// state was encoded three ways: the interpreter's resume frame, the
+// machine's stack-map materialization (RecoverState), and the OSR-entry
+// hand-off each grew their own {pc, register file} pair. A Frame is all of
+// them:
+//
+//   - OSR exit (deopt/abort): the machine materializes a Frame from a Stack
+//     Map Point (or the transaction's recovery entry) and the Baseline
+//     interpreter resumes it directly.
+//
+//   - OSR entry: the interpreter hands its live Frame at a hot loop header
+//     to the JIT, which binds the frame's locals to the OSR artifact's
+//     entry block and continues in optimized code.
+//
+// The engine's bytecode is register-based, so Locals subsumes the operand
+// stack: every partially evaluated expression lives in a numbered register
+// and the register file alone reconstructs the activation.
+//
+// A Frame also carries accumulated profile deltas (BackEdges) across tier
+// transfers, so loop-trip counting stays exact no matter how many times
+// execution bounces between tiers mid-loop: the machine counts back edges
+// locally (squashing counts from aborted transactions, whose iterations the
+// Baseline tier re-executes and re-counts) and the receiving tier folds the
+// delta into the function profile.
+package frame
+
+import (
+	"nomap/internal/bytecode"
+	"nomap/internal/value"
+)
+
+// Frame is one materialized activation record, positioned at PC with the
+// full register file in Locals. It is valid to resume in any bytecode tier
+// and to enter optimized code through an OSR-entry artifact compiled for
+// Fn at loop header PC.
+type Frame struct {
+	Fn     *bytecode.Function
+	PC     int
+	Locals []value.Value
+	Env    *value.Environment
+
+	// BackEdges is the number of loop back edges taken on behalf of this
+	// frame that have not yet been folded into the function profile. The
+	// tier that next owns the frame adds it to BackEdgeCount and zeroes it.
+	BackEdges int64
+}
+
+// New allocates a frame for fn at pc 0 with arguments installed in the
+// parameter registers and everything else undefined.
+func New(fn *bytecode.Function, env *value.Environment, args []value.Value) *Frame {
+	fr := &Frame{Fn: fn, Locals: make([]value.Value, fn.NumRegs), Env: env}
+	for i := range fr.Locals {
+		fr.Locals[i] = value.Undefined()
+	}
+	n := fn.NumParams
+	if len(args) < n {
+		n = len(args)
+	}
+	copy(fr.Locals[:n], args[:n])
+	return fr
+}

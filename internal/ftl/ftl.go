@@ -37,11 +37,25 @@ type Options struct {
 	// and after every pipeline pass (the oracle runs ir.Verify here to
 	// localize which pass broke an invariant).
 	PassHook func(pass string, f *ir.Func)
+	// OSR requests an OSR-entry artifact entering at loop header OSREntryPC
+	// instead of the invocation entry. The artifact's live state comes from
+	// OpOSRLocal values bound at machine.EnterAt; transaction formation
+	// places TxBegin in the synthetic entry block (the header's unique
+	// out-of-loop predecessor), so the loop transaction begins at the OSR
+	// entry under the same TxLevel rules as invocation-entry code.
+	OSR        bool
+	OSREntryPC int
 }
 
 // Compile builds FTL-tier code for fn under the given configuration.
 func Compile(fn *bytecode.Function, prof *profile.FunctionProfile, opts Options) (*ir.Func, error) {
-	f, err := ir.Build(fn, prof)
+	var f *ir.Func
+	var err error
+	if opts.OSR {
+		f, err = ir.BuildOSR(fn, prof, opts.OSREntryPC)
+	} else {
+		f, err = ir.Build(fn, prof)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -89,6 +89,14 @@ type Transfer struct {
 	// HadCalls reports whether the aborted transaction's function contained
 	// calls (§V-C: the callee is blamed for the overflow).
 	HadCalls bool
+	// OSR marks a transfer out of an OSR-entry artifact; OSRPC is its
+	// loop-header entry pc. The governor ledgers these per header — an
+	// OSR-entry site is a first-class abort site: a header that keeps
+	// ejecting execution back to Baseline stops being OSR-entered and the
+	// function falls back to promotion at the invocation boundary, with the
+	// same decay-based probationary re-enabling as check-site ledgers.
+	OSR   bool
+	OSRPC int
 }
 
 // Decision is the governor's verdict on one transfer (or clean run).
@@ -131,6 +139,11 @@ type funcState struct {
 	sinceDecay int64
 	keep       map[core.CheckSite]bool
 	sites      map[core.CheckSite]*siteLedger
+	// osrAborts ledgers transfers (aborts and plain deopts) out of OSR
+	// artifacts per loop-header entry pc; osrOff disables OSR entry at a
+	// header whose ledger crossed the budget.
+	osrAborts map[int]int64
+	osrOff    map[int]bool
 }
 
 // Governor owns per-function recovery state. It is deliberately keyed by
@@ -157,11 +170,13 @@ func (g *Governor) state(fn string) *funcState {
 	st, ok := g.fns[fn]
 	if !ok {
 		st = &funcState{
-			level:  core.TxLoopNest,
-			proven: core.TxLoopNest,
-			window: g.pol.RepromoteWindow,
-			keep:   make(map[core.CheckSite]bool),
-			sites:  make(map[core.CheckSite]*siteLedger),
+			level:     core.TxLoopNest,
+			proven:    core.TxLoopNest,
+			window:    g.pol.RepromoteWindow,
+			keep:      make(map[core.CheckSite]bool),
+			sites:     make(map[core.CheckSite]*siteLedger),
+			osrAborts: make(map[int]int64),
+			osrOff:    make(map[int]bool),
 		}
 		g.fns[fn] = st
 	}
@@ -221,8 +236,48 @@ func raise(l core.TxLevel, allowTiling bool) core.TxLevel {
 	return l
 }
 
+// OSRAllowed reports whether the governor permits OSR entry into fn at the
+// given loop-header pc. It is true until the header's transfer ledger
+// crosses the check-abort budget, and becomes true again once ledger decay
+// drains it.
+func (g *Governor) OSRAllowed(fn string, pc int) bool {
+	st, ok := g.fns[fn]
+	if !ok {
+		return true
+	}
+	return !st.osrOff[pc]
+}
+
 // OnTransfer reacts to one abort or OSR exit surfacing in fn's frame.
 func (g *Governor) OnTransfer(t Transfer) Decision {
+	dec := g.transferDecision(t)
+	if t.OSR {
+		// OSR-entry sites are first-class abort sites: every transfer out of
+		// an OSR artifact — abort or plain deopt — charges its header's
+		// ledger. Past the budget, entering optimized code mid-loop has cost
+		// more than it saved; disable the header so the function promotes at
+		// the invocation boundary instead.
+		st := g.state(t.Fn)
+		st.osrAborts[t.OSRPC]++
+		if !st.osrOff[t.OSRPC] && st.osrAborts[t.OSRPC] >= g.pol.CheckAbortBudget {
+			st.osrOff[t.OSRPC] = true
+			dec.Recompile = true
+			found := false
+			for _, n := range dec.Drop {
+				if n == t.Fn {
+					found = true
+					break
+				}
+			}
+			if !found {
+				dec.Drop = append(dec.Drop, t.Fn)
+			}
+		}
+	}
+	return dec
+}
+
+func (g *Governor) transferDecision(t Transfer) Decision {
 	if g.pol.Legacy {
 		st := g.state(t.Fn)
 		if t.Aborted && t.Cause == htm.AbortCapacity {
@@ -327,6 +382,18 @@ func (g *Governor) OnClean(fn string, commits int64) Decision {
 				delete(st.sites, s)
 			}
 		}
+		// OSR-entry ledgers decay on the same schedule; a drained ledger
+		// re-enables the header (probationary re-promotion: the next hot
+		// run gets one more chance to enter mid-loop).
+		for pc, n := range st.osrAborts {
+			n /= 2
+			if n == 0 {
+				delete(st.osrAborts, pc)
+				delete(st.osrOff, pc)
+			} else {
+				st.osrAborts[pc] = n
+			}
+		}
 	}
 
 	if g.pol.Legacy || st.pinned {
@@ -364,6 +431,13 @@ type SiteSnap struct {
 	Deopts int64
 }
 
+// OSRSnap is one OSR-entry header's ledger in a snapshot or report.
+type OSRSnap struct {
+	PC     int
+	Aborts int64
+	Off    bool
+}
+
 // FuncSnap is one function's complete governor state in portable form: plain
 // data keyed by function name and bytecode check site, valid across isolates
 // of the same program.
@@ -380,6 +454,7 @@ type FuncSnap struct {
 	SinceDecay int64
 	Keep       []core.CheckSite
 	Sites      []SiteSnap
+	OSR        []OSRSnap
 }
 
 // Snapshot is the governor's exported ledger state, deterministically
@@ -413,6 +488,7 @@ func (g *Governor) Export() Snapshot {
 			fs.Sites = append(fs.Sites, SiteSnap{Site: s, Aborts: l.aborts, Deopts: l.deopts})
 		}
 		sort.Slice(fs.Sites, func(i, j int) bool { return siteLess(fs.Sites[i].Site, fs.Sites[j].Site) })
+		fs.OSR = osrSnaps(st)
 		snap = append(snap, fs)
 	}
 	return snap
@@ -431,12 +507,20 @@ func (g *Governor) Restore(snap Snapshot) {
 			sinceDecay: fs.SinceDecay,
 			keep:       make(map[core.CheckSite]bool, len(fs.Keep)),
 			sites:      make(map[core.CheckSite]*siteLedger, len(fs.Sites)),
+			osrAborts:  make(map[int]int64, len(fs.OSR)),
+			osrOff:     make(map[int]bool),
 		}
 		for _, s := range fs.Keep {
 			st.keep[s] = true
 		}
 		for _, ss := range fs.Sites {
 			st.sites[ss.Site] = &siteLedger{aborts: ss.Aborts, deopts: ss.Deopts}
+		}
+		for _, os := range fs.OSR {
+			st.osrAborts[os.PC] = os.Aborts
+			if os.Off {
+				st.osrOff[os.PC] = true
+			}
 		}
 		g.fns[fs.Fn] = st
 	}
@@ -472,6 +556,27 @@ type FuncReport struct {
 	Window       int64
 	Progress     int64
 	Sites        []SiteStat
+	OSR          []OSRSnap
+}
+
+// osrSnaps renders a function's OSR-entry ledgers, ordered by header pc.
+func osrSnaps(st *funcState) []OSRSnap {
+	if len(st.osrAborts) == 0 && len(st.osrOff) == 0 {
+		return nil
+	}
+	pcs := make(map[int]bool, len(st.osrAborts))
+	for pc := range st.osrAborts {
+		pcs[pc] = true
+	}
+	for pc := range st.osrOff {
+		pcs[pc] = true
+	}
+	out := make([]OSRSnap, 0, len(pcs))
+	for pc := range pcs {
+		out = append(out, OSRSnap{PC: pc, Aborts: st.osrAborts[pc], Off: st.osrOff[pc]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PC < out[j].PC })
+	return out
 }
 
 // Report renders the full governor state, deterministically ordered.
@@ -499,6 +604,7 @@ func (g *Governor) Report() []FuncReport {
 			}
 			return a.Class < b.Class
 		})
+		r.OSR = osrSnaps(st)
 		out = append(out, r)
 	}
 	return out

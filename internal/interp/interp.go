@@ -2,15 +2,19 @@
 // (tier 0) and the Baseline "compiler" (tier 1). Both run the same bytecode;
 // the Baseline tier adds inline caches, type-feedback recording, and a lower
 // per-op instruction cost, modelling the Baseline JIT's templated machine
-// code. The Baseline executor can start at an arbitrary pc with a
-// materialized register file — that is the OSR-exit (deoptimization) entry
-// path used by the DFG and FTL tiers (paper §II-B).
+// code. Both executors run frame.Frame activation records and can start at an
+// arbitrary pc with a materialized register file — that is the OSR-exit
+// (deoptimization) entry path used by the DFG and FTL tiers (paper §II-B).
+// The inverse transfer also originates here: every 64 loop back edges the
+// executor offers its live frame to the host's OSREntry hook, which may jump
+// into an optimized OSR artifact without returning to the caller.
 package interp
 
 import (
 	"fmt"
 
 	"nomap/internal/bytecode"
+	"nomap/internal/frame"
 	"nomap/internal/profile"
 	"nomap/internal/stats"
 	"nomap/internal/value"
@@ -41,6 +45,13 @@ type Host interface {
 	// InTransaction reports whether a hardware transaction is active, so
 	// cycles executed here are attributed to TMTime (paper Figures 10/11).
 	InTransaction() bool
+	// OSREntry offers the live frame, stopped at a loop-header pc, for
+	// on-stack replacement into a hotter tier. done=true means the host
+	// consumed the frame and ran it to completion (res is the function's
+	// result); otherwise execution continues here at newTier (which is >=
+	// tier: the host may escalate Interpreter to Baseline in place so type
+	// feedback accrues before an optimizing OSR compile).
+	OSREntry(fr *frame.Frame, tier profile.Tier) (res value.Value, done bool, newTier profile.Tier, err error)
 }
 
 // RuntimeError is a JavaScript-level runtime error (TypeError-like).
@@ -54,38 +65,26 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("runtime error in %s (line %d): %s", e.Fn, e.Line, e.Msg)
 }
 
-// Frame is an activation record. Regs is the canonical deopt state.
-type Frame struct {
-	Fn   *bytecode.Function
-	Regs []value.Value
-	Env  *value.Environment
-	PC   int
-}
-
-// NewFrame allocates a frame for fn with arguments installed and captured
-// parameters copied into cells by the function prologue bytecode.
-func NewFrame(fn *bytecode.Function, env *value.Environment, args []value.Value) *Frame {
-	fr := &Frame{Fn: fn, Regs: make([]value.Value, fn.NumRegs), Env: env}
-	for i := range fr.Regs {
-		fr.Regs[i] = value.Undefined()
-	}
-	n := fn.NumParams
-	if len(args) < n {
-		n = len(args)
-	}
-	copy(fr.Regs[:n], args[:n])
-	return fr
-}
+// osrPollMask throttles the OSR-entry poll: the host hook runs once every 64
+// loop back edges, and only outside transactions (an OSR transfer would
+// invalidate the open transaction's recovery entry).
+const osrPollMask = 63
 
 // Exec runs fr from fr.PC until a return, under the given tier's cost model.
-func Exec(h Host, fr *Frame, tier profile.Tier) (value.Value, error) {
+// The activation record is the cross-tier frame.Frame: the same value a
+// deopting speculative tier materializes, and the same value OSR entry hands
+// back out.
+func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 	fn := fr.Fn
 	code := fn.Code
-	regs := fr.Regs
+	regs := fr.Locals
 	baseline := tier != profile.TierInterp
-	var prof *profile.FunctionProfile
-	if baseline {
-		prof = h.ProfileFor(fn)
+	prof := h.ProfileFor(fn)
+	if fr.BackEdges != 0 {
+		// Fold the back-edge delta carried over from the tier that handed
+		// the frame to us (machine deopt or abort recovery).
+		prof.AddBackEdges(fr.BackEdges)
+		fr.BackEdges = 0
 	}
 	ctrs := h.Counters()
 	inTx := h.InTransaction()
@@ -186,10 +185,25 @@ func Exec(h Host, fr *Frame, tier profile.Tier) (value.Value, error) {
 
 		case bytecode.OpJump:
 			if int(in.A) <= fr.PC { // loop back edge
-				if baseline {
-					prof.BackEdgeCount++
-				}
+				prof.BackEdgeCount++
 				instrs++
+				fr.PC = int(in.A)
+				if prof.BackEdgeCount&osrPollMask == 0 && !inTx {
+					flush()
+					res, done, newTier, err := h.OSREntry(fr, tier)
+					if err != nil {
+						return value.Undefined(), err
+					}
+					if done {
+						return res, nil
+					}
+					if newTier != tier {
+						tier = newTier
+						baseline = tier != profile.TierInterp
+					}
+					inTx = h.InTransaction()
+				}
+				continue
 			}
 			fr.PC = int(in.A)
 			continue
@@ -495,13 +509,13 @@ func getElem(prof *profile.FunctionProfile, baseline bool, obj, idx value.Value,
 			inBounds := o.InBounds(i)
 			hole := inBounds && o.HasHoleAt(i)
 			if baseline {
-				prof.Elem[pc].Observe(obj, idx, inBounds, hole)
+				prof.Elem[pc].Observe(obj, idx, inBounds, false, hole)
 			}
 			return o.GetElement(i), elemCost, nil
 		}
 	}
 	if baseline {
-		prof.Elem[pc].Observe(obj, idx, false, false)
+		prof.Elem[pc].Observe(obj, idx, false, false, false)
 	}
 	return o.Get(idx.ToStringValue()), elemCost + propMissCost, nil
 }
@@ -517,14 +531,14 @@ func setElem(prof *profile.FunctionProfile, baseline bool, obj, idx, v value.Val
 		if float64(i) == fi && i >= 0 {
 			inBounds := o.InBounds(i)
 			if baseline {
-				prof.Elem[pc].Observe(obj, idx, inBounds, false)
+				prof.Elem[pc].Observe(obj, idx, inBounds, !inBounds && i == o.ElementCount(), false)
 			}
 			o.SetElement(i, v)
 			return elemCost, nil
 		}
 	}
 	if baseline {
-		prof.Elem[pc].Observe(obj, idx, false, false)
+		prof.Elem[pc].Observe(obj, idx, false, false, false)
 	}
 	o.Set(idx.ToStringValue(), v)
 	return elemCost + propMissCost, nil

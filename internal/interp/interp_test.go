@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nomap/internal/bytecode"
+	"nomap/internal/frame"
 	"nomap/internal/interp"
 	"nomap/internal/profile"
 	"nomap/internal/value"
@@ -228,20 +229,20 @@ func TestExecFromArbitraryPC(t *testing.T) {
 	if mulPC < 0 {
 		t.Fatal("no multiply found")
 	}
-	fr := &interp.Frame{
-		Fn:   bcFn,
-		Regs: make([]value.Value, bcFn.NumRegs),
-		PC:   mulPC,
+	fr := &frame.Frame{
+		Fn:     bcFn,
+		Locals: make([]value.Value, bcFn.NumRegs),
+		PC:     mulPC,
 	}
-	for i := range fr.Regs {
-		fr.Regs[i] = value.Undefined()
+	for i := range fr.Locals {
+		fr.Locals[i] = value.Undefined()
 	}
 	// The multiply reads the register holding c and a constant-2 temp; set
 	// every register to 21 so whichever registers it reads yield 21*21 or
 	// 21*2. Instead, emulate precisely: read the instruction's operands.
 	in := bcFn.Code[mulPC]
-	fr.Regs[in.B] = value.Int(21)
-	fr.Regs[in.C] = value.Int(2)
+	fr.Locals[in.B] = value.Int(21)
+	fr.Locals[in.C] = value.Int(2)
 	res, err := interp.Exec(v, fr, profile.TierBaseline)
 	if err != nil {
 		t.Fatal(err)

@@ -20,6 +20,25 @@ import (
 // Build returns an error for functions the speculative tiers decline
 // (closure users); the VM keeps those in Baseline.
 func Build(bc *bytecode.Function, prof *profile.FunctionProfile) (*Func, error) {
+	return build(bc, prof, -1)
+}
+
+// BuildOSR constructs an OSR-entry artifact for bc: SSA covering only the
+// bytecode reachable from the loop header at entryPC, whose synthetic entry
+// block defines every bytecode register as an OpOSRLocal bound from the
+// incoming frame's locals (instead of OpParam values). The entry block falls
+// through to the loop header, so for a reducible hot loop it is the header's
+// unique out-of-loop predecessor — which is exactly where NoMap's transaction
+// formation places TxBegin, making the loop transaction begin at the OSR
+// entry itself.
+func BuildOSR(bc *bytecode.Function, prof *profile.FunctionProfile, entryPC int) (*Func, error) {
+	if entryPC <= 0 || entryPC >= len(bc.Code) {
+		return nil, &UnsupportedError{Fn: bc.Name, Reason: fmt.Sprintf("OSR entry pc %d out of range", entryPC)}
+	}
+	return build(bc, prof, entryPC)
+}
+
+func build(bc *bytecode.Function, prof *profile.FunctionProfile, osrPC int) (*Func, error) {
 	if bc.UsesClosure {
 		return nil, &UnsupportedError{Fn: bc.Name, Reason: "uses closures; pinned to Baseline"}
 	}
@@ -27,11 +46,13 @@ func Build(bc *bytecode.Function, prof *profile.FunctionProfile) (*Func, error) 
 		bc:         bc,
 		prof:       prof,
 		f:          NewFunc(bc.Name, bc),
+		osrPC:      osrPC,
 		defs:       make(map[*Block]map[int]*Value),
 		sealed:     make(map[*Block]bool),
 		filled:     make(map[*Block]bool),
 		incomplete: make(map[*Block]map[int]*Value),
 	}
+	b.f.OSREntryPC = osrPC
 	if err := b.run(); err != nil {
 		return nil, err
 	}
@@ -42,6 +63,11 @@ type builder struct {
 	bc   *bytecode.Function
 	prof *profile.FunctionProfile
 	f    *Func
+
+	// osrPC is the OSR-entry loop-header pc, or -1 for a normal build. An
+	// OSR build only materializes leaders reachable from osrPC, and its
+	// synthetic entry defines OSR locals instead of parameters.
+	osrPC int
 
 	leaders  []int          // sorted leader pcs
 	blockAt  map[int]*Block // leader pc -> block
@@ -69,9 +95,16 @@ type builder struct {
 
 func (b *builder) run() error {
 	b.findLeaders()
+	if b.osrPC >= 0 && !containsInt(b.leaders, b.osrPC) {
+		// An OSR entry is the target of a backward jump, so it must be a
+		// block leader; anything else is a caller bug.
+		return &UnsupportedError{Fn: b.bc.Name, Reason: fmt.Sprintf("OSR entry pc %d is not a block leader", b.osrPC)}
+	}
 	b.buildCFG()
 
-	// Synthetic entry holding parameters and initial undefined registers.
+	// Synthetic entry holding the initial register state: parameters plus
+	// undefined for a normal build, the incoming frame's locals (as
+	// OpOSRLocal values) for an OSR-entry build.
 	entry := b.f.Blocks[len(b.f.Blocks)-1] // created last in buildCFG
 	b.f.Entry = entry
 	b.sealed[entry] = true
@@ -79,23 +112,45 @@ func (b *builder) run() error {
 	b.defs[entry] = make(map[int]*Value)
 	b.undef = entry.NewValue(OpConst, TypeGeneric)
 	b.undef.AuxVal = value.Undefined()
-	for i := 0; i < b.bc.NumParams; i++ {
-		p := entry.NewValue(OpParam, TypeGeneric)
-		p.AuxInt = int64(i)
-		b.defs[entry][i] = p
+	if b.osrPC >= 0 {
+		for i := 0; i < b.bc.NumRegs; i++ {
+			p := entry.NewValue(OpOSRLocal, TypeGeneric)
+			p.AuxInt = int64(i)
+			b.defs[entry][i] = p
+		}
+		b.maybeSeal(b.blockAt[b.osrPC])
+	} else {
+		for i := 0; i < b.bc.NumParams; i++ {
+			p := entry.NewValue(OpParam, TypeGeneric)
+			p.AuxInt = int64(i)
+			b.defs[entry][i] = p
+		}
+		for i := b.bc.NumParams; i < b.bc.NumRegs; i++ {
+			b.defs[entry][i] = b.undef
+		}
+		b.maybeSeal(b.blockAt[0])
 	}
-	for i := b.bc.NumParams; i < b.bc.NumRegs; i++ {
-		b.defs[entry][i] = b.undef
-	}
-	b.maybeSeal(b.blockAt[0])
 
 	for _, leader := range b.leaders {
-		if err := b.fillBlock(b.blockAt[leader], leader); err != nil {
+		blk := b.blockAt[leader]
+		if blk == nil {
+			continue // leader not reachable from the OSR entry
+		}
+		if err := b.fillBlock(blk, leader); err != nil {
 			return err
 		}
 	}
 	b.removeTrivialPhis()
 	return nil
+}
+
+func containsInt(a []int, x int) bool {
+	for _, v := range a {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 func (b *builder) findLeaders() {
@@ -129,13 +184,27 @@ func sortInts(a []int) {
 }
 
 func (b *builder) buildCFG() {
+	// An OSR build only materializes the leaders reachable from the entry
+	// header; code before the loop (and anything else unreachable from it)
+	// never gets a block, which keeps the artifact free of dangling phis.
+	first := 0
+	if b.osrPC >= 0 {
+		first = b.osrPC
+	}
+	reach := b.reachableLeaders(first)
+
 	b.blockAt = make(map[int]*Block, len(b.leaders))
 	b.blockEnd = make(map[*Block]int, len(b.leaders))
 	for _, pc := range b.leaders {
-		b.blockAt[pc] = b.f.NewBlock()
+		if reach[pc] {
+			b.blockAt[pc] = b.f.NewBlock()
+		}
 	}
 	for i, pc := range b.leaders {
 		blk := b.blockAt[pc]
+		if blk == nil {
+			continue
+		}
 		end := len(b.bc.Code)
 		if i+1 < len(b.leaders) {
 			end = b.leaders[i+1]
@@ -146,6 +215,11 @@ func (b *builder) buildCFG() {
 		case bytecode.OpJump:
 			blk.Kind = BlockPlain
 			AddEdge(blk, b.blockAt[int(last.A)])
+			if int(last.A) <= end-1 {
+				// Backward unconditional jump: the loop back edges the
+				// bytecode tiers count; the machine counts them here too.
+				blk.BackEdge = true
+			}
 		case bytecode.OpJumpIfTrue:
 			blk.Kind = BlockIf
 			AddEdge(blk, b.blockAt[int(last.B)]) // taken when true
@@ -167,7 +241,44 @@ func (b *builder) buildCFG() {
 		}
 	}
 	entry := b.f.NewBlock()
-	AddEdge(entry, b.blockAt[0])
+	AddEdge(entry, b.blockAt[first])
+}
+
+// reachableLeaders computes the leader pcs reachable from the leader at
+// `from` by walking bytecode control flow block-by-block.
+func (b *builder) reachableLeaders(from int) map[int]bool {
+	succs := make(map[int][]int, len(b.leaders))
+	for i, pc := range b.leaders {
+		end := len(b.bc.Code)
+		if i+1 < len(b.leaders) {
+			end = b.leaders[i+1]
+		}
+		last := b.bc.Code[end-1]
+		switch last.Op {
+		case bytecode.OpJump:
+			succs[pc] = []int{int(last.A)}
+		case bytecode.OpJumpIfTrue, bytecode.OpJumpIfFalse:
+			succs[pc] = []int{int(last.B), end}
+		case bytecode.OpReturn:
+		default:
+			if end < len(b.bc.Code) {
+				succs[pc] = []int{end}
+			}
+		}
+	}
+	reach := map[int]bool{from: true}
+	work := []int{from}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range succs[pc] {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return reach
 }
 
 // --- Braun SSA construction ---
@@ -770,7 +881,14 @@ func (b *builder) setElem(in bytecode.Instr) error {
 	if fb.FastArray() && !fb.SawOOB {
 		b.ensureArray(obj)
 		idx = b.ensureInt32(idx)
-		b.emitCheck(OpCheckBounds, stats.CheckBounds, obj, idx)
+		if fb.SawAppend {
+			// Sequential-growth sites: the store op itself elongates the
+			// array, so a full bounds check would fail on every append. Only
+			// negative indices must bail (they are named-property stores).
+			b.emitCheck(OpCheckNonNeg, stats.CheckBounds, idx)
+		} else {
+			b.emitCheck(OpCheckBounds, stats.CheckBounds, obj, idx)
+		}
 		b.emit(OpStoreElem, TypeNone, obj, idx, src)
 		return nil
 	}

@@ -14,11 +14,12 @@ func (f *Func) Clone() (*Func, map[*Value]*Value) {
 		nextValueID: f.nextValueID,
 		nextBlockID: f.nextBlockID,
 		TxAware:     f.TxAware,
+		OSREntryPC:  f.OSREntryPC,
 	}
 	bmap := make(map[*Block]*Block, len(f.Blocks))
 	vmap := make(map[*Value]*Value, f.nextValueID)
 	for _, b := range f.Blocks {
-		nb := &Block{ID: b.ID, Kind: b.Kind, StartPC: b.StartPC, Fn: nf}
+		nb := &Block{ID: b.ID, Kind: b.Kind, StartPC: b.StartPC, BackEdge: b.BackEdge, Fn: nf}
 		bmap[b] = nb
 		nf.Blocks = append(nf.Blocks, nb)
 	}

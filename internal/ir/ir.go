@@ -142,6 +142,11 @@ type Block struct {
 	// StartPC is the bytecode pc of the block's first instruction (-1 for
 	// synthetic blocks).
 	StartPC int
+	// BackEdge marks a block whose bytecode terminator is a backward
+	// unconditional jump — the loop back edges the bytecode tiers count in
+	// BackEdgeCount. The machine counts the same edges when leaving such a
+	// block so loop-trip profiling stays consistent across tiers.
+	BackEdge bool
 	// EntryState is the Baseline register state at block entry, captured at
 	// construction. NoMap's transaction formation derives its recovery
 	// stack maps from loop headers' entry states. Valid until DCE runs.
@@ -162,11 +167,17 @@ type Func struct {
 
 	// TxAware is set once NoMap has formed transactions in this function.
 	TxAware bool
+
+	// OSREntryPC is the bytecode loop-header pc this artifact enters at, or
+	// -1 for a normal (invocation-entry) compilation. OSR-entry artifacts
+	// take their live state from OpOSRLocal values bound at machine.EnterAt
+	// instead of OpParam values.
+	OSREntryPC int
 }
 
 // NewFunc creates an empty function for source fn.
 func NewFunc(name string, source *bytecode.Function) *Func {
-	return &Func{Name: name, Source: source}
+	return &Func{Name: name, Source: source, OSREntryPC: -1}
 }
 
 // NewBlock appends a fresh block.
@@ -235,7 +246,7 @@ func (v *Value) String() string {
 	switch v.Op {
 	case OpConst:
 		fmt.Fprintf(&sb, " %s", v.AuxVal.ToStringValue())
-	case OpParam:
+	case OpParam, OpOSRLocal:
 		fmt.Fprintf(&sb, " #%d", v.AuxInt)
 	case OpCmpInt, OpCmpDouble:
 		fmt.Fprintf(&sb, ".%s", Cmp(v.AuxInt))

@@ -9,8 +9,9 @@ const (
 	OpInvalid Op = iota
 
 	// Values.
-	OpConst // AuxVal
-	OpParam // AuxInt = parameter index
+	OpConst    // AuxVal
+	OpParam    // AuxInt = parameter index
+	OpOSRLocal // AuxInt = bytecode register index; bound from the OSR-entry frame
 
 	// Int32 arithmetic. Add/Sub/Mul may overflow: they set the (sticky)
 	// overflow flag and are guarded by OpCheckOverflow unless NoMap's SOF
@@ -58,6 +59,7 @@ const (
 	OpCheckShape    // arg obj; Shape; class Property
 	OpCheckArray    // arg generic; class Type
 	OpCheckBounds   // args (array, index); class Bounds
+	OpCheckNonNeg   // arg index; class Bounds (append stores: growth is legal, negatives are not)
 	OpCheckOverflow // arg int arith result; class Overflow
 	OpCheckUint32   // arg UShr result; class Overflow
 	OpCheckHole     // arg raw element; class Other
@@ -104,6 +106,7 @@ var opInfos = [numIROps]opInfo{
 	OpInvalid:         {name: "invalid"},
 	OpConst:           {name: "const", pure: true},
 	OpParam:           {name: "param", pure: true},
+	OpOSRLocal:        {name: "osrlocal", pure: true},
 	OpAddInt:          {name: "addi", pure: true},
 	OpSubInt:          {name: "subi", pure: true},
 	OpMulInt:          {name: "muli", pure: true},
@@ -136,6 +139,7 @@ var opInfos = [numIROps]opInfo{
 	OpCheckShape:      {name: "chkshape", check: true, memRead: true},
 	OpCheckArray:      {name: "chkarr", check: true},
 	OpCheckBounds:     {name: "chkbounds", check: true, memRead: true},
+	OpCheckNonNeg:     {name: "chknonneg", check: true},
 	OpCheckOverflow:   {name: "chkovf", check: true},
 	OpCheckUint32:     {name: "chku32", check: true},
 	OpCheckHole:       {name: "chkhole", check: true},

@@ -12,6 +12,7 @@ import (
 	"nomap/internal/codecache"
 	"nomap/internal/core"
 	"nomap/internal/dfg"
+	"nomap/internal/frame"
 	"nomap/internal/ftl"
 	"nomap/internal/governor"
 	"nomap/internal/htm"
@@ -24,13 +25,27 @@ import (
 	"nomap/internal/vm"
 )
 
+// codeKey identifies one cached artifact: a function compiled either at its
+// invocation entry (osr == -1) or as an OSR artifact entering at loop header
+// osr. The same function can hold both simultaneously.
+type codeKey struct {
+	fn  *bytecode.Function
+	osr int
+}
+
 // Backend implements vm.JITBackend.
 type Backend struct {
 	mach     *machine.Machine
-	code     map[*bytecode.Function]*unit
+	code     map[codeKey]*unit
 	gov      *governor.Governor
 	arch     vm.Arch
 	passHook func(pass string, f *ir.Func)
+
+	// osrFailed records (function, header) pairs whose OSR compile failed.
+	// An unsupported OSR region says nothing about the whole function — the
+	// invocation-entry compile may still succeed — so the failure is scoped
+	// here instead of profile.JITUnsupported.
+	osrFailed map[codeKey]bool
 
 	// cache, when set, is the serving layer's shared compiled-code cache;
 	// realm is the owning VM's naming context used to relocate cached
@@ -47,6 +62,9 @@ type unit struct {
 	txLevel core.TxLevel
 }
 
+// mainKey keys the invocation-entry artifact of fn.
+func mainKey(fn *bytecode.Function) codeKey { return codeKey{fn: fn, osr: -1} }
+
 // Attach creates a backend for v (selecting lightweight ROT or heavyweight
 // RTM per the configured architecture) and installs it.
 func Attach(v *vm.VM) *Backend {
@@ -55,12 +73,13 @@ func Attach(v *vm.VM) *Backend {
 		cfg = htm.RTMConfig()
 	}
 	b := &Backend{
-		mach:   machine.New(v, cfg),
-		code:   make(map[*bytecode.Function]*unit),
-		gov:    governor.New(governor.DefaultPolicy(!v.Config().Arch.HeavyweightHTM())),
-		arch:   v.Config().Arch,
-		realm:  v,
-		policy: v.Config().Policy,
+		mach:      machine.New(v, cfg),
+		code:      make(map[codeKey]*unit),
+		osrFailed: make(map[codeKey]bool),
+		gov:       governor.New(governor.DefaultPolicy(!v.Config().Arch.HeavyweightHTM())),
+		arch:      v.Config().Arch,
+		realm:     v,
+		policy:    v.Config().Policy,
 	}
 	v.SetJIT(b)
 	return b
@@ -82,10 +101,16 @@ func (b *Backend) Governor() *governor.Governor { return b.gov }
 
 // SetGovernorPolicy replaces the governor (and all its ledgers) with a fresh
 // one under the given policy — used by the nomap-governor tool and the
-// harness recovery experiments to A/B the legacy policy.
+// harness recovery experiments to A/B the legacy policy. Like Reset, it also
+// returns the simulated hardware to its initial condition: leaving the old
+// policy's cache warmth and HTM counter state in place would attribute them
+// to the new policy's run, skewing every A/B comparison that switches policy
+// on a live backend.
 func (b *Backend) SetGovernorPolicy(p governor.Policy) {
 	b.gov = governor.New(p)
-	b.code = make(map[*bytecode.Function]*unit)
+	b.code = make(map[codeKey]*unit)
+	b.osrFailed = make(map[codeKey]bool)
+	b.mach.ResetState()
 }
 
 // Reset discards all cached code, governor state, and simulated hardware
@@ -94,7 +119,8 @@ func (b *Backend) SetGovernorPolicy(p governor.Policy) {
 // it so an injected fault in one run cannot change policy decisions — or
 // cache warmth — in the next.
 func (b *Backend) Reset() {
-	b.code = make(map[*bytecode.Function]*unit)
+	b.code = make(map[codeKey]*unit)
+	b.osrFailed = make(map[codeKey]bool)
 	b.gov.Reset()
 	b.mach.ResetState()
 }
@@ -130,7 +156,8 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 	if !ok || prof.JITUnsupported {
 		return value.Undefined(), false, nil
 	}
-	u := b.code[bcFn]
+	key := mainKey(bcFn)
+	u := b.code[key]
 	if u == nil || u.tier != tier {
 		u2, compiled, err := b.compile(bcFn, prof, tier, v.Counters())
 		if err != nil {
@@ -148,7 +175,7 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 			return value.Undefined(), false, nil
 		}
 		u = u2
-		b.code[bcFn] = u
+		b.code[key] = u
 		if compiled {
 			v.Counters().Compilations[tier]++
 			b.mach.Emit(machine.Event{Kind: machine.EventCompile, Fn: bcFn.Name, Tier: tier})
@@ -188,12 +215,80 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 		b.apply(dec, prof)
 	} else {
 		prof.Deopts++
-		delete(b.code, bcFn)
+		delete(b.code, key)
 	}
 
-	env := value.NewEnvironment(fn.Env, bcFn.NumCells)
-	fr := &interp.Frame{Fn: bcFn, Regs: deopt.Regs, Env: env, PC: deopt.PC}
+	fr := deopt.Frame
+	fr.Env = value.NewEnvironment(fn.Env, bcFn.NumCells)
 	out, err := interp.Exec(v, fr, profile.TierBaseline)
+	return out, true, err
+}
+
+// ExecuteOSR enters optimized code mid-loop: fr is a live bytecode frame
+// stopped at a hot loop header. The backend compiles (or reuses) an OSR
+// artifact with its entry at that header, binds fr's locals to its
+// OpOSRLocal values through machine.EnterAt, and runs to completion —
+// including the Baseline resume after any deopt or abort. handled=false
+// declines and leaves fr untouched for the bytecode tiers.
+func (b *Backend) ExecuteOSR(v *vm.VM, fr *frame.Frame, prof *profile.FunctionProfile, tier profile.Tier) (value.Value, bool, error) {
+	bcFn := fr.Fn
+	if prof.JITUnsupported || !b.gov.OSRAllowed(bcFn.Name, fr.PC) {
+		return value.Undefined(), false, nil
+	}
+	key := codeKey{fn: bcFn, osr: fr.PC}
+	if b.osrFailed[key] {
+		return value.Undefined(), false, nil
+	}
+	u := b.code[key]
+	if u == nil || u.tier != tier {
+		u2, compiled, err := b.compileOSR(bcFn, prof, tier, fr.PC, v.Counters())
+		if err != nil {
+			b.osrFailed[key] = true
+			return value.Undefined(), false, nil
+		}
+		u = u2
+		b.code[key] = u
+		if compiled {
+			v.Counters().Compilations[tier]++
+			b.mach.Emit(machine.Event{Kind: machine.EventCompile, Fn: bcFn.Name, Tier: tier})
+		}
+	}
+
+	ctrs := v.Counters()
+	commitsBefore := ctrs.TxCommits
+	res, deopt, err := b.mach.EnterAt(u.f, tier, fr)
+	if err != nil {
+		return value.Undefined(), true, err
+	}
+	if deopt == nil {
+		if tier == profile.TierFTL {
+			dec := b.gov.OnClean(bcFn.Name, ctrs.TxCommits-commitsBefore)
+			b.apply(dec, nil)
+		}
+		return res, true, nil
+	}
+
+	if tier == profile.TierFTL {
+		dec := b.gov.OnTransfer(governor.Transfer{
+			Fn:       bcFn.Name,
+			Aborted:  deopt.Aborted,
+			Cause:    deopt.Cause,
+			Class:    deopt.CheckClass,
+			SiteFn:   deopt.SiteFn,
+			SitePC:   deopt.SitePC,
+			HadCalls: deopt.HadCalls,
+			OSR:      true,
+			OSRPC:    fr.PC,
+		})
+		b.apply(dec, prof)
+	} else {
+		prof.Deopts++
+		delete(b.code, key)
+	}
+
+	// The recovery frame inherited fr's environment in the machine's
+	// materialization; resume it in Baseline directly.
+	out, err := interp.Exec(v, deopt.Frame, profile.TierBaseline)
 	return out, true, err
 }
 
@@ -206,9 +301,9 @@ func (b *Backend) apply(dec governor.Decision, prof *profile.FunctionProfile) {
 		return
 	}
 	for _, name := range dec.Drop {
-		for bcFn := range b.code {
-			if bcFn.Name == name {
-				delete(b.code, bcFn)
+		for k := range b.code {
+			if k.fn.Name == name {
+				delete(b.code, k)
 			}
 		}
 	}
@@ -229,6 +324,7 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 				Level:  core.TxOff,
 				Policy: b.policy,
 				ProfFP: codecache.FingerprintProfile(prof, b.realm),
+				OSR:    -1,
 			}
 			f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
 				return dfg.Compile(bcFn, prof)
@@ -259,6 +355,73 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 			Policy: b.policy,
 			KeepFP: codecache.KeepFingerprint(opts.KeepSMP),
 			ProfFP: codecache.FingerprintProfile(prof, b.realm),
+			OSR:    -1,
+		}
+		f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
+			return ftl.Compile(bcFn, prof, opts)
+		})
+		if err != nil {
+			return nil, compiled, err
+		}
+		return &unit{tier: tier, f: f, txLevel: level}, compiled, nil
+	}
+	opts.PassHook = b.passHook
+	f, err := ftl.Compile(bcFn, prof, opts)
+	if err != nil {
+		return nil, true, err
+	}
+	return &unit{tier: tier, f: f, txLevel: level}, true, nil
+}
+
+// compileOSR produces (or obtains from the shared cache) an OSR-entry
+// artifact for bcFn at tier, entering at loop header entryPC. The codecache
+// key carries the header pc, so OSR artifacts and the invocation-entry
+// artifact of the same function coexist and never collide.
+func (b *Backend) compileOSR(bcFn *bytecode.Function, prof *profile.FunctionProfile, tier profile.Tier, entryPC int, ctrs *stats.Counters) (*unit, bool, error) {
+	useCache := b.cache != nil && b.passHook == nil
+	if tier == profile.TierDFG {
+		if useCache {
+			key := codecache.Key{
+				Code:   bcFn,
+				Tier:   tier,
+				Arch:   uint8(b.arch),
+				Level:  core.TxOff,
+				Policy: b.policy,
+				ProfFP: codecache.FingerprintProfile(prof, b.realm),
+				OSR:    entryPC,
+			}
+			f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
+				return dfg.CompileOSR(bcFn, prof, entryPC)
+			})
+			if err != nil {
+				return nil, compiled, err
+			}
+			return &unit{tier: tier, f: f}, compiled, nil
+		}
+		f, err := dfg.CompileOSR(bcFn, prof, entryPC)
+		if err != nil {
+			return nil, true, err
+		}
+		if b.passHook != nil {
+			b.passHook("dfg-osr", f)
+		}
+		return &unit{tier: tier, f: f}, true, nil
+	}
+	level := b.gov.LevelFor(bcFn.Name)
+	opts := optionsFor(b.arch, level)
+	opts.KeepSMP = b.gov.KeepSet(bcFn.Name)
+	opts.OSR = true
+	opts.OSREntryPC = entryPC
+	if useCache {
+		key := codecache.Key{
+			Code:   bcFn,
+			Tier:   tier,
+			Arch:   uint8(b.arch),
+			Level:  level,
+			Policy: b.policy,
+			KeepFP: codecache.KeepFingerprint(opts.KeepSMP),
+			ProfFP: codecache.FingerprintProfile(prof, b.realm),
+			OSR:    entryPC,
 		}
 		f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
 			return ftl.Compile(bcFn, prof, opts)

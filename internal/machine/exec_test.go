@@ -23,6 +23,7 @@ type stubHost struct {
 	globals *value.Object
 	ctrs    stats.Counters
 	calls   int
+	profs   map[*bytecode.Function]*profile.FunctionProfile
 }
 
 func newStubHost() *stubHost {
@@ -33,6 +34,17 @@ func newStubHost() *stubHost {
 }
 
 func (h *stubHost) Shapes() *value.ShapeTable { return h.shapes }
+func (h *stubHost) ProfileFor(fn *bytecode.Function) *profile.FunctionProfile {
+	if h.profs == nil {
+		h.profs = make(map[*bytecode.Function]*profile.FunctionProfile)
+	}
+	p, ok := h.profs[fn]
+	if !ok {
+		p = profile.New(fn)
+		h.profs[fn] = p
+	}
+	return p
+}
 func (h *stubHost) Globals() *value.Object    { return h.globals }
 func (h *stubHost) Counters() *stats.Counters { return &h.ctrs }
 func (h *stubHost) Call(fn *value.Function, this value.Value, args []value.Value) (value.Value, error) {
@@ -82,7 +94,7 @@ func run1(t *testing.T, f *ir.Func, args ...value.Value) value.Value {
 		t.Fatalf("Run: %v", err)
 	}
 	if d != nil {
-		t.Fatalf("unexpected deopt to pc %d", d.PC)
+		t.Fatalf("unexpected deopt to pc %d", d.Frame.PC)
 	}
 	return res
 }
@@ -140,11 +152,11 @@ func TestOverflowFlagFeedsCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d == nil || d.PC != 7 {
+	if d == nil || d.Frame.PC != 7 {
 		t.Fatalf("expected deopt at pc 7, got %+v", d)
 	}
-	if d.Regs[0].Int32() != math.MaxInt32 || d.Regs[1].Int32() != 1 {
-		t.Fatalf("deopt regs = %v", d.Regs)
+	if d.Frame.Locals[0].Int32() != math.MaxInt32 || d.Frame.Locals[1].Int32() != 1 {
+		t.Fatalf("deopt regs = %v", d.Frame.Locals)
 	}
 	if m.host.Counters().Deopts != 1 {
 		t.Error("deopt not counted")

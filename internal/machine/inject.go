@@ -55,6 +55,11 @@ type Site struct {
 	Fn string
 	// ValueID is the IR value id of the site's op.
 	ValueID int
+	// OSR is the artifact's OSR-entry loop-header pc, or -1 for an
+	// invocation-entry artifact. OSR artifacts number their values from a
+	// fresh builder, so (Fn, ValueID) alone would collide with the main
+	// artifact's sites; OSR disambiguates them.
+	OSR int
 	// Check is the check's class (SiteCheck only).
 	Check stats.CheckClass
 	// HasSMP reports the check carries a stack map: failure deopts instead
@@ -69,14 +74,18 @@ type Site struct {
 
 // String renders the site for logs and sweep reports.
 func (s Site) String() string {
+	osr := ""
+	if s.OSR >= 0 {
+		osr = fmt.Sprintf("+osr%d", s.OSR)
+	}
 	if s.Kind == SiteCheck {
 		smp := "abort"
 		if s.HasSMP {
 			smp = "smp"
 		}
-		return fmt.Sprintf("%s/%s[%s]@%s:v%d", s.Kind, s.Check, smp, s.Fn, s.ValueID)
+		return fmt.Sprintf("%s/%s[%s]@%s%s:v%d", s.Kind, s.Check, smp, s.Fn, osr, s.ValueID)
 	}
-	return fmt.Sprintf("%s@%s:v%d", s.Kind, s.Fn, s.ValueID)
+	return fmt.Sprintf("%s@%s%s:v%d", s.Kind, s.Fn, osr, s.ValueID)
 }
 
 // Action is an injector's verdict for one site visit.

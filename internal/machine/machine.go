@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"math"
 
+	"nomap/internal/bytecode"
 	"nomap/internal/cache"
+	"nomap/internal/frame"
 	"nomap/internal/htm"
 	"nomap/internal/ir"
 	"nomap/internal/profile"
@@ -35,6 +37,10 @@ type Host interface {
 	Construct(fn *value.Function, args []value.Value) (value.Value, error)
 	InvokeMethod(recv value.Value, name string, args []value.Value) (value.Value, error)
 	Counters() *stats.Counters
+	// ProfileFor returns the profile of a bytecode function; the machine
+	// folds its locally counted loop back edges into it on clean returns so
+	// loop-trip profiling stays consistent across tiers.
+	ProfileFor(fn *bytecode.Function) *profile.FunctionProfile
 }
 
 // Machine is the execution engine for one VM.
@@ -49,6 +55,14 @@ type Machine struct {
 	inject          Injector
 	frameSeq        int
 	pendingCapacity bool
+	// txHadCalls tracks whether user code was invoked inside the currently
+	// open outermost transaction (reset at every outermost begin and tile
+	// re-begin). It feeds Deopt.HadCalls: §V-C blames the callee for a
+	// capacity overflow only when a callee actually ran in the squashed
+	// transaction, not merely when the function body contains a call — OSR
+	// entry routinely compiles functions whose out-of-loop head still holds
+	// unprofiled generic calls that never execute transactionally.
+	txHadCalls bool
 }
 
 // New creates a machine with the given HTM flavour.
@@ -73,32 +87,28 @@ func (m *Machine) ResetState() {
 	m.HTM.Reset()
 	m.pendingCapacity = false
 	m.frameSeq = 0
+	m.txHadCalls = false
 }
 
 // InTx reports whether a hardware transaction is open.
 func (m *Machine) InTx() bool { return m.HTM.InTx() }
 
-// RecoverState is the materialized Baseline state captured at a transaction
-// begin (or tile commit): where to resume and with what register file after
-// an abort.
-type RecoverState struct {
-	PC   int
-	Regs []value.Value
-}
-
 // Deopt describes a transfer to the Baseline tier.
 type Deopt struct {
-	PC   int
-	Regs []value.Value
+	// Frame is the materialized activation record Baseline resumes: the
+	// stack map's register file (or the transaction's recovery entry)
+	// positioned at the resume pc, carrying the frame's unflushed back-edge
+	// delta.
+	Frame *frame.Frame
 	// Aborted is set when the transfer came from a transaction abort
 	// rather than a plain OSR exit.
 	Aborted bool
 	Cause   htm.AbortCause
 	// CheckClass is the failing check's class for check-caused transfers.
 	CheckClass stats.CheckClass
-	// HadCalls reports whether the aborted transaction's function contained
-	// calls (used by the §V-C policy: call-containing transactions that
-	// overflow are removed rather than tiled).
+	// HadCalls reports whether user code was actually invoked inside the
+	// aborted transaction (used by the §V-C policy: transactions whose
+	// overflow may be a callee's footprint are removed rather than tiled).
 	HadCalls bool
 	// SiteFn, SitePC and SiteValueID identify the IR site that triggered the
 	// transfer (the failing check, the overflowing write, or the call whose
@@ -114,7 +124,7 @@ type Deopt struct {
 // reaches the frame that owns the outermost transaction.
 type txUnwind struct {
 	owner   int
-	rec     *RecoverState
+	rec     *frame.Frame
 	cause   htm.AbortCause
 	class   stats.CheckClass
 	siteFn  string
@@ -140,9 +150,31 @@ func (e *RuntimeError) Error() string {
 // this fraction of capacity (paper §V-C tiling so state fits in cache).
 const commitFractionNum, commitFractionDen = 3, 4
 
-// Run executes f with the given tier's cost model. It returns either a
-// result, a Deopt (OSR exit or abort), or an error.
+// Run executes f from its invocation entry with the given tier's cost model.
+// It returns either a result, a Deopt (OSR exit or abort), or an error.
 func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.Value, *Deopt, error) {
+	return m.runFrom(f, tier, args, nil)
+}
+
+// EnterAt performs an OSR entry: it resumes the materialized frame fr inside
+// the OSR artifact f (compiled with its entry at fr's loop header), binding
+// fr's locals to the artifact's OpOSRLocal values and continuing in optimized
+// code without returning to the caller. The artifact's transactions begin at
+// the OSR entry under the same TxLevel rules as invocation-entry code.
+func (m *Machine) EnterAt(f *ir.Func, tier profile.Tier, fr *frame.Frame) (value.Value, *Deopt, error) {
+	if f.OSREntryPC < 0 || fr.PC != f.OSREntryPC {
+		return value.Undefined(), nil, &RuntimeError{Fn: f.Name,
+			Msg: fmt.Sprintf("OSR entry pc mismatch: frame@%d, artifact@%d", fr.PC, f.OSREntryPC)}
+	}
+	m.host.Counters().OSREntries++
+	m.emit(Event{Kind: EventOSREntry, Fn: f.Name, PC: fr.PC, Tier: tier})
+	return m.runFrom(f, tier, nil, fr)
+}
+
+// runFrom is the shared execution core behind Run and EnterAt. For OSR
+// entries osr is the incoming frame; otherwise args carry the invocation
+// parameters.
+func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr *frame.Frame) (value.Value, *Deopt, error) {
 	m.frameSeq++
 	tok := m.frameSeq
 	w := WeightsFor(tier)
@@ -156,6 +188,18 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 	vals := make([]value.Value, f.NumValues())
 	oflow := make([]bool, f.NumValues())
 	var phiScratch []value.Value
+
+	// Loop back edges taken by this frame, not yet folded into the function
+	// profile. beCheck is the checkpoint the count rolls back to on abort:
+	// the squashed iterations are re-executed (and re-counted) by Baseline.
+	// An OSR frame may arrive carrying a delta from the tier that handed it
+	// over.
+	var backEdges int64
+	if osr != nil {
+		backEdges = osr.BackEdges
+		osr.BackEdges = 0
+	}
+	beCheck := backEdges
 
 	account := func(instr, extraCycles int64) {
 		inTx := m.HTM.InTx()
@@ -175,8 +219,11 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 		return &RuntimeError{Fn: f.Name, Msg: fmt.Sprintf(format, a...)}
 	}
 
-	// materialize builds Baseline registers from a stack map.
-	materialize := func(sm *ir.StackMap) *RecoverState {
+	// materialize builds a Baseline-resumable frame from a stack map. OSR
+	// frames keep their environment; invocation-entry artifacts never touch
+	// one (closure-using functions are not compiled) and leave it nil for
+	// the JIT driver to supply.
+	materialize := func(sm *ir.StackMap) *frame.Frame {
 		regs := make([]value.Value, f.Source.NumRegs)
 		for i := range regs {
 			regs[i] = value.Undefined()
@@ -186,7 +233,11 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 				regs[e.Reg] = vals[e.Val.ID]
 			}
 		}
-		return &RecoverState{PC: sm.PC, Regs: regs}
+		fr := &frame.Frame{Fn: f.Source, PC: sm.PC, Locals: regs}
+		if osr != nil {
+			fr.Env = osr.Env
+		}
+		return fr
 	}
 
 	// abort rolls back the open transaction nest and routes control to the
@@ -198,7 +249,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 			return nil, errf("abort without open transaction")
 		}
 		owner := t.Owner.(int)
-		rec := t.Recover.(*RecoverState)
+		rec := t.Recover.(*frame.Frame)
 		m.noteTxStats(ctrs, t)
 		m.emit(Event{Kind: EventTxAbort, Fn: f.Name, Cause: cause, CheckClass: class, PC: rec.PC, WriteBytes: t.WriteBytes()})
 		m.uninstallHook()
@@ -218,9 +269,16 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 		}
 		ctrs.SquashOpenTx(int(cause))
 		if owner == tok {
-			return &Deopt{PC: rec.PC, Regs: rec.Regs, Aborted: true, Cause: cause, CheckClass: class,
-				HadCalls: f.TxAware && funcHasCalls(f), SiteFn: f.Name, SitePC: sitePC, SiteValueID: siteVID}, nil
+			// Back edges of the squashed iterations roll back to the
+			// transaction-begin checkpoint; Baseline re-executes and
+			// re-counts them. The surviving count travels with the frame.
+			backEdges = beCheck
+			rec.BackEdges = backEdges
+			return &Deopt{Frame: rec, Aborted: true, Cause: cause, CheckClass: class,
+				HadCalls: m.txHadCalls, SiteFn: f.Name, SitePC: sitePC, SiteValueID: siteVID}, nil
 		}
+		// A callee frame inside the owner's transaction: everything this
+		// frame did — including its back edges — is squashed work.
 		return nil, &txUnwind{owner: owner, rec: rec, cause: cause, class: class,
 			siteFn: f.Name, sitePC: sitePC, siteVID: siteVID}
 	}
@@ -231,8 +289,13 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 	handleCallErr := func(v *ir.Value, err error) (*Deopt, error) {
 		if u, ok := err.(*txUnwind); ok {
 			if u.owner == tok {
-				return &Deopt{PC: u.rec.PC, Regs: u.rec.Regs, Aborted: true, Cause: u.cause, CheckClass: u.class,
-					HadCalls: funcHasCalls(f), SiteFn: u.siteFn, SitePC: u.sitePC, SiteValueID: u.siteVID}, nil
+				// This frame owned the aborted transaction: roll its
+				// back-edge count to the begin checkpoint and hand the
+				// survivors to the recovery frame.
+				backEdges = beCheck
+				u.rec.BackEdges = backEdges
+				return &Deopt{Frame: u.rec, Aborted: true, Cause: u.cause, CheckClass: u.class,
+					HadCalls: m.txHadCalls, SiteFn: u.siteFn, SitePC: u.sitePC, SiteValueID: u.siteVID}, nil
 			}
 			return nil, err
 		}
@@ -282,6 +345,12 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 			case ir.OpParam:
 				if int(v.AuxInt) < len(args) {
 					vals[v.ID] = args[v.AuxInt]
+				} else {
+					vals[v.ID] = value.Undefined()
+				}
+			case ir.OpOSRLocal:
+				if osr != nil && int(v.AuxInt) < len(osr.Locals) {
+					vals[v.ID] = osr.Locals[v.AuxInt]
 				} else {
 					vals[v.ID] = value.Undefined()
 				}
@@ -368,8 +437,9 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 				vals[v.ID] = value.Boolean(value.StrictEquals(vals[v.Args[0].ID], vals[v.Args[1].ID]))
 
 			case ir.OpCheckInt32, ir.OpCheckNumber, ir.OpCheckShape,
-				ir.OpCheckArray, ir.OpCheckBounds, ir.OpCheckOverflow,
-				ir.OpCheckUint32, ir.OpCheckHole, ir.OpCheckCallee:
+				ir.OpCheckArray, ir.OpCheckBounds, ir.OpCheckNonNeg,
+				ir.OpCheckOverflow, ir.OpCheckUint32, ir.OpCheckHole,
+				ir.OpCheckCallee:
 				free := v.Free
 				if free {
 					instr = 0
@@ -381,7 +451,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 				}
 				passed := m.checkPasses(v, vals, oflow)
 				if m.inject != nil {
-					switch m.inject.At(Site{Kind: SiteCheck, Fn: f.Name, ValueID: v.ID,
+					switch m.inject.At(Site{Kind: SiteCheck, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC,
 						Check: v.Check, HasSMP: v.Deopt != nil, InTx: m.HTM.InTx(), Failed: !passed}) {
 					case ActFailCheck:
 						// Only force failure where a recovery path exists:
@@ -421,8 +491,9 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 					ctrs.Deopts++
 					ctrs.OSRExits++
 					rec := materialize(v.Deopt)
+					rec.BackEdges = backEdges
 					m.emit(Event{Kind: EventDeopt, Fn: f.Name, CheckClass: v.Check, PC: rec.PC})
-					return value.Undefined(), &Deopt{PC: rec.PC, Regs: rec.Regs, CheckClass: v.Check,
+					return value.Undefined(), &Deopt{Frame: rec, CheckClass: v.Check,
 						SiteFn: f.Name, SitePC: v.BCPos, SiteValueID: v.ID}, nil
 				}
 				cause := htm.AbortCause(htm.AbortCheck)
@@ -501,6 +572,9 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 					callArgs[i-1] = vals[v.Args[i].ID]
 				}
 				account(instr, extra)
+				if m.HTM.InTx() {
+					m.txHadCalls = true
+				}
 				res, err := m.host.Call(v.Callee, this, callArgs)
 				if err != nil {
 					d, err2 := handleCallErr(v, err)
@@ -511,7 +585,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 
 			case ir.OpCallRuntime:
 				account(instr, extra)
-				res, err := m.runtimeCall(v, vals)
+				res, err := m.runtimeCall(f, v, vals)
 				if err != nil {
 					d, err2 := handleCallErr(v, err)
 					return value.Undefined(), d, err2
@@ -527,10 +601,12 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 					m.HTM.Begin(tok, rec)
 					m.installHook()
 					ctrs.TxBegins++
+					beCheck = backEdges
+					m.txHadCalls = false
 					extra += m.HTM.Config().BeginCycles
 					m.emit(Event{Kind: EventTxBegin, Fn: f.Name})
 					if m.inject != nil {
-						act := m.inject.At(Site{Kind: SiteTxBegin, Fn: f.Name, ValueID: v.ID, InTx: true})
+						act := m.inject.At(Site{Kind: SiteTxBegin, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, InTx: true})
 						if cause, ok := act.abortCause(); ok {
 							account(instr, extra)
 							d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID)
@@ -545,7 +621,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 					return value.Undefined(), nil, errf("txend without transaction")
 				}
 				if m.inject != nil && t.Depth() == 1 {
-					act := m.inject.At(Site{Kind: SiteTxCommit, Fn: f.Name, ValueID: v.ID, InTx: true})
+					act := m.inject.At(Site{Kind: SiteTxCommit, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, InTx: true})
 					if cause, ok := act.abortCause(); ok {
 						account(instr, extra)
 						d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID)
@@ -570,7 +646,7 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 				t := m.HTM.Current()
 				forceTile := false
 				if m.inject != nil && t != nil && t.Owner == any(tok) {
-					act := m.inject.At(Site{Kind: SiteTxTile, Fn: f.Name, ValueID: v.ID, InTx: true})
+					act := m.inject.At(Site{Kind: SiteTxTile, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, InTx: true})
 					if cause, ok := act.abortCause(); ok {
 						account(instr, extra)
 						d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID)
@@ -591,6 +667,8 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 					rec := materialize(v.Deopt)
 					m.HTM.Begin(tok, rec)
 					ctrs.TxBegins++
+					beCheck = backEdges
+					m.txHadCalls = false
 					extra += m.HTM.Config().CommitCycles + m.HTM.Config().BeginCycles
 				}
 
@@ -611,6 +689,12 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 		}
 
 		account(blockEdgeCost, 0)
+		if block.BackEdge {
+			// The block ends in the bytecode's backward unconditional jump:
+			// count the same loop trip the bytecode tiers count, locally —
+			// aborts roll the count back to the transaction checkpoint.
+			backEdges++
+		}
 		prev = block
 		switch block.Kind {
 		case ir.BlockPlain:
@@ -622,6 +706,14 @@ func (m *Machine) Run(f *ir.Func, tier profile.Tier, args []value.Value) (value.
 				block = block.Succs[1]
 			}
 		case ir.BlockReturn:
+			// Clean exit: fold the frame's back edges into the profile. A
+			// callee completing inside a still-open enclosing transaction
+			// flushes too; if that transaction later aborts, Baseline
+			// re-counts its re-executed iterations — a bounded profiling
+			// imprecision, never a correctness issue.
+			if backEdges != 0 {
+				m.host.ProfileFor(f.Source).AddBackEdges(backEdges)
+			}
 			return vals[block.Control.ID], nil, nil
 		default:
 			return value.Undefined(), nil, errf("bad block kind")
@@ -682,6 +774,9 @@ func (m *Machine) checkPasses(v *ir.Value, vals []value.Value, oflow []bool) boo
 		}
 		idx := vals[v.Args[1].ID]
 		return o.InBounds(int(idx.Int32()))
+	case ir.OpCheckNonNeg:
+		idx := vals[v.Args[0].ID]
+		return idx.IsInt32() && idx.Int32() >= 0
 	case ir.OpCheckOverflow, ir.OpCheckUint32:
 		return !oflow[v.Args[0].ID]
 	case ir.OpCheckHole:
@@ -709,17 +804,6 @@ func (m *Machine) noteTxStats(ctrs *stats.Counters, t *htm.Txn) {
 	if a := int64(t.MaxWriteAssoc()); a > ctrs.TxMaxAssoc {
 		ctrs.TxMaxAssoc = a
 	}
-}
-
-func funcHasCalls(f *ir.Func) bool {
-	for _, b := range f.Blocks {
-		for _, v := range b.Values {
-			if v.Op == ir.OpCallDirect || v.Op == ir.OpCallRuntime {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 func cmpInt(c ir.Cmp, a, b int32) bool {

@@ -13,7 +13,7 @@ import (
 // runtime entries that optimized code falls back to when speculation is not
 // worthwhile (paper Figure 4(b)). Their cost is attributed to the NoFTL
 // instruction class, like the paper's C runtime code.
-func (m *Machine) runtimeCall(v *ir.Value, vals []value.Value) (value.Value, error) {
+func (m *Machine) runtimeCall(f *ir.Func, v *ir.Value, vals []value.Value) (value.Value, error) {
 	ctrs := m.host.Counters()
 	charge := func(n int64) {
 		ctrs.AddInstr(stats.NoFTL, n)
@@ -89,9 +89,12 @@ func (m *Machine) runtimeCall(v *ir.Value, vals []value.Value) (value.Value, err
 		if o.IsArray && idx.IsNumber() {
 			fi := idx.ToNumber()
 			if i := int(fi); float64(i) == fi {
+				inBounds := o.InBounds(i)
+				m.observeElem(f, v, obj, idx, inBounds, false, inBounds && o.HasHoleAt(i))
 				return o.GetElement(i), nil
 			}
 		}
+		m.observeElem(f, v, obj, idx, false, false, false)
 		return o.Get(idx.ToStringValue()), nil
 	case "setelem":
 		charge(20)
@@ -103,10 +106,13 @@ func (m *Machine) runtimeCall(v *ir.Value, vals []value.Value) (value.Value, err
 		if o.IsArray && idx.IsNumber() {
 			fi := idx.ToNumber()
 			if i := int(fi); float64(i) == fi && i >= 0 {
+				inBounds := o.InBounds(i)
+				m.observeElem(f, v, obj, idx, inBounds, !inBounds && i == o.ElementCount(), false)
 				o.SetElement(i, val)
 				return value.Undefined(), nil
 			}
 		}
+		m.observeElem(f, v, obj, idx, false, false, false)
 		o.Set(idx.ToStringValue(), val)
 		return value.Undefined(), nil
 
@@ -116,10 +122,12 @@ func (m *Machine) runtimeCall(v *ir.Value, vals []value.Value) (value.Value, err
 		if !callee.IsCallable() {
 			return value.Undefined(), fmt.Errorf("%s is not a function", callee.TypeOf())
 		}
+		m.noteUserCall()
 		args := gatherArgs(v, vals, 1)
 		return m.host.Call(callee.Object().Fn, value.Undefined(), args)
 	case "callmethod":
 		charge(28)
+		m.noteUserCall()
 		recv, name := a(0), a(1).StringVal()
 		args := gatherArgs(v, vals, 2)
 		return m.host.InvokeMethod(recv, name, args)
@@ -129,6 +137,7 @@ func (m *Machine) runtimeCall(v *ir.Value, vals []value.Value) (value.Value, err
 		if !callee.IsCallable() {
 			return value.Undefined(), fmt.Errorf("%s is not a constructor", callee.TypeOf())
 		}
+		m.noteUserCall()
 		args := gatherArgs(v, vals, 1)
 		return m.host.Construct(callee.Object().Fn, args)
 
@@ -140,6 +149,31 @@ func (m *Machine) runtimeCall(v *ir.Value, vals []value.Value) (value.Value, err
 		return value.Obj(value.NewArray(m.host.Shapes(), int(v.AuxInt))), nil
 	}
 	return value.Undefined(), fmt.Errorf("machine: unknown runtime entry %q", v.AuxStr)
+}
+
+// observeElem mirrors the Baseline interpreter's element-site profiling from
+// the generic runtime path. OSR entry can carry a function's cold tail into
+// machine code before Baseline ever executes it; without slow-path feedback
+// those element sites would stay generic runtime calls in every recompile
+// (and a generic call pins the §V-C ladder as if the loop had real callees).
+func (m *Machine) observeElem(f *ir.Func, v *ir.Value, obj, idx value.Value, inBounds, app, hole bool) {
+	if f == nil || f.Source == nil {
+		return
+	}
+	prof := m.host.ProfileFor(f.Source)
+	if prof == nil || v.BCPos < 0 || v.BCPos >= len(prof.Elem) {
+		return
+	}
+	prof.Elem[v.BCPos].Observe(obj, idx, inBounds, app, hole)
+}
+
+// noteUserCall marks the open transaction (if any) as having run user code:
+// unlike the bounded runtime helpers above, a callee's write footprint is
+// unbounded, which is what the §V-C capacity policy blames on overflow.
+func (m *Machine) noteUserCall() {
+	if m.HTM.InTx() {
+		m.txHadCalls = true
+	}
 }
 
 func gatherArgs(v *ir.Value, vals []value.Value, from int) []value.Value {

@@ -25,6 +25,9 @@ const (
 	EventDeopt
 	// EventCompile fires when the JIT compiles a function for a tier.
 	EventCompile
+	// EventOSREntry fires when a hot loop's frame enters an OSR artifact
+	// mid-execution (the inverse transfer of EventDeopt).
+	EventOSREntry
 )
 
 // String names the kind.
@@ -42,6 +45,8 @@ func (k EventKind) String() string {
 		return "deopt"
 	case EventCompile:
 		return "compile"
+	case EventOSREntry:
+		return "osr-entry"
 	}
 	return "?"
 }
@@ -78,6 +83,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%s] %s check=%s resume@%d", e.Kind, e.Fn, e.CheckClass, e.PC)
 	case EventCompile:
 		return fmt.Sprintf("[%s] %s tier=%s", e.Kind, e.Fn, e.Tier)
+	case EventOSREntry:
+		return fmt.Sprintf("[%s] %s header@%d tier=%s", e.Kind, e.Fn, e.PC, e.Tier)
 	}
 	return "[?]"
 }

@@ -41,7 +41,7 @@ func (w Weights) Op(v *ir.Value) int64 {
 
 func ftlOpWeight(v *ir.Value) int64 {
 	switch v.Op {
-	case ir.OpConst, ir.OpParam, ir.OpPhi:
+	case ir.OpConst, ir.OpParam, ir.OpOSRLocal, ir.OpPhi:
 		return 0 // materialized into registers by the register allocator
 	case ir.OpAddInt, ir.OpSubInt, ir.OpNegInt,
 		ir.OpBitAnd, ir.OpBitOr, ir.OpBitXor,
@@ -83,6 +83,9 @@ func ftlOpWeight(v *ir.Value) int64 {
 		return 3
 	case ir.OpCheckBounds:
 		return 3 // load length, cmp, jae
+	case ir.OpCheckNonNeg:
+		return 1 // test+js on a register
+
 	case ir.OpCheckHole:
 		return 2
 	case ir.OpCheckCallee:

@@ -87,6 +87,7 @@ func mergeInto(f *ir.Func, b, c *ir.Block) {
 	b.Kind = c.Kind
 	b.Control = c.Control
 	b.Succs = c.Succs
+	b.BackEdge = b.BackEdge || c.BackEdge
 	for _, s := range c.Succs {
 		for i, p := range s.Preds {
 			if p == c {

@@ -8,16 +8,25 @@ import (
 )
 
 // Key identifies a static injection site. The engine is deterministic, so
-// (function name, IR value id, site kind) is stable between a recording run
-// and an injection run of the same program under the same configuration.
+// (function name, OSR entry, IR value id, site kind) is stable between a
+// recording run and an injection run of the same program under the same
+// configuration. OSR distinguishes a function's OSR-entry artifacts from its
+// invocation-entry artifact: each is compiled independently with fresh value
+// numbering, so the same ValueID can name different sites across them.
 type Key struct {
 	Kind    machine.SiteKind
 	Fn      string
+	OSR     int // artifact's OSR-entry loop-header pc, -1 for invocation entry
 	ValueID int
 }
 
 // String renders the key compactly.
-func (k Key) String() string { return fmt.Sprintf("%s@%s:v%d", k.Kind, k.Fn, k.ValueID) }
+func (k Key) String() string {
+	if k.OSR >= 0 {
+		return fmt.Sprintf("%s@%s+osr%d:v%d", k.Kind, k.Fn, k.OSR, k.ValueID)
+	}
+	return fmt.Sprintf("%s@%s:v%d", k.Kind, k.Fn, k.ValueID)
+}
 
 // SiteInfo is one enumerated site with its dynamic behaviour during the
 // recording run.
@@ -47,7 +56,7 @@ type recorder struct {
 func newRecorder() *recorder { return &recorder{sites: make(map[Key]*SiteInfo)} }
 
 func (r *recorder) At(s machine.Site) machine.Action {
-	k := Key{Kind: s.Kind, Fn: s.Fn, ValueID: s.ValueID}
+	k := Key{Kind: s.Kind, Fn: s.Fn, OSR: s.OSR, ValueID: s.ValueID}
 	info := r.sites[k]
 	if info == nil {
 		info = &SiteInfo{Key: k, Check: s.Check, HasSMP: s.HasSMP, InTx: s.InTx, order: len(r.sites)}
@@ -87,7 +96,8 @@ type shot struct {
 }
 
 func (s *shot) At(site machine.Site) machine.Action {
-	if s.fired || site.Kind != s.key.Kind || site.ValueID != s.key.ValueID || site.Fn != s.key.Fn {
+	if s.fired || site.Kind != s.key.Kind || site.ValueID != s.key.ValueID ||
+		site.Fn != s.key.Fn || site.OSR != s.key.OSR {
 		return machine.ActNone
 	}
 	s.seen++

@@ -93,13 +93,23 @@ type ElemFeedback struct {
 	SawArray    bool
 	SawNonArray bool
 	SawOOB      bool
-	SawHole     bool
-	SawNonInt   bool
-	Count       int64
+	// SawAppend records stores at exactly the array length — the sequential
+	// growth pattern. Unlike SawOOB it does not disqualify the fast path:
+	// the store op itself elongates the array, so append-heavy sites compile
+	// to an unchecked store behind a non-negativity guard. Kept separate
+	// because OSR entry makes the distinction load-bearing: a loop that
+	// grows an array is now profiled *during* the growth (the interpreter
+	// escalates to Baseline mid-run), where the seed only ever profiled the
+	// re-run over the already-grown array.
+	SawAppend bool
+	SawHole   bool
+	SawNonInt bool
+	Count     int64
 }
 
-// Observe merges one executed element access.
-func (f *ElemFeedback) Observe(obj value.Value, idx value.Value, inBounds, hole bool) {
+// Observe merges one executed element access. app flags a store at exactly
+// the array length (legal growth, not an out-of-bounds miss).
+func (f *ElemFeedback) Observe(obj value.Value, idx value.Value, inBounds, app, hole bool) {
 	if obj.IsObject() && obj.Object().IsArray {
 		f.SawArray = true
 	} else {
@@ -109,7 +119,11 @@ func (f *ElemFeedback) Observe(obj value.Value, idx value.Value, inBounds, hole 
 		f.SawNonInt = true
 	}
 	if !inBounds {
-		f.SawOOB = true
+		if app {
+			f.SawAppend = true
+		} else {
+			f.SawOOB = true
+		}
 	}
 	if hole {
 		f.SawHole = true
@@ -243,6 +257,14 @@ func DefaultPolicy() Policy {
 		MaxDeopts:         16,
 	}
 }
+
+// AddBackEdges folds a back-edge delta carried across a tier transfer (a
+// frame.Frame handed between tiers) into the loop-trip count. Every tier
+// counts the same bytecode back edges — the interpreter and Baseline at each
+// backward unconditional jump, the machine at each BackEdge-flagged block —
+// so the count is tier-independent: a run that bounces between tiers
+// mid-loop reports the same BackEdgeCount as a pure-interpreter run.
+func (p *FunctionProfile) AddBackEdges(n int64) { p.BackEdgeCount += n }
 
 // weightedCount folds loop back edges into the tier-up decision so
 // loop-heavy functions promote even when rarely re-invoked.

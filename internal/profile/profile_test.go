@@ -45,13 +45,46 @@ func TestElemFeedback(t *testing.T) {
 	table := value.NewShapeTable()
 	arr := value.Obj(value.NewArray(table, 4))
 	var f ElemFeedback
-	f.Observe(arr, value.Int(1), true, false)
+	f.Observe(arr, value.Int(1), true, false, false)
 	if !f.FastArray() {
 		t.Error("dense int access must be FastArray")
 	}
-	f.Observe(arr, value.Double(1.5), true, false)
+	f.Observe(arr, value.Double(1.5), true, false, false)
 	if f.FastArray() {
 		t.Error("non-int index must disable the fast path")
+	}
+}
+
+// A store at exactly the element count is sequential growth (legal for the
+// store op, which elongates), not an out-of-bounds miss: the two must stay
+// distinguishable so append loops keep their fast path with only a
+// non-negative-index guard.
+func TestElemFeedbackAppendVsOOB(t *testing.T) {
+	table := value.NewShapeTable()
+	arr := value.Obj(value.NewArray(table, 4))
+	var f ElemFeedback
+	f.Observe(arr, value.Int(4), false, true, false) // store at length: append
+	if !f.SawAppend || f.SawOOB {
+		t.Errorf("append store: SawAppend=%v SawOOB=%v, want true/false", f.SawAppend, f.SawOOB)
+	}
+	if !f.FastArray() {
+		t.Error("append alone must not disable the fast array path")
+	}
+	f.Observe(arr, value.Int(9), false, false, false) // past length: true OOB
+	if !f.SawOOB {
+		t.Error("out-of-bounds store must set SawOOB")
+	}
+}
+
+// AddBackEdges folds a frame's carried delta into the loop-trip count — the
+// mechanism that keeps BackEdgeCount identical whether a loop runs in one
+// tier or hands its frame across several.
+func TestAddBackEdges(t *testing.T) {
+	p := &FunctionProfile{}
+	p.BackEdgeCount = 100
+	p.AddBackEdges(28)
+	if p.BackEdgeCount != 128 {
+		t.Errorf("BackEdgeCount = %d, want 128", p.BackEdgeCount)
 	}
 }
 

@@ -269,6 +269,10 @@ func (o *Object) HasHoleAt(i int) bool {
 // InBounds reports whether i is within the populated element store.
 func (o *Object) InBounds(i int) bool { return i >= 0 && i < len(o.Elements) }
 
+// ElementCount returns the populated element-store length (a store at
+// exactly this index is an append, not an out-of-bounds miss).
+func (o *Object) ElementCount() int { return len(o.Elements) }
+
 // SetElement stores element i, elongating the array as JavaScript does when
 // i is past the end. Negative indices are ignored (our subset does not model
 // sparse named-index properties).

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"nomap/internal/bytecode"
+	"nomap/internal/frame"
 	"nomap/internal/htm"
 	"nomap/internal/interp"
 	"nomap/internal/parser"
@@ -87,6 +88,13 @@ type VM struct {
 // feature), in which case the VM falls back to Baseline.
 type JITBackend interface {
 	Execute(vm *VM, fn *value.Function, prof *profile.FunctionProfile, tier profile.Tier, args []value.Value) (res value.Value, handled bool, err error)
+	// ExecuteOSR enters optimized code mid-execution: fr is a live bytecode
+	// frame stopped at a hot loop header, and the backend compiles (or
+	// reuses) an OSR artifact entering at that header, binds fr's locals to
+	// it, and runs it to completion. handled=false declines (unsupported
+	// region, governor veto, compile failure), in which case the frame
+	// continues in the bytecode tiers untouched.
+	ExecuteOSR(vm *VM, fr *frame.Frame, prof *profile.FunctionProfile, tier profile.Tier) (res value.Value, handled bool, err error)
 	// InTransaction reports whether the backend currently has an open
 	// hardware transaction (for cycle attribution of lower-tier code
 	// called from inside one).
@@ -223,7 +231,7 @@ func (vm *VM) Run(src string) (value.Value, error) {
 
 // RunMain executes a previously compiled top-level function.
 func (vm *VM) RunMain(main *bytecode.Function) (value.Value, error) {
-	fr := interp.NewFrame(main, nil, nil)
+	fr := frame.New(main, nil, nil)
 	if _, err := interp.Exec(vm, fr, profile.TierInterp); err != nil {
 		return value.Undefined(), err
 	}
@@ -287,8 +295,46 @@ func (vm *VM) Call(fn *value.Function, this value.Value, args []value.Value) (va
 	}
 
 	env := value.NewEnvironment(fn.Env, bcFn.NumCells)
-	fr := interp.NewFrame(bcFn, env, args)
+	fr := frame.New(bcFn, env, args)
 	return interp.Exec(vm, fr, tier)
+}
+
+// OSREntry is the bytecode tiers' hot-loop hook: every 64 back edges the
+// executor offers its live frame here. The VM consults the tier-up policy
+// with the frame's current profile; if the function has outgrown its tier,
+// the frame either enters an optimized OSR artifact through the JIT backend
+// (done=true: the backend ran it to completion, including any deopt-resume
+// continuation) or escalates to Baseline in place so type feedback accrues
+// before an optimizing OSR compile is attempted.
+//
+// An OSR artifact runs to function completion, so entering one forfeits any
+// later mid-loop promotion: a loop that OSR-entered DFG would be stranded
+// below FTL for its whole (by definition, long) remaining run. OSR entry
+// therefore waits for the function's tier ceiling — the loop keeps accruing
+// feedback in Baseline through the DFG window and jumps straight to the top
+// tier. With MaxTier = DFG the ceiling is the DFG OSR artifact itself.
+func (vm *VM) OSREntry(fr *frame.Frame, tier profile.Tier) (value.Value, bool, profile.Tier, error) {
+	prof := vm.ProfileFor(fr.Fn)
+	target := vm.cfg.Policy.TierFor(prof, vm.cfg.MaxTier)
+	if target <= tier {
+		return value.Undefined(), false, tier, nil
+	}
+	ceiling := vm.cfg.MaxTier
+	if ceiling > profile.TierFTL {
+		ceiling = profile.TierFTL
+	}
+	if target >= profile.TierDFG && target == ceiling && vm.jit != nil {
+		res, handled, err := vm.jit.ExecuteOSR(vm, fr, prof, target)
+		if handled || err != nil {
+			return res, handled, tier, err
+		}
+	}
+	// The optimizing tiers declined (or the target is Baseline): escalate
+	// the running frame to Baseline without restarting it.
+	if tier < profile.TierBaseline {
+		tier = profile.TierBaseline
+	}
+	return value.Undefined(), false, tier, nil
 }
 
 // Construct implements `new fn(args)`.

@@ -1,0 +1,26 @@
+package workloads
+
+// OSR-entry workloads: single-invocation hot loops. Every other suite
+// accrues its heat across many short run() calls, so invocation-entry
+// tier-up always gets there first; these programs spend their whole life
+// inside one call, which only the back-edge OSR-entry path can optimize
+// mid-run. A fixed 256-element footprint keeps the loop transaction well
+// inside HTM capacity, so under Arch=NoMap the steady state is clean
+// loop-nest transactions entered via EnterAt.
+var osrEntry = []Workload{
+	{ID: "singlecall", Name: "single-call hot loop", Suite: "OSR", Iterations: 1, Source: `
+var SC = new Array(256);
+for (var i = 0; i < 256; i++) SC[i] = i & 7;
+function run() {
+  var s = 0;
+  for (var i = 0; i < 200000; i++) {
+    var j = i & 255;
+    SC[j] = SC[j] + 1;
+    s = s + SC[j];
+  }
+  return s;
+}`},
+}
+
+// OSREntry returns the single-invocation hot-loop workloads.
+func OSREntry() []Workload { return osrEntry }

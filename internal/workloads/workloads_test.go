@@ -94,6 +94,29 @@ func TestWorkloadsDeterministic(t *testing.T) {
 	}
 }
 
+// The OSR suite's single-invocation hot loops must agree across every
+// architecture for one cold call — the call that tiers up mid-execution via
+// OSR entry. (They are excluded from the 50-call matrix above on purpose:
+// their heat is all inside one invocation.)
+func TestOSRWorkloadsAgreeAcrossArchs(t *testing.T) {
+	for _, w := range workloads.OSREntry() {
+		w := w
+		t.Run(w.ID, func(t *testing.T) {
+			t.Parallel()
+			_, want := runWorkload(t, w, vm.ArchBase, profile.TierInterp, 1)
+			for _, arch := range vm.AllArchs {
+				v, got := runWorkload(t, w, arch, profile.TierFTL, 1)
+				if got.ToStringValue() != want.ToStringValue() {
+					t.Errorf("%v: result %q, want %q", arch, got, want)
+				}
+				if arch == vm.ArchNoMap && v.Counters().OSREntries == 0 {
+					t.Errorf("%v: single call recorded no OSR entries", arch)
+				}
+			}
+		})
+	}
+}
+
 // The same result must come out of every architecture configuration after
 // warm-up — transactions, aborts, and check removal are semantics-preserving.
 func TestWorkloadsAgreeAcrossArchs(t *testing.T) {

@@ -87,6 +87,54 @@ func TestOracleWorkloads(t *testing.T) {
 	}
 }
 
+// TestOracleOSREntry sweeps a program whose first call is a single long
+// loop: it OSR-enters FTL mid-run, so the recording enumerates the OSR
+// artifact's sites (Key.OSR = loop-header pc) alongside the invocation
+// artifact's — including the transaction that begins at the OSR entry. The
+// sweep then forces an abort or deopt at every one of them (a missed
+// injection is a recorded failure), and all six configurations must agree
+// with the interpreter throughout.
+func TestOracleOSREntry(t *testing.T) {
+	rep, err := oracle.Sweep(oracle.Program{
+		Name: "osr-entry",
+		Setup: `
+var OC = new Array(64);
+for (var i = 0; i < 64; i++) OC[i] = i;
+function run() {
+  var s = 0;
+  for (var i = 0; i < 3000; i++) {
+    OC[i & 63] = (OC[i & 63] + 1) | 0;
+    s = s + OC[i & 63];
+  }
+  return s;
+}`,
+		Calls: 4,
+	}, oracleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep)
+	for _, ar := range rep.Archs {
+		osrSites, osrBegins := 0, 0
+		for _, s := range ar.Sites {
+			if s.Key.OSR >= 0 {
+				osrSites++
+				if s.Key.Kind == machine.SiteTxBegin {
+					osrBegins++
+				}
+			}
+		}
+		if osrSites == 0 {
+			t.Errorf("%v: no OSR-artifact injection sites enumerated", ar.Arch)
+		}
+		if ar.Arch.UsesTransactions() && osrBegins == 0 {
+			t.Errorf("%v: no transaction-begin site at the OSR entry", ar.Arch)
+		}
+	}
+	t.Logf("osr-entry: %d sites, %d runs, %d injected aborts",
+		rep.TotalSites(), rep.TotalRuns(), rep.TotalInjectedAborts())
+}
+
 func TestOracleGeneratedPrograms(t *testing.T) {
 	const programs = 50
 	n := programs

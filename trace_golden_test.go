@@ -54,8 +54,54 @@ function run(n) {
 		}
 	}
 
+	checkGolden(t, "trace_nomap.golden", lines)
+}
+
+// TestTraceGoldenOSR pins the trace of a single-invocation hot loop with a
+// mid-loop type change: the function OSR-enters FTL mid-call (osr-entry
+// event), runs transactionally up to the type change, aborts the loop-nest
+// transaction, recovers in Baseline, and re-enters a fresh artifact — which
+// aborts at the same site, because Baseline resumes before the type change
+// and the profile stays pure-int. After the abort budget the governor's
+// per-header OSR ledger disables the entry and Baseline finishes the call.
+// The whole ladder happens inside one run() call and the result is exact.
+func TestTraceGoldenOSR(t *testing.T) {
+	eng := NewEngine(Options{Arch: ArchNoMap})
+	var lines []string
+	eng.SetTracer(func(e TraceEvent) { lines = append(lines, e.String()) })
+
+	src := `
+var a = new Array(64);
+for (var i = 0; i < 64; i++) a[i] = i;
+function run() {
+  var s = 0;
+  for (var i = 0; i < 30000; i++) {
+    if (i == 25000) a[5] = 0.5;
+    s = s + a[i & 63];
+  }
+  return s;
+}
+`
+	if _, err := eng.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Call("run"); err != nil {
+		t.Fatal(err)
+	}
+
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "[osr-entry] run") {
+		t.Fatalf("single call produced no osr-entry event:\n%s", joined)
+	}
+	checkGolden(t, "trace_osr.golden", lines)
+}
+
+// checkGolden compares the event lines against testdata/golden/<name>,
+// rewriting the file under -update.
+func checkGolden(t *testing.T, name string, lines []string) {
+	t.Helper()
 	got := strings.Join(lines, "\n") + "\n"
-	goldenPath := filepath.Join("testdata", "golden", "trace_nomap.golden")
+	goldenPath := filepath.Join("testdata", "golden", name)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)
