@@ -16,16 +16,20 @@ import (
 
 // benchEntry is one workload's steady-state snapshot under Arch=NoMap.
 type benchEntry struct {
-	ID         string  `json:"id"`
-	Suite      string  `json:"suite"`
-	WallMS     float64 `json:"wall_ms"`
-	Cycles     int64   `json:"cycles"`
-	Instr      int64   `json:"instr"`
-	TxCommits  int64   `json:"tx_commits"`
-	TxAborts   int64   `json:"tx_aborts"`
-	Deopts     int64   `json:"deopts"`
-	OSREntries int64   `json:"osr_entries"`
-	Result     string  `json:"result"`
+	ID        string  `json:"id"`
+	Suite     string  `json:"suite"`
+	WallMS    float64 `json:"wall_ms"`
+	Cycles    int64   `json:"cycles"`
+	Instr     int64   `json:"instr"`
+	TxCommits int64   `json:"tx_commits"`
+	TxAborts  int64   `json:"tx_aborts"`
+	// TxCallBlamed counts capacity aborts whose transaction contained a
+	// call (§V-C HadCalls blame); the inliner's job is to keep this at zero
+	// for monomorphic call-heavy loops.
+	TxCallBlamed int64  `json:"tx_call_blamed,omitempty"`
+	Deopts       int64  `json:"deopts"`
+	OSREntries   int64  `json:"osr_entries"`
+	Result       string `json:"result"`
 }
 
 // benchFile is the BENCH_<n>.json schema: one record per PR so the perf
@@ -39,38 +43,48 @@ type benchFile struct {
 }
 
 // emitBenchJSON measures every suite under Arch=NoMap at TierFTL and writes
-// the snapshot to path. The OSR suite is measured differently on purpose:
-// one cold call, no warm-up and no counter reset, because the thing being
-// recorded is the mid-execution tier-up itself (OSREntries > 0 in the
-// snapshot proves the single call reached optimized code).
+// the snapshot to path.
 func emitBenchJSON(path string, cfg harness.Config) error {
+	out, err := measureBench(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// measureBench runs the full snapshot protocol. The OSR suite is measured
+// differently on purpose: one cold call, no warm-up and no counter reset,
+// because the thing being recorded is the mid-execution tier-up itself
+// (OSREntries > 0 in the snapshot proves the single call reached optimized
+// code).
+func measureBench(cfg harness.Config) (benchFile, error) {
 	out := benchFile{Schema: 1, Arch: vm.ArchNoMap.String(), Warmup: cfg.Warmup, Measure: cfg.Measure}
 
 	var steady []workloads.Workload
 	steady = append(steady, workloads.SunSpider()...)
 	steady = append(steady, workloads.Kraken()...)
 	steady = append(steady, workloads.Adversarial()...)
+	steady = append(steady, workloads.CallHeavy()...)
 	for _, w := range steady {
 		start := time.Now()
 		m, err := harness.Run(w, vm.ArchNoMap, profile.TierFTL, cfg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", w.ID, err)
+			return out, fmt.Errorf("%s: %w", w.ID, err)
 		}
 		out.Workloads = append(out.Workloads, snapshot(w, &m.Counters, m.Result, time.Since(start)))
 	}
 	for _, w := range workloads.OSREntry() {
 		e, err := coldCall(w, cfg)
 		if err != nil {
-			return err
+			return out, err
 		}
 		out.Workloads = append(out.Workloads, e)
 	}
-
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return out, nil
 }
 
 // coldCall runs a workload's setup plus exactly one run() invocation on a
@@ -96,15 +110,16 @@ func coldCall(w workloads.Workload, cfg harness.Config) (benchEntry, error) {
 
 func snapshot(w workloads.Workload, c *stats.Counters, result string, wall time.Duration) benchEntry {
 	return benchEntry{
-		ID:         w.ID,
-		Suite:      w.Suite,
-		WallMS:     float64(wall.Microseconds()) / 1000,
-		Cycles:     c.TotalCycles(),
-		Instr:      c.TotalInstr(),
-		TxCommits:  c.TxCommits,
-		TxAborts:   c.TxAborts,
-		Deopts:     c.Deopts,
-		OSREntries: c.OSREntries,
-		Result:     result,
+		ID:           w.ID,
+		Suite:        w.Suite,
+		WallMS:       float64(wall.Microseconds()) / 1000,
+		Cycles:       c.TotalCycles(),
+		Instr:        c.TotalInstr(),
+		TxCommits:    c.TxCommits,
+		TxAborts:     c.TxAborts,
+		TxCallBlamed: c.TxCallBlamedAborts,
+		Deopts:       c.Deopts,
+		OSREntries:   c.OSREntries,
+		Result:       result,
 	}
 }

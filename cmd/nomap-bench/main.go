@@ -32,6 +32,12 @@ func main() {
 	jsonOut := flag.String("json", "",
 		"write a BENCH_<n>.json perf snapshot (per-workload steady-state timings and counters "+
 			"under Arch=NoMap, plus cold single-call OSR workloads) to this path instead of running experiments")
+	compare := flag.String("compare", "",
+		"measure a fresh snapshot and print per-workload, per-suite, and overall geomean cycle "+
+			"deltas against this baseline BENCH_<n>.json; combine with -json to also write the "+
+			"fresh snapshot; exits non-zero past -max-regress")
+	maxRegress := flag.Float64("max-regress", 2.0,
+		"with -compare: fail when the overall cycle geomean regresses by more than this percent")
 	verbose := flag.Bool("v", false, "print per-measurement progress")
 	flag.Parse()
 
@@ -47,6 +53,15 @@ func main() {
 	cfg.Warmup = *warmup
 	cfg.Measure = *measure
 
+	if *compare != "" {
+		start := time.Now()
+		if err := compareBench(*compare, *jsonOut, *maxRegress, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "nomap-bench: -compare: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compared against %s in %.1fs\n", *compare, time.Since(start).Seconds())
+		return
+	}
 	if *jsonOut != "" {
 		start := time.Now()
 		if err := emitBenchJSON(*jsonOut, cfg); err != nil {

@@ -73,6 +73,11 @@ type Key struct {
 	KeepFP string
 	// ProfFP fingerprints the profile feedback consumed by the compile.
 	ProfFP uint64
+	// InlineFP fingerprints the profile feedback of every transitively
+	// inlinable callee (zero when inlining is off): the inliner builds callee
+	// IR from callee profiles, so two isolates share an artifact only when
+	// those profiles would steer its inlining identically.
+	InlineFP uint64
 	// OSR is the artifact's OSR-entry loop-header pc, or -1 for an
 	// invocation-entry artifact. OSR artifacts are cached per header: the
 	// same function can have one invocation-entry artifact plus one OSR
@@ -353,12 +358,19 @@ func KeepFingerprint(keep core.KeepSet) string {
 		buf = appendInt(buf, int64(s.PC))
 		buf = append(buf, ':')
 		buf = appendInt(buf, int64(s.Class))
+		if s.Path != "" {
+			buf = append(buf, ':')
+			buf = append(buf, s.Path...)
+		}
 		buf = append(buf, ';')
 	}
 	return string(buf)
 }
 
 func siteLess(a, b core.CheckSite) bool {
+	if a.Path != b.Path {
+		return a.Path < b.Path
+	}
 	if a.PC != b.PC {
 		return a.PC < b.PC
 	}

@@ -34,6 +34,10 @@ type Manifest struct {
 	Shapes map[int][]string
 	// Callees maps value ID → portable callee identity.
 	Callees map[int]CalleeRef
+	// Inlines names the function object of each inline frame the inliner
+	// recorded on the donor (indexed like ir.Func.Inlines); deopt inside
+	// flattened code resolves callee environments through these.
+	Inlines []CalleeRef
 }
 
 // Artifact is one cached compilation: the immutable donor graph plus its
@@ -134,8 +138,9 @@ func Extract(f *ir.Func, realm Realm) (*Manifest, bool) {
 		for _, a := range v.Args {
 			visit(a)
 		}
-		if v.Deopt != nil {
-			for _, e := range v.Deopt.Entries {
+		for sm := v.Deopt; sm != nil; sm = sm.Caller {
+			// Inline-frame caller chains embed every logical frame's state.
+			for _, e := range sm.Entries {
 				visit(e.Val)
 			}
 		}
@@ -150,6 +155,13 @@ func Extract(f *ir.Func, realm Realm) (*Manifest, bool) {
 				visit(e.Val)
 			}
 		}
+	}
+	for _, inf := range f.Inlines {
+		ref, cok := calleeRef(inf.Callee, realm)
+		if !cok {
+			return nil, false
+		}
+		man.Inlines = append(man.Inlines, ref)
 	}
 	if !ok {
 		return nil, false
@@ -196,6 +208,13 @@ func (a *Artifact) Bind(realm Realm) (*ir.Func, bool) {
 			}
 			nv.Callee = fn
 		}
+	}
+	for i, ref := range a.man.Inlines {
+		fn := resolveCallee(ref, realm)
+		if fn == nil {
+			return nil, false
+		}
+		nf.Inlines[i].Callee = fn
 	}
 	return nf, true
 }

@@ -235,3 +235,44 @@ func (s *ProfileSnap) Fingerprint() uint64 {
 func FingerprintProfile(p *profile.FunctionProfile, realm Realm) uint64 {
 	return SnapProfile(p, realm).Fingerprint()
 }
+
+// InlineFingerprint hashes the feedback of every function the inlining pass
+// could flatten into fn: for each call site whose feedback is monomorphic on
+// a user function, the callee's shared-bytecode identity and profile
+// fingerprint are mixed in, recursively to the inliner's depth bound. Any
+// profile change that could alter an inlining decision — a site going
+// polymorphic, a callee's feedback shifting the IR built for its body —
+// changes the fingerprint, so isolates share an inlined artifact only when
+// they would inline identically.
+func InlineFingerprint(fn *bytecode.Function, profiles func(*bytecode.Function) *profile.FunctionProfile, realm Realm, depth int) uint64 {
+	h := fnv.New64a()
+	var walk func(code *bytecode.Function, d int)
+	walk = func(code *bytecode.Function, d int) {
+		if d <= 0 || profiles == nil {
+			return
+		}
+		p := profiles(code)
+		if p == nil {
+			return
+		}
+		for pc := range p.Calls {
+			cf := &p.Calls[pc]
+			if !cf.Monomorphic() || cf.Target == nil || cf.Target.IsNative() {
+				continue
+			}
+			callee, ok := cf.Target.Code.(*bytecode.Function)
+			if !ok {
+				continue
+			}
+			cp := profiles(callee)
+			var cfp uint64
+			if cp != nil {
+				cfp = FingerprintProfile(cp, realm)
+			}
+			fmt.Fprintf(h, "%d@%p:%x;", pc, callee, cfp)
+			walk(callee, d-1)
+		}
+	}
+	walk(fn, depth)
+	return h.Sum64()
+}

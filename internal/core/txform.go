@@ -13,10 +13,14 @@ import (
 
 // CheckSite identifies one check site within a function, stable across
 // recompilations: feedback-refreshed compiles renumber SSA values, but the
-// bytecode position and check class of a site survive.
+// bytecode position and check class of a site survive. For checks living in
+// code the inlining pass flattened, Path is the inline path ("callee@pc"
+// segments, see ir.InlineFrame.Path) and PC is a pc within that callee —
+// the same callee inlined at two call sites stays two distinct sites.
 type CheckSite struct {
 	PC    int
 	Class stats.CheckClass
+	Path  string
 }
 
 // KeepSet selects check sites whose Stack Map Points must be preserved when
@@ -186,7 +190,7 @@ func wrapLoop(f *ir.Func, l *ir.Loop, tiled bool, keep KeepSet) bool {
 	// aborters and routes their failures through deoptimization instead.
 	for _, b := range l.BlockList() {
 		for _, v := range b.Values {
-			if v.Op.IsCheck() && !keep[CheckSite{PC: v.BCPos, Class: v.Check}] {
+			if v.Op.IsCheck() && !keep[CheckSite{PC: v.BCPos, Class: v.Check, Path: v.InlinePath()}] {
 				v.Deopt = nil
 			}
 		}

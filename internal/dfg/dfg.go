@@ -13,24 +13,42 @@ import (
 
 // Compile builds DFG-tier code for fn.
 func Compile(fn *bytecode.Function, prof *profile.FunctionProfile) (*ir.Func, error) {
+	return CompileInlining(fn, prof, nil)
+}
+
+// CompileInlining builds DFG-tier code for fn with speculative call inlining
+// steered by the callee-profile resolver (nil disables inlining, reproducing
+// Compile).
+func CompileInlining(fn *bytecode.Function, prof *profile.FunctionProfile, profiles func(*bytecode.Function) *profile.FunctionProfile) (*ir.Func, error) {
 	f, err := ir.Build(fn, prof)
 	if err != nil {
 		return nil, err
 	}
-	return finish(f), nil
+	return finish(f, profiles), nil
 }
 
 // CompileOSR builds a DFG-tier OSR-entry artifact entering at loop header
 // entryPC, with live state bound from the OSR frame's locals.
 func CompileOSR(fn *bytecode.Function, prof *profile.FunctionProfile, entryPC int) (*ir.Func, error) {
+	return CompileOSRInlining(fn, prof, entryPC, nil)
+}
+
+// CompileOSRInlining is CompileOSR with speculative call inlining (see
+// CompileInlining).
+func CompileOSRInlining(fn *bytecode.Function, prof *profile.FunctionProfile, entryPC int, profiles func(*bytecode.Function) *profile.FunctionProfile) (*ir.Func, error) {
 	f, err := ir.BuildOSR(fn, prof, entryPC)
 	if err != nil {
 		return nil, err
 	}
-	return finish(f), nil
+	return finish(f, profiles), nil
 }
 
-func finish(f *ir.Func) *ir.Func {
+func finish(f *ir.Func, profiles func(*bytecode.Function) *profile.FunctionProfile) *ir.Func {
+	if profiles != nil {
+		// Flatten monomorphic direct calls before the cleanup passes so the
+		// check-removal phases see across former call boundaries.
+		ir.InlineCalls(f, ir.DefaultInlineOptions(profiles))
+	}
 	// The DFG tier runs local cleanups plus its check-removal phases:
 	// TypeCheckHoisting (modelled directly) and IntegerCheckCombining
 	// (modelled by the builder's block-local fact cache plus GVN) — both

@@ -44,6 +44,28 @@ type Frame struct {
 	// frame that have not yet been folded into the function profile. The
 	// tier that next owns the frame adds it to BackEdgeCount and zeroes it.
 	BackEdges int64
+
+	// Caller links to the next-outer logical frame when this frame was
+	// reconstructed from inlined optimized code: a deopt inside a flattened
+	// callee materializes the callee frame plus every caller up to the
+	// compiled function's own frame. The resume loop runs this frame to its
+	// return, stores the result in Caller.Locals[RetReg], advances Caller
+	// past the call instruction (Caller.PC is the call's pc), and resumes
+	// the caller. Nil for ordinary single-frame transfers.
+	Caller *Frame
+	// RetReg is the caller register receiving this frame's result
+	// (meaningful only when Caller is non-nil).
+	RetReg int
+	// Function is the function object this frame executes, set for
+	// reconstructed inline frames so the resuming tier can allocate the
+	// callee environment; nil otherwise (the resuming caller already knows
+	// its own function).
+	Function *value.Function
+	// InlineIndex is the machine-internal inline-frame slot this frame's
+	// back edges accumulate under (0 = the compiled function's root frame);
+	// the machine uses it to redistribute surviving back-edge counts across
+	// the reconstructed chain on aborts.
+	InlineIndex int
 }
 
 // New allocates a frame for fn at pc 0 with arguments installed in the

@@ -37,6 +37,14 @@ type Options struct {
 	// and after every pipeline pass (the oracle runs ir.Verify here to
 	// localize which pass broke an invariant).
 	PassHook func(pass string, f *ir.Func)
+	// Inline enables speculative flattening of monomorphic direct-call sites
+	// into the caller's IR (multi-depth, with inline-frame stack maps). It
+	// requires Profiles to resolve callee feedback; without it the pass is
+	// skipped.
+	Inline bool
+	// Profiles resolves the Baseline profile of a callee the inliner wants to
+	// flatten (the VM's ProfileFor, threaded through the JIT driver).
+	Profiles func(*bytecode.Function) *profile.FunctionProfile
 	// OSR requests an OSR-entry artifact entering at loop header OSREntryPC
 	// instead of the invocation entry. The artifact's live state comes from
 	// OpOSRLocal values bound at machine.EnterAt; transaction formation
@@ -65,6 +73,13 @@ func Compile(fn *bytecode.Function, prof *profile.FunctionProfile, opts Options)
 		}
 	}
 	after("build")
+	// Speculative call inlining first: flattened callees expose their checks
+	// to every later pass, so hoisting, GVN, and transaction formation all
+	// see across the former call boundary.
+	if opts.Inline && opts.Profiles != nil {
+		ir.InlineCalls(f, ir.DefaultInlineOptions(opts.Profiles))
+		after("inline")
+	}
 	// JavaScriptCore's own check-removal phases run first (they exist in
 	// every configuration; SMPs limit them, paper §III-A1)...
 	opt.HoistTypeChecks(f)

@@ -86,6 +86,11 @@ type Transfer struct {
 	// executing inside Fn's transaction; ledger policy applies to it.
 	SiteFn string
 	SitePC int
+	// SitePath is the inline path of the failing site when the inliner
+	// flattened it into SiteFn's compiled code ("" for sites in SiteFn's own
+	// code): the same callee inlined at two call sites aborts as two distinct
+	// ledger entries.
+	SitePath string
 	// HadCalls reports whether the aborted transaction's function contained
 	// calls (§V-C: the callee is blamed for the overflow).
 	HadCalls bool
@@ -293,7 +298,7 @@ func (g *Governor) transferDecision(t Transfer) Decision {
 	if siteFn == "" {
 		siteFn = t.Fn
 	}
-	site := core.CheckSite{PC: t.SitePC, Class: t.Class}
+	site := core.CheckSite{PC: t.SitePC, Class: t.Class, Path: t.SitePath}
 
 	if !t.Aborted {
 		// Plain OSR exit. A restored-SMP site deopting is the governed
@@ -527,6 +532,9 @@ func (g *Governor) Restore(snap Snapshot) {
 }
 
 func siteLess(a, b core.CheckSite) bool {
+	if a.Path != b.Path {
+		return a.Path < b.Path
+	}
 	if a.PC != b.PC {
 		return a.PC < b.PC
 	}
@@ -597,13 +605,7 @@ func (g *Governor) Report() []FuncReport {
 		for s, l := range st.sites {
 			r.Sites = append(r.Sites, SiteStat{Site: s, Aborts: l.aborts, Deopts: l.deopts, Kept: st.keep[s]})
 		}
-		sort.Slice(r.Sites, func(i, j int) bool {
-			a, b := r.Sites[i].Site, r.Sites[j].Site
-			if a.PC != b.PC {
-				return a.PC < b.PC
-			}
-			return a.Class < b.Class
-		})
+		sort.Slice(r.Sites, func(i, j int) bool { return siteLess(r.Sites[i].Site, r.Sites[j].Site) })
 		r.OSR = osrSnaps(st)
 		out = append(out, r)
 	}

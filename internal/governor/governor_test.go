@@ -137,6 +137,64 @@ func TestHadCallsPins(t *testing.T) {
 	}
 }
 
+// pathAbort is a check abort at an inlined site: same bytecode pc and class
+// as a root-code site could have, but carrying the inline path that names
+// which flattened activation the failing check came from.
+func pathAbort(fn string, pc int, path string) Transfer {
+	return Transfer{Fn: fn, Aborted: true, Cause: htm.AbortCheck,
+		Class: stats.CheckBounds, SiteFn: fn, SitePC: pc, SitePath: path}
+}
+
+// TestInlinePathSiteLedgers: sites that differ only in inline path are
+// distinct ledgers. The same bytecode pc can exist once in the root code
+// and once per flattened activation (the callee's pc space is embedded
+// whole), so folding them together would let an abort storm in one
+// activation restore the SMP of an innocent same-pc site — or worse, split
+// one storm across ledgers and never reach the budget.
+func TestInlinePathSiteLedgers(t *testing.T) {
+	g := New(DefaultPolicy(true))
+	budget := g.Policy().CheckAbortBudget
+	// Drive the inlined site to its budget while the same-pc root site and
+	// a sibling activation's site each take a single abort.
+	for i := int64(1); i < budget; i++ {
+		g.OnTransfer(pathAbort("f", 7, "g@5"))
+	}
+	g.OnTransfer(checkAbort("f", 7))        // root-code site, same pc
+	g.OnTransfer(pathAbort("f", 7, "g@11")) // same callee, other call site
+	if g.KeepSet("f") != nil {
+		t.Fatal("SMP restored before any single path-keyed site reached the budget")
+	}
+	dec := g.OnTransfer(pathAbort("f", 7, "g@5"))
+	if !dec.RestoredSMP {
+		t.Fatalf("budget transfer: got %+v, want RestoredSMP", dec)
+	}
+	keep := g.KeepSet("f")
+	site := core.CheckSite{PC: 7, Class: stats.CheckBounds, Path: "g@5"}
+	if len(keep) != 1 || !keep[site] {
+		t.Fatalf("keep set = %v, want exactly %v", keep, site)
+	}
+
+	// Export must carry the paths; restoring into a fresh governor must
+	// reproduce the keep set and make the same next decision.
+	fresh := New(DefaultPolicy(true))
+	fresh.Restore(g.Export())
+	fk := fresh.KeepSet("f")
+	if len(fk) != 1 || !fk[site] {
+		t.Fatalf("restored keep set = %v, want exactly %v", fk, site)
+	}
+	d1 := g.OnTransfer(Transfer{Fn: "f", SiteFn: "f", SitePC: 7, Class: stats.CheckBounds, SitePath: "g@5"})
+	d2 := fresh.OnTransfer(Transfer{Fn: "f", SiteFn: "f", SitePC: 7, Class: stats.CheckBounds, SitePath: "g@5"})
+	if d1.Recompile || d1.ChargeDeopt || d2.Recompile || d2.ChargeDeopt {
+		t.Fatalf("kept inlined site's deopt not free: donor %+v, restored %+v", d1, d2)
+	}
+
+	// Reset must clear the path-keyed ledgers and keep sets like any other.
+	g.Reset()
+	if g.KeepSet("f") != nil || len(g.Report()) != 0 {
+		t.Fatal("Reset left inline-path state behind")
+	}
+}
+
 // TestProbationConfirm walks the full re-promotion arc: demotion, a clean
 // window earning a probe, and a clean probationary window confirming the
 // higher level.
@@ -394,6 +452,7 @@ func TestReset(t *testing.T) {
 	g.OnTransfer(capacityAbort("f", false))
 	for i := int64(0); i < g.Policy().CheckAbortBudget; i++ {
 		g.OnTransfer(checkAbort("f", 7))
+		g.OnTransfer(pathAbort("f", 7, "g@5")) // inline-path ledgers reset too
 	}
 	g.Reset()
 	if g.LevelFor("f") != core.TxLoopNest || g.KeepSet("f") != nil || len(g.Report()) != 0 {

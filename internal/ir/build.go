@@ -402,8 +402,29 @@ func (b *builder) removeTrivialPhis() {
 }
 
 // ReplaceUses rewrites every use of old with new across argument lists,
-// block controls, and stack maps.
+// block controls, and stack maps (including inline-frame Caller chains;
+// chained maps can be shared between deopt points, so a visited set keeps
+// the rewrite single-pass).
 func ReplaceUses(f *Func, old, new *Value) {
+	var seen map[*StackMap]bool
+	replaceInMap := func(sm *StackMap) {
+		for ; sm != nil; sm = sm.Caller {
+			if seen[sm] {
+				return
+			}
+			if sm.Caller != nil {
+				if seen == nil {
+					seen = make(map[*StackMap]bool)
+				}
+				seen[sm] = true
+			}
+			for i := range sm.Entries {
+				if sm.Entries[i].Val == old {
+					sm.Entries[i].Val = new
+				}
+			}
+		}
+	}
 	for _, blk := range f.Blocks {
 		for _, v := range blk.Values {
 			for i, a := range v.Args {
@@ -411,24 +432,12 @@ func ReplaceUses(f *Func, old, new *Value) {
 					v.Args[i] = new
 				}
 			}
-			if v.Deopt != nil {
-				for i := range v.Deopt.Entries {
-					if v.Deopt.Entries[i].Val == old {
-						v.Deopt.Entries[i].Val = new
-					}
-				}
-			}
+			replaceInMap(v.Deopt)
 		}
 		if blk.Control == old {
 			blk.Control = new
 		}
-		if blk.EntryState != nil {
-			for i := range blk.EntryState.Entries {
-				if blk.EntryState.Entries[i].Val == old {
-					blk.EntryState.Entries[i].Val = new
-				}
-			}
-		}
+		replaceInMap(blk.EntryState)
 	}
 }
 

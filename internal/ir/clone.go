@@ -6,7 +6,10 @@ package ir
 // the caller (the compiled-code cache's bind step) is expected to rewrite
 // them for the target isolate using the returned mapping. Value and block IDs
 // are preserved, so NumValues (which sizes the machine's register file) and
-// diagnostics match the original.
+// diagnostics match the original. Inline frames are deep-copied too (their
+// Callee is also isolate-bound and rewritten at bind), and stack-map Caller
+// chains keep their sharing structure: maps shared between several deopt
+// points in the original stay shared in the copy.
 func (f *Func) Clone() (*Func, map[*Value]*Value) {
 	nf := &Func{
 		Name:        f.Name,
@@ -16,10 +19,23 @@ func (f *Func) Clone() (*Func, map[*Value]*Value) {
 		TxAware:     f.TxAware,
 		OSREntryPC:  f.OSREntryPC,
 	}
+	imap := make(map[*InlineFrame]*InlineFrame, len(f.Inlines))
+	for _, inf := range f.Inlines {
+		c := *inf
+		imap[inf] = &c
+	}
+	for _, inf := range f.Inlines {
+		ni := imap[inf]
+		if inf.Parent != nil {
+			ni.Parent = imap[inf.Parent]
+		}
+		nf.Inlines = append(nf.Inlines, ni)
+	}
 	bmap := make(map[*Block]*Block, len(f.Blocks))
 	vmap := make(map[*Value]*Value, f.nextValueID)
+	smmap := make(map[*StackMap]*StackMap)
 	for _, b := range f.Blocks {
-		nb := &Block{ID: b.ID, Kind: b.Kind, StartPC: b.StartPC, BackEdge: b.BackEdge, Fn: nf}
+		nb := &Block{ID: b.ID, Kind: b.Kind, StartPC: b.StartPC, BackEdge: b.BackEdge, Inline: imap[b.Inline], Fn: nf}
 		bmap[b] = nb
 		nf.Blocks = append(nf.Blocks, nb)
 	}
@@ -28,6 +44,7 @@ func (f *Func) Clone() (*Func, map[*Value]*Value) {
 	// they are reachable only through the referencing stack map, exactly
 	// like the original's.
 	var remap func(v *Value) *Value
+	var remapSM func(sm *StackMap) *StackMap
 	remap = func(v *Value) *Value {
 		if v == nil {
 			return nil
@@ -40,7 +57,8 @@ func (f *Func) Clone() (*Func, map[*Value]*Value) {
 			AuxInt: v.AuxInt, AuxFloat: v.AuxFloat, AuxStr: v.AuxStr,
 			AuxVal: v.AuxVal, Shape: v.Shape, Callee: v.Callee,
 			Check: v.Check, Free: v.Free, BCPos: v.BCPos,
-			Block: bmap[v.Block],
+			Inline: imap[v.Inline],
+			Block:  bmap[v.Block],
 		}
 		vmap[v] = nv
 		if len(v.Args) > 0 {
@@ -49,8 +67,23 @@ func (f *Func) Clone() (*Func, map[*Value]*Value) {
 				nv.Args[i] = remap(a)
 			}
 		}
-		nv.Deopt = cloneStackMap(v.Deopt, remap)
+		nv.Deopt = remapSM(v.Deopt)
 		return nv
+	}
+	remapSM = func(sm *StackMap) *StackMap {
+		if sm == nil {
+			return nil
+		}
+		if nsm, ok := smmap[sm]; ok {
+			return nsm
+		}
+		nsm := &StackMap{PC: sm.PC, Inline: imap[sm.Inline], Entries: make([]StackMapEntry, len(sm.Entries))}
+		smmap[sm] = nsm
+		for i, e := range sm.Entries {
+			nsm.Entries[i] = StackMapEntry{Reg: e.Reg, Val: remap(e.Val)}
+		}
+		nsm.Caller = remapSM(sm.Caller)
+		return nsm
 	}
 	for _, b := range f.Blocks {
 		nb := bmap[b]
@@ -62,7 +95,7 @@ func (f *Func) Clone() (*Func, map[*Value]*Value) {
 	for _, b := range f.Blocks {
 		nb := bmap[b]
 		nb.Control = remap(b.Control)
-		nb.EntryState = cloneStackMap(b.EntryState, remap)
+		nb.EntryState = remapSM(b.EntryState)
 		for _, s := range b.Succs {
 			nb.Succs = append(nb.Succs, bmap[s])
 		}
@@ -72,15 +105,4 @@ func (f *Func) Clone() (*Func, map[*Value]*Value) {
 	}
 	nf.Entry = bmap[f.Entry]
 	return nf, vmap
-}
-
-func cloneStackMap(sm *StackMap, remap func(*Value) *Value) *StackMap {
-	if sm == nil {
-		return nil
-	}
-	nsm := &StackMap{PC: sm.PC, Entries: make([]StackMapEntry, len(sm.Entries))}
-	for i, e := range sm.Entries {
-		nsm.Entries[i] = StackMapEntry{Reg: e.Reg, Val: remap(e.Val)}
-	}
-	return nsm
 }

@@ -255,7 +255,9 @@ func (l *Loop) Latches() []*Block {
 func ResolveEntryState(header *Block, pred *Block) *StackMap {
 	k := header.PredIndex(pred)
 	src := header.EntryState
-	sm := &StackMap{PC: src.PC, Entries: make([]StackMapEntry, 0, len(src.Entries))}
+	// Inline/Caller carry over: a loop inside flattened callee code recovers
+	// into the callee's logical frame, with the caller chain intact.
+	sm := &StackMap{PC: src.PC, Inline: src.Inline, Caller: src.Caller, Entries: make([]StackMapEntry, 0, len(src.Entries))}
 	for _, e := range src.Entries {
 		v := e.Val
 		for v.Op == OpPhi && v.Block == header && k < len(v.Args) {

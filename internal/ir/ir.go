@@ -76,13 +76,71 @@ type StackMapEntry struct {
 
 // StackMap is the paper's Stack Map Entry: it describes where every live
 // program variable lives so On-Stack Replacement can materialize a Baseline
-// frame (paper §II-B).
+// frame (paper §II-B). When the map belongs to code flattened by the
+// inlining pass, Inline identifies the inlined activation the registers
+// belong to and Caller is the enclosing frame's map at the flattened call
+// site, so a single deopt reconstructs the whole logical frame stack.
 type StackMap struct {
-	// PC is the bytecode pc at which Baseline execution resumes.
+	// PC is the bytecode pc at which Baseline execution resumes. For an
+	// inline map it is a pc within Inline.Source; a Caller map's PC is the
+	// pc of the flattened call itself (the resume loop installs the return
+	// value and steps past it).
 	PC int
-	// Entries lists live bytecode registers and their IR values.
+	// Entries lists live bytecode registers and their IR values. For an
+	// inline map the registers are the inlined callee's, not the root's.
 	Entries []StackMapEntry
+	// Inline is the inlined activation this map describes, nil for the root
+	// frame of the compiled function.
+	Inline *InlineFrame
+	// Caller is the next-outer frame's map at the call that was flattened;
+	// nil exactly when Inline is nil.
+	Caller *StackMap
 }
+
+// InlineFrame describes one callee activation flattened into a compiled
+// function by the speculative inlining pass. Deopt maps reference it so the
+// machine can rebuild the logical interpreter frame stack; the machine also
+// uses it to attribute back-edge counts and abort sites to the callee the
+// code textually came from.
+type InlineFrame struct {
+	// Parent is the enclosing inlined activation, nil when the caller is the
+	// compiled function's own (root) frame.
+	Parent *InlineFrame
+	// Callee is the function object whose body was flattened (carries the
+	// environment the reconstructed frame needs).
+	Callee *value.Function
+	// Source is the callee's bytecode (register file layout, back-edge pcs).
+	Source *bytecode.Function
+	// CallPC is the bytecode pc of the flattened call in the caller's code
+	// (the caller's Source, i.e. Parent.Source or the root function).
+	CallPC int
+	// RetReg is the caller register that receives the callee's result.
+	RetReg int
+	// Depth is 1 for callees inlined directly into the root frame.
+	Depth int
+	// Index is this frame's 1-based position in Func.Inlines; index 0 is
+	// reserved for the root frame in per-frame machine accounting.
+	Index int
+}
+
+// Path renders the inline position as "callee@pc" segments from the
+// outermost inlined callee to this one. It identifies a check site
+// textually — two inlinings of the same callee at different call sites get
+// distinct paths — and is the site-attribution key the governor and oracle
+// use alongside the bytecode pc.
+func (inf *InlineFrame) Path() string {
+	if inf == nil {
+		return ""
+	}
+	s := fmt.Sprintf("%s@%d", inf.Callee.Name, inf.CallPC)
+	if inf.Parent != nil {
+		return inf.Parent.Path() + "/" + s
+	}
+	return s
+}
+
+// InlinePath returns sm's inline path, or "" for a root-frame map.
+func (sm *StackMap) InlinePath() string { return sm.Inline.Path() }
 
 // Value is one SSA value / instruction.
 type Value struct {
@@ -117,9 +175,19 @@ type Value struct {
 	// Figure 5).
 	Deopt *StackMap
 
-	// BCPos is the bytecode pc this value derives from (diagnostics).
+	// BCPos is the bytecode pc this value derives from. For inlined values
+	// it is a pc within Inline.Source.
 	BCPos int
+
+	// Inline identifies the inlined activation this value was flattened
+	// from, nil for values belonging to the compiled function itself. Site
+	// attribution (governor ledgers, injector/oracle keys) combines it with
+	// BCPos so the same callee inlined at two call sites stays two sites.
+	Inline *InlineFrame
 }
+
+// InlinePath returns v's inline path, or "" for a root-frame value.
+func (v *Value) InlinePath() string { return v.Inline.Path() }
 
 // BlockKind says how a block ends.
 type BlockKind uint8
@@ -152,6 +220,11 @@ type Block struct {
 	// stack maps from loop headers' entry states. Valid until DCE runs.
 	EntryState *StackMap
 
+	// Inline identifies the inlined activation this block was flattened
+	// from, nil for the compiled function's own blocks. The machine uses it
+	// to credit the block's back edges to the right function's profile.
+	Inline *InlineFrame
+
 	Fn *Func
 }
 
@@ -173,6 +246,11 @@ type Func struct {
 	// take their live state from OpOSRLocal values bound at machine.EnterAt
 	// instead of OpParam values.
 	OSREntryPC int
+
+	// Inlines lists every activation the inlining pass flattened into this
+	// function, in flattening order; Inlines[i].Index == i+1. The machine
+	// sizes its per-frame back-edge accounting from it.
+	Inlines []*InlineFrame
 }
 
 // NewFunc creates an empty function for source fn.

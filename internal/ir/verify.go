@@ -71,8 +71,11 @@ func Verify(f *Func) error {
 				}
 			}
 			if v.Op.IsCheck() || v.Op == OpTxBegin || v.Op == OpTxTile {
-				if v.Deopt != nil {
-					for _, e := range v.Deopt.Entries {
+				for sm := v.Deopt; sm != nil; sm = sm.Caller {
+					if (sm.Caller == nil) != (sm.Inline == nil) {
+						return fmt.Errorf("%s: v%d stack map has Inline/Caller mismatch", f.Name, v.ID)
+					}
+					for _, e := range sm.Entries {
 						if e.Val == nil {
 							return fmt.Errorf("%s: v%d stack map entry r%d is nil", f.Name, v.ID, e.Reg)
 						}
@@ -122,8 +125,8 @@ func Verify(f *Func) error {
 					return err
 				}
 			}
-			if v.Deopt != nil {
-				for _, e := range v.Deopt.Entries {
+			for sm := v.Deopt; sm != nil; sm = sm.Caller {
+				for _, e := range sm.Entries {
 					if err := checkUse(v, e.Val, false, 0); err != nil {
 						return fmt.Errorf("stack map: %w", err)
 					}

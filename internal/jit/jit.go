@@ -41,6 +41,12 @@ type Backend struct {
 	arch     vm.Arch
 	passHook func(pass string, f *ir.Func)
 
+	// inline enables speculative call inlining in the DFG and FTL tiers
+	// (from vm.Config.DisableInlining); profiles resolves callee feedback
+	// for the inliner (the owning VM's ProfileFor).
+	inline   bool
+	profiles func(*bytecode.Function) *profile.FunctionProfile
+
 	// osrFailed records (function, header) pairs whose OSR compile failed.
 	// An unsupported OSR region says nothing about the whole function — the
 	// invocation-entry compile may still succeed — so the failure is scoped
@@ -80,6 +86,8 @@ func Attach(v *vm.VM) *Backend {
 		arch:      v.Config().Arch,
 		realm:     v,
 		policy:    v.Config().Policy,
+		inline:    !v.Config().DisableInlining,
+		profiles:  v.ProfileFor,
 	}
 	v.SetJIT(b)
 	return b
@@ -210,6 +218,7 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 			Class:    deopt.CheckClass,
 			SiteFn:   deopt.SiteFn,
 			SitePC:   deopt.SitePC,
+			SitePath: deopt.SitePath,
 			HadCalls: deopt.HadCalls,
 		})
 		b.apply(dec, prof)
@@ -218,10 +227,41 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 		delete(b.code, key)
 	}
 
-	fr := deopt.Frame
-	fr.Env = value.NewEnvironment(fn.Env, bcFn.NumCells)
-	out, err := interp.Exec(v, fr, profile.TierBaseline)
+	out, err := resumeChain(v, deopt.Frame, func() *value.Environment {
+		return value.NewEnvironment(fn.Env, bcFn.NumCells)
+	})
 	return out, true, err
+}
+
+// resumeChain resumes a reconstructed frame chain in the Baseline tier,
+// innermost frame first. A deopt inside inlined code materializes the callee
+// frame plus every flattened caller: each frame runs to its return, the
+// result lands in the caller's result register, and the caller — positioned
+// at its call instruction — steps past it and resumes. Inline frames carry
+// their function object, from which the callee environment is allocated;
+// the root frame either inherited a live environment (OSR artifacts) or gets
+// one from rootEnv (invocation-entry artifacts).
+func resumeChain(v *vm.VM, fr *frame.Frame, rootEnv func() *value.Environment) (value.Value, error) {
+	for {
+		if fr.Env == nil {
+			if fr.Function != nil {
+				fr.Env = value.NewEnvironment(fr.Function.Env, fr.Fn.NumCells)
+			} else if rootEnv != nil {
+				fr.Env = rootEnv()
+			}
+		}
+		res, err := interp.Exec(v, fr, profile.TierBaseline)
+		if err != nil {
+			return value.Undefined(), err
+		}
+		caller := fr.Caller
+		if caller == nil {
+			return res, nil
+		}
+		caller.Locals[fr.RetReg] = res
+		caller.PC++ // the caller frame is positioned at its call instruction
+		fr = caller
+	}
 }
 
 // ExecuteOSR enters optimized code mid-loop: fr is a live bytecode frame
@@ -276,6 +316,7 @@ func (b *Backend) ExecuteOSR(v *vm.VM, fr *frame.Frame, prof *profile.FunctionPr
 			Class:    deopt.CheckClass,
 			SiteFn:   deopt.SiteFn,
 			SitePC:   deopt.SitePC,
+			SitePath: deopt.SitePath,
 			HadCalls: deopt.HadCalls,
 			OSR:      true,
 			OSRPC:    fr.PC,
@@ -286,9 +327,9 @@ func (b *Backend) ExecuteOSR(v *vm.VM, fr *frame.Frame, prof *profile.FunctionPr
 		delete(b.code, key)
 	}
 
-	// The recovery frame inherited fr's environment in the machine's
-	// materialization; resume it in Baseline directly.
-	out, err := interp.Exec(v, deopt.Frame, profile.TierBaseline)
+	// The root recovery frame inherited fr's environment in the machine's
+	// materialization; inline frames allocate theirs in the resume loop.
+	out, err := resumeChain(v, deopt.Frame, nil)
 	return out, true, err
 }
 
@@ -309,6 +350,24 @@ func (b *Backend) apply(dec governor.Decision, prof *profile.FunctionProfile) {
 	}
 }
 
+// inlineFP fingerprints the transitive inlinable-callee feedback for a cache
+// key; zero when inlining is off, so non-inlining isolates key as before.
+func (b *Backend) inlineFP(bcFn *bytecode.Function) uint64 {
+	if !b.inline {
+		return 0
+	}
+	return codecache.InlineFingerprint(bcFn, b.profiles, b.realm, ir.DefaultInlineOptions(nil).MaxDepth)
+}
+
+// dfgProfiles returns the callee-profile resolver steering DFG inlining, or
+// nil when inlining is off.
+func (b *Backend) dfgProfiles() func(*bytecode.Function) *profile.FunctionProfile {
+	if !b.inline {
+		return nil
+	}
+	return b.profiles
+}
+
 // compile produces (or, through the shared code cache, obtains) code for
 // bcFn at tier. The returned bool reports whether a compilation actually ran
 // on behalf of this isolate — false means a cached artifact was bound — so
@@ -318,23 +377,24 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 	if tier == profile.TierDFG {
 		if useCache {
 			key := codecache.Key{
-				Code:   bcFn,
-				Tier:   tier,
-				Arch:   uint8(b.arch),
-				Level:  core.TxOff,
-				Policy: b.policy,
-				ProfFP: codecache.FingerprintProfile(prof, b.realm),
-				OSR:    -1,
+				Code:     bcFn,
+				Tier:     tier,
+				Arch:     uint8(b.arch),
+				Level:    core.TxOff,
+				Policy:   b.policy,
+				ProfFP:   codecache.FingerprintProfile(prof, b.realm),
+				InlineFP: b.inlineFP(bcFn),
+				OSR:      -1,
 			}
 			f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
-				return dfg.Compile(bcFn, prof)
+				return dfg.CompileInlining(bcFn, prof, b.dfgProfiles())
 			})
 			if err != nil {
 				return nil, compiled, err
 			}
 			return &unit{tier: tier, f: f}, compiled, nil
 		}
-		f, err := dfg.Compile(bcFn, prof)
+		f, err := dfg.CompileInlining(bcFn, prof, b.dfgProfiles())
 		if err != nil {
 			return nil, true, err
 		}
@@ -346,16 +406,19 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 	level := b.gov.LevelFor(bcFn.Name)
 	opts := optionsFor(b.arch, level)
 	opts.KeepSMP = b.gov.KeepSet(bcFn.Name)
+	opts.Inline = b.inline
+	opts.Profiles = b.profiles
 	if useCache {
 		key := codecache.Key{
-			Code:   bcFn,
-			Tier:   tier,
-			Arch:   uint8(b.arch),
-			Level:  level,
-			Policy: b.policy,
-			KeepFP: codecache.KeepFingerprint(opts.KeepSMP),
-			ProfFP: codecache.FingerprintProfile(prof, b.realm),
-			OSR:    -1,
+			Code:     bcFn,
+			Tier:     tier,
+			Arch:     uint8(b.arch),
+			Level:    level,
+			Policy:   b.policy,
+			KeepFP:   codecache.KeepFingerprint(opts.KeepSMP),
+			ProfFP:   codecache.FingerprintProfile(prof, b.realm),
+			InlineFP: b.inlineFP(bcFn),
+			OSR:      -1,
 		}
 		f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
 			return ftl.Compile(bcFn, prof, opts)
@@ -382,23 +445,24 @@ func (b *Backend) compileOSR(bcFn *bytecode.Function, prof *profile.FunctionProf
 	if tier == profile.TierDFG {
 		if useCache {
 			key := codecache.Key{
-				Code:   bcFn,
-				Tier:   tier,
-				Arch:   uint8(b.arch),
-				Level:  core.TxOff,
-				Policy: b.policy,
-				ProfFP: codecache.FingerprintProfile(prof, b.realm),
-				OSR:    entryPC,
+				Code:     bcFn,
+				Tier:     tier,
+				Arch:     uint8(b.arch),
+				Level:    core.TxOff,
+				Policy:   b.policy,
+				ProfFP:   codecache.FingerprintProfile(prof, b.realm),
+				InlineFP: b.inlineFP(bcFn),
+				OSR:      entryPC,
 			}
 			f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
-				return dfg.CompileOSR(bcFn, prof, entryPC)
+				return dfg.CompileOSRInlining(bcFn, prof, entryPC, b.dfgProfiles())
 			})
 			if err != nil {
 				return nil, compiled, err
 			}
 			return &unit{tier: tier, f: f}, compiled, nil
 		}
-		f, err := dfg.CompileOSR(bcFn, prof, entryPC)
+		f, err := dfg.CompileOSRInlining(bcFn, prof, entryPC, b.dfgProfiles())
 		if err != nil {
 			return nil, true, err
 		}
@@ -410,18 +474,21 @@ func (b *Backend) compileOSR(bcFn *bytecode.Function, prof *profile.FunctionProf
 	level := b.gov.LevelFor(bcFn.Name)
 	opts := optionsFor(b.arch, level)
 	opts.KeepSMP = b.gov.KeepSet(bcFn.Name)
+	opts.Inline = b.inline
+	opts.Profiles = b.profiles
 	opts.OSR = true
 	opts.OSREntryPC = entryPC
 	if useCache {
 		key := codecache.Key{
-			Code:   bcFn,
-			Tier:   tier,
-			Arch:   uint8(b.arch),
-			Level:  level,
-			Policy: b.policy,
-			KeepFP: codecache.KeepFingerprint(opts.KeepSMP),
-			ProfFP: codecache.FingerprintProfile(prof, b.realm),
-			OSR:    entryPC,
+			Code:     bcFn,
+			Tier:     tier,
+			Arch:     uint8(b.arch),
+			Level:    level,
+			Policy:   b.policy,
+			KeepFP:   codecache.KeepFingerprint(opts.KeepSMP),
+			ProfFP:   codecache.FingerprintProfile(prof, b.realm),
+			InlineFP: b.inlineFP(bcFn),
+			OSR:      entryPC,
 		}
 		f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
 			return ftl.Compile(bcFn, prof, opts)

@@ -20,6 +20,19 @@ func newEngine(arch vm.Arch) (*vm.VM, *jit.Backend) {
 	return v, b
 }
 
+// newEngineNoInline disables speculative call inlining, for tests that
+// exercise real call-inside-transaction semantics (the inliner would
+// otherwise flatten the callee and the call disappears).
+func newEngineNoInline(arch vm.Arch) (*vm.VM, *jit.Backend) {
+	cfg := vm.DefaultConfig()
+	cfg.Arch = arch
+	cfg.Policy = profile.Policy{BaselineThreshold: 2, DFGThreshold: 8, FTLThreshold: 40, MaxDeopts: 16}
+	cfg.DisableInlining = true
+	v := vm.New(cfg)
+	b := jit.Attach(v)
+	return v, b
+}
+
 const hotSrc = `
 var arr = [];
 for (var i = 0; i < 32; i++) arr[i] = i;
@@ -129,7 +142,7 @@ function run() {
   return big[39999];
 }
 `
-	v, b := newEngine(vm.ArchNoMap)
+	v, b := newEngineNoInline(vm.ArchNoMap)
 	if _, err := v.Run(src); err != nil {
 		t.Fatal(err)
 	}
@@ -138,8 +151,10 @@ function run() {
 			t.Fatal(err)
 		}
 	}
-	// 320KB of writes exceeds even the 256KB L2; the loop contains a call,
-	// so the first capacity abort must remove transactions entirely.
+	// 320KB of writes exceeds even the 256KB L2; the loop contains a call
+	// (inlining disabled above — the inliner would flatten helper and lift
+	// the §V-C blame), so the first capacity abort must remove transactions
+	// entirely.
 	runFn := v.Globals().Get("run").Object().Fn.Code.(*bytecode.Function)
 	if got := b.TxLevelOf(runFn); got != core.TxOff {
 		t.Errorf("tx level = %v, want off (overflowing transaction had calls)", got)

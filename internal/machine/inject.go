@@ -60,6 +60,10 @@ type Site struct {
 	// fresh builder, so (Fn, ValueID) alone would collide with the main
 	// artifact's sites; OSR disambiguates them.
 	OSR int
+	// Inline is the inline path of the site ("callee@pc" segments, root to
+	// leaf) when the site lives in code the inliner flattened into Fn; ""
+	// for sites in the root function's own code.
+	Inline string
 	// Check is the check's class (SiteCheck only).
 	Check stats.CheckClass
 	// HasSMP reports the check carries a stack map: failure deopts instead
@@ -78,14 +82,18 @@ func (s Site) String() string {
 	if s.OSR >= 0 {
 		osr = fmt.Sprintf("+osr%d", s.OSR)
 	}
+	inl := ""
+	if s.Inline != "" {
+		inl = fmt.Sprintf("+inl[%s]", s.Inline)
+	}
 	if s.Kind == SiteCheck {
 		smp := "abort"
 		if s.HasSMP {
 			smp = "smp"
 		}
-		return fmt.Sprintf("%s/%s[%s]@%s%s:v%d", s.Kind, s.Check, smp, s.Fn, osr, s.ValueID)
+		return fmt.Sprintf("%s/%s[%s]@%s%s%s:v%d", s.Kind, s.Check, smp, s.Fn, osr, inl, s.ValueID)
 	}
-	return fmt.Sprintf("%s@%s%s:v%d", s.Kind, s.Fn, osr, s.ValueID)
+	return fmt.Sprintf("%s@%s%s%s:v%d", s.Kind, s.Fn, osr, inl, s.ValueID)
 }
 
 // Action is an injector's verdict for one site visit.

@@ -113,23 +113,29 @@ type Deopt struct {
 	// SiteFn, SitePC and SiteValueID identify the IR site that triggered the
 	// transfer (the failing check, the overflowing write, or the call whose
 	// callee was irrevocable). The abort-recovery governor keys its per-site
-	// ledgers by (SiteFn, SitePC, CheckClass); SiteValueID is diagnostic
-	// only, as value numbering does not survive recompilation.
+	// ledgers by (SiteFn, inline path, SitePC, CheckClass); SiteValueID is
+	// diagnostic only, as value numbering does not survive recompilation.
 	SiteFn      string
 	SitePC      int
 	SiteValueID int
+	// SitePath is the inline path of the triggering site ("" for sites in
+	// the compiled function's own code): when the inlining pass flattened a
+	// callee into SiteFn, SitePC is a pc within that callee and SitePath
+	// says which flattened activation it was.
+	SitePath string
 }
 
 // txUnwind propagates a transaction abort out of nested frames until it
 // reaches the frame that owns the outermost transaction.
 type txUnwind struct {
-	owner   int
-	rec     *frame.Frame
-	cause   htm.AbortCause
-	class   stats.CheckClass
-	siteFn  string
-	sitePC  int
-	siteVID int
+	owner    int
+	rec      *frame.Frame
+	cause    htm.AbortCause
+	class    stats.CheckClass
+	siteFn   string
+	sitePC   int
+	siteVID  int
+	sitePath string
 }
 
 func (e *txUnwind) Error() string {
@@ -190,16 +196,26 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 	var phiScratch []value.Value
 
 	// Loop back edges taken by this frame, not yet folded into the function
-	// profile. beCheck is the checkpoint the count rolls back to on abort:
+	// profiles — one slot per logical frame: slot 0 is the compiled
+	// function's own frame, slot i is the flattened activation
+	// f.Inlines[i-1], so inlined loop trips still land in the callee's
+	// profile. beCheck is the checkpoint the counts roll back to on abort:
 	// the squashed iterations are re-executed (and re-counted) by Baseline.
 	// An OSR frame may arrive carrying a delta from the tier that handed it
 	// over.
-	var backEdges int64
+	backEdges := make([]int64, len(f.Inlines)+1)
 	if osr != nil {
-		backEdges = osr.BackEdges
+		backEdges[0] = osr.BackEdges
 		osr.BackEdges = 0
 	}
-	beCheck := backEdges
+	beCheck := make([]int64, len(backEdges))
+	copy(beCheck, backEdges)
+	slotSource := func(i int) *bytecode.Function {
+		if i == 0 {
+			return f.Source
+		}
+		return f.Inlines[i-1].Source
+	}
 
 	account := func(instr, extraCycles int64) {
 		inTx := m.HTM.InTx()
@@ -219,31 +235,73 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 		return &RuntimeError{Fn: f.Name, Msg: fmt.Sprintf(format, a...)}
 	}
 
-	// materialize builds a Baseline-resumable frame from a stack map. OSR
-	// frames keep their environment; invocation-entry artifacts never touch
-	// one (closure-using functions are not compiled) and leave it nil for
-	// the JIT driver to supply.
+	// materialize builds the Baseline-resumable frame chain from a stack
+	// map: the map's own frame plus, through its Caller chain, every
+	// enclosing frame the inlining pass flattened, innermost first. OSR
+	// frames keep their environment on the root frame; invocation-entry
+	// artifacts never touch one (closure-using functions are not compiled)
+	// and leave it nil for the JIT driver to supply. Inline frames carry
+	// their function object so the resume loop can allocate the callee
+	// environment.
 	materialize := func(sm *ir.StackMap) *frame.Frame {
-		regs := make([]value.Value, f.Source.NumRegs)
-		for i := range regs {
-			regs[i] = value.Undefined()
+		var innermost, child *frame.Frame
+		for cur := sm; cur != nil; cur = cur.Caller {
+			src := f.Source
+			var fnObj *value.Function
+			idx, retReg := 0, 0
+			if cur.Inline != nil {
+				src, fnObj = cur.Inline.Source, cur.Inline.Callee
+				idx, retReg = cur.Inline.Index, cur.Inline.RetReg
+			}
+			regs := make([]value.Value, src.NumRegs)
+			for i := range regs {
+				regs[i] = value.Undefined()
+			}
+			for _, e := range cur.Entries {
+				if e.Reg < len(regs) {
+					regs[e.Reg] = vals[e.Val.ID]
+				}
+			}
+			fr := &frame.Frame{Fn: src, PC: cur.PC, Locals: regs,
+				Function: fnObj, InlineIndex: idx, RetReg: retReg}
+			if cur.Inline == nil && osr != nil {
+				fr.Env = osr.Env
+			}
+			if child != nil {
+				child.Caller = fr
+			} else {
+				innermost = fr
+			}
+			child = fr
 		}
-		for _, e := range sm.Entries {
-			if e.Reg < len(regs) {
-				regs[e.Reg] = vals[e.Val.ID]
+		return innermost
+	}
+
+	// assignBackEdges hands each frame in the reconstructed chain its
+	// surviving back-edge count; slots belonging to flattened activations
+	// not present in the chain (already-completed inlined calls whose code
+	// the resumed Baseline execution will not re-run) fold straight into
+	// their function profiles.
+	assignBackEdges := func(fr *frame.Frame) {
+		rem := make([]int64, len(backEdges))
+		copy(rem, backEdges)
+		for x := fr; x != nil; x = x.Caller {
+			if x.InlineIndex < len(rem) {
+				x.BackEdges = rem[x.InlineIndex]
+				rem[x.InlineIndex] = 0
 			}
 		}
-		fr := &frame.Frame{Fn: f.Source, PC: sm.PC, Locals: regs}
-		if osr != nil {
-			fr.Env = osr.Env
+		for i, n := range rem {
+			if n != 0 {
+				m.host.ProfileFor(slotSource(i)).AddBackEdges(n)
+			}
 		}
-		return fr
 	}
 
 	// abort rolls back the open transaction nest and routes control to the
 	// owner frame's recovery state. The failing site (this frame's IR value)
 	// travels with the transfer so the governor can attribute the abort.
-	abort := func(cause htm.AbortCause, class stats.CheckClass, sitePC, siteVID int) (*Deopt, error) {
+	abort := func(cause htm.AbortCause, class stats.CheckClass, sitePC, siteVID int, sitePath string) (*Deopt, error) {
 		t := m.HTM.Current()
 		if t == nil {
 			return nil, errf("abort without open transaction")
@@ -260,6 +318,12 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 		switch cause {
 		case htm.AbortCapacity:
 			ctrs.TxCapacityAborts++
+			if m.txHadCalls {
+				// §V-C callee blame: this overflow pins the function to
+				// TxOff. The call-heavy suite's acceptance check is that
+				// inlining drives this counter to zero.
+				ctrs.TxCallBlamedAborts++
+			}
 		case htm.AbortSOF:
 			ctrs.TxSOFAborts++
 		case htm.AbortCheck:
@@ -271,16 +335,16 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 		if owner == tok {
 			// Back edges of the squashed iterations roll back to the
 			// transaction-begin checkpoint; Baseline re-executes and
-			// re-counts them. The surviving count travels with the frame.
-			backEdges = beCheck
-			rec.BackEdges = backEdges
+			// re-counts them. The surviving counts travel with the frames.
+			copy(backEdges, beCheck)
+			assignBackEdges(rec)
 			return &Deopt{Frame: rec, Aborted: true, Cause: cause, CheckClass: class,
-				HadCalls: m.txHadCalls, SiteFn: f.Name, SitePC: sitePC, SiteValueID: siteVID}, nil
+				HadCalls: m.txHadCalls, SiteFn: f.Name, SitePC: sitePC, SiteValueID: siteVID, SitePath: sitePath}, nil
 		}
 		// A callee frame inside the owner's transaction: everything this
 		// frame did — including its back edges — is squashed work.
 		return nil, &txUnwind{owner: owner, rec: rec, cause: cause, class: class,
-			siteFn: f.Name, sitePC: sitePC, siteVID: siteVID}
+			siteFn: f.Name, sitePC: sitePC, siteVID: siteVID, sitePath: sitePath}
 	}
 
 	// handleCallErr routes errors coming back from calls: transaction
@@ -290,17 +354,17 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 		if u, ok := err.(*txUnwind); ok {
 			if u.owner == tok {
 				// This frame owned the aborted transaction: roll its
-				// back-edge count to the begin checkpoint and hand the
-				// survivors to the recovery frame.
-				backEdges = beCheck
-				u.rec.BackEdges = backEdges
+				// back-edge counts to the begin checkpoint and hand the
+				// survivors to the recovery frame chain.
+				copy(backEdges, beCheck)
+				assignBackEdges(u.rec)
 				return &Deopt{Frame: u.rec, Aborted: true, Cause: u.cause, CheckClass: u.class,
-					HadCalls: m.txHadCalls, SiteFn: u.siteFn, SitePC: u.sitePC, SiteValueID: u.siteVID}, nil
+					HadCalls: m.txHadCalls, SiteFn: u.siteFn, SitePC: u.sitePC, SiteValueID: u.siteVID, SitePath: u.sitePath}, nil
 			}
 			return nil, err
 		}
 		if err == htm.ErrIrrevocable && m.HTM.InTx() {
-			return abort(htm.AbortIrrevocable, stats.CheckOther, v.BCPos, v.ID)
+			return abort(htm.AbortIrrevocable, stats.CheckOther, v.BCPos, v.ID, v.InlinePath())
 		}
 		return nil, err
 	}
@@ -451,7 +515,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 				}
 				passed := m.checkPasses(v, vals, oflow)
 				if m.inject != nil {
-					switch m.inject.At(Site{Kind: SiteCheck, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC,
+					switch m.inject.At(Site{Kind: SiteCheck, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, Inline: v.InlinePath(),
 						Check: v.Check, HasSMP: v.Deopt != nil, InTx: m.HTM.InTx(), Failed: !passed}) {
 					case ActFailCheck:
 						// Only force failure where a recovery path exists:
@@ -491,16 +555,16 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					ctrs.Deopts++
 					ctrs.OSRExits++
 					rec := materialize(v.Deopt)
-					rec.BackEdges = backEdges
-					m.emit(Event{Kind: EventDeopt, Fn: f.Name, CheckClass: v.Check, PC: rec.PC})
+					assignBackEdges(rec)
+					m.emit(Event{Kind: EventDeopt, Fn: f.Name, CheckClass: v.Check, PC: rec.PC, Inline: v.Deopt.InlinePath()})
 					return value.Undefined(), &Deopt{Frame: rec, CheckClass: v.Check,
-						SiteFn: f.Name, SitePC: v.BCPos, SiteValueID: v.ID}, nil
+						SiteFn: f.Name, SitePC: v.BCPos, SiteValueID: v.ID, SitePath: v.InlinePath()}, nil
 				}
 				cause := htm.AbortCause(htm.AbortCheck)
 				if free && v.Check == stats.CheckOverflow {
 					cause = htm.AbortSOF
 				}
-				d, err := abort(cause, v.Check, v.BCPos, v.ID)
+				d, err := abort(cause, v.Check, v.BCPos, v.ID, v.InlinePath())
 				return value.Undefined(), d, err
 
 			case ir.OpLoadSlot:
@@ -601,15 +665,15 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					m.HTM.Begin(tok, rec)
 					m.installHook()
 					ctrs.TxBegins++
-					beCheck = backEdges
+					copy(beCheck, backEdges)
 					m.txHadCalls = false
 					extra += m.HTM.Config().BeginCycles
 					m.emit(Event{Kind: EventTxBegin, Fn: f.Name})
 					if m.inject != nil {
-						act := m.inject.At(Site{Kind: SiteTxBegin, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, InTx: true})
+						act := m.inject.At(Site{Kind: SiteTxBegin, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, Inline: v.InlinePath(), InTx: true})
 						if cause, ok := act.abortCause(); ok {
 							account(instr, extra)
-							d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID)
+							d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID, v.InlinePath())
 							return value.Undefined(), d, err
 						}
 					}
@@ -621,10 +685,10 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					return value.Undefined(), nil, errf("txend without transaction")
 				}
 				if m.inject != nil && t.Depth() == 1 {
-					act := m.inject.At(Site{Kind: SiteTxCommit, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, InTx: true})
+					act := m.inject.At(Site{Kind: SiteTxCommit, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, Inline: v.InlinePath(), InTx: true})
 					if cause, ok := act.abortCause(); ok {
 						account(instr, extra)
-						d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID)
+						d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID, v.InlinePath())
 						return value.Undefined(), d, err
 					}
 				}
@@ -646,10 +710,10 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 				t := m.HTM.Current()
 				forceTile := false
 				if m.inject != nil && t != nil && t.Owner == any(tok) {
-					act := m.inject.At(Site{Kind: SiteTxTile, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, InTx: true})
+					act := m.inject.At(Site{Kind: SiteTxTile, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, Inline: v.InlinePath(), InTx: true})
 					if cause, ok := act.abortCause(); ok {
 						account(instr, extra)
-						d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID)
+						d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID, v.InlinePath())
 						return value.Undefined(), d, err
 					}
 					forceTile = act == ActTileCommit
@@ -667,7 +731,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					rec := materialize(v.Deopt)
 					m.HTM.Begin(tok, rec)
 					ctrs.TxBegins++
-					beCheck = backEdges
+					copy(beCheck, backEdges)
 					m.txHadCalls = false
 					extra += m.HTM.Config().CommitCycles + m.HTM.Config().BeginCycles
 				}
@@ -683,7 +747,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 			// transactional capacity; the undo log covers it, so abort now.
 			if m.pendingCapacity {
 				m.pendingCapacity = false
-				d, err := abort(htm.AbortCapacity, stats.CheckOther, v.BCPos, v.ID)
+				d, err := abort(htm.AbortCapacity, stats.CheckOther, v.BCPos, v.ID, v.InlinePath())
 				return value.Undefined(), d, err
 			}
 		}
@@ -692,8 +756,14 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 		if block.BackEdge {
 			// The block ends in the bytecode's backward unconditional jump:
 			// count the same loop trip the bytecode tiers count, locally —
-			// aborts roll the count back to the transaction checkpoint.
-			backEdges++
+			// aborts roll the counts back to the transaction checkpoint. A
+			// block flattened from an inlined callee counts into that
+			// activation's slot so the trip lands in the callee's profile.
+			idx := 0
+			if block.Inline != nil {
+				idx = block.Inline.Index
+			}
+			backEdges[idx]++
 		}
 		prev = block
 		switch block.Kind {
@@ -706,13 +776,16 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 				block = block.Succs[1]
 			}
 		case ir.BlockReturn:
-			// Clean exit: fold the frame's back edges into the profile. A
+			// Clean exit: fold every logical frame's back edges into its
+			// function's profile (inlined activations credit the callee). A
 			// callee completing inside a still-open enclosing transaction
 			// flushes too; if that transaction later aborts, Baseline
 			// re-counts its re-executed iterations — a bounded profiling
 			// imprecision, never a correctness issue.
-			if backEdges != 0 {
-				m.host.ProfileFor(f.Source).AddBackEdges(backEdges)
+			for i, n := range backEdges {
+				if n != 0 {
+					m.host.ProfileFor(slotSource(i)).AddBackEdges(n)
+				}
 			}
 			return vals[block.Control.ID], nil, nil
 		default:

@@ -20,6 +20,19 @@ func newEngine(arch vm.Arch) *vm.VM {
 	return v
 }
 
+// newEngineNoInline disables speculative call inlining, for tests that
+// exercise real call-inside-transaction behaviour (the inliner would
+// otherwise flatten the callee and the call disappears).
+func newEngineNoInline(arch vm.Arch) *vm.VM {
+	cfg := vm.DefaultConfig()
+	cfg.Arch = arch
+	cfg.Policy = profile.Policy{BaselineThreshold: 2, DFGThreshold: 8, FTLThreshold: 40, MaxDeopts: 16}
+	cfg.DisableInlining = true
+	v := vm.New(cfg)
+	jit.Attach(v)
+	return v
+}
+
 func warm(t *testing.T, v *vm.VM, src string, calls int, args ...value.Value) value.Value {
 	t.Helper()
 	if _, err := v.Run(src); err != nil {
@@ -100,7 +113,9 @@ function run(n) {
   return s;
 }
 `
-	v := newEngine(vm.ArchNoMap)
+	// Inlining off: TMUnopt attribution needs leaf to stay an actual call
+	// executed from inside the transaction.
+	v := newEngineNoInline(vm.ArchNoMap)
 	warm(t, v, src, 80, value.Int(64))
 	v.ResetCounters()
 	warm2 := func() {

@@ -63,6 +63,9 @@ type Event struct {
 	CheckClass stats.CheckClass
 	// PC is the Baseline bytecode pc execution transfers to (aborts/deopts).
 	PC int
+	// Inline is the inline path of the deopt's innermost reconstructed frame
+	// ("" when the deopt resumes in the compiled function's own code).
+	Inline string
 	// WriteBytes is the transactional write footprint (commit/abort/tile).
 	WriteBytes int64
 	// Tier is the tier compiled for EventCompile.
@@ -80,6 +83,9 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%s] %s cause=%s check=%s resume@%d write-footprint=%dB",
 			e.Kind, e.Fn, e.Cause, e.CheckClass, e.PC, e.WriteBytes)
 	case EventDeopt:
+		if e.Inline != "" {
+			return fmt.Sprintf("[%s] %s check=%s resume@%d inline=%s", e.Kind, e.Fn, e.CheckClass, e.PC, e.Inline)
+		}
 		return fmt.Sprintf("[%s] %s check=%s resume@%d", e.Kind, e.Fn, e.CheckClass, e.PC)
 	case EventCompile:
 		return fmt.Sprintf("[%s] %s tier=%s", e.Kind, e.Fn, e.Tier)

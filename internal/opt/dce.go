@@ -34,8 +34,10 @@ func DCE(f *ir.Func) {
 		for _, a := range v.Args {
 			mark(a)
 		}
-		if v.Deopt != nil {
-			for _, e := range v.Deopt.Entries {
+		for sm := v.Deopt; sm != nil; sm = sm.Caller {
+			// Inline-frame caller chains keep every logical frame's state
+			// alive, not just the innermost map's.
+			for _, e := range sm.Entries {
 				mark(e.Val)
 			}
 		}

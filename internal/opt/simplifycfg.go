@@ -88,6 +88,11 @@ func mergeInto(f *ir.Func, b, c *ir.Block) {
 	b.Control = c.Control
 	b.Succs = c.Succs
 	b.BackEdge = b.BackEdge || c.BackEdge
+	if c.BackEdge {
+		// The back-edge terminator now ends b; the machine credits a block's
+		// back edges to Block.Inline, so the attribution follows it.
+		b.Inline = c.Inline
+	}
 	for _, s := range c.Succs {
 		for i, p := range s.Preds {
 			if p == c {

@@ -95,8 +95,11 @@ func hoistTypeChecksInLoop(f *ir.Func, l *ir.Loop) {
 			v.Block = pre
 			pre.Values = append(pre.Values, v)
 			if v.Deopt != nil {
-				// Relocated SMP: deopt state becomes "before the loop".
-				v.Deopt = &ir.StackMap{PC: preMap.PC, Entries: preMap.Entries}
+				// Relocated SMP: deopt state becomes "before the loop". The
+				// preheader map's inline frame and caller chain carry over —
+				// for a loop inside flattened callee code the relocated
+				// check still reconstructs the full logical frame stack.
+				v.Deopt = &ir.StackMap{PC: preMap.PC, Entries: preMap.Entries, Inline: preMap.Inline, Caller: preMap.Caller}
 			}
 		}
 	}

@@ -18,14 +18,24 @@ type Key struct {
 	Fn      string
 	OSR     int // artifact's OSR-entry loop-header pc, -1 for invocation entry
 	ValueID int
+	// Inline is the site's inline path ("callee@pc" segments) when the
+	// inliner flattened its code into Fn; "" for sites in Fn's own code. The
+	// ValueID already disambiguates inlined copies within one artifact, but
+	// the path makes the enumeration (and sweep reports) name which
+	// flattened activation a site belongs to.
+	Inline string
 }
 
 // String renders the key compactly.
 func (k Key) String() string {
-	if k.OSR >= 0 {
-		return fmt.Sprintf("%s@%s+osr%d:v%d", k.Kind, k.Fn, k.OSR, k.ValueID)
+	inl := ""
+	if k.Inline != "" {
+		inl = fmt.Sprintf("+inl[%s]", k.Inline)
 	}
-	return fmt.Sprintf("%s@%s:v%d", k.Kind, k.Fn, k.ValueID)
+	if k.OSR >= 0 {
+		return fmt.Sprintf("%s@%s+osr%d%s:v%d", k.Kind, k.Fn, k.OSR, inl, k.ValueID)
+	}
+	return fmt.Sprintf("%s@%s%s:v%d", k.Kind, k.Fn, inl, k.ValueID)
 }
 
 // SiteInfo is one enumerated site with its dynamic behaviour during the
@@ -56,7 +66,7 @@ type recorder struct {
 func newRecorder() *recorder { return &recorder{sites: make(map[Key]*SiteInfo)} }
 
 func (r *recorder) At(s machine.Site) machine.Action {
-	k := Key{Kind: s.Kind, Fn: s.Fn, OSR: s.OSR, ValueID: s.ValueID}
+	k := Key{Kind: s.Kind, Fn: s.Fn, OSR: s.OSR, ValueID: s.ValueID, Inline: s.Inline}
 	info := r.sites[k]
 	if info == nil {
 		info = &SiteInfo{Key: k, Check: s.Check, HasSMP: s.HasSMP, InTx: s.InTx, order: len(r.sites)}
@@ -97,7 +107,7 @@ type shot struct {
 
 func (s *shot) At(site machine.Site) machine.Action {
 	if s.fired || site.Kind != s.key.Kind || site.ValueID != s.key.ValueID ||
-		site.Fn != s.key.Fn || site.OSR != s.key.OSR {
+		site.Fn != s.key.Fn || site.OSR != s.key.OSR || site.Inline != s.key.Inline {
 		return machine.ActNone
 	}
 	s.seen++

@@ -31,6 +31,10 @@ type Config struct {
 	MaxCallDepth int
 	// RandomSeed seeds Math.random deterministically.
 	RandomSeed uint64
+	// DisableInlining turns off speculative call inlining in the DFG and FTL
+	// tiers (the zero value leaves it on); the benchmark harness uses it to
+	// measure the inliner's contribution.
+	DisableInlining bool
 }
 
 // DefaultConfig runs the full tier stack on the unmodified Base architecture.

@@ -1,0 +1,91 @@
+package workloads
+
+// Call-heavy workloads: hot loops whose bodies are dominated by small
+// monomorphic function calls. They exist to exercise the speculative
+// inlining pass end to end:
+//
+//   - C01 leaf-math: a tight loop calling a leaf arithmetic helper. The
+//     inliner flattens the callee, the loop transaction stops containing a
+//     call, and the callee's checks become hoistable across the former
+//     boundary.
+//
+//   - C02 accessors: property reads behind tiny accessor functions — the
+//     classic getter pattern whose per-call overhead dwarfs the work. Shape
+//     checks from the flattened accessors merge with the caller's.
+//
+//   - C03 call-chain: a two-deep monomorphic chain (run → outer → inner),
+//     proving multi-depth inlining and, under fault injection, multi-frame
+//     deopt reconstruction at inline depth 2.
+//
+//   - C04 poly-control: the negative control. The call site alternates two
+//     callees, so its feedback is polymorphic and the builder never emits a
+//     direct call — the inliner must leave it alone and the workload keeps
+//     its per-call cost under every configuration.
+//
+//   - C05 capacity-calls: a write footprint past HTM capacity plus a leaf
+//     call per iteration. Without inlining the first capacity abort blames
+//     the callee (§V-C HadCalls) and pins transactions off; with inlining
+//     the call disappears, the blame counter stays zero, and the governor
+//     retreats through tiling instead.
+var callHeavy = []Workload{
+	{ID: "C01", Name: "leaf-math", Suite: "CallHeavy", Iterations: 1, Source: `
+var CM = new Array(64);
+for (var i = 0; i < 64; i++) CM[i] = i;
+function mix(a, b) { return ((a * 3 + b) | 0) + ((a ^ b) & 15); }
+function run() {
+  var s = 0;
+  for (var i = 0; i < 4000; i++) s = s + mix(CM[i & 63], i & 31);
+  return s;
+}`},
+
+	{ID: "C02", Name: "accessors", Suite: "CallHeavy", Iterations: 1, Source: `
+var PTS = new Array(64);
+for (var i = 0; i < 64; i++) PTS[i] = {x: i, y: i * 2};
+function getx(p) { return p.x; }
+function gety(p) { return p.y; }
+function run() {
+  var s = 0;
+  for (var i = 0; i < 3000; i++) {
+    var p = PTS[i & 63];
+    s = s + getx(p) + gety(p);
+  }
+  return s;
+}`},
+
+	{ID: "C03", Name: "call-chain", Suite: "CallHeavy", Iterations: 1, Source: `
+function inner(a, b) { return ((a * b + 3) | 0) & 1023; }
+function outer(a, b) { return inner(a, a + b) + inner(b, a + 1); }
+function run() {
+  var s = 0;
+  for (var i = 0; i < 3000; i++) s = s + outer(i & 31, i & 15);
+  return s;
+}`},
+
+	{ID: "C04", Name: "poly-control", Suite: "CallHeavy", Iterations: 1, Source: `
+function padd(x) { return x + 7; }
+function pmul(x) { return (x * 3) | 0; }
+function run() {
+  var s = 0;
+  for (var i = 0; i < 3000; i++) {
+    var f = padd;
+    if ((i & 1) == 1) f = pmul;
+    s = s + f(i & 63);
+  }
+  return s;
+}`},
+
+	{ID: "C05", Name: "capacity-calls", Suite: "CallHeavy", Iterations: 1, Source: `
+var THR = new Array(8);
+function scale(x) { return (x * 5) & 255; }
+function run() {
+  var s = 0;
+  for (var i = 0; i < 35200; i++) {
+    THR[i] = scale(i);
+    s = s + 1;
+  }
+  return s;
+}`},
+}
+
+// CallHeavy returns the call-dominated inlining workloads (C01..C05).
+func CallHeavy() []Workload { return callHeavy }

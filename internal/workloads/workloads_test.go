@@ -136,6 +136,46 @@ func TestWorkloadsAgreeAcrossArchs(t *testing.T) {
 	}
 }
 
+// The call-heavy suite must agree across every architecture — with the
+// inliner active (the default) and with it disabled — so speculative call
+// inlining is semantics-preserving on exactly the programs built to
+// exercise it, including the polymorphic negative control.
+func TestCallHeavyAgreeAcrossArchs(t *testing.T) {
+	for _, w := range workloads.CallHeavy() {
+		w := w
+		t.Run(w.ID, func(t *testing.T) {
+			t.Parallel()
+			_, want := runWorkload(t, w, vm.ArchBase, profile.TierInterp, 2)
+			for _, arch := range vm.AllArchs {
+				_, got := runWorkload(t, w, arch, profile.TierFTL, 50)
+				if got.ToStringValue() != want.ToStringValue() {
+					t.Errorf("%v: result %q, want %q", arch, got, want)
+				}
+			}
+			cfg := vm.DefaultConfig()
+			cfg.Arch = vm.ArchNoMap
+			cfg.DisableInlining = true
+			cfg.Policy = profile.Policy{BaselineThreshold: 2, DFGThreshold: 8, FTLThreshold: 40, MaxDeopts: 16}
+			v := vm.New(cfg)
+			jit.Attach(v)
+			if _, err := v.Run(w.Source); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			var got value.Value
+			for i := 0; i < 50; i++ {
+				r, err := v.CallGlobal("run")
+				if err != nil {
+					t.Fatalf("no-inline run #%d: %v", i, err)
+				}
+				got = r
+			}
+			if got.ToStringValue() != want.ToStringValue() {
+				t.Errorf("inlining-off: result %q, want %q", got, want)
+			}
+		})
+	}
+}
+
 // AvgS workloads must actually exercise the FTL tier (that is why the paper
 // includes them), and each one's run() must be dominated by FTL
 // instructions under the Base configuration.

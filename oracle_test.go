@@ -1,6 +1,7 @@
 package nomap
 
 import (
+	"strings"
 	"testing"
 
 	"nomap/internal/machine"
@@ -79,6 +80,60 @@ func TestOracleWorkloads(t *testing.T) {
 				}
 				if wantWrites[id] && ar.WriteLines == 0 {
 					t.Errorf("%v: empty transactional write footprint", ar.Arch)
+				}
+			}
+			t.Logf("%s: %d sites, %d runs, %d injected aborts",
+				rep.Program, rep.TotalSites(), rep.TotalRuns(), rep.TotalInjectedAborts())
+		})
+	}
+}
+
+// TestOracleInlinedSites sweeps the call-heavy workloads whose hot loops the
+// inliner flattens: the recording run must enumerate sites carrying an
+// inline path (code that used to be a callee's, now embedded in run's
+// artifacts) — at depth 2 for the call chain — and the sweep then forces an
+// abort or deopt at every one of them under all six configurations. A fault
+// at an inlined site exercises the multi-depth frame reconstruction (SMP
+// sites) and the transaction rollback across flattened frames (abort-
+// converted sites), and the observable behaviour must match the pure
+// interpreter throughout.
+func TestOracleInlinedSites(t *testing.T) {
+	wantChain := map[string]bool{"C03": true}
+	for _, id := range []string{"C01", "C03"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			w, ok := workloads.ByID(id)
+			if !ok {
+				t.Fatalf("unknown workload %s", id)
+			}
+			cfg := oracleConfig()
+			cfg.CapacityPoints = 1
+			cfg.RandomTrials = 2
+			rep, err := oracle.Sweep(oracle.Program{
+				Name:  w.ID,
+				Setup: w.Source,
+				Calls: 16,
+			}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkReport(t, rep)
+			for _, ar := range rep.Archs {
+				inlined, depth2 := 0, 0
+				for _, s := range ar.Sites {
+					if s.Key.Inline == "" {
+						continue
+					}
+					inlined++
+					if strings.Contains(s.Key.Inline, "/") {
+						depth2++
+					}
+				}
+				if inlined == 0 {
+					t.Errorf("%v: no inlined injection sites enumerated", ar.Arch)
+				}
+				if wantChain[id] && depth2 == 0 {
+					t.Errorf("%v: call chain exposed no depth-2 inlined sites", ar.Arch)
 				}
 			}
 			t.Logf("%s: %d sites, %d runs, %d injected aborts",
