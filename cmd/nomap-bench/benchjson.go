@@ -8,6 +8,7 @@ import (
 
 	"nomap/internal/harness"
 	"nomap/internal/jit"
+	"nomap/internal/machine"
 	"nomap/internal/profile"
 	"nomap/internal/stats"
 	"nomap/internal/vm"
@@ -84,7 +85,38 @@ func measureBench(cfg harness.Config) (benchFile, error) {
 		}
 		out.Workloads = append(out.Workloads, e)
 	}
+	for _, wl := range workloads.Contention() {
+		e, err := contentionRun(wl)
+		if err != nil {
+			return out, err
+		}
+		out.Workloads = append(out.Workloads, e)
+	}
 	return out, nil
+}
+
+// contentionRun snapshots one shared-heap contention workload under the
+// seeded scheduler. The interleaving is a pure function of the seed, so the
+// cycle total and the final heap state are exact: a changed Result here means
+// the concurrency machinery computed a different shared state, and a changed
+// cycle count means the abort/backoff/fallback ladder shifted.
+func contentionRun(wl *machine.SharedWorkload) (benchEntry, error) {
+	start := time.Now()
+	res, err := machine.RunScheduled(wl, vm.ArchNoMap, 1, machine.SharedOptions{})
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("%s: %w", wl.Name, err)
+	}
+	c := res.Merged
+	return benchEntry{
+		ID:        wl.Name,
+		Suite:     "Contention",
+		WallMS:    float64(time.Since(start).Microseconds()) / 1000,
+		Cycles:    c.TotalCycles(),
+		Instr:     c.TotalInstr(),
+		TxCommits: c.TxCommits,
+		TxAborts:  c.TxAborts,
+		Result:    fmt.Sprintf("%s accs=%v", res.Snapshot, res.Accs),
+	}, nil
 }
 
 // coldCall runs a workload's setup plus exactly one run() invocation on a

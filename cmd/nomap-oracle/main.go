@@ -10,6 +10,13 @@
 //	nomap-oracle -workload X01,X03,X06
 //	nomap-oracle -gen 50 -seed 1
 //	nomap-oracle -workload S01 -arch nomap,nomap_rtm -capacity -1 -v
+//	nomap-oracle -contention all -schedules 16
+//
+// With -contention, the schedule-sweep oracle runs instead: the named
+// shared-heap workloads (T01..T04, or "all") execute under seeded thread
+// interleavings with conflict and capacity aborts forced at swept shared
+// accesses, and every run's final shared-heap state is diffed against the
+// single-threaded reference.
 //
 // The exit status is nonzero if any sweep detects a divergence, a counter
 // invariant violation, an ir.Verify failure, or a missed injection.
@@ -53,6 +60,8 @@ func main() {
 	random := flag.Int("random", 8, "random-schedule injection trials per config")
 	seed := flag.Int64("seed", 1, "seed for generated programs and random-schedule mode")
 	calls := flag.Int("calls", 60, "run() invocations per observation")
+	contention := flag.String("contention", "", "comma-separated contention workload IDs (T01..T04) or \"all\" to schedule-sweep")
+	schedules := flag.Int("schedules", 8, "seeded thread interleavings per config in the schedule sweep")
 	verbose := flag.Bool("v", false, "print per-configuration site tables")
 	flag.Parse()
 
@@ -70,6 +79,10 @@ func main() {
 			}
 			cfg.Archs = append(cfg.Archs, arch)
 		}
+	}
+
+	if *contention != "" {
+		os.Exit(runScheduleSweep(*contention, cfg.Archs, *schedules, *capacity, *seed, *verbose))
 	}
 
 	var programs []oracle.Program
@@ -133,6 +146,64 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runScheduleSweep drives the shared-heap schedule-sweep oracle over the
+// selected contention workloads and returns the process exit code.
+func runScheduleSweep(ids string, archs []vm.Arch, schedules, capacity int, seed int64, verbose bool) int {
+	var wls []*machine.SharedWorkload
+	if strings.EqualFold(ids, "all") {
+		wls = workloads.Contention()
+	} else {
+		for _, id := range strings.Split(ids, ",") {
+			id = strings.TrimSpace(id)
+			wl, ok := workloads.ContentionByID(id)
+			if !ok {
+				fatalf("unknown contention workload %q", id)
+			}
+			wls = append(wls, wl)
+		}
+	}
+
+	scfg := oracle.DefaultScheduleConfig()
+	if len(archs) > 0 {
+		scfg.Archs = archs
+	}
+	scfg.Schedules = schedules
+	scfg.CapacityPoints = capacity
+	scfg.Seed = seed
+
+	code := 0
+	for _, wl := range wls {
+		rep, err := oracle.ScheduleSweep(wl, scfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		status := "ok"
+		if !rep.OK() {
+			status = fmt.Sprintf("FAIL (%d)", len(rep.Failures))
+			code = 1
+		}
+		var sites int
+		var conflicts, fallbacks int64
+		for _, ar := range rep.Archs {
+			sites += ar.AccessSites
+			conflicts += ar.ConflictAborts
+			fallbacks += ar.FallbackAcquires
+		}
+		fmt.Printf("%-28s %-9s sites=%-4d runs=%-5d conflict-aborts=%-5d fallbacks=%d\n",
+			wl.Name, status, sites, rep.TotalRuns(), conflicts, fallbacks)
+		if verbose {
+			for _, ar := range rep.Archs {
+				fmt.Printf("  %-10v access-sites=%-4d capacity-sites=%-4d runs=%-4d conflict-aborts=%-5d fallbacks=%d\n",
+					ar.Arch, ar.AccessSites, ar.CapacitySites, ar.Runs, ar.ConflictAborts, ar.FallbackAcquires)
+			}
+		}
+		for _, f := range rep.Failures {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	return code
 }
 
 func mustTier(name string) profile.Tier {

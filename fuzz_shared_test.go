@@ -1,0 +1,127 @@
+package nomap
+
+// Differential fuzzing of the shared-heap executor: random workloads from a
+// bounded decoder must reach the single-threaded reference state on every
+// architecture configuration under a fuzzer-chosen schedule seed. The
+// decoder's op vocabulary is restricted to operations that are final-state
+// commutative under any interleaving (counter and stripe increments, and
+// section-locally balanced push/pop pairs), so any divergence the fuzzer
+// finds is an executor bug — conflict detection, rollback, or fallback
+// mutual exclusion — never a script artifact.
+
+import (
+	"fmt"
+	"testing"
+
+	"nomap/internal/machine"
+	"nomap/internal/vm"
+)
+
+// decodeSharedWorkload builds a workload from fuzz bytes. Every byte stream
+// decodes to either nil (too short) or a valid workload that satisfies the
+// machine.SharedWorkload determinism contract.
+func decodeSharedWorkload(data []byte) *machine.SharedWorkload {
+	if len(data) == 0 {
+		return nil
+	}
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	wl := &machine.SharedWorkload{
+		Name: "fuzz",
+		Decls: []machine.SharedDecl{
+			{Kind: machine.DeclCounter, Name: "c0"},
+			{Kind: machine.DeclCounter, Name: "c1"},
+			{Kind: machine.DeclMap, Name: "m0", Arg: 2},
+			// Pushes are always popped within their own section, so the
+			// queue never outgrows a small ring and never blocks.
+			{Kind: machine.DeclQueue, Name: "q0", Arg: 8},
+		},
+	}
+	workers := 1 + int(next())%3
+	for w := 0; w < workers; w++ {
+		script := machine.SharedScript{Rounds: 1 + int(next())%4}
+		sections := 1 + int(next())%3
+		for s := 0; s < sections; s++ {
+			var sec machine.SharedSection
+			ops := 1 + int(next())%3
+			for o := 0; o < ops; o++ {
+				switch next() % 4 {
+				case 0:
+					sec = append(sec, machine.SharedOp{
+						Kind: machine.OpAdd, Target: fmt.Sprintf("c%d", next()%2),
+						Imm: 1 + int64(next()%5)})
+				case 1:
+					sec = append(sec, machine.SharedOp{
+						Kind: machine.OpMapAdd, Target: "m0",
+						Key: fmt.Sprintf("k%d", next()%4), Rotate: next()%2 == 0,
+						Imm: 1 + int64(next()%3)})
+				case 2:
+					v := int64(next())
+					sec = append(sec,
+						machine.SharedOp{Kind: machine.OpPush, Target: "q0", Imm: v},
+						machine.SharedOp{Kind: machine.OpPop, Target: "q0"})
+				case 3:
+					sec = append(sec, machine.SharedOp{
+						Kind: machine.OpAdd, Target: "c0", Imm: -int64(next() % 7)})
+				}
+			}
+			script.Sections = append(script.Sections, sec)
+		}
+		wl.Workers = append(wl.Workers, script)
+	}
+	return wl
+}
+
+func sumAccs(accs []int64) int64 {
+	var s int64
+	for _, a := range accs {
+		s += a
+	}
+	return s
+}
+
+func FuzzSharedHeap(f *testing.F) {
+	f.Add([]byte{2, 1, 2, 2, 0, 0, 1, 1, 2, 9}, int64(1))
+	f.Add([]byte{3, 2, 1, 3, 2, 40, 1, 3, 0, 1, 1, 0, 2}, int64(7))
+	f.Add([]byte{1, 4, 3, 3, 0, 0, 4, 1, 1, 1, 2, 200, 3, 5}, int64(42))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		wl := decodeSharedWorkload(data)
+		if wl == nil {
+			t.Skip()
+		}
+		ref, err := machine.RunReference(wl)
+		if err != nil {
+			t.Fatalf("decoder produced a workload the reference cannot run: %v", err)
+		}
+		for _, arch := range []vm.Arch{vm.ArchBase, vm.ArchNoMap, vm.ArchNoMapRTM} {
+			res, err := machine.RunScheduled(wl, arch, seed, machine.SharedOptions{})
+			if err != nil {
+				t.Fatalf("%v: %v", arch, err)
+			}
+			if res.Snapshot != ref.Snapshot {
+				t.Errorf("%v: shared heap %q, reference %q", arch, res.Snapshot, ref.Snapshot)
+			}
+			// Individual accumulators may be partitioned differently when
+			// several workers pop one queue, but the popped total is exact.
+			if got, want := sumAccs(res.Accs), sumAccs(ref.Accs); got != want {
+				t.Errorf("%v: accumulator total %d, reference %d", arch, got, want)
+			}
+			c := res.Merged
+			if c.TxBegins != c.TxCommits+c.TxAborts {
+				t.Errorf("%v: tx leak: %d begins, %d commits, %d aborts",
+					arch, c.TxBegins, c.TxCommits, c.TxAborts)
+			}
+			if sub := c.TxCapacityAborts + c.TxCheckAborts + c.TxSOFAborts +
+				c.TxIrrevocableAborts + c.TxConflictAborts; sub != c.TxAborts {
+				t.Errorf("%v: abort causes (%d) do not partition aborts (%d)", arch, sub, c.TxAborts)
+			}
+		}
+	})
+}

@@ -11,8 +11,12 @@
 //     for the write buffer (~13 cycles), in-transaction reads are ~20%
 //     slower, and there is no SOF.
 //
-// JavaScript is single-threaded, so there are no conflict aborts; aborts are
-// caused by failed checks, capacity overflow, SOF, or irrevocable events.
+// A single JavaScript isolate is single-threaded, so its aborts are caused by
+// failed checks, capacity overflow, SOF, or irrevocable events. The
+// shared-heap scenario class additionally connects the hardware contexts of
+// multiple isolates through a conflict Domain (see conflict.go), which adds
+// the abort family real HTMs are built around: cross-context read/write-set
+// conflicts detected through cache coherence at line granularity.
 package htm
 
 import (
@@ -97,6 +101,15 @@ const (
 	AbortCapacity
 	AbortSOF
 	AbortIrrevocable // I/O or other irrevocable event
+	// AbortConflict is a cross-context read/write-set conflict detected
+	// through cache coherence (shared-heap mode only; a single-threaded
+	// isolate can never see one). The ConflictError carried alongside the
+	// abort attributes the kill to the opposing reader, writer, or the
+	// software fallback lock.
+	AbortConflict
+	// NumAbortCauses sizes per-cause ledgers. It must stay in sync with
+	// stats.NumAbortCauses (stats cannot import htm without a cycle).
+	NumAbortCauses
 )
 
 // String names the cause.
@@ -110,6 +123,8 @@ func (c AbortCause) String() string {
 		return "sticky-overflow"
 	case AbortIrrevocable:
 		return "irrevocable"
+	case AbortConflict:
+		return "conflict"
 	}
 	return "?"
 }
@@ -151,8 +166,13 @@ type Txn struct {
 	writeSets  []uint8
 	readLines  map[uint64]struct{}
 	readSets   []uint8
-	undo       []func()
-	sof        bool
+	// conflictReads tracks loads for cross-context conflict detection when
+	// the configuration has no read-set capacity (ROT): coherence still
+	// observes invalidations even though no cache tags buffer the footprint.
+	// Only populated while a Domain is attached.
+	conflictReads map[uint64]struct{}
+	undo          []func()
+	sof           bool
 }
 
 // Depth returns the flat-nesting depth (1 for an outermost-only nest).
@@ -185,14 +205,20 @@ type CapacityProbe func(write bool, line uint64) bool
 
 // System is the HTM state for one simulated hardware context.
 type System struct {
-	cfg   Config
-	txn   *Txn
-	probe CapacityProbe
+	cfg           Config
+	txn           *Txn
+	probe         CapacityProbe
+	conflictProbe ConflictProbe
+
+	// domain, when non-nil, joins this context to a cross-isolate conflict
+	// domain under the given owner id (shared-heap mode).
+	domain *Domain
+	owner  int
 
 	// Statistics over the system lifetime.
 	Begins   int64
 	Commits  int64
-	Aborts   [4]int64
+	Aborts   [NumAbortCauses]int64
 	MaxWrite int64
 	MaxRead  int64
 	MaxAssoc int64
@@ -210,7 +236,7 @@ func New(cfg Config) *System { return &System{cfg: cfg} }
 func (s *System) Reset() {
 	s.txn = nil
 	s.Begins, s.Commits = 0, 0
-	s.Aborts = [4]int64{}
+	s.Aborts = [NumAbortCauses]int64{}
 	s.MaxWrite, s.MaxRead, s.MaxAssoc = 0, 0, 0
 	s.TotalCommittedWriteBytes = 0
 }
@@ -273,6 +299,14 @@ func (s *System) RecordWrite(addr uint64, size int, undo func()) error {
 		if s.probe != nil && s.probe(true, line) {
 			return &CapacityError{Write: true, Set: set}
 		}
+		if s.conflictProbe != nil && s.conflictProbe(true, line) {
+			return &ConflictError{Write: true, Line: line, With: -1, Attr: AttrWriter}
+		}
+		if s.domain != nil {
+			if ce := s.domain.acquire(s.owner, line, true); ce != nil {
+				return ce
+			}
+		}
 		t.writeLines[line] = struct{}{}
 		t.writeSets[set]++
 	}
@@ -287,6 +321,34 @@ func (s *System) RecordRead(addr uint64, size int) error {
 		return ErrNoTransaction
 	}
 	if t.readLines == nil {
+		// No read-set capacity (ROT). Reads still participate in
+		// cross-context conflict detection while a domain is attached:
+		// coherence observes invalidations regardless of cache tagging.
+		if s.domain == nil && s.conflictProbe == nil {
+			return nil
+		}
+		first := addr / uint64(s.cfg.LineSize)
+		last := (addr + uint64(size) - 1) / uint64(s.cfg.LineSize)
+		for line := first; line <= last; line++ {
+			if _, ok := t.conflictReads[line]; ok {
+				continue
+			}
+			if _, ok := t.writeLines[line]; ok {
+				continue
+			}
+			if s.conflictProbe != nil && s.conflictProbe(false, line) {
+				return &ConflictError{Write: false, Line: line, With: -1, Attr: AttrWriter}
+			}
+			if s.domain != nil {
+				if ce := s.domain.acquire(s.owner, line, false); ce != nil {
+					return ce
+				}
+			}
+			if t.conflictReads == nil {
+				t.conflictReads = make(map[uint64]struct{}, 8)
+			}
+			t.conflictReads[line] = struct{}{}
+		}
 		return nil
 	}
 	first := addr / uint64(s.cfg.LineSize)
@@ -302,6 +364,14 @@ func (s *System) RecordRead(addr uint64, size int) error {
 		}
 		if s.probe != nil && s.probe(false, line) {
 			return &CapacityError{Write: false, Set: set}
+		}
+		if s.conflictProbe != nil && s.conflictProbe(false, line) {
+			return &ConflictError{Write: false, Line: line, With: -1, Attr: AttrWriter}
+		}
+		if s.domain != nil {
+			if ce := s.domain.acquire(s.owner, line, false); ce != nil {
+				return ce
+			}
 		}
 		t.readLines[line] = struct{}{}
 		t.readSets[set]++
@@ -336,6 +406,9 @@ func (s *System) Commit() (bool, error) {
 	s.Commits++
 	s.noteFootprint(t)
 	s.TotalCommittedWriteBytes += t.WriteBytes()
+	if s.domain != nil {
+		s.domain.release(s.owner, t)
+	}
 	s.txn = nil
 	return true, nil
 }
@@ -352,6 +425,9 @@ func (s *System) Abort(cause AbortCause) error {
 	}
 	s.Aborts[cause]++
 	s.noteFootprint(t)
+	if s.domain != nil {
+		s.domain.release(s.owner, t)
+	}
 	s.txn = nil
 	return nil
 }

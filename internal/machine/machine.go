@@ -330,6 +330,11 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 			ctrs.TxCheckAborts++
 		case htm.AbortIrrevocable:
 			ctrs.TxIrrevocableAborts++
+		case htm.AbortConflict:
+			// Unreachable from single-isolate LIR execution (no conflict
+			// domain is attached); kept so the cause partition stays
+			// exhaustive if that ever changes.
+			ctrs.TxConflictAborts++
 		}
 		ctrs.SquashOpenTx(int(cause))
 		if owner == tok {

@@ -1,0 +1,227 @@
+package machine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"nomap/internal/htm"
+	"nomap/internal/machine"
+	"nomap/internal/vm"
+)
+
+// mixedWorkload races two workers over a counter, a striped map, and a
+// queue: worker 0 produces, worker 1 consumes (index order matters for the
+// reference run, see the SharedWorkload determinism contract).
+func mixedWorkload() *machine.SharedWorkload {
+	return &machine.SharedWorkload{
+		Name: "mixed",
+		Decls: []machine.SharedDecl{
+			{Kind: machine.DeclCounter, Name: "total"},
+			{Kind: machine.DeclCounter, Name: "sum1"},
+			{Kind: machine.DeclMap, Name: "tab", Arg: 4},
+			{Kind: machine.DeclQueue, Name: "q", Arg: 64},
+		},
+		Workers: []machine.SharedScript{
+			{Rounds: 8, Sections: []machine.SharedSection{
+				{{Kind: machine.OpAdd, Target: "total", Imm: 1},
+					{Kind: machine.OpMapAdd, Target: "tab", Key: "k", Rotate: true, Imm: 2}},
+				{{Kind: machine.OpPush, Target: "q", Imm: 100}},
+			}},
+			{Rounds: 8, Sections: []machine.SharedSection{
+				{{Kind: machine.OpAdd, Target: "total", Imm: 1}},
+				{{Kind: machine.OpPop, Target: "q"}},
+				{{Kind: machine.OpPublish, Target: "sum1"}},
+			}},
+		},
+	}
+}
+
+func TestSharedScheduledMatchesReference(t *testing.T) {
+	wl := mixedWorkload()
+	ref, err := machine.RunReference(wl)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	for _, arch := range vm.AllArchs {
+		for seed := int64(0); seed < 6; seed++ {
+			got, err := machine.RunScheduled(wl, arch, seed, machine.SharedOptions{})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", arch, seed, err)
+			}
+			if got.Snapshot != ref.Snapshot {
+				t.Errorf("%v seed %d: snapshot diverged\n got: %s\nwant: %s",
+					arch, seed, got.Snapshot, ref.Snapshot)
+			}
+			if !reflect.DeepEqual(got.Accs, ref.Accs) {
+				t.Errorf("%v seed %d: accumulators %v, want %v", arch, seed, got.Accs, ref.Accs)
+			}
+			c := got.Merged
+			if c.TxBegins != c.TxCommits+c.TxAborts {
+				t.Errorf("%v seed %d: tx leak: %d begins, %d commits, %d aborts",
+					arch, seed, c.TxBegins, c.TxCommits, c.TxAborts)
+			}
+			if sub := c.TxCapacityAborts + c.TxCheckAborts + c.TxSOFAborts +
+				c.TxIrrevocableAborts + c.TxConflictAborts; sub != c.TxAborts {
+				t.Errorf("%v seed %d: abort causes (%d) do not partition aborts (%d)",
+					arch, seed, sub, c.TxAborts)
+			}
+		}
+	}
+}
+
+func TestSharedScheduledDeterminism(t *testing.T) {
+	wl := mixedWorkload()
+	var evA, evB []string
+	runOnce := func(ev *[]string) *machine.SharedResult {
+		res, err := machine.RunScheduled(wl, vm.ArchNoMap, 42, machine.SharedOptions{
+			Tracer: func(e machine.Event) { *ev = append(*ev, e.String()) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runOnce(&evA), runOnce(&evB)
+	if a.Snapshot != b.Snapshot || !reflect.DeepEqual(a.Accs, b.Accs) ||
+		!reflect.DeepEqual(a.Merged, b.Merged) || a.Steps != b.Steps {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if !reflect.DeepEqual(evA, evB) {
+		t.Fatalf("same seed produced different event streams (%d vs %d events)", len(evA), len(evB))
+	}
+}
+
+func TestSharedBaseRunsAllFallback(t *testing.T) {
+	wl := mixedWorkload()
+	res, err := machine.RunScheduled(wl, vm.ArchBase, 1, machine.SharedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged.TxBegins != 0 {
+		t.Fatalf("Base opened %d transactions", res.Merged.TxBegins)
+	}
+	if res.Merged.SharedFallbackAcquires == 0 {
+		t.Fatal("Base never took the fallback lock")
+	}
+	ref, _ := machine.RunReference(wl)
+	if res.Snapshot != ref.Snapshot {
+		t.Fatalf("Base snapshot %s, want %s", res.Snapshot, ref.Snapshot)
+	}
+}
+
+// hotWorkload is a two-worker storm on one counter — every section conflicts
+// on the same cache line.
+func hotWorkload(rounds int) *machine.SharedWorkload {
+	sec := machine.SharedSection{{Kind: machine.OpAdd, Target: "hot", Imm: 1}}
+	script := machine.SharedScript{Rounds: rounds, Sections: []machine.SharedSection{sec}}
+	return &machine.SharedWorkload{
+		Name:    "hot",
+		Decls:   []machine.SharedDecl{{Kind: machine.DeclCounter, Name: "hot"}},
+		Workers: []machine.SharedScript{script, script},
+	}
+}
+
+func TestSharedForcedConflictLadder(t *testing.T) {
+	wl := hotWorkload(12)
+	// Force a conflict at every worker-0 shared access until the governor
+	// demotes the site: the run must climb conflict-abort → backoff →
+	// fallback and still converge to the reference state.
+	forced := 0
+	res, err := machine.RunScheduled(wl, vm.ArchNoMap, 3, machine.SharedOptions{
+		Configure: func(id int, sys *htm.System) {
+			if id == 0 {
+				sys.SetConflictProbe(func(write bool, line uint64) bool {
+					if forced < 4 {
+						forced++
+						return true
+					}
+					return false
+				})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := machine.RunReference(wl)
+	if res.Snapshot != ref.Snapshot {
+		t.Fatalf("snapshot %s, want %s", res.Snapshot, ref.Snapshot)
+	}
+	c := res.Merged
+	if c.TxConflictAborts == 0 {
+		t.Fatal("forced conflicts produced no conflict aborts")
+	}
+	if c.SharedBackoffs == 0 {
+		t.Fatal("conflict aborts produced no backoff windows")
+	}
+	if c.SharedFallbackAcquires == 0 {
+		t.Fatal("conflict storm never reached the fallback lock")
+	}
+}
+
+func TestSharedCapacityRetreat(t *testing.T) {
+	wl := hotWorkload(4)
+	// Force a capacity overflow on worker 0's first tracked line: the
+	// section must retreat to the fallback immediately (no backoff) and the
+	// final state must still match.
+	first := true
+	res, err := machine.RunScheduled(wl, vm.ArchNoMap, 5, machine.SharedOptions{
+		Configure: func(id int, sys *htm.System) {
+			if id == 0 {
+				sys.SetCapacityProbe(func(write bool, line uint64) bool {
+					if first {
+						first = false
+						return true
+					}
+					return false
+				})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := machine.RunReference(wl)
+	if res.Snapshot != ref.Snapshot {
+		t.Fatalf("snapshot %s, want %s", res.Snapshot, ref.Snapshot)
+	}
+	if res.Merged.TxCapacityAborts != 1 {
+		t.Fatalf("TxCapacityAborts = %d, want 1", res.Merged.TxCapacityAborts)
+	}
+	var capFallbacks int64
+	for _, s := range res.Sites {
+		capFallbacks += s.Capacities
+	}
+	if capFallbacks != 1 {
+		t.Fatalf("governor capacity ledger = %d, want 1", capFallbacks)
+	}
+}
+
+func TestSharedValidation(t *testing.T) {
+	wl := &machine.SharedWorkload{
+		Name:  "bad",
+		Decls: []machine.SharedDecl{{Kind: machine.DeclCounter, Name: "c"}},
+		Workers: []machine.SharedScript{
+			{Sections: []machine.SharedSection{{{Kind: machine.OpPush, Target: "c"}}}},
+		},
+	}
+	if _, err := machine.RunScheduled(wl, vm.ArchNoMap, 0, machine.SharedOptions{}); err == nil {
+		t.Fatal("pushing to a counter passed validation")
+	}
+	if _, err := machine.RunReference(wl); err == nil {
+		t.Fatal("reference accepted an invalid workload")
+	}
+}
+
+func TestSharedReferenceStuckIsError(t *testing.T) {
+	wl := &machine.SharedWorkload{
+		Name:  "stuck",
+		Decls: []machine.SharedDecl{{Kind: machine.DeclQueue, Name: "q", Arg: 4}},
+		Workers: []machine.SharedScript{
+			{Sections: []machine.SharedSection{{{Kind: machine.OpPop, Target: "q"}}}},
+		},
+	}
+	if _, err := machine.RunReference(wl); err == nil {
+		t.Fatal("popping an empty queue in the reference run did not error")
+	}
+}

@@ -28,6 +28,19 @@ const (
 	// EventOSREntry fires when a hot loop's frame enters an OSR artifact
 	// mid-execution (the inverse transfer of EventDeopt).
 	EventOSREntry
+	// EventBackoff fires when a shared-section worker serves a randomized
+	// contention-backoff window after a conflict abort.
+	EventBackoff
+	// EventFallbackAcquire fires when a shared section takes the software
+	// fallback lock (aborts stormed past the retry budget, or the section's
+	// site is demoted).
+	EventFallbackAcquire
+	// EventFallbackRelease fires when the software fallback lock is dropped
+	// at the end of a fallback-executed section.
+	EventFallbackRelease
+	// EventRepromote fires when a demoted shared section earns its way back
+	// to the transactional fast path after a clean fallback window.
+	EventRepromote
 )
 
 // String names the kind.
@@ -47,6 +60,14 @@ func (k EventKind) String() string {
 		return "compile"
 	case EventOSREntry:
 		return "osr-entry"
+	case EventBackoff:
+		return "contention-backoff"
+	case EventFallbackAcquire:
+		return "fallback-acquire"
+	case EventFallbackRelease:
+		return "fallback-release"
+	case EventRepromote:
+		return "repromote"
 	}
 	return "?"
 }
@@ -70,6 +91,10 @@ type Event struct {
 	WriteBytes int64
 	// Tier is the tier compiled for EventCompile.
 	Tier profile.Tier
+	// Window is the backoff window in cycles (EventBackoff only).
+	Window int64
+	// Attr is the conflict attribution (shared-heap aborts only).
+	Attr htm.Attribution
 }
 
 // String renders the event for logs.
@@ -80,6 +105,10 @@ func (e Event) String() string {
 	case EventTxCommit, EventTxTileCommit:
 		return fmt.Sprintf("[%s] %s write-footprint=%dB", e.Kind, e.Fn, e.WriteBytes)
 	case EventTxAbort:
+		if e.Cause == htm.AbortConflict {
+			return fmt.Sprintf("[%s] %s cause=%s attr=%s write-footprint=%dB",
+				e.Kind, e.Fn, e.Cause, e.Attr, e.WriteBytes)
+		}
 		return fmt.Sprintf("[%s] %s cause=%s check=%s resume@%d write-footprint=%dB",
 			e.Kind, e.Fn, e.Cause, e.CheckClass, e.PC, e.WriteBytes)
 	case EventDeopt:
@@ -91,6 +120,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%s] %s tier=%s", e.Kind, e.Fn, e.Tier)
 	case EventOSREntry:
 		return fmt.Sprintf("[%s] %s header@%d tier=%s", e.Kind, e.Fn, e.PC, e.Tier)
+	case EventBackoff:
+		return fmt.Sprintf("[%s] %s window=%dcy", e.Kind, e.Fn, e.Window)
+	case EventFallbackAcquire, EventFallbackRelease, EventRepromote:
+		return fmt.Sprintf("[%s] %s", e.Kind, e.Fn)
 	}
 	return "[?]"
 }

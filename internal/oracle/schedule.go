@@ -1,0 +1,264 @@
+package oracle
+
+import (
+	"fmt"
+
+	"nomap/internal/htm"
+	"nomap/internal/machine"
+	"nomap/internal/vm"
+)
+
+// Schedule-sweep oracle for the shared-heap scenario class. The site sweep
+// (sweep.go) answers "does an abort at any point of one isolate's execution
+// preserve behaviour?"; this sweep answers the concurrent analogue: "does any
+// interleaving of the workers — with conflict aborts forced at any shared
+// access — leave the shared heap in the single-threaded reference state?"
+//
+// Three properties make the comparison meaningful:
+//
+//  1. Shared workloads are final-state commutative by contract (see
+//     machine.SharedWorkload), so the reference state is the unique correct
+//     outcome of every schedule.
+//  2. The scheduled executor is deterministic per seed, so every failure is
+//     replayable from (workload, arch, seed, injection).
+//  3. Counter RMWs execute as in-transaction load+store pairs, so a broken
+//     conflict detector produces lost updates the state diff catches rather
+//     than silent near-misses.
+
+// ScheduleConfig controls a schedule sweep.
+type ScheduleConfig struct {
+	// Archs lists the configurations to sweep (default: all six).
+	Archs []vm.Arch
+	// Schedules is the number of seeded interleavings per configuration
+	// (default 8); seeds are Seed, Seed+1, ....
+	Schedules int
+	// ConflictSites is how many shared-access indices get a forced conflict
+	// abort per configuration (default 4, spread over the access stream:
+	// first, last, evenly between). Zero disables; negative forces every
+	// access index.
+	ConflictSites int
+	// CapacityPoints is how many capacity-tracked line indices get a forced
+	// capacity overflow per configuration (default 2). Zero disables;
+	// negative means every index.
+	CapacityPoints int
+	// Seed is the base schedule seed.
+	Seed int64
+	// Configure, when non-nil, is applied to every worker of every run
+	// before the sweep's own probes (tests use it to sabotage the conflict
+	// domain and prove the oracle notices).
+	Configure func(id int, sys *htm.System)
+}
+
+// DefaultScheduleConfig sweeps all six configurations with eight schedules,
+// four forced-conflict sites, and two forced-capacity points each.
+func DefaultScheduleConfig() ScheduleConfig {
+	return ScheduleConfig{
+		Archs:          vm.AllArchs,
+		Schedules:      8,
+		ConflictSites:  4,
+		CapacityPoints: 2,
+		Seed:           1,
+	}
+}
+
+// ScheduleArchReport summarizes one configuration's schedule sweep.
+type ScheduleArchReport struct {
+	Arch vm.Arch
+	// Runs is the number of scheduled executions performed.
+	Runs int
+	// AccessSites is the size of the conflict-injection space: the number of
+	// conflict-checked line accesses in the recording run.
+	AccessSites int
+	// CapacitySites is the size of the capacity-injection space.
+	CapacitySites int
+	// ConflictAborts and FallbackAcquires total the respective counters over
+	// every run of this configuration.
+	ConflictAborts   int64
+	FallbackAcquires int64
+}
+
+// ScheduleReport is the outcome of one workload's schedule sweep.
+type ScheduleReport struct {
+	Workload string
+	Archs    []ScheduleArchReport
+	Failures []Failure
+}
+
+// OK reports a fully clean sweep.
+func (r *ScheduleReport) OK() bool { return len(r.Failures) == 0 }
+
+// TotalRuns sums executions across configurations.
+func (r *ScheduleReport) TotalRuns() int {
+	n := 0
+	for _, a := range r.Archs {
+		n += a.Runs
+	}
+	return n
+}
+
+// probeShot forces one fault at the target-th probe invocation. One shot is
+// shared by every worker of a run, so the target indexes the run's global
+// access stream (deterministic under the scheduled executor).
+type probeShot struct {
+	n      int
+	target int // 1-based; <= 0 never fires
+	every  bool
+	fired  bool
+}
+
+func (p *probeShot) probe(write bool, line uint64) bool {
+	p.n++
+	if p.every || (p.target > 0 && p.n == p.target) {
+		p.fired = true
+		return true
+	}
+	return false
+}
+
+func composeConfigure(outer, inner func(int, *htm.System)) func(int, *htm.System) {
+	if outer == nil {
+		return inner
+	}
+	if inner == nil {
+		return outer
+	}
+	return func(id int, sys *htm.System) {
+		outer(id, sys)
+		inner(id, sys)
+	}
+}
+
+// ScheduleSweep runs the workload under every configuration: a pass of
+// seeded interleavings, a pass forcing a conflict abort at chosen shared
+// accesses, a pass forcing capacity overflows, and an all-conflict storm
+// that drives every section down the fallback ladder. Every run's final
+// shared-heap state and accumulators are diffed against the single-threaded
+// reference, and every run's counters must satisfy the accounting
+// invariants (CheckCounters), which partition aborts by cause with no
+// unaccounted remainder.
+func ScheduleSweep(wl *machine.SharedWorkload, cfg ScheduleConfig) (*ScheduleReport, error) {
+	if len(cfg.Archs) == 0 {
+		cfg.Archs = vm.AllArchs
+	}
+	if cfg.Schedules <= 0 {
+		cfg.Schedules = 8
+	}
+	ref, err := machine.RunReference(wl)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %s: reference run failed: %v", wl.Name, err)
+	}
+	rep := &ScheduleReport{Workload: wl.Name}
+
+	for _, arch := range cfg.Archs {
+		ar := ScheduleArchReport{Arch: arch}
+		fail := func(run, kind, detail string) {
+			rep.Failures = append(rep.Failures, Failure{Arch: arch, Run: run, Kind: kind, Detail: detail})
+		}
+		check := func(run string, res *machine.SharedResult) {
+			if res.Snapshot != ref.Snapshot {
+				fail(run, "divergence", fmt.Sprintf("shared heap %q, reference %q", res.Snapshot, ref.Snapshot))
+			}
+			for i := range res.Accs {
+				if res.Accs[i] != ref.Accs[i] {
+					fail(run, "divergence", fmt.Sprintf("worker %d accumulator %d, reference %d",
+						i, res.Accs[i], ref.Accs[i]))
+				}
+			}
+			merged := res.Merged
+			if err := CheckCounters(&merged); err != nil {
+				fail(run, "counter-invariant", "merged: "+err.Error())
+			}
+			for i := range res.PerWorker {
+				if err := CheckCounters(&res.PerWorker[i]); err != nil {
+					fail(run, "counter-invariant", fmt.Sprintf("worker %d: %v", i, err))
+				}
+			}
+			ar.ConflictAborts += res.Merged.TxConflictAborts
+			ar.FallbackAcquires += res.Merged.SharedFallbackAcquires
+		}
+		run := func(name string, seed int64, inner func(int, *htm.System)) *machine.SharedResult {
+			res, err := machine.RunScheduled(wl, arch, seed, machine.SharedOptions{
+				Configure: composeConfigure(cfg.Configure, inner),
+			})
+			ar.Runs++
+			if err != nil {
+				fail(name, "run-error", err.Error())
+				return nil
+			}
+			check(name, res)
+			return res
+		}
+
+		// Interleaving pass: plain runs under distinct seeded schedules.
+		for i := 0; i < cfg.Schedules; i++ {
+			run(fmt.Sprintf("schedule#%d", i), cfg.Seed+int64(i), nil)
+		}
+
+		if arch.UsesTransactions() {
+			// Recording run: size the two injection spaces with counting
+			// probes that never fire.
+			confRec, capRec := &probeShot{}, &probeShot{}
+			run("recording", cfg.Seed, func(id int, sys *htm.System) {
+				sys.SetConflictProbe(confRec.probe)
+				sys.SetCapacityProbe(capRec.probe)
+			})
+			ar.AccessSites, ar.CapacitySites = confRec.n, capRec.n
+
+			// Conflict pass: force a conflict abort at chosen points of the
+			// access stream; the governor's backoff/fallback ladder must
+			// recover to the reference state every time.
+			if ar.AccessSites > 0 && cfg.ConflictSites != 0 {
+				for _, k := range capacityTargets(ar.AccessSites, cfg.ConflictSites) {
+					sh := &probeShot{target: k}
+					name := fmt.Sprintf("conflict@%d", k)
+					res := run(name, cfg.Seed, func(id int, sys *htm.System) {
+						sys.SetConflictProbe(sh.probe)
+					})
+					if res == nil {
+						continue
+					}
+					if !sh.fired {
+						fail(name, "injection-missed", "access index not reached in re-run")
+					} else if res.Merged.TxConflictAborts == 0 {
+						fail(name, "injection-missed", "forced conflict produced no conflict abort")
+					}
+				}
+			}
+
+			// Capacity pass: force overflows; capacity blame must retreat to
+			// the fallback (not spin on backoff) and still converge.
+			if ar.CapacitySites > 0 && cfg.CapacityPoints != 0 {
+				for _, k := range capacityTargets(ar.CapacitySites, cfg.CapacityPoints) {
+					sh := &probeShot{target: k}
+					name := fmt.Sprintf("capacity@%d", k)
+					res := run(name, cfg.Seed, func(id int, sys *htm.System) {
+						sys.SetCapacityProbe(sh.probe)
+					})
+					if res == nil {
+						continue
+					}
+					if !sh.fired {
+						fail(name, "injection-missed", "capacity index not reached in re-run")
+					} else if res.Merged.TxCapacityAborts == 0 {
+						fail(name, "injection-missed", "forced overflow produced no capacity abort")
+					}
+				}
+			}
+
+			// Storm pass: every transactional access conflicts, driving every
+			// section down the full abort → backoff → demotion → fallback →
+			// re-promotion ladder. The software path alone must reproduce the
+			// reference state.
+			storm := &probeShot{every: true}
+			res := run("storm", cfg.Seed, func(id int, sys *htm.System) {
+				sys.SetConflictProbe(storm.probe)
+			})
+			if res != nil && res.Merged.SharedFallbackAcquires == 0 {
+				fail("storm", "injection-missed", "all-conflict storm never reached the fallback lock")
+			}
+		}
+
+		rep.Archs = append(rep.Archs, ar)
+	}
+	return rep, nil
+}

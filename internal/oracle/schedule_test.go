@@ -1,0 +1,119 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"nomap/internal/htm"
+	"nomap/internal/machine"
+	"nomap/internal/vm"
+	"nomap/internal/workloads"
+)
+
+func TestScheduleSweepCleanOnContentionSuite(t *testing.T) {
+	for _, wl := range workloads.Contention() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			cfg := DefaultScheduleConfig()
+			cfg.Schedules = 4
+			rep, err := ScheduleSweep(wl, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range rep.Failures {
+				t.Errorf("%s", f)
+			}
+			if rep.TotalRuns() == 0 {
+				t.Fatal("sweep performed no runs")
+			}
+			for _, ar := range rep.Archs {
+				if ar.Arch.UsesTransactions() && ar.AccessSites == 0 {
+					t.Errorf("%v: recording run found no conflict-injection sites", ar.Arch)
+				}
+				// The storm pass forces every access to conflict, so every
+				// transactional configuration must show the full ladder.
+				if ar.Arch.UsesTransactions() && (ar.ConflictAborts == 0 || ar.FallbackAcquires == 0) {
+					t.Errorf("%v: storm pass produced conflicts=%d fallbacks=%d",
+						ar.Arch, ar.ConflictAborts, ar.FallbackAcquires)
+				}
+			}
+		})
+	}
+}
+
+// Line-disjoint counters must never conflict: a conflict abort on T01 is a
+// false positive in the domain's ownership bookkeeping.
+func TestScheduleSweepUncontendedHasNoNaturalConflicts(t *testing.T) {
+	wl, _ := workloads.ContentionByID("T01")
+	for _, arch := range vm.AllArchs {
+		for seed := int64(0); seed < 6; seed++ {
+			res, err := machine.RunScheduled(wl, arch, seed, machine.SharedOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Merged.TxConflictAborts != 0 {
+				t.Errorf("%v seed %d: %d conflict aborts on line-disjoint counters",
+					arch, seed, res.Merged.TxConflictAborts)
+			}
+		}
+	}
+}
+
+// TestScheduleSweepCatchesBrokenDetection is the oracle's self-test: with the
+// conflict domain disconnected and one capacity abort injected mid-section,
+// some interleaving must produce a lost update (the aborting worker's undo
+// clobbers a racing worker's committed increment) — and the sweep must flag
+// it as a divergence. If this test fails, the oracle cannot be trusted to
+// verify the real detector.
+func TestScheduleSweepCatchesBrokenDetection(t *testing.T) {
+	wl := &machine.SharedWorkload{
+		Name: "sabotaged",
+		Decls: []machine.SharedDecl{
+			{Kind: machine.DeclCounter, Name: "a"},
+			{Kind: machine.DeclCounter, Name: "b"},
+		},
+		Workers: []machine.SharedScript{
+			{Rounds: 4, Sections: []machine.SharedSection{
+				{{Kind: machine.OpAdd, Target: "a", Imm: 1},
+					{Kind: machine.OpAdd, Target: "b", Imm: 1}},
+			}},
+			{Rounds: 4, Sections: []machine.SharedSection{
+				{{Kind: machine.OpAdd, Target: "a", Imm: 1}},
+			}},
+		},
+	}
+	var n int
+	cfg := ScheduleConfig{
+		Archs:     []vm.Arch{vm.ArchNoMap},
+		Schedules: 64,
+		Seed:      1,
+		Configure: func(id int, sys *htm.System) {
+			// Sever the coherence fabric: no cross-worker conflict detection.
+			sys.AttachDomain(nil, id)
+			if id == 0 {
+				// One capacity abort per run, at worker 0's second tracked
+				// write line (counter b) — its rollback then restores counter
+				// a to the value captured before worker 1's racing update.
+				n = 0
+				sys.SetCapacityProbe(func(write bool, line uint64) bool {
+					n++
+					return n == 2
+				})
+			}
+		},
+	}
+	rep, err := ScheduleSweep(wl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var divergences int
+	for _, f := range rep.Failures {
+		if f.Kind == "divergence" && strings.Contains(f.Run, "schedule#") {
+			divergences++
+		}
+	}
+	if divergences == 0 {
+		t.Fatalf("broken conflict detection survived %d schedules undetected (failures: %v)",
+			cfg.Schedules, rep.Failures)
+	}
+}

@@ -31,6 +31,12 @@ func CheckCounters(c *stats.Counters) error {
 		{"TxCheckAborts", c.TxCheckAborts},
 		{"TxSOFAborts", c.TxSOFAborts},
 		{"TxIrrevocableAborts", c.TxIrrevocableAborts},
+		{"TxConflictAborts", c.TxConflictAborts},
+		{"SharedOps", c.SharedOps},
+		{"SharedTxRetries", c.SharedTxRetries},
+		{"SharedBackoffs", c.SharedBackoffs},
+		{"SharedFallbackAcquires", c.SharedFallbackAcquires},
+		{"SharedRepromotions", c.SharedRepromotions},
 		{"CyclesSquashed", c.CyclesSquashed},
 		{"TxWriteBytesMax", c.TxWriteBytesMax},
 		{"TxWriteBytesTotal", c.TxWriteBytesTotal},
@@ -67,9 +73,10 @@ func CheckCounters(c *stats.Counters) error {
 		return fmt.Errorf("transaction leak: %d begins vs %d commits + %d aborts",
 			c.TxBegins, c.TxCommits, c.TxAborts)
 	}
-	// Every abort has exactly one cause; with the irrevocable counter added
-	// the per-cause ledger must partition the total.
-	if sub := c.TxCapacityAborts + c.TxCheckAborts + c.TxSOFAborts + c.TxIrrevocableAborts; sub != c.TxAborts {
+	// Every abort has exactly one cause; the per-cause ledger — conflict
+	// aborts included — must partition the total with no unaccounted
+	// remainder.
+	if sub := c.TxCapacityAborts + c.TxCheckAborts + c.TxSOFAborts + c.TxIrrevocableAborts + c.TxConflictAborts; sub != c.TxAborts {
 		return fmt.Errorf("abort sub-causes (%d) do not partition total aborts (%d)", sub, c.TxAborts)
 	}
 	// Squashed cycles are a subset of in-transaction cycles, and the

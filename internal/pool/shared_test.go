@@ -1,0 +1,71 @@
+package pool
+
+import (
+	"reflect"
+	"testing"
+
+	"nomap/internal/machine"
+	"nomap/internal/vm"
+	"nomap/internal/workloads"
+)
+
+// The race soak in CI runs these tests under -race with GOMAXPROCS swept
+// over {1, 2, 8}: the concurrent mode must be race-clean and must converge
+// to the single-threaded reference state under any physical interleaving.
+
+func TestSharedHeapConcurrentAgreement(t *testing.T) {
+	p := New(Config{Workers: 1})
+	defer p.Close()
+	for _, wl := range workloads.Contention() {
+		ref, err := machine.RunReference(wl)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", wl.Name, err)
+		}
+		for _, arch := range []vm.Arch{vm.ArchBase, vm.ArchNoMap, vm.ArchNoMapRTM} {
+			res, err := p.RunShared(wl, arch, 1, machine.SharedOptions{})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", wl.Name, arch, err)
+			}
+			if res.Snapshot != ref.Snapshot {
+				t.Errorf("%s/%v: snapshot %q, reference %q", wl.Name, arch, res.Snapshot, ref.Snapshot)
+			}
+			if !reflect.DeepEqual(res.Accs, ref.Accs) {
+				t.Errorf("%s/%v: accs %v, reference %v", wl.Name, arch, res.Accs, ref.Accs)
+			}
+			c := res.Merged
+			if c.TxBegins != c.TxCommits+c.TxAborts {
+				t.Errorf("%s/%v: tx leak: %d begins, %d commits, %d aborts",
+					wl.Name, arch, c.TxBegins, c.TxCommits, c.TxAborts)
+			}
+			if sub := c.TxCapacityAborts + c.TxCheckAborts + c.TxSOFAborts +
+				c.TxIrrevocableAborts + c.TxConflictAborts; sub != c.TxAborts {
+				t.Errorf("%s/%v: abort causes (%d) do not partition aborts (%d)",
+					wl.Name, arch, sub, c.TxAborts)
+			}
+		}
+	}
+	if p.Stats().Counters.SharedOps == 0 {
+		t.Error("pool totals did not absorb shared-run counters")
+	}
+}
+
+// TestSharedHeapConcurrentSoak re-runs the hot-counter storm to give the Go
+// scheduler many chances to produce a harmful physical interleaving.
+func TestSharedHeapConcurrentSoak(t *testing.T) {
+	wl, _ := workloads.ContentionByID("T02")
+	ref, err := machine.RunReference(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{Workers: 1})
+	defer p.Close()
+	for i := 0; i < 20; i++ {
+		res, err := p.RunShared(wl, vm.ArchNoMap, int64(i), machine.SharedOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Snapshot != ref.Snapshot {
+			t.Fatalf("run %d: snapshot %q, reference %q", i, res.Snapshot, ref.Snapshot)
+		}
+	}
+}

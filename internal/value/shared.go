@@ -1,0 +1,284 @@
+package value
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// SharedHeap is the mutable state multiple pool isolates race on in the
+// shared-heap scenario class: named counters, striped maps, and bounded FIFO
+// queues. Unlike the per-isolate JS heap, a SharedHeap is reachable from
+// every worker of a shared run; atomicity of multi-word operations is the
+// executor's job (hardware transactions on the fast path, the domain's
+// software fallback lock otherwise) — the heap itself is plain storage.
+//
+// Every word of shared state has a deterministic simulated address in a
+// region far above the per-isolate address map (machine.Memory allocates
+// upward from 0x1000), so the HTM write/read-set tracking and the conflict
+// domain see a realistic, collision-free address stream:
+//
+//   - a counter occupies its own cache line (no false sharing between
+//     distinct counters);
+//   - a map's entries live on their stripe's line, so two keys of the same
+//     stripe conflict (intentional false sharing, the contention knob of the
+//     striped-map workload) while different stripes never do;
+//   - a queue's head and tail indices occupy one line each, and its ring
+//     storage packs eight values per line.
+//
+// The heap is not internally synchronized: callers mutate it only while
+// holding the conflict domain's step lock (both execution modes do), which
+// also makes -race runs clean.
+type SharedHeap struct {
+	counters map[string]*SharedCounter
+	maps     map[string]*SharedMap
+	queues   map[string]*SharedQueue
+	// order preserves declaration order for deterministic snapshots.
+	order []string
+	next  uint64
+}
+
+// SharedBase is the bottom of the shared-heap address region.
+const SharedBase uint64 = 1 << 40
+
+// sharedLine is the address granule; one declared line per allocation keeps
+// structures from sharing cache lines accidentally.
+const sharedLine = 64
+
+// SharedCounter is one shared 64-bit counter on its own cache line.
+type SharedCounter struct {
+	addr  uint64
+	Value int64
+}
+
+// Addr returns the counter's simulated address.
+func (c *SharedCounter) Addr() uint64 { return c.addr }
+
+// SharedMap is a striped string->int64 map. Keys hash to one of Stripes
+// buckets; each bucket's entries share that stripe's cache line.
+type SharedMap struct {
+	base    uint64
+	Stripes int
+	buckets []map[string]int64
+}
+
+// StripeFor returns the stripe index a key hashes to.
+func (m *SharedMap) StripeFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % m.Stripes
+}
+
+// StripeAddr returns the simulated address of a stripe's line.
+func (m *SharedMap) StripeAddr(stripe int) uint64 {
+	return m.base + uint64(stripe)*sharedLine
+}
+
+// Get returns the value stored under key (zero when absent).
+func (m *SharedMap) Get(key string) int64 { return m.buckets[m.StripeFor(key)][key] }
+
+// Set stores v under key, deleting the entry when v == 0 so snapshots stay
+// canonical (an explicit zero and an absent key are the same observable).
+func (m *SharedMap) Set(key string, v int64) {
+	b := m.buckets[m.StripeFor(key)]
+	if v == 0 {
+		delete(b, key)
+		return
+	}
+	b[key] = v
+}
+
+// SharedQueue is a bounded FIFO ring of int64 values.
+type SharedQueue struct {
+	headAddr uint64
+	tailAddr uint64
+	dataBase uint64
+	Cap      int
+	head     int // absolute pop count
+	tail     int // absolute push count
+	ring     []int64
+}
+
+// HeadAddr returns the address of the head (pop) index word.
+func (q *SharedQueue) HeadAddr() uint64 { return q.headAddr }
+
+// TailAddr returns the address of the tail (push) index word.
+func (q *SharedQueue) TailAddr() uint64 { return q.tailAddr }
+
+// SlotAddr returns the address of the ring slot an absolute index maps to.
+func (q *SharedQueue) SlotAddr(abs int) uint64 {
+	return q.dataBase + uint64(abs%q.Cap)*8
+}
+
+// Len returns the number of queued values.
+func (q *SharedQueue) Len() int { return q.tail - q.head }
+
+// Head and Tail expose the absolute indices (for undo logging).
+func (q *SharedQueue) Head() int { return q.head }
+func (q *SharedQueue) Tail() int { return q.tail }
+
+// SetHead and SetTail restore the absolute indices (undo logging).
+func (q *SharedQueue) SetHead(h int) { q.head = h }
+func (q *SharedQueue) SetTail(t int) { q.tail = t }
+
+// Push appends v; it reports false when the ring is full.
+func (q *SharedQueue) Push(v int64) bool {
+	if q.Len() >= q.Cap {
+		return false
+	}
+	q.ring[q.tail%q.Cap] = v
+	q.tail++
+	return true
+}
+
+// Pop removes the oldest value; ok is false when the queue is empty.
+func (q *SharedQueue) Pop() (v int64, ok bool) {
+	if q.Len() == 0 {
+		return 0, false
+	}
+	v = q.ring[q.head%q.Cap]
+	q.head++
+	return v, true
+}
+
+// Slot reads a ring slot by absolute index (undo logging).
+func (q *SharedQueue) Slot(abs int) int64 { return q.ring[abs%q.Cap] }
+
+// SetSlot restores a ring slot by absolute index (undo logging).
+func (q *SharedQueue) SetSlot(abs int, v int64) { q.ring[abs%q.Cap] = v }
+
+// NewSharedHeap creates an empty shared heap.
+func NewSharedHeap() *SharedHeap {
+	return &SharedHeap{
+		counters: make(map[string]*SharedCounter),
+		maps:     make(map[string]*SharedMap),
+		queues:   make(map[string]*SharedQueue),
+		next:     SharedBase,
+	}
+}
+
+func (h *SharedHeap) alloc(lines int) uint64 {
+	a := h.next
+	h.next += uint64(lines) * sharedLine
+	return a
+}
+
+func (h *SharedHeap) declared(name string) bool {
+	_, c := h.counters[name]
+	_, m := h.maps[name]
+	_, q := h.queues[name]
+	return c || m || q
+}
+
+// DeclareCounter adds a named counter (idempotent per name).
+func (h *SharedHeap) DeclareCounter(name string) *SharedCounter {
+	if c, ok := h.counters[name]; ok {
+		return c
+	}
+	if h.declared(name) {
+		panic(fmt.Sprintf("shared heap: %q redeclared as a different kind", name))
+	}
+	c := &SharedCounter{addr: h.alloc(1)}
+	h.counters[name] = c
+	h.order = append(h.order, name)
+	return c
+}
+
+// DeclareMap adds a named striped map with the given stripe count.
+func (h *SharedHeap) DeclareMap(name string, stripes int) *SharedMap {
+	if m, ok := h.maps[name]; ok {
+		return m
+	}
+	if h.declared(name) {
+		panic(fmt.Sprintf("shared heap: %q redeclared as a different kind", name))
+	}
+	if stripes <= 0 {
+		stripes = 1
+	}
+	m := &SharedMap{base: h.alloc(stripes), Stripes: stripes,
+		buckets: make([]map[string]int64, stripes)}
+	for i := range m.buckets {
+		m.buckets[i] = make(map[string]int64)
+	}
+	h.maps[name] = m
+	h.order = append(h.order, name)
+	return m
+}
+
+// DeclareQueue adds a named bounded queue with the given capacity.
+func (h *SharedHeap) DeclareQueue(name string, capacity int) *SharedQueue {
+	if q, ok := h.queues[name]; ok {
+		return q
+	}
+	if h.declared(name) {
+		panic(fmt.Sprintf("shared heap: %q redeclared as a different kind", name))
+	}
+	if capacity <= 0 {
+		capacity = 1
+	}
+	dataLines := (capacity*8 + sharedLine - 1) / sharedLine
+	q := &SharedQueue{
+		headAddr: h.alloc(1),
+		tailAddr: h.alloc(1),
+		dataBase: h.alloc(dataLines),
+		Cap:      capacity,
+		ring:     make([]int64, capacity),
+	}
+	h.queues[name] = q
+	h.order = append(h.order, name)
+	return q
+}
+
+// Counter returns a declared counter (nil when absent).
+func (h *SharedHeap) Counter(name string) *SharedCounter { return h.counters[name] }
+
+// Map returns a declared map (nil when absent).
+func (h *SharedHeap) Map(name string) *SharedMap { return h.maps[name] }
+
+// Queue returns a declared queue (nil when absent).
+func (h *SharedHeap) Queue(name string) *SharedQueue { return h.queues[name] }
+
+// Snapshot renders the heap in a canonical form: structures in declaration
+// order, map keys sorted, queues rendered head-to-tail. Two heaps with equal
+// snapshots are observably identical, which is the oracle's equality.
+func (h *SharedHeap) Snapshot() string {
+	var sb strings.Builder
+	for i, name := range h.order {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch {
+		case h.counters[name] != nil:
+			fmt.Fprintf(&sb, "%s=%d", name, h.counters[name].Value)
+		case h.maps[name] != nil:
+			m := h.maps[name]
+			var keys []string
+			for _, b := range m.buckets {
+				for k := range b {
+					keys = append(keys, k)
+				}
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(&sb, "%s={", name)
+			for j, k := range keys {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%s:%d", k, m.Get(k))
+			}
+			sb.WriteByte('}')
+		case h.queues[name] != nil:
+			q := h.queues[name]
+			fmt.Fprintf(&sb, "%s=[", name)
+			for j := q.head; j < q.tail; j++ {
+				if j > q.head {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%d", q.Slot(j))
+			}
+			sb.WriteByte(']')
+		}
+	}
+	return sb.String()
+}

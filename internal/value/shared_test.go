@@ -1,0 +1,118 @@
+package value
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSharedHeapAddresses checks the address map: every structure lands above
+// SharedBase, counters get disjoint lines, map stripes are line-spaced, and
+// queue index words never share a line with the ring storage.
+func TestSharedHeapAddresses(t *testing.T) {
+	h := NewSharedHeap()
+	a := h.DeclareCounter("a")
+	b := h.DeclareCounter("b")
+	m := h.DeclareMap("m", 4)
+	q := h.DeclareQueue("q", 16)
+
+	if a.Addr() < SharedBase {
+		t.Errorf("counter below SharedBase: %#x", a.Addr())
+	}
+	if a.Addr()/sharedLine == b.Addr()/sharedLine {
+		t.Errorf("counters a and b share a line: %#x %#x", a.Addr(), b.Addr())
+	}
+	seen := map[uint64]string{a.Addr() / sharedLine: "a", b.Addr() / sharedLine: "b"}
+	for s := 0; s < m.Stripes; s++ {
+		line := m.StripeAddr(s) / sharedLine
+		if prev, ok := seen[line]; ok {
+			t.Errorf("map stripe %d shares line %#x with %s", s, line, prev)
+		}
+		seen[line] = "stripe"
+	}
+	for _, addr := range []uint64{q.HeadAddr(), q.TailAddr(), q.SlotAddr(0)} {
+		line := addr / sharedLine
+		if prev, ok := seen[line]; ok {
+			t.Errorf("queue word %#x shares line with %s", addr, prev)
+		}
+		seen[line] = "queue"
+	}
+	if q.HeadAddr()/sharedLine == q.TailAddr()/sharedLine {
+		t.Error("queue head and tail share a line (false sharing between producers and consumers)")
+	}
+}
+
+// TestSharedHeapDeterminism checks two identically declared heaps produce
+// identical addresses and snapshots — the schedule-sweep oracle depends on
+// re-runs seeing the same address stream.
+func TestSharedHeapDeterminism(t *testing.T) {
+	build := func() *SharedHeap {
+		h := NewSharedHeap()
+		h.DeclareCounter("hits")
+		h.DeclareMap("tab", 8)
+		h.DeclareQueue("work", 32)
+		return h
+	}
+	h1, h2 := build(), build()
+	if h1.Counter("hits").Addr() != h2.Counter("hits").Addr() {
+		t.Error("counter addresses differ across identical declarations")
+	}
+	if h1.Map("tab").StripeAddr(3) != h2.Map("tab").StripeAddr(3) {
+		t.Error("stripe addresses differ across identical declarations")
+	}
+	h1.Counter("hits").Value = 7
+	h2.Counter("hits").Value = 7
+	h1.Map("tab").Set("k1", 3)
+	h2.Map("tab").Set("k1", 3)
+	h1.Queue("work").Push(5)
+	h2.Queue("work").Push(5)
+	if s1, s2 := h1.Snapshot(), h2.Snapshot(); s1 != s2 {
+		t.Errorf("snapshots differ:\n%s\n%s", s1, s2)
+	}
+}
+
+// TestSharedMapCanonicalZero checks that storing zero equals deleting: the
+// snapshot must not distinguish "never written" from "written then undone".
+func TestSharedMapCanonicalZero(t *testing.T) {
+	h := NewSharedHeap()
+	m := h.DeclareMap("m", 2)
+	before := h.Snapshot()
+	m.Set("x", 9)
+	m.Set("x", 0)
+	if after := h.Snapshot(); after != before {
+		t.Errorf("zeroed key still visible: %q vs %q", after, before)
+	}
+	if m.StripeFor("x") != m.StripeFor("x") {
+		t.Error("stripe hash unstable")
+	}
+}
+
+// TestSharedQueueRing checks FIFO order, bounded capacity, and the absolute
+// index undo hooks.
+func TestSharedQueueRing(t *testing.T) {
+	h := NewSharedHeap()
+	q := h.DeclareQueue("q", 4)
+	for i := int64(1); i <= 4; i++ {
+		if !q.Push(i * 10) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if q.Push(99) {
+		t.Error("push accepted beyond capacity")
+	}
+	if v, ok := q.Pop(); !ok || v != 10 {
+		t.Errorf("pop = %d,%v want 10,true", v, ok)
+	}
+	if !q.Push(50) {
+		t.Error("push rejected after pop freed a slot")
+	}
+	// Undo: roll the push back by restoring tail and the slot.
+	tail := q.Tail()
+	old := q.Slot(tail - 1)
+	q.SetSlot(tail-1, 0)
+	q.SetTail(tail - 1)
+	q.SetSlot(tail-1, old) // restore the overwritten slot content
+	want := "q=[20,30,40]"
+	if got := h.Snapshot(); !strings.Contains(got, want) {
+		t.Errorf("after undo, snapshot = %q, want contains %q", got, want)
+	}
+}

@@ -1,0 +1,120 @@
+package workloads
+
+import "nomap/internal/machine"
+
+// Contention workloads (T01..T04) exercise the shared-heap scenario class:
+// multiple workers racing on one value.SharedHeap through the section
+// executor. The suite spans the contention spectrum — fully uncontended,
+// a single-line storm, striped false sharing, and cross-worker dataflow —
+// so the six architecture configurations can be compared on conflict-abort
+// behaviour the way Table II compares them on check behaviour.
+//
+// Every workload honours the machine.SharedWorkload determinism contract:
+// the final heap state and accumulators are schedule-independent, consumers
+// pop only what lower-indexed workers push, and queue capacities hold the
+// full production — so the schedule-sweep oracle can diff any interleaving
+// against the single-threaded reference.
+
+// contention is the T-suite, in ID order.
+var contention = []*machine.SharedWorkload{
+	// T01: uncontended counters — each worker owns a private counter on its
+	// own cache line. The transactional fast path should commit every
+	// section with zero conflict aborts; any conflict here is a false
+	// positive in the domain's line bookkeeping.
+	{
+		Name: "T01",
+		Decls: []machine.SharedDecl{
+			{Kind: machine.DeclCounter, Name: "c0"},
+			{Kind: machine.DeclCounter, Name: "c1"},
+			{Kind: machine.DeclCounter, Name: "c2"},
+			{Kind: machine.DeclCounter, Name: "c3"},
+		},
+		Workers: []machine.SharedScript{
+			{Rounds: 16, Sections: []machine.SharedSection{{{Kind: machine.OpAdd, Target: "c0", Imm: 1}}}},
+			{Rounds: 16, Sections: []machine.SharedSection{{{Kind: machine.OpAdd, Target: "c1", Imm: 1}}}},
+			{Rounds: 16, Sections: []machine.SharedSection{{{Kind: machine.OpAdd, Target: "c2", Imm: 1}}}},
+			{Rounds: 16, Sections: []machine.SharedSection{{{Kind: machine.OpAdd, Target: "c3", Imm: 1}}}},
+		},
+	},
+	// T02: hot-counter storm — four workers hammer one cache line with
+	// read-modify-writes. Maximum contention pressure: the governor's
+	// backoff/demotion ladder decides throughput, and a broken conflict
+	// detector loses updates here first.
+	{
+		Name: "T02",
+		Decls: []machine.SharedDecl{
+			{Kind: machine.DeclCounter, Name: "hot"},
+		},
+		Workers: []machine.SharedScript{
+			{Rounds: 24, Sections: []machine.SharedSection{{{Kind: machine.OpAdd, Target: "hot", Imm: 1}}}},
+			{Rounds: 24, Sections: []machine.SharedSection{{{Kind: machine.OpAdd, Target: "hot", Imm: 2}}}},
+			{Rounds: 24, Sections: []machine.SharedSection{{{Kind: machine.OpAdd, Target: "hot", Imm: 3}}}},
+			{Rounds: 24, Sections: []machine.SharedSection{{{Kind: machine.OpAdd, Target: "hot", Imm: 4}}}},
+		},
+	},
+	// T03: striped map — each worker updates its own rotating key family, but
+	// keys from different workers hash onto a small stripe set, so conflicts
+	// are false sharing on stripe lines rather than logical data races. Each
+	// worker also reads its own key back and publishes the running value,
+	// which only its own writes determine.
+	{
+		Name: "T03",
+		Decls: []machine.SharedDecl{
+			{Kind: machine.DeclMap, Name: "tab", Arg: 4},
+			{Kind: machine.DeclCounter, Name: "sum0"},
+			{Kind: machine.DeclCounter, Name: "sum1"},
+			{Kind: machine.DeclCounter, Name: "sum2"},
+		},
+		Workers: []machine.SharedScript{
+			{Rounds: 12, Sections: []machine.SharedSection{
+				{{Kind: machine.OpMapAdd, Target: "tab", Key: "a", Rotate: true, Imm: 1}},
+				{{Kind: machine.OpMapRead, Target: "tab", Key: "a", Rotate: true},
+					{Kind: machine.OpPublish, Target: "sum0"}},
+			}},
+			{Rounds: 12, Sections: []machine.SharedSection{
+				{{Kind: machine.OpMapAdd, Target: "tab", Key: "b", Rotate: true, Imm: 1}},
+				{{Kind: machine.OpMapRead, Target: "tab", Key: "b", Rotate: true},
+					{Kind: machine.OpPublish, Target: "sum1"}},
+			}},
+			{Rounds: 12, Sections: []machine.SharedSection{
+				{{Kind: machine.OpMapAdd, Target: "tab", Key: "c", Rotate: true, Imm: 1}},
+				{{Kind: machine.OpMapRead, Target: "tab", Key: "c", Rotate: true},
+					{Kind: machine.OpPublish, Target: "sum2"}},
+			}},
+		},
+	},
+	// T04: producer/consumer queue — worker 0 pushes a value stream, worker 1
+	// pops it into its accumulator and publishes the running sum. Pops block
+	// (retry) on empty, so the consumed total is schedule-independent; the
+	// queue holds the full production so the index-ordered reference run
+	// never blocks.
+	{
+		Name: "T04",
+		Decls: []machine.SharedDecl{
+			{Kind: machine.DeclQueue, Name: "q", Arg: 32},
+			{Kind: machine.DeclCounter, Name: "sink"},
+		},
+		Workers: []machine.SharedScript{
+			{Rounds: 24, Sections: []machine.SharedSection{
+				{{Kind: machine.OpPush, Target: "q", Imm: 100}},
+			}},
+			{Rounds: 24, Sections: []machine.SharedSection{
+				{{Kind: machine.OpPop, Target: "q"}},
+				{{Kind: machine.OpPublish, Target: "sink"}},
+			}},
+		},
+	},
+}
+
+// Contention returns the shared-heap contention suite (T01..T04).
+func Contention() []*machine.SharedWorkload { return contention }
+
+// ContentionByID finds a contention workload by ID ("T01".."T04").
+func ContentionByID(id string) (*machine.SharedWorkload, bool) {
+	for _, wl := range contention {
+		if wl.Name == id {
+			return wl, true
+		}
+	}
+	return nil, false
+}

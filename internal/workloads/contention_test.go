@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"nomap/internal/machine"
+	"nomap/internal/vm"
+)
+
+// Every contention workload must reach the same final shared-heap state on
+// every architecture configuration and every schedule — the six archs differ
+// in cycles and abort behaviour, never in semantics.
+func TestContentionCrossArchAgreement(t *testing.T) {
+	for _, wl := range Contention() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			ref, err := machine.RunReference(wl)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			for _, arch := range vm.AllArchs {
+				for seed := int64(1); seed <= 3; seed++ {
+					res, err := machine.RunScheduled(wl, arch, seed, machine.SharedOptions{})
+					if err != nil {
+						t.Fatalf("%v seed %d: %v", arch, seed, err)
+					}
+					if res.Snapshot != ref.Snapshot {
+						t.Errorf("%v seed %d: snapshot %q, reference %q",
+							arch, seed, res.Snapshot, ref.Snapshot)
+					}
+					if !reflect.DeepEqual(res.Accs, ref.Accs) {
+						t.Errorf("%v seed %d: accs %v, reference %v", arch, seed, res.Accs, ref.Accs)
+					}
+				}
+			}
+		})
+	}
+}
+
+// T02's whole point is contention: across a few schedules the hot counter
+// must produce real conflict aborts, and the governor must serve backoffs.
+func TestContentionHotCounterConflicts(t *testing.T) {
+	wl, ok := ContentionByID("T02")
+	if !ok {
+		t.Fatal("T02 missing")
+	}
+	var conflicts, backoffs int64
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := machine.RunScheduled(wl, vm.ArchNoMap, seed, machine.SharedOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conflicts += res.Merged.TxConflictAborts
+		backoffs += res.Merged.SharedBackoffs
+	}
+	if conflicts == 0 {
+		t.Error("hot-counter storm produced no conflict aborts")
+	}
+	if backoffs == 0 {
+		t.Error("conflict aborts produced no contention backoffs")
+	}
+}
+
+func TestContentionByID(t *testing.T) {
+	for _, id := range []string{"T01", "T02", "T03", "T04"} {
+		wl, ok := ContentionByID(id)
+		if !ok || wl.Name != id {
+			t.Errorf("ContentionByID(%q) = %v, %v", id, wl, ok)
+		}
+	}
+	if _, ok := ContentionByID("T99"); ok {
+		t.Error("ContentionByID(T99) found a workload")
+	}
+}

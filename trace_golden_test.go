@@ -7,6 +7,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"nomap/internal/htm"
+	"nomap/internal/machine"
+	"nomap/internal/vm"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
@@ -94,6 +98,52 @@ function run() {
 		t.Fatalf("single call produced no osr-entry event:\n%s", joined)
 	}
 	checkGolden(t, "trace_osr.golden", lines)
+}
+
+// TestTraceGoldenConflict pins the shared-heap contention ladder end to end:
+// a forced-conflict probe kills the first four transactional attempts of a
+// one-worker counter section, so the trace must show conflict-abort →
+// contention-backoff (three randomized windows) → fallback-acquire (the
+// governor demotes the site on the fourth conflict) → eight clean fallback
+// executions → repromote → a transactional commit. The scheduled executor
+// is deterministic per seed, so any drift here is a recovery-policy change.
+func TestTraceGoldenConflict(t *testing.T) {
+	wl := &machine.SharedWorkload{
+		Name:  "conflict",
+		Decls: []machine.SharedDecl{{Kind: machine.DeclCounter, Name: "hot"}},
+		Workers: []machine.SharedScript{
+			{Rounds: 11, Sections: []machine.SharedSection{
+				{{Kind: machine.OpAdd, Target: "hot", Imm: 1}},
+			}},
+		},
+	}
+	var lines []string
+	forced := 0
+	res, err := machine.RunScheduled(wl, vm.ArchNoMap, 7, machine.SharedOptions{
+		Tracer: func(e machine.Event) { lines = append(lines, e.String()) },
+		Configure: func(id int, sys *htm.System) {
+			sys.SetConflictProbe(func(write bool, line uint64) bool {
+				if forced < 4 {
+					forced++
+					return true
+				}
+				return false
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "hot=11"; res.Snapshot != want {
+		t.Fatalf("final heap %q, want %q", res.Snapshot, want)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, must := range []string{"cause=conflict", "contention-backoff", "fallback-acquire", "repromote"} {
+		if !strings.Contains(joined, must) {
+			t.Fatalf("trace is missing %q:\n%s", must, joined)
+		}
+	}
+	checkGolden(t, "trace_conflict.golden", lines)
 }
 
 // checkGolden compares the event lines against testdata/golden/<name>,
