@@ -4,7 +4,11 @@
 // layer's demonstration driver and its smoke check: with -verify (default)
 // every pooled response is compared against a dedicated cold isolate, and
 // with -min-hit-rate the process exits nonzero when the shared code cache
-// underperforms — the assertion CI runs.
+// underperforms — the assertion CI runs. With -chaos a deterministic fault
+// plan is injected (isolate panics, compile failures, wedged isolates,
+// corrupt snapshots); failures are then expected, reported per taxonomy
+// class, and the run asserts every scheduled fault fired and the fleet
+// converged back to healthy — the chaos soak CI runs.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"nomap/internal/chaos"
 	"nomap/internal/codecache"
 	"nomap/internal/isolate"
 	"nomap/internal/pool"
@@ -37,6 +42,7 @@ func main() {
 		verify     = flag.Bool("verify", true, "check every response against a dedicated cold isolate")
 		noCache    = flag.Bool("no-cache", false, "disable the shared code cache")
 		noSnap     = flag.Bool("no-snapshots", false, "disable warm-start snapshots")
+		chaosSpec  = flag.String("chaos", "", `deterministic fault plan, e.g. "panic@3,compile-fail@1,slow-isolate@5" (injected failures are expected and reported per class)`)
 	)
 	flag.Parse()
 
@@ -53,12 +59,21 @@ func main() {
 
 	cfg := vm.DefaultConfig()
 	cfg.Arch = arch
+	var plan *chaos.Plan
+	if *chaosSpec != "" {
+		var err error
+		plan, err = chaos.ParsePlan(int64(cfg.RandomSeed), *chaosSpec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
 	p := pool.New(pool.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		VM:               cfg,
 		DisableCodeCache: *noCache,
 		DisableSnapshots: *noSnap,
+		Chaos:            plan,
 	})
 
 	// Cold references, one dedicated isolate per program: the behaviour the
@@ -109,7 +124,7 @@ func main() {
 		resp := <-t.ch
 		if resp.Err != nil {
 			failed++
-			fmt.Fprintf(os.Stderr, "%s: %v\n", t.id, resp.Err)
+			fmt.Fprintf(os.Stderr, "%s: [%s] %v\n", t.id, pool.Classify(resp.Err), resp.Err)
 			return
 		}
 		latencies = append(latencies, resp.Latency)
@@ -170,6 +185,22 @@ func main() {
 			pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
 	}
 	fmt.Printf("  completed      %d ok, %d failed, %d rejected\n", st.Completed, st.Failed, st.Rejected)
+	if st.Failed > 0 {
+		var parts []string
+		for _, class := range pool.Classes() {
+			if n := st.FailedBy[class]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s %d", class, n))
+			}
+		}
+		fmt.Printf("  failures       %s\n", strings.Join(parts, ", "))
+	}
+	if plan != nil || st.Crashes > 0 || st.Health.Degraded {
+		fmt.Printf("  resilience     %d crashes contained, %d isolates replaced, %d retries, %d degrade steps, %d repromotions, %d sheds, %d snapshot rejects\n",
+			st.Crashes, st.Replacements, st.Retries, st.DegradeSteps,
+			st.Repromotions, st.Sheds, st.SnapshotRejects)
+		fmt.Printf("  health         cap=%v ceiling=%v degraded=%v shedding=%v\n",
+			st.Health.Cap, st.Health.Ceiling, st.Health.Degraded, st.Health.Shedding)
+	}
 	fmt.Printf("  code cache     %d hits, %d misses, %d evictions, %d bind-fails, %d uncacheable (hit rate %.1f%%)\n",
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.BindFails,
 		st.Cache.Uncacheable, 100*st.Cache.HitRate())
@@ -179,7 +210,17 @@ func main() {
 	if mismatch > 0 {
 		fatalf("%d pooled responses diverged from cold isolates", mismatch)
 	}
-	if failed > 0 {
+	if plan != nil {
+		// Under chaos, injected failures are the point; the assertions are
+		// that every scheduled fault fired and the fleet converged back.
+		if !plan.Exhausted() {
+			fatalf("chaos plan %v did not fire every scheduled fault", plan)
+		}
+		if st.Health.Degraded || st.Health.Shedding {
+			fatalf("fleet did not recover from chaos: cap=%v ceiling=%v shedding=%v",
+				st.Health.Cap, st.Health.Ceiling, st.Health.Shedding)
+		}
+	} else if failed > 0 {
 		fatalf("%d requests failed", failed)
 	}
 	if *minHitRate > 0 && !*noCache && st.Cache.HitRate() < *minHitRate {

@@ -137,6 +137,7 @@ type Cache struct {
 	inflight map[Key]*flight
 	stats    Stats
 	fills    map[FillGroup]int64
+	probe    func() error
 }
 
 // DefaultCapacity bounds the cache when the caller passes 0.
@@ -153,6 +154,33 @@ func NewCache(capacity int) *Cache {
 		lru:      list.New(),
 		inflight: make(map[Key]*flight),
 		fills:    make(map[FillGroup]int64),
+	}
+}
+
+// SetFaultProbe installs (or with nil removes) a hook consulted before every
+// fill execution; a non-nil error fails that compile exactly as a compiler
+// error would. The chaos harness injects transient compile failures here —
+// the analogue of htm.CapacityProbe for the compilation pipeline. Production
+// paths never install one.
+func (c *Cache) SetFaultProbe(f func() error) {
+	c.mu.Lock()
+	c.probe = f
+	c.mu.Unlock()
+}
+
+// wrapFill interposes the fault probe (when installed) on a fill closure.
+func (c *Cache) wrapFill(fill func() (*ir.Func, error)) func() (*ir.Func, error) {
+	c.mu.Lock()
+	probe := c.probe
+	c.mu.Unlock()
+	if probe == nil {
+		return fill
+	}
+	return func() (*ir.Func, error) {
+		if err := probe(); err != nil {
+			return nil, err
+		}
+		return fill()
 	}
 }
 
@@ -193,6 +221,7 @@ func (c *Cache) noteFill(key Key) {
 // JIT uses to charge a compilation to its isolate. ctrs, when non-nil,
 // receives the per-isolate hit/miss attribution.
 func (c *Cache) Compile(key Key, realm Realm, ctrs *stats.Counters, fill func() (*ir.Func, error)) (*ir.Func, bool, error) {
+	fill = c.wrapFill(fill)
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {

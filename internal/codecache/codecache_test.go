@@ -4,12 +4,14 @@
 package codecache_test
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"nomap/internal/bytecode"
+	"nomap/internal/chaos"
 	"nomap/internal/codecache"
 	"nomap/internal/core"
 	"nomap/internal/ir"
@@ -396,5 +398,50 @@ func TestSnapRoundTripFingerprint(t *testing.T) {
 	})
 	if checked == 0 {
 		t.Fatal("no profiles visited")
+	}
+}
+
+// TestFaultProbeFailsFill: an installed fault probe fails exactly the fills
+// it chooses, the failure propagates as a fill error (transient — the next
+// caller recompiles cleanly), and removing the probe restores normal
+// operation. This is the seam the chaos harness' compile-fail@k point
+// drives.
+func TestFaultProbeFailsFill(t *testing.T) {
+	c := codecache.NewCache(8)
+	progs := codecache.NewPrograms()
+	key := testKey(t, progs, 7)
+	realm := vm.New(vm.DefaultConfig())
+
+	plan := chaos.NewPlan(1, chaos.At(chaos.KindCompileFail, 1))
+	c.SetFaultProbe(func() error {
+		if plan.Arm(chaos.KindCompileFail) {
+			return &chaos.CompileFault{Occurrence: plan.Armed(chaos.KindCompileFail)}
+		}
+		return nil
+	})
+	var fills int64
+	counted := func() (*ir.Func, error) {
+		fills++
+		return trivialFill()
+	}
+	_, _, err := c.Compile(key, realm, nil, counted)
+	var cf *chaos.CompileFault
+	if !errors.As(err, &cf) {
+		t.Fatalf("first compile under probe: err=%v, want CompileFault", err)
+	}
+	if fills != 0 {
+		t.Fatalf("fill body ran %d times despite injected fault", fills)
+	}
+	// The fault was transient: the same key compiles on retry.
+	f, compiled, err := c.Compile(key, realm, nil, counted)
+	if err != nil || f == nil || !compiled || fills != 1 {
+		t.Fatalf("retry after injected fault: f=%v compiled=%v fills=%d err=%v", f, compiled, fills, err)
+	}
+	c.SetFaultProbe(nil)
+	if _, _, err := c.Compile(testKey(t, progs, 8), realm, nil, counted); err != nil {
+		t.Fatalf("compile after probe removal: %v", err)
+	}
+	if plan.Fired(chaos.KindCompileFail) != 1 {
+		t.Errorf("fired %d faults, want 1", plan.Fired(chaos.KindCompileFail))
 	}
 }

@@ -1,0 +1,202 @@
+package governor
+
+import (
+	"testing"
+
+	"nomap/internal/profile"
+)
+
+func testPolicy() ResiliencePolicy {
+	p := DefaultResiliencePolicy(7)
+	p.TripThreshold = 3
+	p.TripWindow = 8
+	p.RepromoteWindow = 4
+	p.ProbeEvery = 4
+	p.RetireAfterCrashes = 2
+	return p
+}
+
+func TestLadderStepsDownAndSheds(t *testing.T) {
+	r := NewResilience(testPolicy(), profile.TierFTL)
+	if r.TierCap() != profile.TierFTL || r.Degraded() {
+		t.Fatal("fresh machine not at ceiling")
+	}
+	// Three faults trip one rung; each deeper trip needs three more.
+	want := []profile.Tier{profile.TierDFG, profile.TierBaseline, profile.TierInterp}
+	for _, w := range want {
+		var ch LadderChange
+		for i := int64(0); i < 3; i++ {
+			ch = r.OnFault()
+		}
+		if !ch.SteppedDown || ch.Cap != w {
+			t.Fatalf("trip to %v: %+v", w, ch)
+		}
+	}
+	if !r.Degraded() || r.Shedding() {
+		t.Fatal("interp-only fleet should be degraded but not yet shedding")
+	}
+	var ch LadderChange
+	for i := int64(0); i < 3; i++ {
+		ch = r.OnFault()
+	}
+	if !ch.ShedStarted || !r.Shedding() {
+		t.Fatalf("bottomed ladder did not shed: %+v", ch)
+	}
+	// While shedding, only every ProbeEvery-th request is admitted.
+	admitted := 0
+	for i := 0; i < 8; i++ {
+		if r.Admit() {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("shed admitted %d of 8, want 2 probes", admitted)
+	}
+	// A successful probe clears shedding.
+	if ch := r.OnSuccess(); !ch.ShedCleared || r.Shedding() {
+		t.Fatalf("probe success did not clear shed: %+v", ch)
+	}
+}
+
+func TestLadderRepromotesWithHysteresis(t *testing.T) {
+	r := NewResilience(testPolicy(), profile.TierFTL)
+	for i := int64(0); i < 3; i++ {
+		r.OnFault()
+	}
+	if r.TierCap() != profile.TierDFG {
+		t.Fatalf("cap %v after trip", r.TierCap())
+	}
+	// RepromoteWindow clean completions start a probe one rung up.
+	var ch LadderChange
+	for i := int64(0); i < 4; i++ {
+		ch = r.OnSuccess()
+	}
+	if !ch.ProbeStarted || ch.Cap != profile.TierFTL {
+		t.Fatalf("no probe after clean window: %+v", ch)
+	}
+	// A fault during probation falls back and doubles the window.
+	if ch := r.OnFault(); !ch.ProbeFailed || ch.Cap != profile.TierDFG {
+		t.Fatalf("probe fault did not fall back: %+v", ch)
+	}
+	// The next probe needs a doubled window (8 clean completions).
+	for i := int64(0); i < 7; i++ {
+		if ch = r.OnSuccess(); ch.ProbeStarted {
+			t.Fatalf("probe restarted after only %d completions", i+1)
+		}
+	}
+	if ch = r.OnSuccess(); !ch.ProbeStarted {
+		t.Fatalf("doubled window did not earn a probe: %+v", ch)
+	}
+	// Surviving the full (doubled) probation confirms the promotion.
+	for i := int64(0); i < 8; i++ {
+		ch = r.OnSuccess()
+	}
+	if !ch.Promoted || r.TierCap() != profile.TierFTL || r.Degraded() {
+		t.Fatalf("probe did not confirm: %+v cap=%v", ch, r.TierCap())
+	}
+}
+
+func TestTripWindowRollover(t *testing.T) {
+	r := NewResilience(testPolicy(), profile.TierFTL)
+	// Scattered sub-threshold faults separated by full clean windows never
+	// accumulate to a trip.
+	for round := 0; round < 5; round++ {
+		if ch := r.OnFault(); ch.SteppedDown {
+			t.Fatalf("round %d: single fault tripped the ladder", round)
+		}
+		for i := int64(0); i < 8; i++ {
+			r.OnSuccess()
+		}
+	}
+	if r.TierCap() != profile.TierFTL {
+		t.Fatalf("cap %v after benign scattered faults", r.TierCap())
+	}
+}
+
+func TestQuarantineLedgerRetires(t *testing.T) {
+	r := NewResilience(testPolicy(), profile.TierFTL)
+	k := CrashKey{Program: 42, Site: "boom"}
+	v := r.OnCrash(k)
+	if v.Crashes != 1 || v.Retired || r.Retired(k) {
+		t.Fatalf("first crash: %+v", v)
+	}
+	v = r.OnCrash(k)
+	if v.Crashes != 2 || !v.Retired || !v.NewlyRetired || !r.Retired(k) {
+		t.Fatalf("second crash should retire (K=2): %+v", v)
+	}
+	v = r.OnCrash(k)
+	if !v.Retired || v.NewlyRetired {
+		t.Fatalf("third crash re-reports NewlyRetired: %+v", v)
+	}
+	// A different site on the same program has its own ledger.
+	if r.Retired(CrashKey{Program: 42, Site: "other"}) {
+		t.Error("distinct site inherited retirement")
+	}
+}
+
+func TestBackoffDeterministicDoublingEnvelope(t *testing.T) {
+	r := NewResilience(testPolicy(), profile.TierFTL)
+	r2 := NewResilience(testPolicy(), profile.TierFTL)
+	for attempt := 1; attempt <= 4; attempt++ {
+		a := r.Backoff("req", attempt)
+		b := r2.Backoff("req", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: equal seeds diverge (%d vs %d)", attempt, a, b)
+		}
+		env := testPolicy().BackoffBase << (attempt - 1)
+		if env > testPolicy().BackoffCap {
+			env = testPolicy().BackoffCap
+		}
+		if a < 1 || a > env {
+			t.Fatalf("attempt %d: window %d outside envelope [1,%d]", attempt, a, env)
+		}
+	}
+	if r.Backoff("req", 1) == r.Backoff("other", 1) {
+		t.Error("distinct keys drew identical windows (suspicious hash)")
+	}
+	pol := testPolicy()
+	pol.Seed = 99
+	r3 := NewResilience(pol, profile.TierFTL)
+	if r.Backoff("req", 1) == r3.Backoff("req", 1) {
+		t.Error("distinct seeds drew identical windows")
+	}
+}
+
+func TestResilienceExportRestoreRoundTrip(t *testing.T) {
+	r := NewResilience(testPolicy(), profile.TierFTL)
+	r.OnCrash(CrashKey{Program: 1, Site: "a"})
+	r.OnCrash(CrashKey{Program: 1, Site: "a"})
+	r.OnCrash(CrashKey{Program: 2, Site: "b"})
+	r.OnFault()
+	r.OnSuccess()
+	r.OnSuccess()
+	snap := r.Export()
+
+	fresh := NewResilience(testPolicy(), profile.TierFTL)
+	fresh.Restore(snap)
+	if got := fresh.Export(); len(got.Crashes) != len(snap.Crashes) ||
+		got.Cap != snap.Cap || got.Faults != snap.Faults ||
+		got.Progress != snap.Progress || got.Window != snap.Window {
+		t.Fatalf("restore drifted:\n got %+v\nwant %+v", got, snap)
+	}
+	if !fresh.Retired(CrashKey{Program: 1, Site: "a"}) {
+		t.Error("retirement did not survive the round trip")
+	}
+	if fresh.Retired(CrashKey{Program: 2, Site: "b"}) {
+		t.Error("unretired fingerprint restored as retired")
+	}
+	// The restored machine makes the same next decision as the donor.
+	if a, b := r.OnFault(), fresh.OnFault(); a != b {
+		t.Fatalf("post-restore decisions diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestRetryAllowedBudget(t *testing.T) {
+	r := NewResilience(testPolicy(), profile.TierFTL)
+	if !r.RetryAllowed(1) || !r.RetryAllowed(2) {
+		t.Error("retries within budget refused")
+	}
+	if r.RetryAllowed(3) {
+		t.Error("retry past budget allowed")
+	}
+}

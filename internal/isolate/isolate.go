@@ -16,7 +16,9 @@
 package isolate
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -106,7 +108,50 @@ func (iso *Isolate) Snapshot() *Snapshot {
 	sort.Slice(s.Profiles, func(i, j int) bool {
 		return s.Profiles[i].Code.Name < s.Profiles[j].Code.Name
 	})
+	s.Seal = s.seal()
 	return s
+}
+
+// ErrSnapshotCorrupt reports a snapshot whose payload no longer matches the
+// integrity seal computed at capture. Restore refuses such a snapshot, so a
+// damaged warm-start can only cost a cold start, never wrong profiles or
+// ledgers.
+var ErrSnapshotCorrupt = errors.New("isolate: snapshot failed integrity check")
+
+// seal hashes the snapshot's payload — program identity, governor ledgers,
+// and every profile — into the integrity fingerprint Restore verifies. The
+// governor export and the profile list are deterministically ordered, so the
+// seal is a pure function of the captured state.
+func (s *Snapshot) seal() uint64 {
+	h := fnv.New64a()
+	if s.Program != nil {
+		fmt.Fprintf(h, "program:%016x\n", s.Program.Hash)
+	}
+	fmt.Fprintf(h, "gov:%+v\n", s.Gov)
+	for _, e := range s.Profiles {
+		fmt.Fprintf(h, "profile:%s:%+v\n", e.Code.Name, *e.Snap)
+	}
+	return h.Sum64()
+}
+
+// CorruptCopy returns a copy of the snapshot with one payload field damaged
+// but the original seal retained — the exact shape of an in-flight
+// corruption, for the chaos harness. The receiver is untouched.
+func (s *Snapshot) CorruptCopy() *Snapshot {
+	c := *s
+	switch {
+	case len(c.Profiles) > 0:
+		c.Profiles = append([]ProfileEntry(nil), s.Profiles...)
+		snap := *c.Profiles[0].Snap
+		snap.Invocations++
+		c.Profiles[0].Snap = &snap
+	case len(c.Gov) > 0:
+		c.Gov = append(governor.Snapshot(nil), s.Gov...)
+		c.Gov[0].Window++
+	default:
+		c.Seal ^= 1
+	}
+	return &c
 }
 
 // Restore installs a snapshot's profiles and governor ledgers into this
@@ -115,6 +160,10 @@ func (iso *Isolate) Snapshot() *Snapshot {
 func (iso *Isolate) Restore(s *Snapshot) error {
 	if iso.program == nil || iso.program != s.Program {
 		return fmt.Errorf("isolate: snapshot is for a different program")
+	}
+	if s.Seal != s.seal() {
+		iso.v.Counters().SnapshotRejects++
+		return fmt.Errorf("restore %q: %w", s.Program.Main.Name, ErrSnapshotCorrupt)
 	}
 	for _, e := range s.Profiles {
 		iso.v.SetProfile(e.Code, e.Snap.Materialize(e.Code, iso.v))
@@ -136,6 +185,10 @@ type Snapshot struct {
 	Program  *codecache.ProgramEntry
 	Profiles []ProfileEntry
 	Gov      governor.Snapshot
+	// Seal is the integrity fingerprint of the fields above, computed at
+	// capture; Restore recomputes it and rejects a mismatch with
+	// ErrSnapshotCorrupt.
+	Seal uint64
 }
 
 // StoreKey identifies the engine configuration a snapshot was captured

@@ -1,6 +1,7 @@
 package isolate
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -242,5 +243,53 @@ func TestStoreSaveOnce(t *testing.T) {
 	stats := st.Stats()
 	if stats.Size != 1 || stats.Hits != 1 || stats.Misses != 2 {
 		t.Errorf("store stats = %+v", stats)
+	}
+}
+
+// TestSnapshotSealRejectsCorruption: a snapshot damaged in flight must be
+// refused by Restore with ErrSnapshotCorrupt (counted in SnapshotRejects),
+// while the undamaged original still restores — the property the pool's
+// snapshot-corrupt chaos point relies on to guarantee a corrupt warm start
+// degrades to a cold one instead of installing wrong feedback.
+func TestSnapshotSealRejectsCorruption(t *testing.T) {
+	cfg := vm.DefaultConfig()
+	cfg.Arch = vm.ArchNoMap
+	progs := codecache.NewPrograms()
+	entry, err := progs.Load(seedProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor := New(cfg)
+	if err := donor.Load(entry); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := donor.VM().CallGlobal("run", value.Int(int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := donor.Snapshot()
+	if len(snap.Profiles) == 0 {
+		t.Fatal("snapshot captured no profiles")
+	}
+	bad := snap.CorruptCopy()
+
+	victim := New(cfg)
+	if err := victim.Load(entry); err != nil {
+		t.Fatal(err)
+	}
+	err = victim.Restore(bad)
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("Restore(corrupt) = %v, want ErrSnapshotCorrupt", err)
+	}
+	if got := victim.VM().Counters().SnapshotRejects; got != 1 {
+		t.Errorf("SnapshotRejects = %d, want 1", got)
+	}
+	if got := victim.VM().Counters().SnapshotRestores; got != 0 {
+		t.Errorf("SnapshotRestores = %d after a rejected restore", got)
+	}
+	// The original is untouched by CorruptCopy and still verifies.
+	if err := victim.Restore(snap); err != nil {
+		t.Fatalf("original snapshot rejected after CorruptCopy: %v", err)
 	}
 }

@@ -1,0 +1,104 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The pool's typed error taxonomy. Every Response.Err (and every Submit
+// error) matches exactly one of these classes under errors.Is, so callers
+// can route on failure class without string matching and nomap-serve can
+// report a per-class breakdown.
+var (
+	// ErrQueueFull reports backpressure: the bounded queue is at its
+	// high-water mark and the request was rejected, not buffered.
+	ErrQueueFull = errors.New("pool: request queue full")
+	// ErrClosed reports a Submit after Close began.
+	ErrClosed = errors.New("pool: closed")
+	// ErrDeadline reports a request cancelled at a tier boundary after its
+	// deadline passed (or wedged past the watchdog).
+	ErrDeadline = errors.New("pool: request deadline exceeded")
+	// ErrIsolateCrash reports a panic contained inside the serving isolate:
+	// the isolate was quarantined and replaced, and only this request
+	// failed. Concrete errors are *CrashError values wrapping this.
+	ErrIsolateCrash = errors.New("pool: isolate crashed")
+	// ErrDegraded reports the degradation ladder bottomed out and tripped
+	// into load shedding: the request was refused without touching an
+	// isolate (a periodic probe request is admitted instead).
+	ErrDegraded = errors.New("pool: shedding load (fleet degraded)")
+	// ErrRetryBudget reports a transiently failing request exhausted its
+	// fresh-isolate retry budget; the wrapped error chain retains the last
+	// attempt's failure.
+	ErrRetryBudget = errors.New("pool: retry budget exhausted")
+)
+
+// CrashError is the concrete error for a contained isolate crash. It wraps
+// ErrIsolateCrash (match with errors.Is) and carries the quarantine ledger's
+// verdict for this crash fingerprint.
+type CrashError struct {
+	// Site is the stable crash-site fingerprint ("chaos" for injected
+	// crashes, a rendering of the panic origin otherwise).
+	Site string
+	// Detail renders the recovered panic value.
+	Detail string
+	// Crashes is the (program, site) fingerprint's lifetime charge count.
+	Crashes int64
+	// Retired reports the fingerprint is permanently retired: future
+	// requests for the program fail fast instead of burning isolates.
+	Retired bool
+}
+
+func (e *CrashError) Error() string {
+	if e.Retired {
+		return fmt.Sprintf("pool: isolate crashed at %q (crash %d, fingerprint retired): %s", e.Site, e.Crashes, e.Detail)
+	}
+	return fmt.Sprintf("pool: isolate crashed at %q (crash %d): %s", e.Site, e.Crashes, e.Detail)
+}
+
+func (e *CrashError) Unwrap() error { return ErrIsolateCrash }
+
+// Failure classes for the per-class breakdown, in reporting order.
+const (
+	ClassQueueFull   = "queue-full"
+	ClassClosed      = "closed"
+	ClassDeadline    = "deadline"
+	ClassCrash       = "crash"
+	ClassDegraded    = "degraded"
+	ClassRetryBudget = "retry-budget"
+	ClassCanceled    = "canceled"
+	ClassRuntime     = "runtime"
+)
+
+// Classes lists every failure class in reporting order.
+func Classes() []string {
+	return []string{
+		ClassQueueFull, ClassClosed, ClassDeadline, ClassCrash,
+		ClassDegraded, ClassRetryBudget, ClassCanceled, ClassRuntime,
+	}
+}
+
+// Classify maps an error to its failure class ("" for nil). Retry-budget
+// exhaustion takes precedence over the wrapped final attempt's class.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrQueueFull):
+		return ClassQueueFull
+	case errors.Is(err, ErrClosed):
+		return ClassClosed
+	case errors.Is(err, ErrRetryBudget):
+		return ClassRetryBudget
+	case errors.Is(err, ErrIsolateCrash):
+		return ClassCrash
+	case errors.Is(err, ErrDegraded):
+		return ClassDegraded
+	case errors.Is(err, ErrDeadline):
+		return ClassDeadline
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ClassCanceled
+	default:
+		return ClassRuntime
+	}
+}

@@ -3,40 +3,43 @@
 // cache and warm-start snapshot store so that repeat traffic skips both
 // re-profiling and re-compilation. Backpressure is explicit — a full queue
 // rejects with ErrQueueFull rather than buffering unboundedly — and each
-// request may carry a deadline, enforced at tier boundaries through the
-// VM's interrupt hook so cancellation never tears an isolate mid-bytecode.
+// request may carry a deadline or a context, enforced at tier boundaries
+// through the VM's interrupt hook so cancellation never tears an isolate
+// mid-bytecode.
 //
 // Every response is produced by exactly one isolate, and isolates are fully
 // Reset between tenants, so a request observes the same program behaviour
 // it would on a dedicated cold engine; only the invisible warmup work is
 // shared. That is the pool's differential guarantee, and the root
 // serving_test exercises it across all architecture configurations.
+//
+// Every failure a worker can hit flows through one recovery state machine
+// (governor.Resilience — the per-function post-abort discipline lifted to
+// the fleet): a panicking isolate is contained, quarantined, and replaced
+// (ErrIsolateCrash fails only the in-flight request); transient failures
+// retry on a fresh isolate under a deadline-aware budget with deterministic
+// seeded backoff; sustained fault or abort storms step the fleet's tier
+// ceiling down FTL→DFG→Baseline→interp-only and, at the bottom, shed load
+// until a probe proves recovery. The whole ladder is exercised by the
+// deterministic chaos harness (internal/chaos) threaded through the pool,
+// the snapshot store, and the code cache.
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"nomap/internal/chaos"
 	"nomap/internal/codecache"
+	"nomap/internal/governor"
 	"nomap/internal/isolate"
 	"nomap/internal/profile"
 	"nomap/internal/stats"
 	"nomap/internal/value"
 	"nomap/internal/vm"
-)
-
-// Errors returned by Submit and surfaced in Response.Err.
-var (
-	// ErrQueueFull reports backpressure: the bounded queue is at its
-	// high-water mark and the request was rejected, not buffered.
-	ErrQueueFull = errors.New("pool: request queue full")
-	// ErrClosed reports a Submit after Close began.
-	ErrClosed = errors.New("pool: closed")
-	// ErrDeadline reports a request cancelled at a tier boundary after its
-	// deadline passed.
-	ErrDeadline = errors.New("pool: request deadline exceeded")
 )
 
 // Config sizes and parameterizes a pool.
@@ -60,6 +63,20 @@ type Config struct {
 	DisableCodeCache bool
 	// DisableSnapshots serves every request cold (no warm-start restore).
 	DisableSnapshots bool
+	// Resilience tunes the recovery state machine; zero fields take
+	// DefaultResiliencePolicy values, and a zero Seed inherits VM.RandomSeed
+	// so a pool's failure decisions replay with its execution.
+	Resilience governor.ResiliencePolicy
+	// Chaos, when non-nil, arms the deterministic fault-injection plan:
+	// each serve attempt consults it for panic, slow-isolate, and
+	// snapshot-corrupt points, and the shared code cache consults it for
+	// compile-fail points. Production pools leave it nil (nil plans never
+	// fault and cost only a nil check).
+	Chaos *chaos.Plan
+	// Tracer, when non-nil, observes every resilience transition. Events
+	// are emitted synchronously from worker goroutines; with one worker the
+	// stream is deterministic (the golden chaos trace relies on this).
+	Tracer func(Event)
 }
 
 // Request is one unit of serving work: run an interned program and call its
@@ -76,9 +93,17 @@ type Request struct {
 	Arch *vm.Arch
 	// MaxTier, when non-nil, overrides the pool template's tier cap.
 	MaxTier *profile.Tier
+	// Ctx, when non-nil, cancels the request: its deadline merges with
+	// Timeout and its cancellation is honored at the same tier boundaries.
+	Ctx context.Context
 	// Timeout, when positive, bounds the request's execution; expiry
-	// cancels at the next tier boundary with ErrDeadline.
+	// cancels at the next tier boundary with ErrDeadline. Sugar for a
+	// context deadline.
 	Timeout time.Duration
+	// NonIdempotent marks a request that must never be retried (its program
+	// mutates state outside the isolate — e.g. shared-heap traffic); a
+	// transient failure surfaces immediately instead of re-running it.
+	NonIdempotent bool
 	// Observe, when non-nil, runs on the worker after the calls complete
 	// (successfully or not) while the isolate still holds the program's
 	// heap — tests use it to snapshot globals before the isolate is
@@ -92,13 +117,21 @@ type Response struct {
 	Results []string
 	// Output holds the program's accumulated print() lines.
 	Output []string
-	// Err is nil on success; ErrDeadline on cancellation; otherwise the
-	// runtime or load error.
+	// Err is nil on success; otherwise it matches exactly one taxonomy
+	// class under errors.Is (see errors.go).
 	Err error
-	// Counters is the isolate's measurement state at completion.
+	// Counters is the isolate's measurement state at completion (zero after
+	// a contained crash: a torn isolate's counters are untrustworthy).
 	Counters stats.Counters
 	// Warm reports that a snapshot restore skipped the profiling warmup.
 	Warm bool
+	// ServedTier is the tier cap the request actually ran under.
+	ServedTier profile.Tier
+	// Degraded reports the degradation ladder clamped the request below the
+	// tier it asked for.
+	Degraded bool
+	// Attempts counts serve attempts (1 = no retries).
+	Attempts int
 	// Latency is queue wait plus execution time.
 	Latency time.Duration
 }
@@ -121,6 +154,7 @@ type Pool struct {
 	programs *codecache.Programs
 	cache    *codecache.Cache
 	snaps    *isolate.Store
+	res      *governor.Resilience
 	queue    chan *job
 	wg       sync.WaitGroup
 
@@ -132,6 +166,18 @@ type Pool struct {
 	rejected  int64
 	completed int64
 	failed    int64
+	failedBy  map[string]int64
+	// retiredSites fail-fasts programs whose crash fingerprint the
+	// quarantine ledger permanently retired.
+	retiredSites map[uint64]string
+
+	crashes         int64
+	replacements    int64
+	retries         int64
+	degradeSteps    int64
+	repromotions    int64
+	sheds           int64
+	snapshotRejects int64
 }
 
 // Stats is a point-in-time view of pool activity.
@@ -140,6 +186,18 @@ type Stats struct {
 	Rejected  int64 // requests refused with ErrQueueFull or ErrClosed
 	Completed int64 // responses produced without error
 	Failed    int64 // responses produced with an error (deadline included)
+	// FailedBy breaks Failed down by taxonomy class (see Classes).
+	FailedBy map[string]int64
+	// Resilience activity.
+	Crashes         int64 // panics contained inside isolates
+	Replacements    int64 // crashed isolates replaced with fresh ones
+	Retries         int64 // fresh-isolate retries granted
+	DegradeSteps    int64 // ladder rungs stepped down
+	Repromotions    int64 // probations survived
+	Sheds           int64 // load-shedding episodes begun
+	SnapshotRejects int64 // corrupt warm-start snapshots refused
+	// Health is the recovery state machine's current view.
+	Health governor.ResilienceReport
 	// Counters merges the per-isolate counters of error-free responses.
 	Counters stats.Counters
 	// Cache is the shared code cache's activity.
@@ -162,15 +220,31 @@ func New(cfg Config) *Pool {
 	if cfg.VM.MaxTier == 0 && cfg.VM.Policy == (profile.Policy{}) {
 		cfg.VM = vm.DefaultConfig()
 	}
+	pol := cfg.Resilience
+	if pol.Seed == 0 {
+		pol.Seed = int64(cfg.VM.RandomSeed)
+	}
 	p := &Pool{
-		cfg:      cfg,
-		programs: codecache.NewPrograms(),
-		snaps:    isolate.NewStore(),
-		queue:    make(chan *job, cfg.QueueDepth),
-		idle:     make(map[spec][]*isolate.Isolate),
+		cfg:          cfg,
+		programs:     codecache.NewPrograms(),
+		snaps:        isolate.NewStore(),
+		res:          governor.NewResilience(pol, cfg.VM.MaxTier),
+		queue:        make(chan *job, cfg.QueueDepth),
+		idle:         make(map[spec][]*isolate.Isolate),
+		failedBy:     make(map[string]int64),
+		retiredSites: make(map[uint64]string),
 	}
 	if !cfg.DisableCodeCache {
 		p.cache = codecache.NewCache(cfg.CacheCapacity)
+		if cfg.Chaos != nil {
+			plan := cfg.Chaos
+			p.cache.SetFaultProbe(func() error {
+				if plan.Arm(chaos.KindCompileFail) {
+					return &chaos.CompileFault{Occurrence: plan.Armed(chaos.KindCompileFail)}
+				}
+				return nil
+			})
+		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		p.wg.Add(1)
@@ -228,13 +302,25 @@ func (p *Pool) Close() {
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	s := Stats{
-		Accepted:  p.accepted,
-		Rejected:  p.rejected,
-		Completed: p.completed,
-		Failed:    p.failed,
-		Counters:  p.merged,
+		Accepted:        p.accepted,
+		Rejected:        p.rejected,
+		Completed:       p.completed,
+		Failed:          p.failed,
+		FailedBy:        make(map[string]int64, len(p.failedBy)),
+		Crashes:         p.crashes,
+		Replacements:    p.replacements,
+		Retries:         p.retries,
+		DegradeSteps:    p.degradeSteps,
+		Repromotions:    p.repromotions,
+		Sheds:           p.sheds,
+		SnapshotRejects: p.snapshotRejects,
+		Counters:        p.merged,
+	}
+	for k, v := range p.failedBy {
+		s.FailedBy[k] = v
 	}
 	p.mu.Unlock()
+	s.Health = p.res.Report()
 	if p.cache != nil {
 		s.Cache = p.cache.Stats()
 	}
@@ -247,6 +333,10 @@ func (p *Pool) Cache() *codecache.Cache { return p.cache }
 
 // Programs exposes the program registry (for reporting and tests).
 func (p *Pool) Programs() *codecache.Programs { return p.programs }
+
+// Resilience exposes the recovery state machine (for reporting, tests, and
+// fleet-restart export/restore).
+func (p *Pool) Resilience() *governor.Resilience { return p.res }
 
 // Checkout borrows an isolate configured like the pool's workers for the
 // given (arch, tier) spec, bypassing the queue. The oracle integration uses
@@ -275,9 +365,51 @@ func (p *Pool) worker() {
 			p.merged.Add(&resp.Counters)
 		} else {
 			p.failed++
+			p.failedBy[Classify(resp.Err)]++
 		}
 		p.mu.Unlock()
 		j.resp <- resp
+	}
+}
+
+// trace emits one resilience event to the configured tracer.
+func (p *Pool) trace(e Event) {
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer(e)
+	}
+}
+
+// ladder translates a LadderChange into trace events and stats counters.
+func (p *Pool) ladder(ch governor.LadderChange) {
+	if !ch.Changed() {
+		return
+	}
+	p.mu.Lock()
+	if ch.SteppedDown {
+		p.degradeSteps++
+	}
+	if ch.Promoted {
+		p.repromotions++
+	}
+	if ch.ShedStarted {
+		p.sheds++
+	}
+	p.mu.Unlock()
+	switch {
+	case ch.SteppedDown:
+		p.trace(Event{Kind: EventStepDown, Tier: ch.Cap})
+	case ch.ProbeStarted:
+		p.trace(Event{Kind: EventProbe, Tier: ch.Cap})
+	case ch.ProbeFailed:
+		p.trace(Event{Kind: EventProbeFail, Tier: ch.Cap})
+	case ch.Promoted:
+		p.trace(Event{Kind: EventRepromote, Tier: ch.Cap})
+	}
+	if ch.ShedStarted {
+		p.trace(Event{Kind: EventShed})
+	}
+	if ch.ShedCleared {
+		p.trace(Event{Kind: EventShedClear})
 	}
 }
 
@@ -324,32 +456,225 @@ func (p *Pool) put(iso *isolate.Isolate) {
 	p.mu.Unlock()
 }
 
-// serve runs one request on a freshly checked-out isolate.
+// replace discards a crashed isolate (its heap may be torn mid-bytecode, so
+// it never rejoins the free list) and eagerly installs a fresh replacement,
+// which warm-starts from the snapshot store on its first serve. The caller
+// emits the EventReplace trace so it lands after the quarantine events.
+func (p *Pool) replace(s spec) {
+	cfg := p.cfg.VM
+	cfg.Arch = s.arch
+	cfg.MaxTier = s.maxTier
+	iso := isolate.New(cfg)
+	if p.cache != nil {
+		iso.UseCache(p.cache)
+	}
+	p.mu.Lock()
+	p.replacements++
+	if len(p.idle[s]) < 2*p.cfg.Workers {
+		p.idle[s] = append(p.idle[s], iso)
+	}
+	p.mu.Unlock()
+}
+
+// crashSite renders a recovered panic value as a stable (program, site)
+// fingerprint component. Injected chaos crashes get a fixed site so the
+// ledger aggregates them; organic panics fingerprint by their rendering.
+func crashSite(rec any) string {
+	if _, ok := rec.(chaos.Crash); ok {
+		return "chaos"
+	}
+	s := fmt.Sprint(rec)
+	if len(s) > 64 {
+		s = s[:64]
+	}
+	return s
+}
+
+// retiredSite reports the retired crash fingerprint for a program, if any.
+func (p *Pool) retiredSite(prog uint64) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	site, ok := p.retiredSites[prog]
+	return site, ok
+}
+
+// serve runs one request to completion: admission, deadline setup, and the
+// bounded retry loop around individual serve attempts. Every failure path
+// reports to the recovery state machine exactly once.
 func (p *Pool) serve(req Request) Response {
 	if req.Calls <= 0 {
 		req.Calls = 1
 	}
-	s := p.specFor(&req)
-	iso := p.take(s)
-	defer p.put(iso)
+	// A request cancelled while queued never touches an isolate.
+	if req.Ctx != nil {
+		if err := req.Ctx.Err(); err != nil {
+			return Response{Err: err}
+		}
+	}
+	// While shedding, only the periodic probe is admitted.
+	if !p.res.Admit() {
+		return Response{Err: ErrDegraded}
+	}
+	entry, err := p.programs.Load(req.Source)
+	if err != nil {
+		return Response{Err: fmt.Errorf("pool: program: %w", err)}
+	}
+	if site, ok := p.retiredSite(entry.Hash); ok {
+		return Response{Err: &CrashError{
+			Site: site, Detail: "fingerprint retired by quarantine ledger",
+			Crashes: p.res.CrashCount(governor.CrashKey{Program: entry.Hash, Site: site}),
+			Retired: true,
+		}}
+	}
 
+	// The request's deadline is computed exactly once — the merge of the
+	// Timeout sugar and the context deadline — and every boundary check
+	// reuses it with a single time.Now.
 	var deadline time.Time
 	if req.Timeout > 0 {
 		deadline = time.Now().Add(req.Timeout)
-		iso.VM().SetInterrupt(func() error {
-			if time.Now().After(deadline) {
-				return ErrDeadline
-			}
-			return nil
-		})
+	}
+	if req.Ctx != nil {
+		if d, ok := req.Ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
 	}
 
-	var resp Response
-	entry, err := p.programs.Load(req.Source)
-	if err != nil {
-		resp.Err = fmt.Errorf("pool: program: %w", err)
-		return resp
+	attempt := 1
+	for {
+		resp := p.serveOnce(&req, entry, deadline)
+		resp.Attempts = attempt
+
+		if resp.Err == nil {
+			p.ladder(p.res.OnSuccess())
+			if resp.Counters.TxAborts >= p.res.Policy().AbortStormThreshold {
+				// The response succeeded but burned fleet capacity: an abort
+				// storm charges the ladder without failing the request.
+				p.ladder(p.res.OnFault())
+			}
+			return resp
+		}
+
+		retryable := false
+		var ce *CrashError
+		switch {
+		case errors.As(resp.Err, &ce):
+			key := governor.CrashKey{Program: entry.Hash, Site: ce.Site}
+			v := p.res.OnCrash(key)
+			ce.Crashes, ce.Retired = v.Crashes, v.Retired
+			p.mu.Lock()
+			p.crashes++
+			if v.Retired {
+				p.retiredSites[entry.Hash] = ce.Site
+			}
+			p.mu.Unlock()
+			p.trace(Event{Kind: EventCrash, Program: entry.Hash, Site: ce.Site, Attempt: attempt})
+			p.trace(Event{Kind: EventQuarantine, Program: entry.Hash, Site: ce.Site, N: v.Crashes})
+			if v.NewlyRetired {
+				p.trace(Event{Kind: EventRetire, Program: entry.Hash, Site: ce.Site, N: v.Crashes})
+			}
+			p.trace(Event{Kind: EventReplace, Program: entry.Hash, Tier: resp.ServedTier})
+			p.ladder(v.Ladder)
+			retryable = !v.Retired
+		case errors.Is(resp.Err, ErrDeadline):
+			// A watchdog kill is a fleet fault but never retried: the budget
+			// is deadline-aware by construction.
+			p.ladder(p.res.OnFault())
+		default:
+			// Runtime/user errors and context cancellation are the caller's:
+			// deterministic re-execution would fail identically.
+		}
+		if !retryable || req.NonIdempotent {
+			return resp
+		}
+		if req.Ctx != nil && req.Ctx.Err() != nil {
+			return resp
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return resp
+		}
+		if !p.res.RetryAllowed(attempt) {
+			p.ladder(p.res.OnFault())
+			p.trace(Event{Kind: EventRetryExhausted, Program: entry.Hash, Attempt: attempt})
+			resp.Err = fmt.Errorf("%w (%d attempts): %w", ErrRetryBudget, attempt, resp.Err)
+			return resp
+		}
+		window := p.res.Backoff(req.Source, attempt)
+		p.mu.Lock()
+		p.retries++
+		p.mu.Unlock()
+		p.trace(Event{Kind: EventRetry, Program: entry.Hash, Attempt: attempt, N: window})
+		attempt++
 	}
+}
+
+// serveOnce runs one attempt on a freshly checked-out isolate, containing
+// any panic: a crashed isolate is discarded and replaced, and the attempt
+// reports a *CrashError instead of unwinding the worker.
+func (p *Pool) serveOnce(req *Request, entry *codecache.ProgramEntry, deadline time.Time) (resp Response) {
+	s := p.specFor(req)
+	if cap := p.res.TierCap(); s.maxTier > cap {
+		s.maxTier = cap
+		resp.Degraded = true
+	}
+	resp.ServedTier = s.maxTier
+	iso := p.take(s)
+	defer func() {
+		if rec := recover(); rec != nil {
+			resp.Results = nil
+			resp.Counters = stats.Counters{}
+			resp.Err = &CrashError{Site: crashSite(rec), Detail: fmt.Sprint(rec)}
+			p.replace(s)
+			return
+		}
+		p.put(iso)
+	}()
+
+	// Chaos arming happens per attempt, so a retry after an injected fault
+	// runs clean unless the plan schedules another occurrence.
+	plan := p.cfg.Chaos
+	crashArmed := plan.Arm(chaos.KindPanic)
+	crashOcc := plan.Armed(chaos.KindPanic)
+	wedged := plan.Arm(chaos.KindSlowIsolate)
+
+	// One boundary check serves both the VM's interrupt hook and the call
+	// loop: the hook performs the single time.Now, and the loop reads the
+	// sticky verdict (the hook already ran inside the previous Call).
+	var sticky error
+	check := func() error {
+		if sticky != nil {
+			return sticky
+		}
+		if crashArmed {
+			crashArmed = false
+			panic(chaos.Crash{Occurrence: crashOcc})
+		}
+		if wedged {
+			// The isolate is wedged: every boundary reports watchdog expiry.
+			sticky = ErrDeadline
+			return sticky
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			// Any deadline — Timeout sugar or ctx-carried — reports
+			// uniformly as ErrDeadline; ctx cancellation is checked after,
+			// so "canceled" means an explicit cancel.
+			sticky = ErrDeadline
+			return sticky
+		}
+		if req.Ctx != nil {
+			select {
+			case <-req.Ctx.Done():
+				sticky = req.Ctx.Err()
+			default:
+			}
+		}
+		return sticky
+	}
+	hooked := crashArmed || wedged || req.Ctx != nil || !deadline.IsZero()
+	if hooked {
+		iso.VM().SetInterrupt(check)
+	}
+
 	if err := iso.Load(entry); err != nil {
 		resp.Err = err
 		resp.Counters = *iso.VM().Counters()
@@ -359,16 +684,26 @@ func (p *Pool) serve(req Request) Response {
 	skey := isolate.KeyFor(iso.Config(), entry)
 	if !p.cfg.DisableSnapshots {
 		if snap := p.snaps.Get(skey); snap != nil {
+			if plan.Arm(chaos.KindSnapshotCorrupt) {
+				snap = snap.CorruptCopy()
+			}
 			if err := iso.Restore(snap); err == nil {
 				resp.Warm = true
+			} else if errors.Is(err, isolate.ErrSnapshotCorrupt) {
+				// A damaged warm start degrades to a cold one: the request
+				// still serves byte-identical results.
+				p.mu.Lock()
+				p.snapshotRejects++
+				p.mu.Unlock()
+				p.trace(Event{Kind: EventSnapshotReject, Program: entry.Hash})
 			}
 		}
 	}
 
 	resp.Results = make([]string, 0, req.Calls)
 	for i := 0; i < req.Calls; i++ {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			resp.Err = ErrDeadline
+		if hooked && sticky != nil {
+			resp.Err = sticky
 			break
 		}
 		v, err := iso.VM().CallGlobal("run", value.Int(int32(req.Arg)))

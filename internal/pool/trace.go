@@ -1,0 +1,121 @@
+package pool
+
+import (
+	"fmt"
+
+	"nomap/internal/profile"
+)
+
+// EventKind names one resilience transition the pool can report.
+type EventKind uint8
+
+const (
+	// EventCrash: a panic was contained inside a serving isolate.
+	EventCrash EventKind = iota
+	// EventQuarantine: the crash was charged to its (program, site)
+	// fingerprint in the quarantine ledger.
+	EventQuarantine
+	// EventRetire: the fingerprint crossed the retirement budget and is
+	// permanently retired.
+	EventRetire
+	// EventReplace: the crashed isolate was discarded and a fresh
+	// replacement installed in the free list.
+	EventReplace
+	// EventRetry: a transiently failed request was granted a fresh-isolate
+	// retry after a deterministic backoff window.
+	EventRetry
+	// EventRetryExhausted: the request consumed its whole retry budget.
+	EventRetryExhausted
+	// EventStepDown: the degradation ladder dropped the fleet ceiling one
+	// rung.
+	EventStepDown
+	// EventShed / EventShedClear: load-shedding began / ended.
+	EventShed
+	EventShedClear
+	// EventProbe: a probationary re-promotion began one rung up.
+	EventProbe
+	// EventProbeFail: a fault ended a probation (window doubled).
+	EventProbeFail
+	// EventRepromote: a probation survived its window; the rung is proven.
+	EventRepromote
+	// EventSnapshotReject: a warm-start snapshot failed its integrity seal
+	// and the request was served cold.
+	EventSnapshotReject
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventCrash:
+		return "crash"
+	case EventQuarantine:
+		return "quarantine"
+	case EventRetire:
+		return "retire"
+	case EventReplace:
+		return "replace"
+	case EventRetry:
+		return "retry"
+	case EventRetryExhausted:
+		return "retry-exhausted"
+	case EventStepDown:
+		return "degrade"
+	case EventShed:
+		return "shed"
+	case EventShedClear:
+		return "shed-clear"
+	case EventProbe:
+		return "probe"
+	case EventProbeFail:
+		return "probe-fail"
+	case EventRepromote:
+		return "repromote"
+	case EventSnapshotReject:
+		return "snapshot-reject"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one resilience transition, rendered deterministically for golden
+// traces. Program is the interned program's content hash; wall-clock never
+// appears.
+type Event struct {
+	Kind    EventKind
+	Program uint64
+	Site    string
+	Tier    profile.Tier
+	Attempt int
+	N       int64 // kind-specific count: crash charge, backoff window, …
+}
+
+// String renders the event as one stable golden-trace line.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventCrash:
+		return fmt.Sprintf("crash prog=%08x site=%s attempt=%d", e.Program, e.Site, e.Attempt)
+	case EventQuarantine:
+		return fmt.Sprintf("quarantine prog=%08x site=%s crashes=%d", e.Program, e.Site, e.N)
+	case EventRetire:
+		return fmt.Sprintf("retire prog=%08x site=%s crashes=%d", e.Program, e.Site, e.N)
+	case EventReplace:
+		return fmt.Sprintf("replace prog=%08x tier=%v", e.Program, e.Tier)
+	case EventRetry:
+		return fmt.Sprintf("retry prog=%08x attempt=%d backoff=%d", e.Program, e.Attempt, e.N)
+	case EventRetryExhausted:
+		return fmt.Sprintf("retry-exhausted prog=%08x attempts=%d", e.Program, e.Attempt)
+	case EventStepDown:
+		return fmt.Sprintf("degrade cap=%v", e.Tier)
+	case EventShed:
+		return "shed"
+	case EventShedClear:
+		return "shed-clear"
+	case EventProbe:
+		return fmt.Sprintf("probe cap=%v", e.Tier)
+	case EventProbeFail:
+		return fmt.Sprintf("probe-fail cap=%v", e.Tier)
+	case EventRepromote:
+		return fmt.Sprintf("repromote cap=%v", e.Tier)
+	case EventSnapshotReject:
+		return fmt.Sprintf("snapshot-reject prog=%08x", e.Program)
+	}
+	return e.Kind.String()
+}
