@@ -70,6 +70,7 @@ func measureBench(cfg harness.Config) (benchFile, error) {
 	steady = append(steady, workloads.Kraken()...)
 	steady = append(steady, workloads.Adversarial()...)
 	steady = append(steady, workloads.CallHeavy()...)
+	steady = append(steady, workloads.Poly()...)
 	for _, w := range steady {
 		start := time.Now()
 		m, err := harness.Run(w, vm.ArchNoMap, profile.TierFTL, cfg)

@@ -1,0 +1,107 @@
+package nomap
+
+import (
+	"testing"
+
+	"nomap/internal/machine"
+	"nomap/internal/oracle"
+	"nomap/internal/vm"
+	"nomap/internal/workloads"
+)
+
+// Inline-cache acceptance tests: the fault-injection oracle must enumerate
+// every per-shape dispatch site the P-suite's compiled code contains — each
+// way predicate of each shape-guarded dispatch tree, and each tree's
+// deopting tail guard — and forcing a miss at any of them, under all six
+// architecture configurations, must leave the observable behaviour identical
+// to the pure interpreter. The megamorphic control proves the negative: a
+// site past saturation never grows a tree, so its sweep sees no dispatch
+// sites at all.
+
+// TestOracleShapeGuards sweeps the polymorphic suite. For P01..P04 every
+// architecture must expose SiteDispatch injection sites carrying per-shape
+// identity (Key.Shape), and the sweep's forced misses — which cascade down
+// the guard chain into the deopting tail guard — must all land without
+// divergence. P05 must expose none.
+func TestOracleShapeGuards(t *testing.T) {
+	cfg := oracle.DefaultConfig()
+	cfg.CapacityPoints = 1
+	cfg.RandomTrials = 2
+	wantDispatch := map[string]bool{"P01": true, "P02": true, "P03": true, "P04": true, "P05": false}
+	for _, id := range []string{"P01", "P02", "P03", "P04", "P05"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			w, ok := workloads.ByID(id)
+			if !ok {
+				t.Fatalf("unknown workload %s", id)
+			}
+			rep, err := oracle.Sweep(oracle.Program{
+				Name:  w.ID,
+				Setup: w.Source,
+				Calls: 12,
+			}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range rep.Failures {
+				t.Errorf("%s", f)
+			}
+			for _, ar := range rep.Archs {
+				dispatch, shaped := 0, 0
+				for _, s := range ar.Sites {
+					if s.Key.Kind != machine.SiteDispatch {
+						continue
+					}
+					dispatch++
+					if s.Key.Shape != "" {
+						shaped++
+					}
+				}
+				if wantDispatch[id] {
+					if dispatch == 0 {
+						t.Errorf("%v: no dispatch-tree injection sites enumerated", ar.Arch)
+					}
+					if shaped == 0 {
+						t.Errorf("%v: dispatch sites carry no per-shape identity", ar.Arch)
+					}
+				} else if dispatch != 0 {
+					t.Errorf("%v: megamorphic control exposed %d dispatch sites", ar.Arch, dispatch)
+				}
+			}
+			t.Logf("%s: %d sites, %d runs, %d injected aborts",
+				rep.Program, rep.TotalSites(), rep.TotalRuns(), rep.TotalInjectedAborts())
+		})
+	}
+}
+
+// TestOracleStaleShapeCache plants the IC subsystem's nightmare bug — a
+// dispatch predicate reporting a hit for a receiver whose hidden class does
+// not match (a stale shape cache), so the wrong way's specialized body runs
+// — and demands the differential oracle catch the divergence on every
+// polymorphic workload. The same programs must be clean without the bug, so
+// the divergence is attributable to the stale cache alone. The megamorphic
+// control has no dispatch trees, so the bug has nothing to corrupt there and
+// the run must stay clean even with the injector installed.
+func TestOracleStaleShapeCache(t *testing.T) {
+	bug := oracle.NewStaleShapeBug()
+	for _, id := range []string{"P01", "P02", "P03", "P04"} {
+		w, _ := workloads.ByID(id)
+		p := oracle.Program{Name: w.ID, Setup: w.Source, Calls: 12}
+		if d, _ := oracle.DivergesUnderInjector(p, vm.ArchNoMap, nil); d {
+			t.Errorf("%s diverges even without the planted bug", id)
+			continue
+		}
+		diverged, detail := oracle.DivergesUnderInjector(p, vm.ArchNoMap, bug)
+		if !diverged {
+			t.Errorf("%s: planted stale-shape-cache bug not caught", id)
+			continue
+		}
+		t.Logf("%s: caught: %s", id, detail)
+	}
+	w, _ := workloads.ByID("P05")
+	p := oracle.Program{Name: w.ID, Setup: w.Source, Calls: 12}
+	if d, detail := oracle.DivergesUnderInjector(p, vm.ArchNoMap, bug); d {
+		t.Errorf("megamorphic control diverged under the stale-shape bug: %s", detail)
+	}
+}

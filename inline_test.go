@@ -52,9 +52,10 @@ func compiledFunc(b *jit.Backend, name string) *ir.Func {
 
 // TestInliningFlattensMonomorphicCalls: the monomorphic call-heavy
 // workloads must compile with flattened callees — C03's chain at depth 2 —
-// while the polymorphic control must compile with none.
+// while the polymorphic control compiles through its dispatch tree: both
+// ways of the 2-way site inline behind their callee guards.
 func TestInliningFlattensMonomorphicCalls(t *testing.T) {
-	wantDepth := map[string]int{"C01": 1, "C02": 1, "C03": 2, "C04": 0}
+	wantDepth := map[string]int{"C01": 1, "C02": 1, "C03": 2, "C04": 1}
 	for _, id := range []string{"C01", "C02", "C03", "C04"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
@@ -85,8 +86,8 @@ func TestInliningFlattensMonomorphicCalls(t *testing.T) {
 			if want := wantDepth[id]; depth != want {
 				t.Errorf("max inline depth = %d (inlines %d), want %d", depth, len(f.Inlines), want)
 			}
-			if id == "C04" && len(f.Inlines) != 0 {
-				t.Errorf("polymorphic control inlined %d activations, want 0", len(f.Inlines))
+			if id == "C04" && len(f.Inlines) != 2 {
+				t.Errorf("polymorphic site inlined %d activations, want 2 (one per dispatch way)", len(f.Inlines))
 			}
 		})
 	}

@@ -71,6 +71,11 @@ type Key struct {
 	Policy profile.Policy
 	// KeepFP fingerprints the governor's kept-SMP set for the function.
 	KeepFP string
+	// DemoteFP fingerprints the governor's demoted dispatch-site set: two
+	// isolates share an artifact only when the same dispatch sites were
+	// dropped to the generic path ("" when nothing is demoted, keeping
+	// pre-IC keys unchanged).
+	DemoteFP string
 	// ProfFP fingerprints the profile feedback consumed by the compile.
 	ProfFP uint64
 	// InlineFP fingerprints the profile feedback of every transitively
@@ -391,6 +396,10 @@ func KeepFingerprint(keep core.KeepSet) string {
 			buf = append(buf, ':')
 			buf = append(buf, s.Path...)
 		}
+		if s.Shape != "" {
+			buf = append(buf, '#')
+			buf = append(buf, s.Shape...)
+		}
 		buf = append(buf, ';')
 	}
 	return string(buf)
@@ -403,7 +412,10 @@ func siteLess(a, b core.CheckSite) bool {
 	if a.PC != b.PC {
 		return a.PC < b.PC
 	}
-	return a.Class < b.Class
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.Shape < b.Shape
 }
 
 func appendInt(b []byte, n int64) []byte {

@@ -135,6 +135,13 @@ func Extract(f *ir.Func, realm Realm) (*Manifest, bool) {
 			ok = false
 			return
 		}
+		// An unexpanded dispatch plan embeds donor shape and callee pointers
+		// outside the manifest's reach. ExpandDispatch clears every plan in
+		// both tiers, so this only fires if a pipeline change leaks one.
+		if v.Plan != nil {
+			ok = false
+			return
+		}
 		for _, a := range v.Args {
 			visit(a)
 		}

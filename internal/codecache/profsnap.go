@@ -3,6 +3,7 @@ package codecache
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"nomap/internal/bytecode"
 	"nomap/internal/profile"
@@ -35,12 +36,29 @@ func (r ShapeRef) materialize(realm Realm) *value.Shape {
 	return realm.Shapes().Replay(r.Path)
 }
 
+// CallWaySnap is the portable form of one profile.CallWay histogram entry.
+type CallWaySnap struct {
+	Target CalleeRef
+	Recv   ShapeRef
+	Count  int64
+}
+
+// PropWaySnap is the portable form of one profile.PropWay histogram entry.
+type PropWaySnap struct {
+	Shape    ShapeRef
+	Offset   int
+	NewShape ShapeRef
+	Count    int64
+}
+
 // CallSnap is the portable form of profile.CallFeedback.
 type CallSnap struct {
 	Target CalleeRef
 	Recv   ShapeRef
 	Poly   bool
 	Count  int64
+	Ways   []CallWaySnap
+	Mega   bool
 }
 
 // ICSnap is the portable form of profile.PropIC.
@@ -53,6 +71,8 @@ type ICSnap struct {
 	Poly           bool
 	SawNonObject   bool
 	SawArrayLength bool
+	Ways           []PropWaySnap
+	Mega           bool
 }
 
 // ProfileSnap is a FunctionProfile with every isolate-bound pointer replaced
@@ -88,7 +108,7 @@ func SnapProfile(p *profile.FunctionProfile, realm Realm) *ProfileSnap {
 	}
 	for i := range p.Calls {
 		cf := &p.Calls[i]
-		cs := CallSnap{Poly: cf.Poly, Count: cf.Count, Recv: snapShape(cf.RecvShape, realm)}
+		cs := CallSnap{Poly: cf.Poly, Count: cf.Count, Recv: snapShape(cf.RecvShape, realm), Mega: cf.Mega}
 		if cf.Target != nil {
 			if ref, ok := calleeRef(cf.Target, realm); ok {
 				cs.Target = ref
@@ -98,11 +118,29 @@ func SnapProfile(p *profile.FunctionProfile, realm Realm) *ProfileSnap {
 				cs.Count = 0
 			}
 		}
+		for j := range cf.Ways {
+			w := &cf.Ways[j]
+			ws := CallWaySnap{Count: w.Count}
+			if w.Target != nil {
+				ref, ok := calleeRef(w.Target, realm)
+				if !ok {
+					continue // unportable way: drop it — a lost way is a miss
+				}
+				ws.Target = ref
+			}
+			if w.Recv != nil {
+				ws.Recv = snapShape(w.Recv, realm)
+				if !ws.Recv.Present {
+					continue
+				}
+			}
+			cs.Ways = append(cs.Ways, ws)
+		}
 		s.Calls[i] = cs
 	}
 	for i := range p.ICs {
 		ic := &p.ICs[i]
-		s.ICs[i] = ICSnap{
+		is := ICSnap{
 			Shape:          snapShape(ic.Shape, realm),
 			Offset:         ic.Offset,
 			NewShape:       snapShape(ic.NewShape, realm),
@@ -111,7 +149,23 @@ func SnapProfile(p *profile.FunctionProfile, realm Realm) *ProfileSnap {
 			Poly:           ic.Poly,
 			SawNonObject:   ic.SawNonObject,
 			SawArrayLength: ic.SawArrayLength,
+			Mega:           ic.Mega,
 		}
+		for j := range ic.Ways {
+			w := &ic.Ways[j]
+			ws := PropWaySnap{Offset: w.Offset, Count: w.Count, Shape: snapShape(w.Shape, realm)}
+			if !ws.Shape.Present {
+				continue
+			}
+			if w.NewShape != nil {
+				ws.NewShape = snapShape(w.NewShape, realm)
+				if !ws.NewShape.Present {
+					continue
+				}
+			}
+			is.Ways = append(is.Ways, ws)
+		}
+		s.ICs[i] = is
 	}
 	return s
 }
@@ -130,16 +184,26 @@ func (s *ProfileSnap) Materialize(fn *bytecode.Function, realm Realm) *profile.F
 	copy(p.Elem, s.Elem)
 	for i := range s.Calls {
 		cs := &s.Calls[i]
-		p.Calls[i] = profile.CallFeedback{
+		cf := profile.CallFeedback{
 			Target:    resolveCallee(cs.Target, realm),
 			RecvShape: cs.Recv.materialize(realm),
 			Poly:      cs.Poly,
 			Count:     cs.Count,
+			Mega:      cs.Mega,
 		}
+		for j := range cs.Ways {
+			w := &cs.Ways[j]
+			t := resolveCallee(w.Target, realm)
+			if t == nil {
+				continue
+			}
+			cf.Ways = append(cf.Ways, profile.CallWay{Target: t, Recv: w.Recv.materialize(realm), Count: w.Count})
+		}
+		p.Calls[i] = cf
 	}
 	for i := range s.ICs {
 		ic := &s.ICs[i]
-		p.ICs[i] = profile.PropIC{
+		pic := profile.PropIC{
 			Shape:          ic.Shape.materialize(realm),
 			Offset:         ic.Offset,
 			NewShape:       ic.NewShape.materialize(realm),
@@ -148,7 +212,17 @@ func (s *ProfileSnap) Materialize(fn *bytecode.Function, realm Realm) *profile.F
 			Poly:           ic.Poly,
 			SawNonObject:   ic.SawNonObject,
 			SawArrayLength: ic.SawArrayLength,
+			Mega:           ic.Mega,
 		}
+		for j := range ic.Ways {
+			w := &ic.Ways[j]
+			sh := w.Shape.materialize(realm)
+			if sh == nil {
+				continue
+			}
+			pic.Ways = append(pic.Ways, profile.PropWay{Shape: sh, Offset: w.Offset, NewShape: w.NewShape.materialize(realm), Count: w.Count})
+		}
+		p.ICs[i] = pic
 	}
 	return p
 }
@@ -211,21 +285,46 @@ func (s *ProfileSnap) Fingerprint() uint64 {
 		flag(f.SawArray, f.SawNonArray, f.SawOOB, f.SawAppend, f.SawHole, f.SawNonInt, f.Count > 0)
 	}
 	flush()
+	// Way histograms are hashed in plan order (count-descending stable sort —
+	// exactly the order ic.PropPlan/CallPlan dispatch in), not raw counts:
+	// two profiles whose counts differ but rank the same ways identically
+	// produce identical dispatch trees.
+	planOrder := func(n int, count func(int) int64) []int {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return count(order[a]) > count(order[b]) })
+		return order
+	}
 	for i := range s.Calls {
 		c := &s.Calls[i]
-		flag(c.Poly, c.Count > 0)
+		flag(c.Poly, c.Mega, c.Count > 0)
 		flush()
 		callee(c.Target)
 		shape(c.Recv)
 		flush()
+		for _, j := range planOrder(len(c.Ways), func(j int) int64 { return c.Ways[j].Count }) {
+			w := &c.Ways[j]
+			callee(w.Target)
+			shape(w.Recv)
+			flush()
+		}
 	}
 	for i := range s.ICs {
 		ic := &s.ICs[i]
-		flag(ic.Poly, ic.SawNonObject, ic.SawArrayLength)
+		flag(ic.Poly, ic.SawNonObject, ic.SawArrayLength, ic.Mega)
 		b = appendInt(b, int64(ic.Offset))
 		shape(ic.Shape)
 		shape(ic.NewShape)
 		flush()
+		for _, j := range planOrder(len(ic.Ways), func(j int) int64 { return ic.Ways[j].Count }) {
+			w := &ic.Ways[j]
+			b = appendInt(b, int64(w.Offset))
+			shape(w.Shape)
+			shape(w.NewShape)
+			flush()
+		}
 	}
 	return h.Sum64()
 }
@@ -255,22 +354,32 @@ func InlineFingerprint(fn *bytecode.Function, profiles func(*bytecode.Function) 
 		if p == nil {
 			return
 		}
-		for pc := range p.Calls {
-			cf := &p.Calls[pc]
-			if !cf.Monomorphic() || cf.Target == nil || cf.Target.IsNative() {
-				continue
+		mix := func(pc, way int, target *value.Function) {
+			if target == nil || target.IsNative() {
+				return
 			}
-			callee, ok := cf.Target.Code.(*bytecode.Function)
+			callee, ok := target.Code.(*bytecode.Function)
 			if !ok {
-				continue
+				return
 			}
 			cp := profiles(callee)
 			var cfp uint64
 			if cp != nil {
 				cfp = FingerprintProfile(cp, realm)
 			}
-			fmt.Fprintf(h, "%d@%p:%x;", pc, callee, cfp)
+			fmt.Fprintf(h, "%d.%d@%p:%x;", pc, way, callee, cfp)
 			walk(callee, d-1)
+		}
+		for pc := range p.Calls {
+			cf := &p.Calls[pc]
+			if cf.Monomorphic() {
+				mix(pc, -1, cf.Target)
+			}
+			// Dispatch-tree ways are per-way inlining candidates too: each
+			// way's guard+direct-call pair is what the inliner flattens.
+			for wi := range cf.Ways {
+				mix(pc, wi, cf.Ways[wi].Target)
+			}
 		}
 	}
 	walk(fn, depth)

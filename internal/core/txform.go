@@ -21,6 +21,10 @@ type CheckSite struct {
 	PC    int
 	Class stats.CheckClass
 	Path  string
+	// Shape names the per-shape dispatch variant for guards belonging to a
+	// polymorphic dispatch tree (ir.Value.DispatchShape); "" for ordinary
+	// checks, so pre-IC site identity is unchanged.
+	Shape string
 }
 
 // KeepSet selects check sites whose Stack Map Points must be preserved when
@@ -190,7 +194,7 @@ func wrapLoop(f *ir.Func, l *ir.Loop, tiled bool, keep KeepSet) bool {
 	// aborters and routes their failures through deoptimization instead.
 	for _, b := range l.BlockList() {
 		for _, v := range b.Values {
-			if v.Op.IsCheck() && !keep[CheckSite{PC: v.BCPos, Class: v.Check, Path: v.InlinePath()}] {
+			if v.Op.IsCheck() && !keep[CheckSite{PC: v.BCPos, Class: v.Check, Path: v.InlinePath(), Shape: v.DispatchShape()}] {
 				v.Deopt = nil
 			}
 		}

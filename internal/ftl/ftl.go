@@ -45,6 +45,11 @@ type Options struct {
 	// Profiles resolves the Baseline profile of a callee the inliner wants to
 	// flatten (the VM's ProfileFor, threaded through the JIT driver).
 	Profiles func(*bytecode.Function) *profile.FunctionProfile
+	// Demote reports dispatch sites the governor demoted to the generic path
+	// (megamorphic storms past the dispatch-miss budget): their plans are
+	// dropped at expansion time and the generic placeholder call stays. Nil
+	// expands every eligible plan.
+	Demote func(pc int, path string) bool
 	// OSR requests an OSR-entry artifact entering at loop header OSREntryPC
 	// instead of the invocation entry. The artifact's live state comes from
 	// OpOSRLocal values bound at machine.EnterAt; transaction formation
@@ -73,7 +78,13 @@ func Compile(fn *bytecode.Function, prof *profile.FunctionProfile, opts Options)
 		}
 	}
 	after("build")
-	// Speculative call inlining first: flattened callees expose their checks
+	// Polymorphic dispatch trees first: the builder's plan placeholders lower
+	// to shape-guarded chains whose per-way callee guards the inliner then
+	// treats exactly like monomorphic sites, so top-K receivers of a
+	// polymorphic call inline behind their guards.
+	ir.ExpandDispatch(f, opts.Demote)
+	after("expand-dispatch")
+	// Speculative call inlining next: flattened callees expose their checks
 	// to every later pass, so hoisting, GVN, and transaction formation all
 	// see across the former call boundary.
 	if opts.Inline && opts.Profiles != nil {

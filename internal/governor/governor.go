@@ -91,6 +91,15 @@ type Transfer struct {
 	// code): the same callee inlined at two call sites aborts as two distinct
 	// ledger entries.
 	SitePath string
+	// Shape names the per-shape dispatch variant when the failing site
+	// belongs to a polymorphic dispatch tree ("" otherwise): ledgers become
+	// per-shape, so one hot wrong-shape receiver is distinguishable from a
+	// megamorphic storm spread across many.
+	Shape string
+	// Dispatch marks the failing site as a dispatch-tree guard. Dispatch
+	// misses feed the site's demotion budget instead of SMP restoration or
+	// the whole-function deopt budget.
+	Dispatch bool
 	// HadCalls reports whether the aborted transaction's function contained
 	// calls (§V-C: the callee is blamed for the overflow).
 	HadCalls bool
@@ -116,6 +125,10 @@ type Decision struct {
 	// RestoredSMP reports that this transfer pushed a site over its abort
 	// budget and its SMP will be kept from the next compile on.
 	RestoredSMP bool
+	// DemotedDispatch reports that this transfer pushed a dispatch site over
+	// its miss budget: from the next compile on the site's plan is dropped
+	// and the generic runtime path runs (megamorphic demotion).
+	DemotedDispatch bool
 }
 
 // siteLedger tracks one check site's abort history (decayed) and its
@@ -144,6 +157,13 @@ type funcState struct {
 	sinceDecay int64
 	keep       map[core.CheckSite]bool
 	sites      map[core.CheckSite]*siteLedger
+	// demote lists dispatch-site families (PC+Path, no Class/Shape) whose
+	// accumulated misses crossed the budget: their plans are dropped at the
+	// next compile and the generic path runs. dmiss is the decayed family
+	// miss ledger feeding it; decay drains a family and re-enables the site
+	// with the same probationary semantics as OSR headers.
+	demote map[core.CheckSite]bool
+	dmiss  map[core.CheckSite]int64
 	// osrAborts ledgers transfers (aborts and plain deopts) out of OSR
 	// artifacts per loop-header entry pc; osrOff disables OSR entry at a
 	// header whose ledger crossed the budget.
@@ -180,6 +200,8 @@ func (g *Governor) state(fn string) *funcState {
 			window:    g.pol.RepromoteWindow,
 			keep:      make(map[core.CheckSite]bool),
 			sites:     make(map[core.CheckSite]*siteLedger),
+			demote:    make(map[core.CheckSite]bool),
+			dmiss:     make(map[core.CheckSite]int64),
 			osrAborts: make(map[int]int64),
 			osrOff:    make(map[int]bool),
 		}
@@ -195,6 +217,37 @@ func (st *funcState) ledger(s core.CheckSite) *siteLedger {
 		st.sites[s] = l
 	}
 	return l
+}
+
+// DemoteSet returns fn's demoted dispatch-site families (nil when empty, so
+// the common case costs nothing at compile time). Keys carry PC and inline
+// path only; the FTL driver matches them against plan placeholders.
+func (g *Governor) DemoteSet(fn string) core.KeepSet {
+	st, ok := g.fns[fn]
+	if !ok || len(st.demote) == 0 {
+		return nil
+	}
+	return core.KeepSet(st.demote)
+}
+
+// noteDispatchMiss charges one dispatch miss (abort or deopt) to the site's
+// family ledger and demotes the site once the budget is crossed. Dispatch
+// misses always recompile — Baseline re-observes the receiver into the
+// histogram, so the next plan covers it or the site saturates megamorphic —
+// but never charge the whole-function deopt budget: demotion must win before
+// Baseline pinning.
+func (g *Governor) noteDispatchMiss(ss *funcState, t Transfer) Decision {
+	fam := core.CheckSite{PC: t.SitePC, Path: t.SitePath}
+	ss.dmiss[fam]++
+	drop := []string{t.Fn}
+	if t.SiteFn != "" && t.SiteFn != t.Fn {
+		drop = append(drop, t.SiteFn)
+	}
+	if !ss.demote[fam] && ss.dmiss[fam] >= g.pol.CheckAbortBudget {
+		ss.demote[fam] = true
+		return Decision{Recompile: true, DemotedDispatch: true, Drop: drop}
+	}
+	return Decision{Recompile: true, Drop: drop}
 }
 
 // LevelFor returns the transaction placement level fn must compile at.
@@ -298,15 +351,22 @@ func (g *Governor) transferDecision(t Transfer) Decision {
 	if siteFn == "" {
 		siteFn = t.Fn
 	}
-	site := core.CheckSite{PC: t.SitePC, Class: t.Class, Path: t.SitePath}
+	site := core.CheckSite{PC: t.SitePC, Class: t.Class, Path: t.SitePath, Shape: t.Shape}
 
 	if !t.Aborted {
+		ss := g.state(siteFn)
+		if t.Dispatch {
+			// A dispatch-guard miss outside a transaction: the receiver
+			// matched no speculated way. Per-shape ledger plus family
+			// demotion budget; never the whole-function deopt budget.
+			ss.ledger(site).deopts++
+			return g.noteDispatchMiss(ss, t)
+		}
 		// Plain OSR exit. A restored-SMP site deopting is the governed
 		// steady state: the tail of the call re-runs in Baseline, the
 		// cached code stays, and the budget is untouched. Any other exit
 		// keeps the legacy semantics — charge the budget and recompile
 		// with refreshed feedback, which is how type storms self-heal.
-		ss := g.state(siteFn)
 		if ss.keep[site] {
 			ss.ledger(site).deopts++
 			return Decision{}
@@ -351,6 +411,12 @@ func (g *Governor) transferDecision(t Transfer) Decision {
 		ss := g.state(siteFn)
 		l := ss.ledger(site)
 		l.aborts++
+		if t.Dispatch {
+			// In-transaction dispatch miss (the tail guard aborted): same
+			// demotion ledger as the deopt path — dispatch guards demote to
+			// the generic path rather than earning restored SMPs.
+			return g.noteDispatchMiss(ss, t)
+		}
 		if !ss.keep[site] && l.aborts >= g.pol.CheckAbortBudget {
 			ss.keep[site] = true
 			drop := []string{t.Fn}
@@ -385,6 +451,18 @@ func (g *Governor) OnClean(fn string, commits int64) Decision {
 			l.aborts /= 2
 			if l.aborts == 0 && l.deopts == 0 && !st.keep[s] {
 				delete(st.sites, s)
+			}
+		}
+		// Dispatch-miss family ledgers decay too; a drained family is
+		// un-demoted, so the next recompile re-expands its dispatch tree
+		// (the probationary re-promotion semantics OSR headers get).
+		for s, n := range st.dmiss {
+			n /= 2
+			if n == 0 {
+				delete(st.dmiss, s)
+				delete(st.demote, s)
+			} else {
+				st.dmiss[s] = n
 			}
 		}
 		// OSR-entry ledgers decay on the same schedule; a drained ledger
@@ -459,6 +537,8 @@ type FuncSnap struct {
 	SinceDecay int64
 	Keep       []core.CheckSite
 	Sites      []SiteSnap
+	Demote     []core.CheckSite
+	DMiss      []SiteSnap
 	OSR        []OSRSnap
 }
 
@@ -493,6 +573,14 @@ func (g *Governor) Export() Snapshot {
 			fs.Sites = append(fs.Sites, SiteSnap{Site: s, Aborts: l.aborts, Deopts: l.deopts})
 		}
 		sort.Slice(fs.Sites, func(i, j int) bool { return siteLess(fs.Sites[i].Site, fs.Sites[j].Site) })
+		for s := range st.demote {
+			fs.Demote = append(fs.Demote, s)
+		}
+		sortSites(fs.Demote)
+		for s, n := range st.dmiss {
+			fs.DMiss = append(fs.DMiss, SiteSnap{Site: s, Aborts: n})
+		}
+		sort.Slice(fs.DMiss, func(i, j int) bool { return siteLess(fs.DMiss[i].Site, fs.DMiss[j].Site) })
 		fs.OSR = osrSnaps(st)
 		snap = append(snap, fs)
 	}
@@ -512,6 +600,8 @@ func (g *Governor) Restore(snap Snapshot) {
 			sinceDecay: fs.SinceDecay,
 			keep:       make(map[core.CheckSite]bool, len(fs.Keep)),
 			sites:      make(map[core.CheckSite]*siteLedger, len(fs.Sites)),
+			demote:     make(map[core.CheckSite]bool, len(fs.Demote)),
+			dmiss:      make(map[core.CheckSite]int64, len(fs.DMiss)),
 			osrAborts:  make(map[int]int64, len(fs.OSR)),
 			osrOff:     make(map[int]bool),
 		}
@@ -520,6 +610,12 @@ func (g *Governor) Restore(snap Snapshot) {
 		}
 		for _, ss := range fs.Sites {
 			st.sites[ss.Site] = &siteLedger{aborts: ss.Aborts, deopts: ss.Deopts}
+		}
+		for _, s := range fs.Demote {
+			st.demote[s] = true
+		}
+		for _, ss := range fs.DMiss {
+			st.dmiss[ss.Site] = ss.Aborts
 		}
 		for _, os := range fs.OSR {
 			st.osrAborts[os.PC] = os.Aborts
@@ -538,7 +634,10 @@ func siteLess(a, b core.CheckSite) bool {
 	if a.PC != b.PC {
 		return a.PC < b.PC
 	}
-	return a.Class < b.Class
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.Shape < b.Shape
 }
 
 func sortSites(sites []core.CheckSite) {
@@ -564,6 +663,7 @@ type FuncReport struct {
 	Window       int64
 	Progress     int64
 	Sites        []SiteStat
+	Demote       []core.CheckSite
 	OSR          []OSRSnap
 }
 
@@ -606,6 +706,10 @@ func (g *Governor) Report() []FuncReport {
 			r.Sites = append(r.Sites, SiteStat{Site: s, Aborts: l.aborts, Deopts: l.deopts, Kept: st.keep[s]})
 		}
 		sort.Slice(r.Sites, func(i, j int) bool { return siteLess(r.Sites[i].Site, r.Sites[j].Site) })
+		for s := range st.demote {
+			r.Demote = append(r.Demote, s)
+		}
+		sortSites(r.Demote)
 		r.OSR = osrSnaps(st)
 		out = append(out, r)
 	}

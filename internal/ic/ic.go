@@ -1,0 +1,177 @@
+// Package ic is the polymorphic-inline-cache subsystem: it turns the
+// per-site receiver-shape histograms the Baseline tier records
+// (profile.PropIC.Ways, profile.CallFeedback.Ways) into dispatch plans the
+// speculative tiers materialize as shape-guarded dispatch trees.
+//
+// A plan lists the top-K receivers of a polymorphic site in hotness order.
+// The compilers lower it to a chain of non-deopting shape predicates — one
+// per way, each guarding that way's specialized body (slot load, slot store,
+// speculated transition, or direct call) — terminated by a deopting tail
+// guard, so an unexpected receiver exits to Baseline exactly like any other
+// failed speculation. NoMap (§IV) then elides the whole chain's map checks
+// transactionally: inside a transaction the tail guard's SMP is converted to
+// an abort like every other check, and §V-C's footprint argument is why the
+// chain is bounded (MaxDispatchWays) and why megamorphic sites demote to the
+// generic runtime path instead of growing unbounded trees.
+//
+// The package deliberately knows nothing about IR: it consumes profile
+// feedback and produces plain plans, so the builder (internal/ir) can attach
+// a plan to a generic-call placeholder and the expansion pass can lower it
+// without an import cycle.
+package ic
+
+import (
+	"sort"
+
+	"nomap/internal/profile"
+	"nomap/internal/value"
+)
+
+// Kind classifies the site a plan dispatches.
+type Kind uint8
+
+const (
+	// KindGet is a property load dispatched on receiver shape.
+	KindGet Kind = iota
+	// KindSet is a property store dispatched on receiver shape; ways may
+	// speculate a shape transition (property add).
+	KindSet
+	// KindCall is a plain call dispatched on callee identity.
+	KindCall
+	// KindMethod is a method call dispatched on receiver shape: each way
+	// loads the method slot under its shape and calls the cached target.
+	KindMethod
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGet:
+		return "get"
+	case KindSet:
+		return "set"
+	case KindCall:
+		return "call"
+	case KindMethod:
+		return "method"
+	}
+	return "?"
+}
+
+// MaxDispatchWays bounds the guard chain a plan materializes (§V-C: the
+// whole chain must stay footprint-cheap inside a transaction). It equals
+// profile.MaxWays, so every recorded way of a non-megamorphic site fits.
+const MaxDispatchWays = profile.MaxWays
+
+// Way is one receiver of a dispatch plan.
+type Way struct {
+	// Shape is the receiver shape guarded (nil only for KindCall ways,
+	// which dispatch on callee identity instead).
+	Shape *value.Shape
+	// Target is the callee (KindCall/KindMethod).
+	Target *value.Function
+	// Offset is the slot offset specialized under Shape: the property slot
+	// for KindGet/KindSet (for transitioning stores, the destination slot
+	// in the post-transition shape) and the method slot for KindMethod.
+	Offset int
+	// NewShape, when non-nil, speculates the shape transition of a
+	// property-add store: the guarded body performs the add and the
+	// receiver leaves the way with this shape.
+	NewShape *value.Shape
+	// Count is the way's observation count (hotness, for ordering).
+	Count int64
+}
+
+// Plan is a polymorphic dispatch plan for one site: at least two ways in
+// hotness order (observation count descending, first-seen order breaking
+// ties, so plans are deterministic for equal counts).
+type Plan struct {
+	Kind Kind
+	// Name is the property or method name (KindGet/KindSet/KindMethod).
+	Name string
+	Ways []Way
+}
+
+// orderWays sorts ways by descending count, keeping first-seen order for
+// equal counts (the histogram is already in first-seen order).
+func orderWays(ways []Way) {
+	sort.SliceStable(ways, func(i, j int) bool { return ways[i].Count > ways[j].Count })
+}
+
+// PropPlan builds a dispatch plan for a polymorphic property site, or nil
+// when the site does not qualify: megamorphic, fewer than two ways, mixed
+// with non-object receivers or array-length reads, or (for loads) any way
+// that speculates a transition. Monomorphic sites keep the original
+// single-guard fast path and never get here.
+func PropPlan(p *profile.PropIC, name string, store bool) *Plan {
+	if p.Mega || p.SawNonObject || p.SawArrayLength || len(p.Ways) < 2 {
+		return nil
+	}
+	kind := KindGet
+	if store {
+		kind = KindSet
+	}
+	pl := &Plan{Kind: kind, Name: name}
+	for _, w := range p.Ways {
+		if w.Shape == nil {
+			return nil
+		}
+		if w.NewShape != nil && !store {
+			return nil
+		}
+		pl.Ways = append(pl.Ways, Way{Shape: w.Shape, Offset: w.Offset, NewShape: w.NewShape, Count: w.Count})
+	}
+	orderWays(pl.Ways)
+	if len(pl.Ways) > MaxDispatchWays {
+		pl.Ways = pl.Ways[:MaxDispatchWays]
+	}
+	return pl
+}
+
+// CallPlan builds a dispatch plan for a polymorphic plain-call site, or nil
+// when it does not qualify. Ways guard on callee identity; a way recorded
+// with a receiver shape means the histogram mixes call forms and the site
+// declines.
+func CallPlan(f *profile.CallFeedback) *Plan {
+	if f.Mega || len(f.Ways) < 2 {
+		return nil
+	}
+	pl := &Plan{Kind: KindCall}
+	for _, w := range f.Ways {
+		if w.Target == nil || w.Recv != nil {
+			return nil
+		}
+		pl.Ways = append(pl.Ways, Way{Target: w.Target, Count: w.Count})
+	}
+	orderWays(pl.Ways)
+	if len(pl.Ways) > MaxDispatchWays {
+		pl.Ways = pl.Ways[:MaxDispatchWays]
+	}
+	return pl
+}
+
+// MethodPlan builds a dispatch plan for a polymorphic method-call site, or
+// nil when it does not qualify. Every way must carry a receiver shape under
+// which the method name resolves to a slot (so the guarded body is a slot
+// load plus a callee check plus a direct call).
+func MethodPlan(f *profile.CallFeedback, name string) *Plan {
+	if f.Mega || len(f.Ways) < 2 {
+		return nil
+	}
+	pl := &Plan{Kind: KindMethod, Name: name}
+	for _, w := range f.Ways {
+		if w.Target == nil || w.Recv == nil {
+			return nil
+		}
+		off := w.Recv.Lookup(name)
+		if off < 0 {
+			return nil
+		}
+		pl.Ways = append(pl.Ways, Way{Shape: w.Recv, Target: w.Target, Offset: off, Count: w.Count})
+	}
+	orderWays(pl.Ways)
+	if len(pl.Ways) > MaxDispatchWays {
+		pl.Ways = pl.Ways[:MaxDispatchWays]
+	}
+	return pl
+}

@@ -1,0 +1,159 @@
+package ic
+
+import (
+	"testing"
+
+	"nomap/internal/profile"
+	"nomap/internal/value"
+)
+
+// shapes builds a transition chain root → +k0 → +k0+k1 → ... and returns the
+// per-step shapes (index i has keys k0..ki).
+func shapes(t *testing.T, keys ...string) []*value.Shape {
+	t.Helper()
+	tbl := value.NewShapeTable()
+	s := tbl.Root
+	out := make([]*value.Shape, 0, len(keys))
+	for _, k := range keys {
+		s = tbl.Transition(s, k)
+		out = append(out, s)
+	}
+	return out
+}
+
+func fn(name string) *value.Function { return &value.Function{Name: name} }
+
+func TestPropPlanOrdersByHotness(t *testing.T) {
+	ss := shapes(t, "a", "b", "c")
+	ic := &profile.PropIC{Ways: []profile.PropWay{
+		{Shape: ss[0], Offset: 0, Count: 3},
+		{Shape: ss[1], Offset: 1, Count: 9},
+		{Shape: ss[2], Offset: 2, Count: 3},
+	}}
+	pl := PropPlan(ic, "a", false)
+	if pl == nil {
+		t.Fatal("qualifying 3-way site produced no plan")
+	}
+	if pl.Kind != KindGet || pl.Name != "a" {
+		t.Fatalf("plan = kind %v name %q, want get a", pl.Kind, pl.Name)
+	}
+	// Hottest first; equal counts keep first-seen order (deterministic
+	// plans mean deterministic codegen and stable cache fingerprints).
+	if pl.Ways[0].Shape != ss[1] || pl.Ways[1].Shape != ss[0] || pl.Ways[2].Shape != ss[2] {
+		t.Errorf("ways not in hotness/first-seen order: %+v", pl.Ways)
+	}
+}
+
+func TestPropPlanDeclines(t *testing.T) {
+	ss := shapes(t, "a", "b")
+	two := []profile.PropWay{
+		{Shape: ss[0], Offset: 0, Count: 1},
+		{Shape: ss[1], Offset: 1, Count: 1},
+	}
+	cases := []struct {
+		name  string
+		ic    *profile.PropIC
+		store bool
+	}{
+		{"megamorphic", &profile.PropIC{Mega: true, Ways: two}, false},
+		{"non-object receivers", &profile.PropIC{SawNonObject: true, Ways: two}, false},
+		{"array length", &profile.PropIC{SawArrayLength: true, Ways: two}, false},
+		{"monomorphic", &profile.PropIC{Ways: two[:1]}, false},
+		{"transition on a load", &profile.PropIC{Ways: []profile.PropWay{
+			{Shape: ss[0], Offset: 0, Count: 1},
+			{Shape: ss[0], Offset: 1, NewShape: ss[1], Count: 1},
+		}}, false},
+	}
+	for _, c := range cases {
+		if pl := PropPlan(c.ic, "x", c.store); pl != nil {
+			t.Errorf("%s: got a plan (%d ways), want decline", c.name, len(pl.Ways))
+		}
+	}
+	// The same transitioning histogram qualifies as a store plan.
+	st := &profile.PropIC{Ways: []profile.PropWay{
+		{Shape: ss[0], Offset: 0, Count: 1},
+		{Shape: ss[0], Offset: 1, NewShape: ss[1], Count: 1},
+	}}
+	pl := PropPlan(st, "x", true)
+	if pl == nil || pl.Kind != KindSet {
+		t.Fatalf("transitioning store plan = %+v, want KindSet", pl)
+	}
+	if pl.Ways[1].NewShape == nil && pl.Ways[0].NewShape == nil {
+		t.Error("store plan lost its transition speculation")
+	}
+}
+
+func TestPropPlanCapsAtMaxWays(t *testing.T) {
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	ss := shapes(t, keys...)
+	ic := &profile.PropIC{}
+	for i, s := range ss {
+		ic.Ways = append(ic.Ways, profile.PropWay{Shape: s, Offset: i, Count: int64(i + 1)})
+	}
+	pl := PropPlan(ic, "x", false)
+	if pl == nil {
+		t.Fatal("10-way histogram produced no plan")
+	}
+	if len(pl.Ways) != MaxDispatchWays {
+		t.Fatalf("plan has %d ways, want cap %d", len(pl.Ways), MaxDispatchWays)
+	}
+	// The cap keeps the hottest ways: counts 10..3 survive, 2 and 1 drop.
+	if pl.Ways[0].Count != 10 || pl.Ways[MaxDispatchWays-1].Count != 3 {
+		t.Errorf("cap did not keep the hottest ways: first=%d last=%d",
+			pl.Ways[0].Count, pl.Ways[MaxDispatchWays-1].Count)
+	}
+}
+
+func TestCallPlan(t *testing.T) {
+	fa, fb := fn("fa"), fn("fb")
+	f := &profile.CallFeedback{Ways: []profile.CallWay{
+		{Target: fa, Count: 2},
+		{Target: fb, Count: 5},
+	}}
+	pl := CallPlan(f)
+	if pl == nil || pl.Kind != KindCall {
+		t.Fatalf("plan = %+v, want KindCall", pl)
+	}
+	if pl.Ways[0].Target != fb || pl.Ways[1].Target != fa {
+		t.Errorf("ways not in hotness order: %+v", pl.Ways)
+	}
+	// A histogram mixing call forms (a way with a receiver shape) declines.
+	ss := shapes(t, "m")
+	mixed := &profile.CallFeedback{Ways: []profile.CallWay{
+		{Target: fa, Count: 1},
+		{Target: fb, Recv: ss[0], Count: 1},
+	}}
+	if CallPlan(mixed) != nil {
+		t.Error("mixed plain/method histogram produced a plan")
+	}
+	if CallPlan(&profile.CallFeedback{Mega: true, Ways: f.Ways}) != nil {
+		t.Error("megamorphic call site produced a plan")
+	}
+}
+
+func TestMethodPlanResolvesSlots(t *testing.T) {
+	fa, fb := fn("fa"), fn("fb")
+	tbl := value.NewShapeTable()
+	sa := tbl.Transition(tbl.Transition(tbl.Root, "k"), "m") // {k, m}: m at slot 1
+	sb := tbl.Transition(tbl.Transition(tbl.Root, "m"), "k") // {m, k}: m at slot 0
+	f := &profile.CallFeedback{Ways: []profile.CallWay{
+		{Target: fa, Recv: sa, Count: 1},
+		{Target: fb, Recv: sb, Count: 4},
+	}}
+	pl := MethodPlan(f, "m")
+	if pl == nil || pl.Kind != KindMethod || pl.Name != "m" {
+		t.Fatalf("plan = %+v, want method m", pl)
+	}
+	if pl.Ways[0].Offset != 0 || pl.Ways[1].Offset != 1 {
+		t.Errorf("method slots not resolved per shape: %+v", pl.Ways)
+	}
+	// A receiver shape where the method name does not resolve declines the
+	// whole site (the guarded body would load a garbage slot).
+	bad := &profile.CallFeedback{Ways: []profile.CallWay{
+		{Target: fa, Recv: sa, Count: 1},
+		{Target: fb, Recv: tbl.Transition(tbl.Root, "q"), Count: 1},
+	}}
+	if MethodPlan(bad, "m") != nil {
+		t.Error("unresolvable method slot produced a plan")
+	}
+}

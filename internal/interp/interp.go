@@ -250,9 +250,11 @@ func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 					prof.Calls[fr.PC].ObserveMethod(m.Object().Fn, o.Shape)
 				} else {
 					prof.Calls[fr.PC].Poly = true
+					prof.Calls[fr.PC].Mega = true
 				}
 			} else if baseline {
 				prof.Calls[fr.PC].Poly = true
+				prof.Calls[fr.PC].Mega = true
 			}
 			instrs += costCall(baseline) + 4
 			flush()
@@ -415,6 +417,7 @@ func getProp(h Host, prof *profile.FunctionProfile, baseline bool, obj value.Val
 			}
 			if ic.Shape == o.Shape {
 				ic.Hits++
+				ic.ObserveWay(o.Shape, ic.Offset, nil)
 				return o.GetSlot(ic.Offset), propICHitCost, nil
 			}
 			off := o.OffsetOf(name)
@@ -423,6 +426,11 @@ func getProp(h Host, prof *profile.FunctionProfile, baseline bool, obj value.Val
 					ic.Poly = true
 				}
 				ic.Shape, ic.Offset = o.Shape, off
+				ic.ObserveWay(o.Shape, off, nil)
+			} else {
+				// The property is absent on this receiver: no slot to
+				// dispatch to, so the site saturates to the generic path.
+				ic.Mega = true
 			}
 			ic.Misses++
 			return o.Get(name), propMissCost, nil
@@ -455,6 +463,7 @@ func setProp(h Host, prof *profile.FunctionProfile, baseline bool, obj value.Val
 				// Replace-in-place hit.
 				if off := o.OffsetOf(name); off == ic.Offset && off >= 0 {
 					ic.Hits++
+					ic.ObserveWay(o.Shape, off, nil)
 					o.SetSlot(off, v)
 					return propICHitCost, nil
 				}
@@ -462,7 +471,9 @@ func setProp(h Host, prof *profile.FunctionProfile, baseline bool, obj value.Val
 			if ic.Shape == o.Shape && ic.NewShape != nil {
 				// Cached transition (property add) hit.
 				ic.Hits++
+				before := o.Shape
 				o.Set(name, v)
+				ic.ObserveWay(before, o.OffsetOf(name), o.Shape)
 				return propICHitCost + 2, nil
 			}
 			before := o.Shape
@@ -475,8 +486,10 @@ func setProp(h Host, prof *profile.FunctionProfile, baseline bool, obj value.Val
 			if off >= 0 {
 				ic.Offset = off
 				ic.NewShape = nil
+				ic.ObserveWay(before, off, nil)
 			} else {
 				ic.NewShape = o.Shape
+				ic.ObserveWay(before, o.OffsetOf(name), o.Shape)
 			}
 			ic.Misses++
 			return propMissCost, nil

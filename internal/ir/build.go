@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nomap/internal/bytecode"
+	"nomap/internal/ic"
 	"nomap/internal/profile"
 	"nomap/internal/stats"
 	"nomap/internal/value"
@@ -826,20 +827,28 @@ func (b *builder) binary(in bytecode.Instr) error {
 func (b *builder) getProp(in bytecode.Instr) error {
 	obj := b.readVar(b.cur, int(in.B))
 	name := b.bc.Names[in.C]
-	ic := &b.prof.ICs[in.D]
+	pic := &b.prof.ICs[in.D]
 	dst := int(in.A)
 	switch {
-	case ic.SawArrayLength && !ic.Poly && ic.Shape == nil && !ic.SawNonObject:
+	case pic.SawArrayLength && !pic.Poly && pic.Shape == nil && !pic.SawNonObject:
 		b.ensureArray(obj)
 		b.writeVar(b.cur, dst, b.emit(OpLoadLength, TypeInt32, obj))
-	case ic.Monomorphic():
-		b.ensureShape(obj, ic.Shape)
+	case pic.Monomorphic():
+		b.ensureShape(obj, pic.Shape)
 		v := b.emit(OpLoadSlot, TypeGeneric, obj)
-		v.AuxInt = int64(ic.Offset)
+		v.AuxInt = int64(pic.Offset)
 		b.writeVar(b.cur, dst, v)
 	default:
+		// Generic-call placeholder: already correct on its own. A qualifying
+		// polymorphic site additionally carries a dispatch plan (plus the
+		// snapshot its tail guard will deopt through) for ExpandDispatch.
 		nameC := b.constVal(value.Str(name))
-		b.writeVar(b.cur, dst, b.runtimeCall("getprop", 0, TypeGeneric, obj, nameC))
+		v := b.runtimeCall("getprop", 0, TypeGeneric, obj, nameC)
+		if pl := ic.PropPlan(pic, name, false); pl != nil {
+			v.Plan = pl
+			v.Deopt = b.snapshot()
+		}
+		b.writeVar(b.cur, dst, v)
 	}
 	return nil
 }
@@ -848,15 +857,19 @@ func (b *builder) setProp(in bytecode.Instr) error {
 	obj := b.readVar(b.cur, int(in.A))
 	name := b.bc.Names[in.B]
 	src := b.readVar(b.cur, int(in.C))
-	ic := &b.prof.ICs[in.D]
-	if ic.Monomorphic() && ic.NewShape == nil {
-		b.ensureShape(obj, ic.Shape)
+	pic := &b.prof.ICs[in.D]
+	if pic.Monomorphic() && pic.NewShape == nil {
+		b.ensureShape(obj, pic.Shape)
 		v := b.emit(OpStoreSlot, TypeNone, obj, src)
-		v.AuxInt = int64(ic.Offset)
+		v.AuxInt = int64(pic.Offset)
 		return nil
 	}
 	nameC := b.constVal(value.Str(name))
-	b.runtimeCall("setprop", 0, TypeNone, obj, nameC, src)
+	v := b.runtimeCall("setprop", 0, TypeNone, obj, nameC, src)
+	if pl := ic.PropPlan(pic, name, true); pl != nil {
+		v.Plan = pl
+		v.Deopt = b.snapshot()
+	}
 	return nil
 }
 
@@ -919,7 +932,12 @@ func (b *builder) call(in bytecode.Instr) error {
 		b.writeVar(b.cur, dst, call)
 		return nil
 	}
-	b.writeVar(b.cur, dst, b.runtimeCall("call", 0, TypeGeneric, append([]*Value{callee}, args...)...))
+	v := b.runtimeCall("call", 0, TypeGeneric, append([]*Value{callee}, args...)...)
+	if pl := ic.CallPlan(fb); pl != nil {
+		v.Plan = pl
+		v.Deopt = b.snapshot()
+	}
+	b.writeVar(b.cur, dst, v)
 	return nil
 }
 
@@ -963,7 +981,12 @@ func (b *builder) callMethod(in bytecode.Instr) error {
 		}
 	}
 	nameC := b.constVal(value.Str(name))
-	b.writeVar(b.cur, dst, b.runtimeCall("callmethod", 0, TypeGeneric, append([]*Value{recv, nameC}, args...)...))
+	v := b.runtimeCall("callmethod", 0, TypeGeneric, append([]*Value{recv, nameC}, args...)...)
+	if pl := ic.MethodPlan(fb, name); pl != nil {
+		v.Plan = pl
+		v.Deopt = b.snapshot()
+	}
+	b.writeVar(b.cur, dst, v)
 	return nil
 }
 

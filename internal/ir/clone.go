@@ -18,6 +18,7 @@ func (f *Func) Clone() (*Func, map[*Value]*Value) {
 		nextBlockID: f.nextBlockID,
 		TxAware:     f.TxAware,
 		OSREntryPC:  f.OSREntryPC,
+		Dispatch:    append([]DispatchInfo(nil), f.Dispatch...),
 	}
 	imap := make(map[*InlineFrame]*InlineFrame, len(f.Inlines))
 	for _, inf := range f.Inlines {
@@ -57,6 +58,7 @@ func (f *Func) Clone() (*Func, map[*Value]*Value) {
 			AuxInt: v.AuxInt, AuxFloat: v.AuxFloat, AuxStr: v.AuxStr,
 			AuxVal: v.AuxVal, Shape: v.Shape, Callee: v.Callee,
 			Check: v.Check, Free: v.Free, BCPos: v.BCPos,
+			Plan: v.Plan, Dispatch: v.Dispatch,
 			Inline: imap[v.Inline],
 			Block:  bmap[v.Block],
 		}

@@ -227,7 +227,13 @@ func inlineSite(f *Func, b *Block, ci int, opts InlineOptions) bool {
 					nv.Args[i] = vmap[a]
 				}
 			}
-			nv.Deopt = mapSM(cv.Deopt)
+			// A callee placeholder call carrying a dispatch plan is not
+			// expanded here (plans lower only at the top of the pipeline);
+			// the copy deliberately drops Plan and the tail-guard snapshot
+			// riding on it, leaving a plain generic call.
+			if cv.Op != OpCallRuntime {
+				nv.Deopt = mapSM(cv.Deopt)
+			}
 		}
 		if cb.Control != nil {
 			nb.Control = vmap[cb.Control]

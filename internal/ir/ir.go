@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"nomap/internal/bytecode"
+	"nomap/internal/ic"
 	"nomap/internal/stats"
 	"nomap/internal/value"
 )
@@ -161,6 +162,21 @@ type Value struct {
 	// Check is the check class for Check* ops (Figure 3 categories).
 	Check stats.CheckClass
 
+	// Plan is a polymorphic dispatch plan attached by the builder to a
+	// generic-call placeholder (OpCallRuntime). The ExpandDispatch pass
+	// lowers it to a shape-guarded dispatch tree and clears it; a placeholder
+	// whose plan is never expanded (demoted or megamorphic site) is already a
+	// correct generic call.
+	Plan *ic.Plan
+
+	// Dispatch marks values materialized from a dispatch plan: the guard
+	// chain's predicates and its deopting tail guard. Dispatch checks are
+	// control-dependent on the chain — hoisting one out of its diamond would
+	// fail it for every other way's receiver — so the loop passes exclude
+	// them, and site identity (governor ledgers, oracle keys) carries their
+	// per-shape component.
+	Dispatch bool
+
 	// Free marks a check whose instructions were eliminated by NoMap (the
 	// SOF removes in-transaction overflow checks, §IV-C2; the unrealistic
 	// NoMap_BC removes every in-transaction check). The machine still
@@ -188,6 +204,24 @@ type Value struct {
 
 // InlinePath returns v's inline path, or "" for a root-frame value.
 func (v *Value) InlinePath() string { return v.Inline.Path() }
+
+// DispatchShape names the per-shape variant a dispatch-marked value guards:
+// the receiver shape's transition path (dot-joined) or, for callee-identity
+// guards, the candidate target's name. It is "" for every non-dispatch
+// value, so existing site identity — governor ledgers, oracle keys, keep-set
+// exports — is byte-identical when no dispatch trees are in play.
+func (v *Value) DispatchShape() string {
+	if !v.Dispatch {
+		return ""
+	}
+	if v.Shape != nil {
+		return strings.Join(v.Shape.Path(), ".")
+	}
+	if v.Callee != nil {
+		return v.Callee.Name
+	}
+	return "?"
+}
 
 // BlockKind says how a block ends.
 type BlockKind uint8
@@ -251,6 +285,24 @@ type Func struct {
 	// function, in flattening order; Inlines[i].Index == i+1. The machine
 	// sizes its per-frame back-edge accounting from it.
 	Inlines []*InlineFrame
+
+	// Dispatch summarizes every dispatch tree ExpandDispatch materialized in
+	// this function, in expansion order. The JIT driver reports them as
+	// cache-fill events; diagnostics render them in IR dumps.
+	Dispatch []DispatchInfo
+}
+
+// DispatchInfo records one materialized dispatch tree.
+type DispatchInfo struct {
+	// PC is the site's bytecode pc; Path its inline path ("" for root code).
+	PC   int
+	Path string
+	Kind ic.Kind
+	// Name is the property or method name ("" for plain calls).
+	Name string
+	// Ways is the chain length; Trans counts ways speculating a transition.
+	Ways  int
+	Trans int
 }
 
 // NewFunc creates an empty function for source fn.
@@ -332,14 +384,22 @@ func (v *Value) String() string {
 		fmt.Fprintf(&sb, " [%d]", v.AuxInt)
 	case OpLoadGlobal, OpStoreGlobal, OpCallRuntime:
 		fmt.Fprintf(&sb, " %q", v.AuxStr)
-	case OpCheckShape:
+	case OpCheckShape, OpHasShape:
 		if v.Shape != nil {
 			fmt.Fprintf(&sb, " shape#%d", v.Shape.ID)
 		}
-	case OpCallDirect, OpCheckCallee:
+	case OpCallDirect, OpCheckCallee, OpHasCallee:
 		if v.Callee != nil {
 			fmt.Fprintf(&sb, " %s", v.Callee.Name)
 		}
+	case OpTransition:
+		fmt.Fprintf(&sb, " %q [%d]", v.AuxStr, v.AuxInt)
+		if v.Shape != nil {
+			fmt.Fprintf(&sb, " shape#%d", v.Shape.ID)
+		}
+	}
+	if v.Dispatch {
+		sb.WriteString(" dispatch")
 	}
 	for _, a := range v.Args {
 		fmt.Fprintf(&sb, " v%d", a.ID)

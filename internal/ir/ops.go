@@ -65,6 +65,14 @@ const (
 	OpCheckHole     // arg raw element; class Other
 	OpCheckCallee   // arg callee value; Callee; class Other
 
+	// Polymorphic dispatch (internal/ic plans). HasShape/HasCallee are the
+	// non-deopting predicates of a dispatch tree's guard chain; Transition is
+	// a speculated shape transition (property add) executed under a matching
+	// shape guard.
+	OpHasShape   // (obj) -> bool; Shape = candidate shape
+	OpHasCallee  // (callee) -> bool; Callee = candidate target
+	OpTransition // (obj, val); AuxStr = property name, AuxInt = new slot offset, Shape = post-transition shape
+
 	// Memory.
 	OpLoadSlot    // (obj); AuxInt = slot offset
 	OpStoreSlot   // (obj, val); AuxInt = slot offset
@@ -144,6 +152,9 @@ var opInfos = [numIROps]opInfo{
 	OpCheckUint32:     {name: "chku32", check: true},
 	OpCheckHole:       {name: "chkhole", check: true},
 	OpCheckCallee:     {name: "chkcallee", check: true},
+	OpHasShape:        {name: "hasshape", memRead: true},
+	OpHasCallee:       {name: "hascallee", pure: true},
+	OpTransition:      {name: "transition", memWrite: true},
 	OpLoadSlot:        {name: "ldslot", memRead: true},
 	OpStoreSlot:       {name: "stslot", memWrite: true},
 	OpLoadElem:        {name: "ldelem", memRead: true},

@@ -47,6 +47,10 @@ type Backend struct {
 	inline   bool
 	profiles func(*bytecode.Function) *profile.FunctionProfile
 
+	// noIC (from vm.Config.DisableIC) drops every dispatch plan at
+	// expansion time, keeping polymorphic sites on the generic path.
+	noIC bool
+
 	// osrFailed records (function, header) pairs whose OSR compile failed.
 	// An unsupported OSR region says nothing about the whole function — the
 	// invocation-entry compile may still succeed — so the failure is scoped
@@ -88,6 +92,7 @@ func Attach(v *vm.VM) *Backend {
 		policy:    v.Config().Policy,
 		inline:    !v.Config().DisableInlining,
 		profiles:  v.ProfileFor,
+		noIC:      v.Config().DisableIC,
 	}
 	v.SetJIT(b)
 	return b
@@ -187,6 +192,7 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 		if compiled {
 			v.Counters().Compilations[tier]++
 			b.mach.Emit(machine.Event{Kind: machine.EventCompile, Fn: bcFn.Name, Tier: tier})
+			b.emitFills(bcFn.Name, u.f)
 		}
 	}
 
@@ -219,8 +225,11 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 			SiteFn:   deopt.SiteFn,
 			SitePC:   deopt.SitePC,
 			SitePath: deopt.SitePath,
+			Shape:    deopt.SiteShape,
+			Dispatch: deopt.SiteDispatch,
 			HadCalls: deopt.HadCalls,
 		})
+		b.emitDemote(dec, bcFn.Name, deopt)
 		b.apply(dec, prof)
 	} else {
 		prof.Deopts++
@@ -291,6 +300,7 @@ func (b *Backend) ExecuteOSR(v *vm.VM, fr *frame.Frame, prof *profile.FunctionPr
 		if compiled {
 			v.Counters().Compilations[tier]++
 			b.mach.Emit(machine.Event{Kind: machine.EventCompile, Fn: bcFn.Name, Tier: tier})
+			b.emitFills(bcFn.Name, u.f)
 		}
 	}
 
@@ -317,10 +327,13 @@ func (b *Backend) ExecuteOSR(v *vm.VM, fr *frame.Frame, prof *profile.FunctionPr
 			SiteFn:   deopt.SiteFn,
 			SitePC:   deopt.SitePC,
 			SitePath: deopt.SitePath,
+			Shape:    deopt.SiteShape,
+			Dispatch: deopt.SiteDispatch,
 			HadCalls: deopt.HadCalls,
 			OSR:      true,
 			OSRPC:    fr.PC,
 		})
+		b.emitDemote(dec, bcFn.Name, deopt)
 		b.apply(dec, prof)
 	} else {
 		prof.Deopts++
@@ -331,6 +344,39 @@ func (b *Backend) ExecuteOSR(v *vm.VM, fr *frame.Frame, prof *profile.FunctionPr
 	// materialization; inline frames allocate theirs in the resume loop.
 	out, err := resumeChain(v, deopt.Frame, nil)
 	return out, true, err
+}
+
+// emitFills records one EventICFill per dispatch tree the compile
+// materialized — the cache-fill step of the miss → fill → hit IC ladder.
+func (b *Backend) emitFills(fn string, f *ir.Func) {
+	for _, d := range f.Dispatch {
+		b.mach.Emit(machine.Event{Kind: machine.EventICFill, Fn: fn, PC: d.PC, Inline: d.Path, Window: int64(d.Ways)})
+	}
+}
+
+// emitDemote records the megamorphic-demotion event when a transfer pushed a
+// dispatch site over its miss budget.
+func (b *Backend) emitDemote(dec governor.Decision, fn string, deopt *machine.Deopt) {
+	if dec.DemotedDispatch {
+		b.mach.Emit(machine.Event{Kind: machine.EventICDemote, Fn: fn, PC: deopt.SitePC, Inline: deopt.SitePath})
+	}
+}
+
+// demoteFor returns the predicate the compilers use to drop dispatch plans
+// (the VM-level DisableIC switch, or the governor's demote set), plus its
+// cache-key fingerprint ("" in the common case, keeping pre-IC keys
+// byte-identical; "*" for the everything-demoted switch).
+func (b *Backend) demoteFor(name string) (func(pc int, path string) bool, string) {
+	if b.noIC {
+		return func(int, string) bool { return true }, "*"
+	}
+	set := b.gov.DemoteSet(name)
+	if len(set) == 0 {
+		return nil, ""
+	}
+	return func(pc int, path string) bool {
+		return set[core.CheckSite{PC: pc, Path: path}]
+	}, codecache.KeepFingerprint(set)
 }
 
 // apply enacts a governor decision: budget charge and code-cache drops.
@@ -368,6 +414,16 @@ func (b *Backend) dfgProfiles() func(*bytecode.Function) *profile.FunctionProfil
 	return b.profiles
 }
 
+// dfgDemote returns the DFG tier's dispatch-demotion predicate: only the
+// VM-level DisableIC switch (the governor's per-site demote set is an FTL
+// recovery mechanism).
+func (b *Backend) dfgDemote() func(pc int, path string) bool {
+	if !b.noIC {
+		return nil
+	}
+	return func(int, string) bool { return true }
+}
+
 // compile produces (or, through the shared code cache, obtains) code for
 // bcFn at tier. The returned bool reports whether a compilation actually ran
 // on behalf of this isolate — false means a cached artifact was bound — so
@@ -387,14 +443,14 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 				OSR:      -1,
 			}
 			f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
-				return dfg.CompileInlining(bcFn, prof, b.dfgProfiles())
+				return dfg.CompileInlining(bcFn, prof, b.dfgProfiles(), b.dfgDemote())
 			})
 			if err != nil {
 				return nil, compiled, err
 			}
 			return &unit{tier: tier, f: f}, compiled, nil
 		}
-		f, err := dfg.CompileInlining(bcFn, prof, b.dfgProfiles())
+		f, err := dfg.CompileInlining(bcFn, prof, b.dfgProfiles(), b.dfgDemote())
 		if err != nil {
 			return nil, true, err
 		}
@@ -408,6 +464,8 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 	opts.KeepSMP = b.gov.KeepSet(bcFn.Name)
 	opts.Inline = b.inline
 	opts.Profiles = b.profiles
+	demote, demoteFP := b.demoteFor(bcFn.Name)
+	opts.Demote = demote
 	if useCache {
 		key := codecache.Key{
 			Code:     bcFn,
@@ -416,6 +474,7 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 			Level:    level,
 			Policy:   b.policy,
 			KeepFP:   codecache.KeepFingerprint(opts.KeepSMP),
+			DemoteFP: demoteFP,
 			ProfFP:   codecache.FingerprintProfile(prof, b.realm),
 			InlineFP: b.inlineFP(bcFn),
 			OSR:      -1,
@@ -455,14 +514,14 @@ func (b *Backend) compileOSR(bcFn *bytecode.Function, prof *profile.FunctionProf
 				OSR:      entryPC,
 			}
 			f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
-				return dfg.CompileOSRInlining(bcFn, prof, entryPC, b.dfgProfiles())
+				return dfg.CompileOSRInlining(bcFn, prof, entryPC, b.dfgProfiles(), b.dfgDemote())
 			})
 			if err != nil {
 				return nil, compiled, err
 			}
 			return &unit{tier: tier, f: f}, compiled, nil
 		}
-		f, err := dfg.CompileOSRInlining(bcFn, prof, entryPC, b.dfgProfiles())
+		f, err := dfg.CompileOSRInlining(bcFn, prof, entryPC, b.dfgProfiles(), b.dfgDemote())
 		if err != nil {
 			return nil, true, err
 		}
@@ -478,6 +537,8 @@ func (b *Backend) compileOSR(bcFn *bytecode.Function, prof *profile.FunctionProf
 	opts.Profiles = b.profiles
 	opts.OSR = true
 	opts.OSREntryPC = entryPC
+	demote, demoteFP := b.demoteFor(bcFn.Name)
+	opts.Demote = demote
 	if useCache {
 		key := codecache.Key{
 			Code:     bcFn,
@@ -486,6 +547,7 @@ func (b *Backend) compileOSR(bcFn *bytecode.Function, prof *profile.FunctionProf
 			Level:    level,
 			Policy:   b.policy,
 			KeepFP:   codecache.KeepFingerprint(opts.KeepSMP),
+			DemoteFP: demoteFP,
 			ProfFP:   codecache.FingerprintProfile(prof, b.realm),
 			InlineFP: b.inlineFP(bcFn),
 			OSR:      entryPC,

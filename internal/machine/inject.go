@@ -29,6 +29,12 @@ const (
 	SiteTxCommit
 	// SiteTxTile fires at each TxTile point while its transaction is open.
 	SiteTxTile
+	// SiteDispatch is a dispatch tree's non-deopting predicate (OpHasShape /
+	// OpHasCallee): ActFailCheck forces the predicate false (the way is
+	// skipped, cascading to the tail guard), ActPassCheck forces it true (the
+	// oracle's stale-shape-cache planted bug: the wrong way's specialized body
+	// runs for a receiver it was not built for).
+	SiteDispatch
 )
 
 // String names the site kind.
@@ -42,6 +48,8 @@ func (k SiteKind) String() string {
 		return "tx-commit"
 	case SiteTxTile:
 		return "tx-tile"
+	case SiteDispatch:
+		return "dispatch"
 	}
 	return "?"
 }
@@ -71,9 +79,13 @@ type Site struct {
 	HasSMP bool
 	// InTx reports whether a hardware transaction is open at the site.
 	InTx bool
-	// Failed reports the check's real outcome (SiteCheck only) so an
-	// injector can react to failures it did not itself force.
+	// Failed reports the check's real outcome (SiteCheck and SiteDispatch) so
+	// an injector can react to failures it did not itself force.
 	Failed bool
+	// Shape names the per-shape dispatch variant for SiteDispatch sites and
+	// for dispatch-marked tail guards ("" for every other site, so existing
+	// site identity is unchanged when no dispatch trees are in play).
+	Shape string
 }
 
 // String renders the site for logs and sweep reports.
@@ -86,14 +98,18 @@ func (s Site) String() string {
 	if s.Inline != "" {
 		inl = fmt.Sprintf("+inl[%s]", s.Inline)
 	}
+	shp := ""
+	if s.Shape != "" {
+		shp = fmt.Sprintf("+shape[%s]", s.Shape)
+	}
 	if s.Kind == SiteCheck {
 		smp := "abort"
 		if s.HasSMP {
 			smp = "smp"
 		}
-		return fmt.Sprintf("%s/%s[%s]@%s%s%s:v%d", s.Kind, s.Check, smp, s.Fn, osr, inl, s.ValueID)
+		return fmt.Sprintf("%s/%s[%s]@%s%s%s%s:v%d", s.Kind, s.Check, smp, s.Fn, osr, inl, shp, s.ValueID)
 	}
-	return fmt.Sprintf("%s@%s%s%s:v%d", s.Kind, s.Fn, osr, inl, s.ValueID)
+	return fmt.Sprintf("%s@%s%s%s%s:v%d", s.Kind, s.Fn, osr, inl, shp, s.ValueID)
 }
 
 // Action is an injector's verdict for one site visit.

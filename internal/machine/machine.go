@@ -63,6 +63,10 @@ type Machine struct {
 	// entry routinely compiles functions whose out-of-loop head still holds
 	// unprofiled generic calls that never execute transactionally.
 	txHadCalls bool
+	// icSeen bounds IC trace noise: EventICHit / EventICTransition fire once
+	// per dispatch site per machine reset. Allocated lazily, only while a
+	// tracer is installed.
+	icSeen map[string]bool
 }
 
 // New creates a machine with the given HTM flavour.
@@ -88,6 +92,7 @@ func (m *Machine) ResetState() {
 	m.pendingCapacity = false
 	m.frameSeq = 0
 	m.txHadCalls = false
+	m.icSeen = nil
 }
 
 // InTx reports whether a hardware transaction is open.
@@ -123,19 +128,28 @@ type Deopt struct {
 	// callee into SiteFn, SitePC is a pc within that callee and SitePath
 	// says which flattened activation it was.
 	SitePath string
+	// SiteShape names the per-shape dispatch variant when the triggering
+	// site is a dispatch tree's guard ("" otherwise): the governor's
+	// dispatch-miss ledgers key on it so one hot wrong-shape receiver is
+	// distinguishable from a megamorphic storm across many.
+	SiteShape string
+	// SiteDispatch reports the triggering site belongs to a dispatch tree.
+	SiteDispatch bool
 }
 
 // txUnwind propagates a transaction abort out of nested frames until it
 // reaches the frame that owns the outermost transaction.
 type txUnwind struct {
-	owner    int
-	rec      *frame.Frame
-	cause    htm.AbortCause
-	class    stats.CheckClass
-	siteFn   string
-	sitePC   int
-	siteVID  int
-	sitePath string
+	owner        int
+	rec          *frame.Frame
+	cause        htm.AbortCause
+	class        stats.CheckClass
+	siteFn       string
+	sitePC       int
+	siteVID      int
+	sitePath     string
+	siteShape    string
+	siteDispatch bool
 }
 
 func (e *txUnwind) Error() string {
@@ -299,9 +313,10 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 	}
 
 	// abort rolls back the open transaction nest and routes control to the
-	// owner frame's recovery state. The failing site (this frame's IR value)
-	// travels with the transfer so the governor can attribute the abort.
-	abort := func(cause htm.AbortCause, class stats.CheckClass, sitePC, siteVID int, sitePath string) (*Deopt, error) {
+	// owner frame's recovery state. The failing site (this frame's IR value
+	// sv) travels with the transfer so the governor can attribute the abort.
+	abort := func(cause htm.AbortCause, class stats.CheckClass, sv *ir.Value) (*Deopt, error) {
+		sitePC, siteVID, sitePath := sv.BCPos, sv.ID, sv.InlinePath()
 		t := m.HTM.Current()
 		if t == nil {
 			return nil, errf("abort without open transaction")
@@ -344,12 +359,14 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 			copy(backEdges, beCheck)
 			assignBackEdges(rec)
 			return &Deopt{Frame: rec, Aborted: true, Cause: cause, CheckClass: class,
-				HadCalls: m.txHadCalls, SiteFn: f.Name, SitePC: sitePC, SiteValueID: siteVID, SitePath: sitePath}, nil
+				HadCalls: m.txHadCalls, SiteFn: f.Name, SitePC: sitePC, SiteValueID: siteVID, SitePath: sitePath,
+				SiteShape: sv.DispatchShape(), SiteDispatch: sv.Dispatch}, nil
 		}
 		// A callee frame inside the owner's transaction: everything this
 		// frame did — including its back edges — is squashed work.
 		return nil, &txUnwind{owner: owner, rec: rec, cause: cause, class: class,
-			siteFn: f.Name, sitePC: sitePC, siteVID: siteVID, sitePath: sitePath}
+			siteFn: f.Name, sitePC: sitePC, siteVID: siteVID, sitePath: sitePath,
+			siteShape: sv.DispatchShape(), siteDispatch: sv.Dispatch}
 	}
 
 	// handleCallErr routes errors coming back from calls: transaction
@@ -364,12 +381,13 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 				copy(backEdges, beCheck)
 				assignBackEdges(u.rec)
 				return &Deopt{Frame: u.rec, Aborted: true, Cause: u.cause, CheckClass: u.class,
-					HadCalls: m.txHadCalls, SiteFn: u.siteFn, SitePC: u.sitePC, SiteValueID: u.siteVID, SitePath: u.sitePath}, nil
+					HadCalls: m.txHadCalls, SiteFn: u.siteFn, SitePC: u.sitePC, SiteValueID: u.siteVID, SitePath: u.sitePath,
+					SiteShape: u.siteShape, SiteDispatch: u.siteDispatch}, nil
 			}
 			return nil, err
 		}
 		if err == htm.ErrIrrevocable && m.HTM.InTx() {
-			return abort(htm.AbortIrrevocable, stats.CheckOther, v.BCPos, v.ID, v.InlinePath())
+			return abort(htm.AbortIrrevocable, stats.CheckOther, v)
 		}
 		return nil, err
 	}
@@ -521,7 +539,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 				passed := m.checkPasses(v, vals, oflow)
 				if m.inject != nil {
 					switch m.inject.At(Site{Kind: SiteCheck, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, Inline: v.InlinePath(),
-						Check: v.Check, HasSMP: v.Deopt != nil, InTx: m.HTM.InTx(), Failed: !passed}) {
+						Check: v.Check, HasSMP: v.Deopt != nil, InTx: m.HTM.InTx(), Failed: !passed, Shape: v.DispatchShape()}) {
 					case ActFailCheck:
 						// Only force failure where a recovery path exists:
 						// a stack map to deopt through, or an open
@@ -534,10 +552,16 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					}
 				}
 				if passed {
+					if v.Dispatch && m.trace != nil {
+						m.icHitOnce(EventICHit, f.Name, v)
+					}
 					break
 				}
 				// Check failed.
 				account(instr, extra)
+				if v.Dispatch {
+					m.emit(Event{Kind: EventICMiss, Fn: f.Name, PC: v.BCPos, Inline: v.InlinePath(), Shape: v.DispatchShape()})
+				}
 				if v.Deopt != nil {
 					// A kept SMP inside this frame's own transaction: the
 					// governor restored this site, so the failure exits
@@ -563,14 +587,61 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					assignBackEdges(rec)
 					m.emit(Event{Kind: EventDeopt, Fn: f.Name, CheckClass: v.Check, PC: rec.PC, Inline: v.Deopt.InlinePath()})
 					return value.Undefined(), &Deopt{Frame: rec, CheckClass: v.Check,
-						SiteFn: f.Name, SitePC: v.BCPos, SiteValueID: v.ID, SitePath: v.InlinePath()}, nil
+						SiteFn: f.Name, SitePC: v.BCPos, SiteValueID: v.ID, SitePath: v.InlinePath(),
+						SiteShape: v.DispatchShape(), SiteDispatch: v.Dispatch}, nil
 				}
 				cause := htm.AbortCause(htm.AbortCheck)
 				if free && v.Check == stats.CheckOverflow {
 					cause = htm.AbortSOF
 				}
-				d, err := abort(cause, v.Check, v.BCPos, v.ID, v.InlinePath())
+				d, err := abort(cause, v.Check, v)
 				return value.Undefined(), d, err
+
+			case ir.OpHasShape, ir.OpHasCallee:
+				var hit bool
+				if v.Op == ir.OpHasShape {
+					o := vals[v.Args[0].ID].Object()
+					hit = o != nil && o.Shape == v.Shape
+					if o != nil {
+						extra += m.load(m.Mem.ShapeAddr(o))
+					}
+				} else {
+					x := vals[v.Args[0].ID]
+					hit = x.IsCallable() && x.Object().Fn == v.Callee
+				}
+				if m.inject != nil {
+					switch m.inject.At(Site{Kind: SiteDispatch, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, Inline: v.InlinePath(),
+						InTx: m.HTM.InTx(), Failed: !hit, Shape: v.DispatchShape()}) {
+					case ActFailCheck:
+						// The way is skipped; the receiver cascades down the
+						// chain to the deopting tail guard.
+						hit = false
+					case ActPassCheck:
+						// Stale-shape-cache planted bug: the wrong way's
+						// specialized body runs for this receiver.
+						hit = true
+					}
+				}
+				vals[v.ID] = value.Boolean(hit)
+				if hit && v.Dispatch && m.trace != nil {
+					m.icHitOnce(EventICHit, f.Name, v)
+				}
+
+			case ir.OpTransition:
+				// Speculated property add: the way's shape guard proved the
+				// property absent, so this is the append path (the write hook
+				// records slot + shape word for transactional rollback).
+				o := vals[v.Args[0].ID].Object()
+				if o != nil {
+					o.Set(v.AuxStr, vals[v.Args[1].ID])
+					if off := o.OffsetOf(v.AuxStr); off >= 0 {
+						extra += m.Cache.Access(m.Mem.SlotAddr(o, off))
+					}
+					extra += m.Cache.Access(m.Mem.ShapeAddr(o))
+					if m.trace != nil {
+						m.icHitOnce(EventICTransition, f.Name, v)
+					}
+				}
 
 			case ir.OpLoadSlot:
 				o := vals[v.Args[0].ID].Object()
@@ -678,7 +749,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 						act := m.inject.At(Site{Kind: SiteTxBegin, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, Inline: v.InlinePath(), InTx: true})
 						if cause, ok := act.abortCause(); ok {
 							account(instr, extra)
-							d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID, v.InlinePath())
+							d, err := abort(cause, stats.CheckOther, v)
 							return value.Undefined(), d, err
 						}
 					}
@@ -693,7 +764,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					act := m.inject.At(Site{Kind: SiteTxCommit, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, Inline: v.InlinePath(), InTx: true})
 					if cause, ok := act.abortCause(); ok {
 						account(instr, extra)
-						d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID, v.InlinePath())
+						d, err := abort(cause, stats.CheckOther, v)
 						return value.Undefined(), d, err
 					}
 				}
@@ -718,7 +789,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					act := m.inject.At(Site{Kind: SiteTxTile, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, Inline: v.InlinePath(), InTx: true})
 					if cause, ok := act.abortCause(); ok {
 						account(instr, extra)
-						d, err := abort(cause, stats.CheckOther, v.BCPos, v.ID, v.InlinePath())
+						d, err := abort(cause, stats.CheckOther, v)
 						return value.Undefined(), d, err
 					}
 					forceTile = act == ActTileCommit
@@ -752,7 +823,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 			// transactional capacity; the undo log covers it, so abort now.
 			if m.pendingCapacity {
 				m.pendingCapacity = false
-				d, err := abort(htm.AbortCapacity, stats.CheckOther, v.BCPos, v.ID, v.InlinePath())
+				d, err := abort(htm.AbortCapacity, stats.CheckOther, v)
 				return value.Undefined(), d, err
 			}
 		}
@@ -864,6 +935,20 @@ func (m *Machine) checkPasses(v *ir.Value, vals []value.Value, oflow []bool) boo
 		return x.IsCallable() && x.Object().Fn == v.Callee
 	}
 	return false
+}
+
+// icHitOnce emits an IC trace event the first time the (site, shape) pair
+// fires it since the last machine reset, keeping hot-loop traces bounded.
+func (m *Machine) icHitOnce(kind EventKind, fn string, v *ir.Value) {
+	key := fmt.Sprintf("%d|%s|%s@%d|%s", kind, fn, v.InlinePath(), v.BCPos, v.DispatchShape())
+	if m.icSeen[key] {
+		return
+	}
+	if m.icSeen == nil {
+		m.icSeen = make(map[string]bool)
+	}
+	m.icSeen[key] = true
+	m.emit(Event{Kind: kind, Fn: fn, PC: v.BCPos, Inline: v.InlinePath(), Shape: v.DispatchShape()})
 }
 
 func (m *Machine) footprintNearCapacity(t *htm.Txn) bool {

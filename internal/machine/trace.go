@@ -41,6 +41,21 @@ const (
 	// EventRepromote fires when a demoted shared section earns its way back
 	// to the transactional fast path after a clean fallback window.
 	EventRepromote
+	// EventICMiss fires when a dispatch tree's tail guard fails: the receiver
+	// matched none of the site's speculated ways.
+	EventICMiss
+	// EventICFill fires when the JIT compiles a function containing dispatch
+	// trees (one event per site, after a fresh compile only).
+	EventICFill
+	// EventICHit fires the first time a site's guard chain matches a receiver
+	// (once per site per machine reset, to keep traces bounded).
+	EventICHit
+	// EventICTransition fires the first time a site executes a speculated
+	// shape transition (property add under a matching shape guard).
+	EventICTransition
+	// EventICDemote fires when the governor demotes a megamorphic dispatch
+	// site to the generic runtime path.
+	EventICDemote
 )
 
 // String names the kind.
@@ -68,6 +83,16 @@ func (k EventKind) String() string {
 		return "fallback-release"
 	case EventRepromote:
 		return "repromote"
+	case EventICMiss:
+		return "ic-miss"
+	case EventICFill:
+		return "ic-fill"
+	case EventICHit:
+		return "ic-hit"
+	case EventICTransition:
+		return "ic-transition"
+	case EventICDemote:
+		return "ic-demote"
 	}
 	return "?"
 }
@@ -95,6 +120,9 @@ type Event struct {
 	Window int64
 	// Attr is the conflict attribution (shared-heap aborts only).
 	Attr htm.Attribution
+	// Shape names the per-shape dispatch variant (IC events only): the
+	// receiver shape's transition path or the guarded callee's name.
+	Shape string
 }
 
 // String renders the event for logs.
@@ -124,6 +152,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%s] %s window=%dcy", e.Kind, e.Fn, e.Window)
 	case EventFallbackAcquire, EventFallbackRelease, EventRepromote:
 		return fmt.Sprintf("[%s] %s", e.Kind, e.Fn)
+	case EventICFill:
+		return fmt.Sprintf("[%s] %s site@%d ways=%d", e.Kind, e.Fn, e.PC, e.Window)
+	case EventICHit, EventICTransition, EventICMiss:
+		return fmt.Sprintf("[%s] %s site@%d shape=%s", e.Kind, e.Fn, e.PC, e.Shape)
+	case EventICDemote:
+		return fmt.Sprintf("[%s] %s site@%d", e.Kind, e.Fn, e.PC)
 	}
 	return "[?]"
 }

@@ -91,6 +91,15 @@ func ftlOpWeight(v *ir.Value) int64 {
 	case ir.OpCheckCallee:
 		return 2
 
+	// Dispatch-tree predicates: same comparison as the corresponding check,
+	// but the branch targets a sibling way instead of a deopt stub.
+	case ir.OpHasShape:
+		return 3 // load structure id, cmp imm, setcc/jcc
+	case ir.OpHasCallee:
+		return 2
+	case ir.OpTransition:
+		return 8 // slot store + shape-word store + barriers (append fast path)
+
 	case ir.OpLoadSlot:
 		return 3 // base+offset load, untag
 	case ir.OpStoreSlot:

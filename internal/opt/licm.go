@@ -63,6 +63,11 @@ func hoistLoop(f *ir.Func, dom *ir.DomTree, l *ir.Loop) {
 			}
 		}
 		switch {
+		case v.Dispatch:
+			// Dispatch-tree predicates and guards are control-dependent on
+			// their chain; hoisting one out of its diamond would test it for
+			// receivers that belong to other ways.
+			return false
 		case v.Op == ir.OpPhi || v.Op == ir.OpParam:
 			return false
 		case v.Op.IsPure():

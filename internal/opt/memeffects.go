@@ -40,7 +40,7 @@ func readKeys(v *ir.Value) []memKey {
 		return []memKey{{kind: kindLength}}
 	case ir.OpLoadGlobal:
 		return []memKey{{kind: kindGlobal, name: v.AuxStr}}
-	case ir.OpCheckShape, ir.OpCheckArray:
+	case ir.OpCheckShape, ir.OpCheckArray, ir.OpHasShape:
 		return []memKey{{kind: kindShape}}
 	case ir.OpCheckBounds:
 		return []memKey{{kind: kindLength}}
@@ -60,6 +60,9 @@ func writeKeys(v *ir.Value) []memKey {
 		return []memKey{{kind: kindElems}}
 	case ir.OpStoreGlobal:
 		return []memKey{{kind: kindGlobal, name: v.AuxStr}}
+	case ir.OpTransition:
+		// A speculated property add writes the new slot and the shape word.
+		return []memKey{{kind: kindShape}, {kind: kindSlot, off: v.AuxInt}}
 	}
 	return nil
 }

@@ -67,6 +67,12 @@ func hoistTypeChecksInLoop(f *ir.Func, l *ir.Loop) {
 			if !v.Op.IsCheck() || len(v.Args) != 1 {
 				continue
 			}
+			if v.Dispatch {
+				// Dispatch-tree guards are control-dependent on their chain:
+				// hoisting one way's guard would fail it for every other
+				// way's receiver.
+				continue
+			}
 			arg := v.Args[0]
 			if l.Contains(arg.Block) {
 				continue // not invariant

@@ -24,6 +24,11 @@ type Key struct {
 	// the path makes the enumeration (and sweep reports) name which
 	// flattened activation a site belongs to.
 	Inline string
+	// Shape names the per-shape dispatch variant for dispatch-tree predicates
+	// and their tail guards ("" for ordinary sites). Like Inline it is
+	// informative — ValueID already disambiguates — but it lets sweep reports
+	// say which way of a polymorphic site a fault was forced on.
+	Shape string
 }
 
 // String renders the key compactly.
@@ -31,6 +36,9 @@ func (k Key) String() string {
 	inl := ""
 	if k.Inline != "" {
 		inl = fmt.Sprintf("+inl[%s]", k.Inline)
+	}
+	if k.Shape != "" {
+		inl += fmt.Sprintf("+shape[%s]", k.Shape)
 	}
 	if k.OSR >= 0 {
 		return fmt.Sprintf("%s@%s+osr%d%s:v%d", k.Kind, k.Fn, k.OSR, inl, k.ValueID)
@@ -66,7 +74,14 @@ type recorder struct {
 func newRecorder() *recorder { return &recorder{sites: make(map[Key]*SiteInfo)} }
 
 func (r *recorder) At(s machine.Site) machine.Action {
-	k := Key{Kind: s.Kind, Fn: s.Fn, OSR: s.OSR, ValueID: s.ValueID, Inline: s.Inline}
+	// Dispatch predicates count only their passing visits: shot.At declines
+	// to force a miss on an already-missing predicate (a no-op fault), so
+	// Count must index the consumable occurrence space. A predicate that
+	// never passes is not an injectable site at all.
+	if s.Kind == machine.SiteDispatch && s.Failed {
+		return machine.ActNone
+	}
+	k := Key{Kind: s.Kind, Fn: s.Fn, OSR: s.OSR, ValueID: s.ValueID, Inline: s.Inline, Shape: s.Shape}
 	info := r.sites[k]
 	if info == nil {
 		info = &SiteInfo{Key: k, Check: s.Check, HasSMP: s.HasSMP, InTx: s.InTx, order: len(r.sites)}
@@ -108,6 +123,13 @@ type shot struct {
 func (s *shot) At(site machine.Site) machine.Action {
 	if s.fired || site.Kind != s.key.Kind || site.ValueID != s.key.ValueID ||
 		site.Fn != s.key.Fn || site.OSR != s.key.OSR || site.Inline != s.key.Inline {
+		return machine.ActNone
+	}
+	// Forcing a miss on an already-missing dispatch predicate would change
+	// nothing (and the run would then show no abort where one is expected);
+	// wait for a visit where the predicate passes, which the recorder
+	// guarantees exists (it only counts passing visits).
+	if site.Kind == machine.SiteDispatch && site.Failed && s.action == machine.ActFailCheck {
 		return machine.ActNone
 	}
 	s.seen++
@@ -159,6 +181,32 @@ func NewPlantedBug(classes ...stats.CheckClass) machine.Injector {
 
 func (b *bug) At(s machine.Site) machine.Action {
 	if s.Kind == machine.SiteCheck && s.Failed && (len(b.classes) == 0 || b.classes[s.Check]) {
+		return machine.ActPassCheck
+	}
+	return machine.ActNone
+}
+
+// staleShapeBug is the inline-cache analogue of the planted check-removal
+// bug: every failing dispatch-tree check — the way predicates, the deopting
+// tail guard, and the per-way callee guards inside method bodies — is
+// treated as a hit, exactly as if the whole cache entry were stale: a
+// receiver's hidden class moved on but the tree still dispatches it down the
+// old way. The wrong way's specialized body then runs to completion (no
+// second line of defense), and the differential oracle must observe the
+// divergence. Only ever installed by test builds (Sweep never uses it).
+type staleShapeBug struct{}
+
+// NewStaleShapeBug returns an injector that forces every failing
+// dispatch-marked check to report a hit. Dispatch-marked SiteCheck visits
+// are recognized by their per-shape identity (Site.Shape is "" for every
+// ordinary check).
+func NewStaleShapeBug() machine.Injector { return staleShapeBug{} }
+
+func (staleShapeBug) At(s machine.Site) machine.Action {
+	if !s.Failed {
+		return machine.ActNone
+	}
+	if s.Kind == machine.SiteDispatch || (s.Kind == machine.SiteCheck && s.Shape != "") {
 		return machine.ActPassCheck
 	}
 	return machine.ActNone

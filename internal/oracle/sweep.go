@@ -120,6 +120,11 @@ func defaultAction(kind machine.SiteKind) machine.Action {
 	switch kind {
 	case machine.SiteCheck:
 		return machine.ActFailCheck
+	case machine.SiteDispatch:
+		// A forced dispatch miss skips the matching way; the receiver then
+		// matches no sibling (shapes are mutually exclusive), so the chain
+		// cascades into its deopting tail guard — an abort or deopt follows.
+		return machine.ActFailCheck
 	case machine.SiteTxBegin:
 		return machine.ActAbortIrrevocable
 	case machine.SiteTxCommit:
@@ -300,7 +305,7 @@ func capacityTargets(w, n int) []int {
 // randomAction picks a legal action for the site kind.
 func randomAction(rng *rand.Rand, kind machine.SiteKind) machine.Action {
 	switch kind {
-	case machine.SiteCheck:
+	case machine.SiteCheck, machine.SiteDispatch:
 		return machine.ActFailCheck
 	case machine.SiteTxTile:
 		return []machine.Action{machine.ActAbortCapacity, machine.ActAbortSOF,

@@ -137,8 +137,29 @@ func (f *ElemFeedback) FastArray() bool {
 	return f.SawArray && !f.SawNonArray && !f.SawNonInt && f.Count > 0
 }
 
-// PropIC is a monomorphic inline cache for a property access site. A hit
-// means the receiver shape matches and the property is at Offset.
+// MaxWays bounds the per-site shape histograms: a site that observes more
+// distinct receiver shapes than this saturates to megamorphic and the
+// speculative tiers stop building dispatch trees for it (paper §V-C: guard
+// chains must stay footprint-cheap inside transactions).
+const MaxWays = 8
+
+// PropWay is one entry of a property site's receiver-shape histogram: the
+// shape observed, the slot offset resolved under it, and — for transitioning
+// stores — the shape the receiver becomes.
+type PropWay struct {
+	Shape  *value.Shape
+	Offset int
+	// NewShape is non-nil for property-add stores observed under Shape: the
+	// post-transition shape. A dispatch tree speculates the transition so a
+	// property add inside a transaction upgrades the guard instead of
+	// deopting.
+	NewShape *value.Shape
+	Count    int64
+}
+
+// PropIC is the inline cache for a property access site. The scalar fields
+// keep the original monomorphic fast path; Ways grows a per-shape histogram
+// (first-seen order, at most MaxWays entries) for polymorphic dispatch.
 type PropIC struct {
 	Shape  *value.Shape
 	Offset int
@@ -147,12 +168,18 @@ type PropIC struct {
 	Hits     int64
 	Misses   int64
 	// Poly is set after the cache has been invalidated repeatedly; the
-	// speculative tiers then refuse to emit a shape-checked fast path.
+	// speculative tiers then refuse to emit a monomorphic shape-checked fast
+	// path (the polymorphic dispatch tree consults Ways instead).
 	Poly         bool
 	SawNonObject bool
 	// SawArrayLength marks sites that read .length of an array (which
 	// bypasses the shape cache and compiles to a checked length load).
 	SawArrayLength bool
+	// Ways is the receiver-shape histogram in first-seen order.
+	Ways []PropWay
+	// Mega saturates the site: more than MaxWays distinct shapes were seen
+	// and the speculative tiers must use the generic path.
+	Mega bool
 }
 
 // Monomorphic reports the site always saw one shape on an object receiver.
@@ -160,14 +187,75 @@ func (ic *PropIC) Monomorphic() bool {
 	return ic.Shape != nil && !ic.Poly && !ic.SawNonObject
 }
 
+// ObserveWay merges one executed property access into the shape histogram.
+// newShape is non-nil for a property-add store (the post-transition shape).
+func (ic *PropIC) ObserveWay(shape *value.Shape, offset int, newShape *value.Shape) {
+	if shape == nil || ic.Mega {
+		return
+	}
+	for i := range ic.Ways {
+		w := &ic.Ways[i]
+		if w.Shape == shape {
+			w.Count++
+			// A site can first replace in place and later add under the same
+			// shape (or vice versa); remember the transition when seen.
+			if newShape != nil && w.NewShape == nil {
+				w.NewShape = newShape
+				w.Offset = offset
+			}
+			return
+		}
+	}
+	if len(ic.Ways) >= MaxWays {
+		ic.Mega = true
+		return
+	}
+	ic.Ways = append(ic.Ways, PropWay{Shape: shape, Offset: offset, NewShape: newShape, Count: 1})
+}
+
+// CallWay is one entry of a call site's callee histogram: the target
+// observed and, for method calls, the receiver shape it was loaded from.
+type CallWay struct {
+	Target *value.Function
+	Recv   *value.Shape
+	Count  int64
+}
+
 // CallFeedback records the callee observed at a call site. For method calls
 // it also records the receiver shape, enabling the FTL tier to emit a
-// shape-checked method load plus a callee check.
+// shape-checked method load plus a callee check. The scalar fields keep the
+// monomorphic fast path; Ways grows a per-callee histogram (first-seen
+// order, at most MaxWays entries) for polymorphic dispatch.
 type CallFeedback struct {
 	Target    *value.Function
 	RecvShape *value.Shape
 	Poly      bool
 	Count     int64
+	// Ways is the callee histogram in first-seen order.
+	Ways []CallWay
+	// Mega saturates the site: more than MaxWays distinct callees (or
+	// receiver shapes) were seen and the tiers must use the generic call.
+	Mega bool
+}
+
+// observeWay merges one executed call into the callee histogram. recv is the
+// receiver shape for method calls, nil for plain calls.
+func (f *CallFeedback) observeWay(fn *value.Function, recv *value.Shape) {
+	if fn == nil || f.Mega {
+		return
+	}
+	for i := range f.Ways {
+		w := &f.Ways[i]
+		if w.Target == fn && w.Recv == recv {
+			w.Count++
+			return
+		}
+	}
+	if len(f.Ways) >= MaxWays {
+		f.Mega = true
+		return
+	}
+	f.Ways = append(f.Ways, CallWay{Target: fn, Recv: recv, Count: 1})
 }
 
 // Observe merges one executed call.
@@ -178,16 +266,23 @@ func (f *CallFeedback) Observe(fn *value.Function) {
 		f.Poly = true
 	}
 	f.Count++
+	f.observeWay(fn, nil)
 }
 
 // ObserveMethod merges one executed method call with its receiver shape.
 func (f *CallFeedback) ObserveMethod(fn *value.Function, shape *value.Shape) {
-	f.Observe(fn)
+	if f.Target == nil {
+		f.Target = fn
+	} else if f.Target != fn {
+		f.Poly = true
+	}
+	f.Count++
 	if f.RecvShape == nil {
 		f.RecvShape = shape
 	} else if f.RecvShape != shape {
 		f.Poly = true
 	}
+	f.observeWay(fn, shape)
 }
 
 // Monomorphic reports a single callee was ever observed.

@@ -31,6 +31,11 @@ type Config struct {
 	MaxCallDepth int
 	// RandomSeed seeds Math.random deterministically.
 	RandomSeed uint64
+	// DisableIC turns off the polymorphic-inline-cache subsystem: every
+	// dispatch plan is dropped at expansion time and polymorphic sites keep
+	// the generic runtime path. The A/B surface for measuring what dispatch
+	// trees are worth, mirroring DisableInlining.
+	DisableIC bool
 	// DisableInlining turns off speculative call inlining in the DFG and FTL
 	// tiers (the zero value leaves it on); the benchmark harness uses it to
 	// measure the inliner's contribution.

@@ -17,10 +17,11 @@ package workloads
 //     proving multi-depth inlining and, under fault injection, multi-frame
 //     deopt reconstruction at inline depth 2.
 //
-//   - C04 poly-control: the negative control. The call site alternates two
-//     callees, so its feedback is polymorphic and the builder never emits a
-//     direct call — the inliner must leave it alone and the workload keeps
-//     its per-call cost under every configuration.
+//   - C04 poly-control: the call site alternates two callees, so its
+//     feedback is polymorphic and the builder never emits a plain direct
+//     call. The inline-cache subsystem grows it a 2-way dispatch plan
+//     instead: both callees inline behind their guards (see internal/ic and
+//     the P-suite in poly.go).
 //
 //   - C05 capacity-calls: a write footprint past HTM capacity plus a leaf
 //     call per iteration. Without inlining the first capacity abort blames

@@ -1,0 +1,124 @@
+package workloads
+
+// Polymorphic-dispatch workloads: hot loops whose sites see several receiver
+// shapes or callees, exercising the inline-cache subsystem (internal/ic)
+// end to end:
+//
+//   - P01/P02/P03 poly-call-2/4/8: method-call loops over receivers of 2, 4,
+//     and 8 distinct hidden classes. Baseline records the per-site shape
+//     histogram, the speculative tiers materialize a shape-guarded dispatch
+//     tree, and the top ways inline behind their guards. P03 sits exactly at
+//     profile.MaxWays — the widest tree the §V-C footprint argument allows.
+//
+//   - P04 poly-props: a property-heavy get/set loop over two shapes whose
+//     stores add a property, so the dispatch tree speculates the shape
+//     transition — inside a transaction the add upgrades the guard instead
+//     of deopting.
+//
+//   - P05 mega-control: the negative control. The load site cycles ten
+//     shapes, one past saturation, so Baseline marks it megamorphic, the
+//     builder never grows a plan, and the site keeps the generic runtime
+//     path under every configuration.
+var poly = []Workload{
+	{ID: "P01", Name: "poly-call-2", Suite: "Poly", Iterations: 1, Source: `
+function pa(x) { return x + 7; }
+function pb(x) { return (x * 3) | 0; }
+var P1 = new Array(64);
+for (var i = 0; i < 64; i++) {
+  if ((i & 1) == 0) P1[i] = {k: i, m: pa};
+  else P1[i] = {t: 1, k: i, m: pb};
+}
+function run() {
+  var s = 0;
+  for (var i = 0; i < 4000; i++) s = s + P1[i & 63].m(i & 31);
+  return s;
+}`},
+
+	{ID: "P02", Name: "poly-call-4", Suite: "Poly", Iterations: 1, Source: `
+function qa(x) { return x + 7; }
+function qb(x) { return (x * 3) | 0; }
+function qc(x) { return (x ^ 21) & 127; }
+function qd(x) { return (x + x) | 0; }
+var P2 = new Array(64);
+for (var i = 0; i < 64; i++) {
+  var r = i & 3;
+  if (r == 0) P2[i] = {k: i, m: qa};
+  else if (r == 1) P2[i] = {t: 1, k: i, m: qb};
+  else if (r == 2) P2[i] = {u: 1, t: 1, k: i, m: qc};
+  else P2[i] = {w: 1, u: 1, t: 1, k: i, m: qd};
+}
+function run() {
+  var s = 0;
+  for (var i = 0; i < 4000; i++) s = s + P2[i & 63].m(i & 31);
+  return s;
+}`},
+
+	{ID: "P03", Name: "poly-call-8", Suite: "Poly", Iterations: 1, Source: `
+function ra(x) { return x + 1; }
+function rb(x) { return x + 2; }
+function rc(x) { return x + 3; }
+function rd(x) { return x + 4; }
+function re(x) { return (x * 3) | 0; }
+function rf(x) { return (x * 5) | 0; }
+function rg(x) { return (x ^ 9) & 255; }
+function rh(x) { return (x + x + 1) | 0; }
+var P3 = new Array(64);
+for (var i = 0; i < 64; i++) {
+  var r = i & 7;
+  if (r == 0) P3[i] = {k: i, m: ra};
+  else if (r == 1) P3[i] = {b1: 1, k: i, m: rb};
+  else if (r == 2) P3[i] = {b2: 1, k: i, m: rc};
+  else if (r == 3) P3[i] = {b3: 1, k: i, m: rd};
+  else if (r == 4) P3[i] = {b4: 1, k: i, m: re};
+  else if (r == 5) P3[i] = {b5: 1, k: i, m: rf};
+  else if (r == 6) P3[i] = {b6: 1, k: i, m: rg};
+  else P3[i] = {b7: 1, k: i, m: rh};
+}
+function run() {
+  var s = 0;
+  for (var i = 0; i < 4000; i++) s = s + P3[i & 63].m(i & 31);
+  return s;
+}`},
+
+	{ID: "P04", Name: "poly-props", Suite: "Poly", Iterations: 1, Source: `
+function mkp(i) {
+  if ((i & 1) == 0) return {a: i, b: 0};
+  return {b: 0, a: i};
+}
+function run() {
+  var s = 0;
+  for (var i = 0; i < 2500; i++) {
+    var o = mkp(i);
+    o.c = i & 15;
+    o.b = o.a + o.c;
+    s = s + o.b;
+  }
+  return s;
+}`},
+
+	{ID: "P05", Name: "mega-control", Suite: "Poly", Iterations: 1, Source: `
+var P5 = new Array(10);
+P5[0] = {c0: 1, x: 3};
+P5[1] = {c1: 1, x: 5};
+P5[2] = {c2: 1, x: 7};
+P5[3] = {c3: 1, x: 11};
+P5[4] = {c4: 1, x: 13};
+P5[5] = {c5: 1, x: 17};
+P5[6] = {c6: 1, x: 19};
+P5[7] = {c7: 1, x: 23};
+P5[8] = {c8: 1, x: 29};
+P5[9] = {c9: 1, x: 31};
+function run() {
+  var s = 0;
+  var j = 0;
+  for (var i = 0; i < 3000; i++) {
+    s = s + P5[j].x;
+    j = j + 1;
+    if (j == 10) j = 0;
+  }
+  return s;
+}`},
+}
+
+// Poly returns the polymorphic-dispatch workloads (P01..P05).
+func Poly() []Workload { return poly }

@@ -65,6 +65,10 @@ type Options struct {
 	MaxTier Tier
 	// Seed seeds Math.random deterministically (0 = default seed).
 	Seed uint64
+	// DisableIC turns off the polymorphic-inline-cache subsystem: dispatch
+	// sites keep their generic runtime path. The A/B surface for measuring
+	// what shape-guarded dispatch trees are worth.
+	DisableIC bool
 }
 
 // Value is a JavaScript value produced by the engine.
@@ -91,6 +95,7 @@ func NewEngine(opts Options) *Engine {
 	if opts.Seed != 0 {
 		cfg.RandomSeed = opts.Seed
 	}
+	cfg.DisableIC = opts.DisableIC
 	v := vm.New(cfg)
 	return &Engine{vm: v, jit: jit.Attach(v)}
 }

@@ -9,7 +9,10 @@ import (
 	"testing"
 
 	"nomap/internal/htm"
+	"nomap/internal/jit"
 	"nomap/internal/machine"
+	"nomap/internal/profile"
+	"nomap/internal/value"
 	"nomap/internal/vm"
 )
 
@@ -144,6 +147,97 @@ func TestTraceGoldenConflict(t *testing.T) {
 		}
 	}
 	checkGolden(t, "trace_conflict.golden", lines)
+}
+
+// TestTraceGoldenIC pins the inline-cache subsystem's whole event ladder for
+// one fixed program under ArchBase (no transactions, so the trace is pure
+// compile/deopt/IC events). The program's run() holds three speculation
+// sites: a polymorphic method call over two receiver shapes, a two-shape
+// property get, and a transition-speculating store. The phases:
+//
+//  1. Warm-up: the DFG then FTL artifacts fill their dispatch trees
+//     (ic-fill per site), and the first matched receiver of each way logs
+//     ic-hit; the first speculated property add logs ic-transition.
+//
+//  2. A third receiver shape appears: the method tree's tail guard fails
+//     (ic-miss with the stale shape), the deopt re-profiles it, and the
+//     recompile fills a wider tree.
+//
+//  3. Three more fresh shapes arrive one at a time. Each repeats the
+//     miss→refill cycle until the site's dispatch-miss ledger crosses the
+//     governor's budget: the fourth miss demotes the site (ic-demote), and
+//     the final artifact keeps the method call generic while the unaffected
+//     get/set trees still fill.
+func TestTraceGoldenIC(t *testing.T) {
+	cfg := vm.DefaultConfig()
+	cfg.Arch = vm.ArchBase
+	cfg.Policy = profile.Policy{BaselineThreshold: 2, DFGThreshold: 8, FTLThreshold: 40, MaxDeopts: 16}
+	v := vm.New(cfg)
+	b := jit.Attach(v)
+	var lines []string
+	b.Machine().SetTracer(func(e machine.Event) { lines = append(lines, e.String()) })
+
+	src := `
+function fa(x) { return x + 1; }
+function fb(x) { return (x * 3) | 0; }
+var A = new Array(16);
+for (var i = 0; i < 16; i++) {
+  if ((i & 1) == 0) A[i] = {k: i, m: fa};
+  else A[i] = {p: 1, k: i, m: fb};
+}
+function mk(i) {
+  if ((i & 1) == 0) return {a: i, b: 0};
+  return {b: 0, a: i};
+}
+function run(n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    var t = mk(i);
+    t.c = i & 7;
+    s = s + A[i & 15].m(i & 7) + t.a + t.c;
+  }
+  return s;
+}
+`
+	if _, err := v.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	call := func(times int) {
+		t.Helper()
+		for i := 0; i < times; i++ {
+			if _, err := v.CallGlobal("run", value.Int(32)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	call(50)
+	// Four fresh receiver shapes, one per phase: each forces a tail-guard
+	// miss and a refill, and the fourth crosses the dispatch-miss budget.
+	for n, poison := range []string{
+		`A[3] = {q0: 1, k: 3, m: fa};`,
+		`A[5] = {q1: 1, q0: 1, k: 5, m: fb};`,
+		`A[7] = {q2: 1, q1: 1, k: 7, m: fa};`,
+		`A[9] = {q3: 1, q2: 1, k: 9, m: fb};`,
+	} {
+		if _, err := v.Run(poison); err != nil {
+			t.Fatalf("poison %d: %v", n, err)
+		}
+		call(12)
+	}
+
+	joined := strings.Join(lines, "\n")
+	last := -1
+	for _, must := range []string{"[ic-fill]", "[ic-hit]", "[ic-transition]", "[ic-miss]", "[ic-demote]"} {
+		at := strings.Index(joined, must)
+		if at < 0 {
+			t.Fatalf("trace is missing %s:\n%s", must, joined)
+		}
+		if at < last {
+			t.Fatalf("%s appears before the preceding ladder stage:\n%s", must, joined)
+		}
+		last = at
+	}
+	checkGolden(t, "trace_ic.golden", lines)
 }
 
 // checkGolden compares the event lines against testdata/golden/<name>,
