@@ -71,6 +71,7 @@ func measureBench(cfg harness.Config) (benchFile, error) {
 	steady = append(steady, workloads.Adversarial()...)
 	steady = append(steady, workloads.CallHeavy()...)
 	steady = append(steady, workloads.Poly()...)
+	steady = append(steady, workloads.Numeric()...)
 	for _, w := range steady {
 		start := time.Now()
 		m, err := harness.Run(w, vm.ArchNoMap, profile.TierFTL, cfg)

@@ -80,6 +80,20 @@ const (
 	OpSetCell     // A=depth, B=cell index, C=src
 	OpMakeClosure // A=dst, B=nested function index
 
+	// Fused superinstructions, produced only by the peephole pass (Fuse) —
+	// codegen never emits them directly. Each is semantically identical to
+	// the instruction sequence it replaced, at a single dispatch.
+	OpAddK // A=dst, B=src, C=const pool index: dst = src + consts[C]
+	OpSubK // A=dst, B=src, C=const pool index: dst = src - consts[C]
+	OpMulK // A=dst, B=src, C=const pool index: dst = src * consts[C]
+	OpIncr // A=reg, B=delta (+1/-1): reg = ToNumber(reg) + delta
+	// Compare-and-branch: the compare's boolean register was proven dead, so
+	// the fused form produces no value. D holds the comparison opcode.
+	OpCmpJF  // A=lhs, B=rhs reg, C=target, D=compare op: jump when false
+	OpCmpJT  // A=lhs, B=rhs reg, C=target, D=compare op: jump when true
+	OpCmpKJF // A=lhs, B=const pool index, C=target, D=compare op
+	OpCmpKJT // A=lhs, B=const pool index, C=target, D=compare op
+
 	numOps
 )
 
@@ -97,6 +111,8 @@ var opNames = [numOps]string{
 	OpGetElem: "getelem", OpSetElem: "setelem", OpSetElemI: "setelemi",
 	OpGetGlobal: "getg", OpSetGlobal: "setg", OpGetCell: "getcell",
 	OpSetCell: "setcell", OpMakeClosure: "closure",
+	OpAddK: "addk", OpSubK: "subk", OpMulK: "mulk", OpIncr: "incr",
+	OpCmpJF: "cmpjf", OpCmpJT: "cmpjt", OpCmpKJF: "cmpkjf", OpCmpKJT: "cmpkjt",
 }
 
 // String returns the mnemonic.
@@ -112,6 +128,12 @@ func (o Op) IsBinary() bool { return o >= OpAdd && o <= OpStrictNeq }
 
 // IsCompare reports whether the op produces a boolean comparison result.
 func (o Op) IsCompare() bool { return o >= OpLess && o <= OpStrictNeq }
+
+// IsFused reports whether the op is a peephole superinstruction.
+func (o Op) IsFused() bool { return o >= OpAddK && o <= OpCmpKJT }
+
+// IsCmpBranch reports whether the op is a fused compare-and-branch.
+func (o Op) IsCmpBranch() bool { return o >= OpCmpJF && o <= OpCmpKJT }
 
 // Instr is one bytecode instruction. Operand meaning depends on Op.
 type Instr struct {
@@ -138,6 +160,14 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%-8s r%d = r%d.[n%d](r%d..+%d)", in.Op, in.A, in.B, in.E, in.C, in.D)
 	case OpCall, OpNew:
 		return fmt.Sprintf("%-8s r%d = r%d(r%d..+%d)", in.Op, in.A, in.B, in.C, in.D)
+	case OpAddK, OpSubK, OpMulK:
+		return fmt.Sprintf("%-8s r%d, r%d, #%d", in.Op, in.A, in.B, in.C)
+	case OpIncr:
+		return fmt.Sprintf("%-8s r%d, %+d", in.Op, in.A, in.B)
+	case OpCmpJF, OpCmpJT:
+		return fmt.Sprintf("%-8s %s r%d, r%d @%d", in.Op, Op(in.D), in.A, in.B, in.C)
+	case OpCmpKJF, OpCmpKJT:
+		return fmt.Sprintf("%-8s %s r%d, #%d @%d", in.Op, Op(in.D), in.A, in.B, in.C)
 	default:
 		return fmt.Sprintf("%-8s r%d, %d, %d, %d", in.Op, in.A, in.B, in.C, in.D)
 	}

@@ -9,8 +9,26 @@ import (
 
 // Compile translates a parsed program into a top-level function ("<main>",
 // executed once per run) plus recursively compiled nested functions. All
-// top-level vars become globals, matching JavaScript script semantics.
+// top-level vars become globals, matching JavaScript script semantics. The
+// peephole fusion pass (Fuse) runs on every compiled function, so the code
+// all tiers see contains superinstructions.
 func Compile(prog *ast.Program) (*Function, error) {
+	fn, err := compileProg(prog)
+	if err != nil {
+		return nil, err
+	}
+	FuseTree(fn)
+	return fn, nil
+}
+
+// CompileNoFuse compiles without the peephole fusion pass: the exact
+// one-op-per-step codegen output. It is the DisableBoxing A/B baseline and a
+// reference semantics for differential tests.
+func CompileNoFuse(prog *ast.Program) (*Function, error) {
+	return compileProg(prog)
+}
+
+func compileProg(prog *ast.Program) (*Function, error) {
 	res := resolveProgram(prog)
 	c := newCompiler("<main>", nil, res)
 	if err := c.hoistFunctionDecls(prog.Body); err != nil {

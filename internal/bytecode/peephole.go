@@ -1,0 +1,337 @@
+package bytecode
+
+// Peephole superinstruction fusion. The compiler's straightforward codegen
+// produces recurring multi-instruction idioms — load-const-then-binop,
+// compare-then-branch, and the five-instruction ++/-- expansion — each paying
+// a full dispatch per instruction in the bytecode tiers. Fuse rewrites them
+// into single superinstructions (OpAddK/OpSubK/OpMulK, OpCmpJF/OpCmpJT/
+// OpCmpKJF/OpCmpKJT, OpIncr) after codegen and before any profile, artifact,
+// or frame exists, so every tier sees one consistent code array and one pc
+// space.
+//
+// Safety rules:
+//   - A pattern's interior instructions must not be jump targets: fusion
+//     never crosses a basic-block boundary, so OSR-entry headers and branch
+//     targets stay addressable.
+//   - Eliminated intermediate registers must be expression temporaries
+//     (>= NumLocals) and dead after the pattern, proven by a backward
+//     liveness datafow over the instruction-level CFG — not just by their
+//     register range, since logical-operator codegen branches on live
+//     registers.
+//   - The fused instruction occupies the pattern's first pc; every later
+//     profile (arith feedback, IC slots) and deopt/OSR site is allocated
+//     against the fused code, so there are no profiling-site seams.
+
+// Fuse rewrites fn's code in place, fusing superinstruction patterns and
+// remapping jump targets. It must run once, immediately after codegen.
+func Fuse(fn *Function) {
+	if len(fn.Code) == 0 {
+		return
+	}
+	liveOut := liveness(fn)
+	target := jumpTargets(fn)
+
+	code := fn.Code
+	out := make([]Instr, 0, len(code))
+	oldToNew := make([]int, len(code)+1)
+	pc := 0
+	for pc < len(code) {
+		in, n := fuseAt(fn, pc, liveOut, target)
+		if n == 0 {
+			oldToNew[pc] = len(out)
+			out = append(out, code[pc])
+			pc++
+			continue
+		}
+		for i := 0; i < n; i++ {
+			oldToNew[pc+i] = len(out)
+		}
+		out = append(out, in)
+		pc += n
+	}
+	oldToNew[len(code)] = len(out)
+
+	for i := range out {
+		switch out[i].Op {
+		case OpJump:
+			out[i].A = int32(oldToNew[out[i].A])
+		case OpJumpIfTrue, OpJumpIfFalse:
+			out[i].B = int32(oldToNew[out[i].B])
+		case OpCmpJF, OpCmpJT, OpCmpKJF, OpCmpKJT:
+			out[i].C = int32(oldToNew[out[i].C])
+		}
+	}
+	fn.Code = out
+}
+
+// FuseTree fuses fn and every nested function.
+func FuseTree(fn *Function) {
+	Fuse(fn)
+	for _, nested := range fn.Funcs {
+		FuseTree(nested)
+	}
+}
+
+// fuseAt tries every pattern anchored at pc, longest first, and returns the
+// fused instruction plus the number of instructions consumed (0 = no match).
+func fuseAt(fn *Function, pc int, liveOut []bitset, target []bool) (Instr, int) {
+	code := fn.Code
+	nl := fn.NumLocals
+	temp := func(r int32) bool { return int(r) >= nl }
+	// deadAfter reports that register r holds no live value after code[last]:
+	// either it is not live-out, or instruction redef (an index into the
+	// pattern) overwrote it before any later read.
+	deadAfter := func(last int, r int32) bool { return !liveOut[last].has(int(r)) }
+	interiorFree := func(n int) bool {
+		if pc+n > len(code) {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if target[pc+i] {
+				return false
+			}
+		}
+		return true
+	}
+	in0 := code[pc]
+
+	// INCR: the ++/-- expansion on a local —
+	//   tonum t1, x; ldc t2, #1; add|sub t3, t1, t2; mov x, t3; mov t4, (t3|t1)
+	// with every temporary dead after the pattern (the expression result
+	// unused), becomes: incr x, ±1.
+	if in0.Op == OpToNumber && interiorFree(5) {
+		i1, i2, i3, i4 := code[pc+1], code[pc+2], code[pc+3], code[pc+4]
+		x, t1 := in0.B, in0.A
+		if i1.Op == OpLoadConst && (i2.Op == OpAdd || i2.Op == OpSub) &&
+			i3.Op == OpMove && i4.Op == OpMove {
+			t2, t3, t4 := i1.A, i2.A, i4.A
+			kv := fn.Consts[i1.B]
+			if int(x) < nl && temp(t1) && temp(t2) && temp(t3) && temp(t4) &&
+				kv.IsInt32() && kv.Int32() == 1 &&
+				i2.B == t1 && i2.C == t2 &&
+				i3.A == x && i3.B == t3 &&
+				(i4.B == t3 || i4.B == t1) &&
+				x != t1 && x != t2 && x != t3 && x != t4 &&
+				deadAfter(pc+4, t1) && deadAfter(pc+4, t2) &&
+				deadAfter(pc+4, t3) && deadAfter(pc+4, t4) {
+				delta := int32(1)
+				if i2.Op == OpSub {
+					delta = -1
+				}
+				return Instr{Op: OpIncr, A: x, B: delta, Line: in0.Line}, 5
+			}
+		}
+	}
+
+	// CmpKJF/CmpKJT: ldc t1, #K; cmp t2, a, t1; jf|jt t2, L  →  cmpkjf a, #K @L
+	if in0.Op == OpLoadConst && interiorFree(3) {
+		i1, i2 := code[pc+1], code[pc+2]
+		if i1.Op.IsCompare() && (i2.Op == OpJumpIfFalse || i2.Op == OpJumpIfTrue) {
+			t1, t2 := in0.A, i1.A
+			if temp(t1) && temp(t2) && i1.C == t1 && i1.B != t1 && i2.A == t2 &&
+				(t1 == t2 || deadAfter(pc+2, t1)) && deadAfter(pc+2, t2) {
+				op := OpCmpKJF
+				if i2.Op == OpJumpIfTrue {
+					op = OpCmpKJT
+				}
+				return Instr{Op: op, A: i1.B, B: in0.B, C: i2.B, D: int32(i1.Op), Line: i1.Line}, 3
+			}
+		}
+	}
+
+	// AddK/SubK/MulK: ldc t, #K; add|sub|mul d, a, t  →  addk d, a, #K.
+	// Only right-operand constants fuse: + is not commutative once strings
+	// are involved, so operand order is preserved exactly.
+	if in0.Op == OpLoadConst && interiorFree(2) {
+		i1 := code[pc+1]
+		var op Op
+		switch i1.Op {
+		case OpAdd:
+			op = OpAddK
+		case OpSub:
+			op = OpSubK
+		case OpMul:
+			op = OpMulK
+		}
+		if op != 0 {
+			t := in0.A
+			if temp(t) && i1.C == t && i1.B != t &&
+				(t == i1.A || deadAfter(pc+1, t)) {
+				return Instr{Op: op, A: i1.A, B: i1.B, C: in0.B, Line: i1.Line}, 2
+			}
+		}
+	}
+
+	// CmpJF/CmpJT: cmp t, a, b; jf|jt t, L  →  cmpjf a, b @L with the dead
+	// boolean register eliminated.
+	if in0.Op.IsCompare() && interiorFree(2) {
+		i1 := code[pc+1]
+		if (i1.Op == OpJumpIfFalse || i1.Op == OpJumpIfTrue) && i1.A == in0.A &&
+			temp(in0.A) && deadAfter(pc+1, in0.A) {
+			op := OpCmpJF
+			if i1.Op == OpJumpIfTrue {
+				op = OpCmpJT
+			}
+			return Instr{Op: op, A: in0.B, B: in0.C, C: i1.B, D: int32(in0.Op), Line: in0.Line}, 2
+		}
+	}
+
+	return Instr{}, 0
+}
+
+// --- instruction-level liveness ---
+
+type bitset []uint64
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// or unions src into b, reporting whether b changed.
+func (b bitset) or(src bitset) bool {
+	changed := false
+	for i, w := range src {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// jumpTargets marks every pc that some jump lands on.
+func jumpTargets(fn *Function) []bool {
+	t := make([]bool, len(fn.Code)+1)
+	for _, in := range fn.Code {
+		switch in.Op {
+		case OpJump:
+			t[in.A] = true
+		case OpJumpIfTrue, OpJumpIfFalse:
+			t[in.B] = true
+		case OpCmpJF, OpCmpJT, OpCmpKJF, OpCmpKJT:
+			t[in.C] = true
+		}
+	}
+	return t
+}
+
+// succs appends the control-flow successors of code[pc] to dst.
+func succs(pc int, in Instr, dst []int) []int {
+	switch in.Op {
+	case OpJump:
+		return append(dst, int(in.A))
+	case OpJumpIfTrue, OpJumpIfFalse:
+		return append(dst, pc+1, int(in.B))
+	case OpCmpJF, OpCmpJT, OpCmpKJF, OpCmpKJT:
+		return append(dst, pc+1, int(in.C))
+	case OpReturn:
+		return dst
+	}
+	return append(dst, pc+1)
+}
+
+// instrDef returns the register defined by in, or -1.
+func instrDef(in Instr) int {
+	switch in.Op {
+	case OpLoadConst, OpLoadUndef, OpMove, OpNeg, OpNot, OpBitNot, OpTypeof,
+		OpToNumber, OpCall, OpCallMethod, OpNew, OpNewObject, OpNewArray,
+		OpGetProp, OpGetElem, OpGetGlobal, OpGetCell, OpMakeClosure,
+		OpAddK, OpSubK, OpMulK, OpIncr:
+		return int(in.A)
+	}
+	if in.Op.IsBinary() {
+		return int(in.A)
+	}
+	return -1
+}
+
+// instrUses invokes use for every register read by in, including call
+// argument windows.
+func instrUses(in Instr, use func(int)) {
+	switch in.Op {
+	case OpMove, OpNeg, OpNot, OpBitNot, OpTypeof, OpToNumber:
+		use(int(in.B))
+	case OpJumpIfTrue, OpJumpIfFalse, OpReturn:
+		use(int(in.A))
+	case OpCall, OpNew:
+		use(int(in.B))
+		for i := int32(0); i < in.D; i++ {
+			use(int(in.C + i))
+		}
+	case OpCallMethod:
+		use(int(in.B))
+		for i := int32(0); i < in.D; i++ {
+			use(int(in.C + i))
+		}
+	case OpGetProp:
+		use(int(in.B))
+	case OpSetProp:
+		use(int(in.A))
+		use(int(in.C))
+	case OpGetElem:
+		use(int(in.B))
+		use(int(in.C))
+	case OpSetElem:
+		use(int(in.A))
+		use(int(in.B))
+		use(int(in.C))
+	case OpSetElemI:
+		use(int(in.A))
+		use(int(in.C))
+	case OpSetGlobal:
+		use(int(in.B))
+	case OpSetCell:
+		use(int(in.C))
+	case OpAddK, OpSubK, OpMulK:
+		use(int(in.B))
+	case OpIncr:
+		use(int(in.A))
+	case OpCmpJF, OpCmpJT:
+		use(int(in.A))
+		use(int(in.B))
+	case OpCmpKJF, OpCmpKJT:
+		use(int(in.A))
+	default:
+		if in.Op.IsBinary() {
+			use(int(in.B))
+			use(int(in.C))
+		}
+	}
+}
+
+// liveness computes per-instruction live-out register sets by backward
+// fixpoint over the instruction-level CFG.
+func liveness(fn *Function) []bitset {
+	n := len(fn.Code)
+	words := (fn.NumRegs + 64) / 64
+	liveIn := make([]bitset, n)
+	liveOut := make([]bitset, n)
+	for i := range liveIn {
+		liveIn[i] = make(bitset, words)
+		liveOut[i] = make(bitset, words)
+	}
+	scratch := make([]int, 0, 2)
+	tmp := make(bitset, words)
+	for changed := true; changed; {
+		changed = false
+		for pc := n - 1; pc >= 0; pc-- {
+			in := fn.Code[pc]
+			out := liveOut[pc]
+			scratch = succs(pc, in, scratch[:0])
+			for _, s := range scratch {
+				if s < n && out.or(liveIn[s]) {
+					changed = true
+				}
+			}
+			copy(tmp, out)
+			if d := instrDef(in); d >= 0 {
+				tmp.clear(d)
+			}
+			instrUses(in, func(r int) { tmp.set(r) })
+			if liveIn[pc].or(tmp) {
+				changed = true
+			}
+		}
+	}
+	return liveOut
+}

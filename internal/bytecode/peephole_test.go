@@ -1,0 +1,255 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"nomap/internal/parser"
+	"nomap/internal/value"
+)
+
+// compileNoFuse compiles without the peephole pass (the seed's codegen).
+func compileNoFuse(t *testing.T, src string) *Function {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn, err := CompileNoFuse(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return fn
+}
+
+// TestFusionFires compiles sources and asserts the expected superinstructions
+// appear in (and absent mnemonics stay out of) the disassembly.
+func TestFusionFires(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		fn     string
+		want   []string // substrings that must appear
+		absent []string // substrings that must not appear
+	}{
+		{
+			name: "addk",
+			src:  `function f(x) { return x + 1; }`,
+			fn:   "f",
+			want: []string{"addk"},
+			// The constant operand moved into the instruction; no load
+			// remains.
+			absent: []string{"ldc"},
+		},
+		{
+			name:   "subk",
+			src:    `function f(x) { return x - 2; }`,
+			fn:     "f",
+			want:   []string{"subk"},
+			absent: []string{"ldc"},
+		},
+		{
+			name:   "mulk",
+			src:    `function f(x) { return x * 3; }`,
+			fn:     "f",
+			want:   []string{"mulk"},
+			absent: []string{"ldc"},
+		},
+		{
+			name: "lhs const not fused",
+			// Only RHS-constant forms fuse (Add is not commutative for
+			// strings); a constant left operand keeps the generic sequence.
+			src:    `function f(x) { return 1 - x; }`,
+			fn:     "f",
+			want:   []string{"ldc", "sub "},
+			absent: []string{"subk"},
+		},
+		{
+			name: "incr and compare-branch in for loop",
+			src: `function f(n) {
+			  var s = 0;
+			  for (var i = 0; i < n; i++) s = s + i;
+			  return s;
+			}`,
+			fn:   "f",
+			want: []string{"incr", "cmpjf", "lt r"},
+		},
+		{
+			name: "const compare-branch in while loop",
+			src: `function f() {
+			  var i = 0;
+			  while (i < 10) i++;
+			  return i;
+			}`,
+			fn:   "f",
+			want: []string{"cmpkjf", "incr"},
+		},
+		{
+			name: "decrement",
+			src: `function f(n) {
+			  while (n > 0) n--;
+			  return n;
+			}`,
+			fn:   "f",
+			want: []string{"incr", "-1"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			main := compile(t, tc.src)
+			f := nested(t, main, tc.fn)
+			dis := f.Disassemble()
+			for _, w := range tc.want {
+				if !strings.Contains(dis, w) {
+					t.Errorf("disassembly missing %q:\n%s", w, dis)
+				}
+			}
+			for _, a := range tc.absent {
+				if strings.Contains(dis, a) {
+					t.Errorf("disassembly must not contain %q:\n%s", a, dis)
+				}
+			}
+		})
+	}
+}
+
+// TestNoFuseAcrossJumpTarget hand-crafts a function whose add instruction is
+// itself a jump target: the ldc/add pair straddles a basic-block boundary, so
+// the peephole must leave it alone even though the instructions are adjacent.
+func TestNoFuseAcrossJumpTarget(t *testing.T) {
+	fn := &Function{
+		Name:      "t",
+		NumLocals: 2,
+		NumRegs:   4,
+		Consts:    []value.Value{value.Int(1)},
+		Code: []Instr{
+			{Op: OpLoadConst, A: 2, B: 0},  // 0: ldc r2, #1
+			{Op: OpAdd, A: 3, B: 0, C: 2},  // 1: add r3, r0, r2   <- jump target
+			{Op: OpMove, A: 1, B: 3},       // 2: mov r1, r3
+			{Op: OpJumpIfTrue, A: 1, B: 1}, // 3: jt r1, @1
+			{Op: OpReturn, A: 1},           // 4: ret r1
+		},
+	}
+	Fuse(fn)
+	if fn.Code[0].Op != OpLoadConst || fn.Code[1].Op != OpAdd {
+		t.Errorf("fusion across a block boundary:\n%s", fn.Disassemble())
+	}
+}
+
+// TestNoFuseLiveConstTemp hand-crafts a function where the constant's temp
+// register is read again after the add: eliminating the load would change the
+// later read, so the peephole must not fire.
+func TestNoFuseLiveConstTemp(t *testing.T) {
+	fn := &Function{
+		Name:      "t",
+		NumLocals: 2,
+		NumRegs:   4,
+		Consts:    []value.Value{value.Int(1)},
+		Code: []Instr{
+			{Op: OpLoadConst, A: 2, B: 0}, // 0: ldc r2, #1
+			{Op: OpAdd, A: 3, B: 0, C: 2}, // 1: add r3, r0, r2
+			{Op: OpAdd, A: 1, B: 3, C: 2}, // 2: add r1, r3, r2  (r2 still live)
+			{Op: OpReturn, A: 1},          // 3: ret r1
+		},
+	}
+	Fuse(fn)
+	if fn.Code[0].Op != OpLoadConst {
+		t.Errorf("fusion eliminated a live constant temp:\n%s", fn.Disassemble())
+	}
+}
+
+// TestNoFuseNamedLocalTemp: patterns may only eliminate expression temps
+// (registers >= NumLocals). A named local holding the constant stays: deopt
+// materializes named locals, so their contents are observable.
+func TestNoFuseNamedLocalTemp(t *testing.T) {
+	fn := &Function{
+		Name:      "t",
+		NumLocals: 3, // r2 is a named local, not a temp
+		NumRegs:   4,
+		Consts:    []value.Value{value.Int(1)},
+		Code: []Instr{
+			{Op: OpLoadConst, A: 2, B: 0}, // 0: ldc r2, #1   (named local!)
+			{Op: OpAdd, A: 3, B: 0, C: 2}, // 1: add r3, r0, r2
+			{Op: OpMove, A: 1, B: 3},      // 2: mov r1, r3
+			{Op: OpReturn, A: 1},          // 3: ret r1
+		},
+	}
+	Fuse(fn)
+	if fn.Code[0].Op != OpLoadConst {
+		t.Errorf("fusion eliminated a named local:\n%s", fn.Disassemble())
+	}
+}
+
+// TestFusionRemapsJumps: every jump in fused code must land inside the code
+// array, and the loop in a fused function must still execute correctly at the
+// bytecode level (targets remapped onto the shifted pcs).
+func TestFusionRemapsJumps(t *testing.T) {
+	main := compile(t, `
+function f(n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    if (i == 3) continue;
+    if (i > 40) break;
+    s = s + i;
+  }
+  return s;
+}`)
+	f := nested(t, main, "f")
+	for pc, in := range f.Code {
+		check := func(target int32) {
+			if target < 0 || int(target) > len(f.Code) {
+				t.Errorf("pc %d: jump target %d out of range 0..%d", pc, target, len(f.Code))
+			}
+		}
+		switch in.Op {
+		case OpJump:
+			check(in.A)
+		case OpJumpIfTrue, OpJumpIfFalse:
+			check(in.B)
+		case OpCmpJF, OpCmpJT, OpCmpKJF, OpCmpKJT:
+			check(in.C)
+		}
+	}
+}
+
+// TestFusionShrinksCode: the fused stream must be strictly shorter than the
+// seed codegen for fusable sources, and identical for sources with nothing
+// to fuse.
+func TestFusionShrinksCode(t *testing.T) {
+	src := `function f(n) { var s = 0; for (var i = 0; i < n; i++) s = s + 1; return s; }`
+	fused := nested(t, compile(t, src), "f")
+	plain := nested(t, compileNoFuse(t, src), "f")
+	if len(fused.Code) >= len(plain.Code) {
+		t.Errorf("fusion did not shrink code: fused=%d plain=%d", len(fused.Code), len(plain.Code))
+	}
+
+	inert := `function g(a, b) { return a + b; }`
+	fusedG := nested(t, compile(t, inert), "g")
+	plainG := nested(t, compileNoFuse(t, inert), "g")
+	if len(fusedG.Code) != len(plainG.Code) {
+		t.Errorf("nothing to fuse, but code changed: fused=%d plain=%d", len(fusedG.Code), len(plainG.Code))
+	}
+}
+
+// TestCompileNoFuseHasNoSuperinstructions: the A/B baseline really is the
+// seed's one-op-per-step stream.
+func TestCompileNoFuseHasNoSuperinstructions(t *testing.T) {
+	main := compileNoFuse(t, `
+function f(n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) s = s + 1;
+  return s;
+}`)
+	var walk func(fn *Function)
+	walk = func(fn *Function) {
+		for pc, in := range fn.Code {
+			if in.Op.IsFused() {
+				t.Errorf("%s pc %d: fused op %v in NoFuse output", fn.Name, pc, in.Op)
+			}
+		}
+		for _, nested := range fn.Funcs {
+			walk(nested)
+		}
+	}
+	walk(main)
+}

@@ -35,9 +35,13 @@ import (
 // and to enter optimized code through an OSR-entry artifact compiled for
 // Fn at loop header PC.
 type Frame struct {
-	Fn     *bytecode.Function
-	PC     int
-	Locals []value.Value
+	Fn *bytecode.Function
+	PC int
+	// Locals is the register file in the one-word NaN-boxed representation —
+	// the same representation every tier stores, so tier transfers copy words
+	// instead of re-boxing. String/object boxes index the isolate's handle
+	// slab (value.Handles).
+	Locals []value.Boxed
 	Env    *value.Environment
 
 	// BackEdges is the number of loop back edges taken on behalf of this
@@ -68,17 +72,20 @@ type Frame struct {
 	InlineIndex int
 }
 
-// New allocates a frame for fn at pc 0 with arguments installed in the
-// parameter registers and everything else undefined.
-func New(fn *bytecode.Function, env *value.Environment, args []value.Value) *Frame {
-	fr := &Frame{Fn: fn, Locals: make([]value.Value, fn.NumRegs), Env: env}
+// New allocates a frame for fn at pc 0 with arguments boxed into the
+// parameter registers and everything else undefined (the zero Boxed is +0.0,
+// so the fill is explicit).
+func New(fn *bytecode.Function, env *value.Environment, args []value.Value, h *value.Handles) *Frame {
+	fr := &Frame{Fn: fn, Locals: make([]value.Boxed, fn.NumRegs), Env: env}
 	for i := range fr.Locals {
-		fr.Locals[i] = value.Undefined()
+		fr.Locals[i] = value.BoxedUndefined
 	}
 	n := fn.NumParams
 	if len(args) < n {
 		n = len(args)
 	}
-	copy(fr.Locals[:n], args[:n])
+	for i := 0; i < n; i++ {
+		fr.Locals[i] = h.Box(args[i])
+	}
 	return fr
 }

@@ -181,6 +181,11 @@ func (t *Txn) Depth() int { return t.depth }
 // WriteBytes returns the write footprint in bytes.
 func (t *Txn) WriteBytes() int64 { return int64(len(t.writeLines)) * 64 }
 
+// WriteLines returns the number of distinct cache lines in the write set —
+// the footprint unit capacity aborts are measured in, and the quantity the
+// one-word boxed value representation shrinks.
+func (t *Txn) WriteLines() int { return len(t.writeLines) }
+
 // ReadBytes returns the tracked read footprint in bytes.
 func (t *Txn) ReadBytes() int64 { return int64(len(t.readLines)) * 64 }
 

@@ -1,7 +1,5 @@
 package interp
 
-import "nomap/internal/value"
-
 // Dynamic x86-64-equivalent instruction costs for the two bytecode tiers.
 //
 // The Interpreter pays a dispatch loop (fetch, decode, indirect jump) per
@@ -21,15 +19,24 @@ const (
 
 func costMove(baseline bool) int64 { return 1 }
 
-// costArith models the generic arithmetic runtime path. Baseline inlines an
-// int32 fast path and calls the runtime for anything else; the interpreter
-// always takes the generic path.
-func costArith(baseline bool, a, b value.Value) int64 {
+// costArith models the arithmetic paths. Baseline inlines an int32 fast path
+// and calls the runtime for anything else; the interpreter always pays
+// generic operand handling. The boxed fast path (NaN-boxed registers, raw
+// int32 payload arithmetic with no box/unbox round trip) shaves the fat
+// representation's load/store traffic off both tiers; DisableBoxing routes
+// everything through the unboxed costs, reproducing the seed model.
+func costArith(baseline, bothInt, boxed bool) int64 {
 	if baseline {
-		if a.IsInt32() && b.IsInt32() {
+		if bothInt {
+			if boxed {
+				return 10 // tag check, op, overflow branch, retag — one word
+			}
 			return 12 // untag, op, overflow branch, retag
 		}
 		return 24 // runtime call: full ToNumber/concat semantics
+	}
+	if bothInt && boxed {
+		return 16 // generic dispatch, single-word operands
 	}
 	return 18
 }

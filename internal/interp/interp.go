@@ -8,6 +8,12 @@
 // The inverse transfer also originates here: every 64 loop back edges the
 // executor offers its live frame to the host's OSREntry hook, which may jump
 // into an optimized OSR artifact without returning to the caller.
+//
+// The register file is NaN-boxed (value.Boxed): int32/double/bool and the
+// immediates live in one word, strings and objects go through the isolate's
+// handle slab. Arithmetic and compares on two int32 boxes run a dedicated
+// fast path on the raw payloads; everything else unboxes to the fat Value
+// representation, reuses the generic operator semantics, and reboxes.
 package interp
 
 import (
@@ -28,6 +34,13 @@ type Host interface {
 	Shapes() *value.ShapeTable
 	// Globals returns the global object.
 	Globals() *value.Object
+	// Handles returns the isolate's NaN-box handle slab (string/object
+	// indices shared by every tier's register files).
+	Handles() *value.Handles
+	// Boxing reports whether the boxed fast paths (and their cost model) are
+	// enabled; false is the DisableBoxing A/B surface, which routes every op
+	// through the generic unbox path at the seed cost model.
+	Boxing() bool
 	// Call invokes a function value through the tiering machinery.
 	Call(fn *value.Function, this value.Value, args []value.Value) (value.Value, error)
 	// Construct implements `new fn(args)`.
@@ -70,6 +83,16 @@ func (e *RuntimeError) Error() string {
 // invalidate the open transaction's recovery entry).
 const osrPollMask = 63
 
+// unboxArgs converts a boxed argument window to the fat representation the
+// call boundary uses.
+func unboxArgs(hd *value.Handles, rs []value.Boxed) []value.Value {
+	out := make([]value.Value, len(rs))
+	for i, r := range rs {
+		out[i] = hd.Unbox(r)
+	}
+	return out
+}
+
 // Exec runs fr from fr.PC until a return, under the given tier's cost model.
 // The activation record is the cross-tier frame.Frame: the same value a
 // deopting speculative tier materializes, and the same value OSR entry hands
@@ -78,6 +101,8 @@ func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 	fn := fr.Fn
 	code := fn.Code
 	regs := fr.Locals
+	hd := h.Handles()
+	boxedFast := h.Boxing()
 	baseline := tier != profile.TierInterp
 	prof := h.ProfileFor(fn)
 	if fr.BackEdges != 0 {
@@ -117,11 +142,11 @@ func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 		case bytecode.OpNop:
 
 		case bytecode.OpLoadConst:
-			regs[in.A] = fn.Consts[in.B]
+			regs[in.A] = hd.Box(fn.Consts[in.B])
 			instrs += costMove(baseline)
 
 		case bytecode.OpLoadUndef:
-			regs[in.A] = value.Undefined()
+			regs[in.A] = value.BoxedUndefined
 			instrs += costMove(baseline)
 
 		case bytecode.OpMove:
@@ -134,7 +159,15 @@ func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 			bytecode.OpLess, bytecode.OpLessEq, bytecode.OpGreater,
 			bytecode.OpGreaterEq, bytecode.OpEq, bytecode.OpNeq,
 			bytecode.OpStrictEq, bytecode.OpStrictNeq:
-			a, b := regs[in.B], regs[in.C]
+			ab, bb := regs[in.B], regs[in.C]
+			if boxedFast && ab.IsInt32() && bb.IsInt32() {
+				if res, ok := intBinFast(in.Op, ab.Int32(), bb.Int32(), baseline, prof, fr.PC); ok {
+					regs[in.A] = res
+					instrs += costArith(baseline, true, true)
+					break
+				}
+			}
+			a, b := hd.Unbox(ab), hd.Unbox(bb)
 			if baseline {
 				prof.Arith[fr.PC].Observe(a, b)
 			}
@@ -151,27 +184,139 @@ func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 					prof.Arith[fr.PC].SawOverflow = true
 				}
 			}
-			regs[in.A] = res
-			instrs += costArith(baseline, a, b)
+			regs[in.A] = hd.Box(res)
+			instrs += costArith(baseline, a.IsInt32() && b.IsInt32(), false)
 
-		case bytecode.OpNeg:
-			if baseline {
-				prof.Arith[fr.PC].Observe(regs[in.B], regs[in.B])
+		case bytecode.OpAddK, bytecode.OpSubK, bytecode.OpMulK:
+			// Const-fused arithmetic superinstruction: semantically the
+			// loadconst+binop pair it replaced, at one dispatch.
+			op := bytecode.OpAdd
+			switch in.Op {
+			case bytecode.OpSubK:
+				op = bytecode.OpSub
+			case bytecode.OpMulK:
+				op = bytecode.OpMul
 			}
-			res := value.Neg(regs[in.B])
-			if baseline && regs[in.B].IsInt32() && !res.IsInt32() {
+			kv := fn.Consts[in.C]
+			ab := regs[in.B]
+			if boxedFast && ab.IsInt32() && kv.IsInt32() {
+				if res, ok := intBinFast(op, ab.Int32(), kv.Int32(), baseline, prof, fr.PC); ok {
+					regs[in.A] = res
+					instrs += costArith(baseline, true, true) + 1
+					break
+				}
+			}
+			a := hd.Unbox(ab)
+			if baseline {
+				prof.Arith[fr.PC].Observe(a, kv)
+			}
+			res := evalBinary(op, a, kv)
+			if baseline && !res.IsInt32() && a.IsInt32() && kv.IsInt32() {
 				prof.Arith[fr.PC].SawOverflow = true
 			}
-			regs[in.A] = res
-			instrs += costArith(baseline, regs[in.B], regs[in.B])
+			regs[in.A] = hd.Box(res)
+			instrs += costArith(baseline, a.IsInt32() && kv.IsInt32(), false) + 1
+
+		case bytecode.OpIncr:
+			// In-place increment superinstruction: ToNumber + add-immediate +
+			// store, the five-instruction ++/-- pattern at one dispatch.
+			delta := in.B
+			x := regs[in.A]
+			if boxedFast && x.IsInt32() {
+				xi := x.Int32()
+				if baseline {
+					prof.Arith[fr.PC].Observe(value.Int(xi), value.Int(delta))
+				}
+				if s, ok := value.AddInt32(xi, delta); ok {
+					regs[in.A] = value.BoxInt(s)
+				} else {
+					if baseline {
+						prof.Arith[fr.PC].SawOverflow = true
+					}
+					regs[in.A] = value.BoxDouble(float64(xi) + float64(delta))
+				}
+				instrs += costArith(baseline, true, true) + 4
+			} else {
+				xn := hd.Unbox(x)
+				if !xn.IsNumber() {
+					xn = value.Number(xn.ToNumber())
+					instrs += costSlowCall(baseline)
+				}
+				if baseline {
+					prof.Arith[fr.PC].Observe(xn, value.Int(delta))
+				}
+				res := value.Add(xn, value.Int(delta))
+				if baseline && xn.IsInt32() && !res.IsInt32() {
+					prof.Arith[fr.PC].SawOverflow = true
+				}
+				regs[in.A] = hd.Box(res)
+				instrs += costArith(baseline, xn.IsInt32(), false) + 4
+			}
+
+		case bytecode.OpCmpJF, bytecode.OpCmpJT, bytecode.OpCmpKJF, bytecode.OpCmpKJT:
+			// Compare-and-branch superinstruction (LEJK style): the compare's
+			// dead boolean register is gone; the branch consumes the flag.
+			cop := bytecode.Op(in.D)
+			ab := regs[in.A]
+			var bb value.Boxed
+			var kv value.Value
+			konst := in.Op == bytecode.OpCmpKJF || in.Op == bytecode.OpCmpKJT
+			if konst {
+				kv = fn.Consts[in.B]
+			} else {
+				bb = regs[in.B]
+			}
+			var cond bool
+			if boxedFast && ab.IsInt32() && ((konst && kv.IsInt32()) || (!konst && bb.IsInt32())) {
+				ri := kv.Int32()
+				if !konst {
+					ri = bb.Int32()
+				}
+				if baseline {
+					prof.Arith[fr.PC].Observe(value.Int(ab.Int32()), value.Int(ri))
+				}
+				cond = intCmp(cop, ab.Int32(), ri)
+				instrs += costArith(baseline, true, true) + 2
+			} else {
+				a := hd.Unbox(ab)
+				b := kv
+				if !konst {
+					b = hd.Unbox(bb)
+				}
+				if baseline {
+					prof.Arith[fr.PC].Observe(a, b)
+				}
+				cond = evalBinary(cop, a, b).Bool()
+				instrs += costArith(baseline, a.IsInt32() && b.IsInt32(), false) + 2
+			}
+			if konst {
+				instrs++
+			}
+			onTrue := in.Op == bytecode.OpCmpJT || in.Op == bytecode.OpCmpKJT
+			if cond == onTrue {
+				fr.PC = int(in.C)
+				continue
+			}
+
+		case bytecode.OpNeg:
+			b := hd.Unbox(regs[in.B])
+			if baseline {
+				prof.Arith[fr.PC].Observe(b, b)
+			}
+			res := value.Neg(b)
+			if baseline && b.IsInt32() && !res.IsInt32() {
+				prof.Arith[fr.PC].SawOverflow = true
+			}
+			regs[in.A] = hd.Box(res)
+			instrs += costArith(baseline, b.IsInt32(), false)
 		case bytecode.OpNot:
-			regs[in.A] = value.Boolean(!regs[in.B].ToBoolean())
+			regs[in.A] = value.BoxBool(!hd.ToBoolean(regs[in.B]))
 			instrs += costMove(baseline) + 1
 		case bytecode.OpBitNot:
-			regs[in.A] = value.BitNot(regs[in.B])
-			instrs += costArith(baseline, regs[in.B], regs[in.B])
+			regs[in.A] = hd.Box(value.BitNot(hd.Unbox(regs[in.B])))
+			instrs += costArith(baseline, regs[in.B].IsInt32(), false)
 		case bytecode.OpTypeof:
-			regs[in.A] = value.Str(regs[in.B].TypeOf())
+			regs[in.A] = hd.BoxStr(hd.Unbox(regs[in.B]).TypeOf())
 			instrs += costSlowCall(baseline)
 		case bytecode.OpToNumber:
 			v := regs[in.B]
@@ -179,7 +324,7 @@ func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 				regs[in.A] = v
 				instrs += costMove(baseline)
 			} else {
-				regs[in.A] = value.Number(v.ToNumber())
+				regs[in.A] = hd.Box(value.Number(hd.Unbox(v).ToNumber()))
 				instrs += costSlowCall(baseline)
 			}
 
@@ -209,23 +354,23 @@ func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 			continue
 		case bytecode.OpJumpIfTrue:
 			instrs += 2
-			if regs[in.A].ToBoolean() {
+			if hd.ToBoolean(regs[in.A]) {
 				fr.PC = int(in.B)
 				continue
 			}
 		case bytecode.OpJumpIfFalse:
 			instrs += 2
-			if !regs[in.A].ToBoolean() {
+			if !hd.ToBoolean(regs[in.A]) {
 				fr.PC = int(in.B)
 				continue
 			}
 
 		case bytecode.OpReturn:
 			instrs += costReturn(baseline)
-			return regs[in.A], nil
+			return hd.Unbox(regs[in.A]), nil
 
 		case bytecode.OpCall:
-			callee := regs[in.B]
+			callee := hd.Unbox(regs[in.B])
 			if !callee.IsCallable() {
 				return value.Undefined(), errf(in, "%s is not a function", callee.TypeOf())
 			}
@@ -235,15 +380,15 @@ func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 			}
 			instrs += costCall(baseline)
 			flush()
-			res, err := h.Call(cf, value.Undefined(), regs[in.C:in.C+in.D])
+			res, err := h.Call(cf, value.Undefined(), unboxArgs(hd, regs[in.C:in.C+in.D]))
 			if err != nil {
 				return value.Undefined(), err
 			}
 			inTx = h.InTransaction()
-			regs[in.A] = res
+			regs[in.A] = hd.Box(res)
 
 		case bytecode.OpCallMethod:
-			recv := regs[in.B]
+			recv := hd.Unbox(regs[in.B])
 			if baseline && recv.IsObject() {
 				o := recv.Object()
 				if m := o.Get(fn.Names[in.E]); m.IsCallable() {
@@ -258,70 +403,70 @@ func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 			}
 			instrs += costCall(baseline) + 4
 			flush()
-			res, err := h.InvokeMethod(recv, fn.Names[in.E], regs[in.C:in.C+in.D])
+			res, err := h.InvokeMethod(recv, fn.Names[in.E], unboxArgs(hd, regs[in.C:in.C+in.D]))
 			if err != nil {
 				return value.Undefined(), err
 			}
 			inTx = h.InTransaction()
-			regs[in.A] = res
+			regs[in.A] = hd.Box(res)
 
 		case bytecode.OpNew:
-			callee := regs[in.B]
+			callee := hd.Unbox(regs[in.B])
 			if !callee.IsCallable() {
 				return value.Undefined(), errf(in, "%s is not a constructor", callee.TypeOf())
 			}
 			instrs += costCall(baseline) + 6
 			flush()
-			res, err := h.Construct(callee.Object().Fn, regs[in.C:in.C+in.D])
+			res, err := h.Construct(callee.Object().Fn, unboxArgs(hd, regs[in.C:in.C+in.D]))
 			if err != nil {
 				return value.Undefined(), err
 			}
 			inTx = h.InTransaction()
-			regs[in.A] = res
+			regs[in.A] = hd.Box(res)
 
 		case bytecode.OpNewObject:
-			regs[in.A] = value.Obj(value.NewObject(h.Shapes()))
+			regs[in.A] = hd.BoxObject(value.NewObject(h.Shapes()))
 			instrs += costAlloc(baseline)
 		case bytecode.OpNewArray:
-			regs[in.A] = value.Obj(value.NewArray(h.Shapes(), int(in.B)))
+			regs[in.A] = hd.BoxObject(value.NewArray(h.Shapes(), int(in.B)))
 			instrs += costAlloc(baseline)
 
 		case bytecode.OpGetProp:
-			obj := regs[in.B]
+			obj := hd.Unbox(regs[in.B])
 			v, cost, err := getProp(h, prof, baseline, obj, fn.Names[in.C], int(in.D))
 			if err != nil {
 				return value.Undefined(), errf(in, "%v", err)
 			}
-			regs[in.A] = v
+			regs[in.A] = hd.Box(v)
 			instrs += cost
 
 		case bytecode.OpSetProp:
-			obj := regs[in.A]
-			cost, err := setProp(h, prof, baseline, obj, fn.Names[in.B], regs[in.C], int(in.D))
+			obj := hd.Unbox(regs[in.A])
+			cost, err := setProp(h, prof, baseline, obj, fn.Names[in.B], hd.Unbox(regs[in.C]), int(in.D))
 			if err != nil {
 				return value.Undefined(), errf(in, "%v", err)
 			}
 			instrs += cost
 
 		case bytecode.OpGetElem:
-			v, cost, err := getElem(prof, baseline, regs[in.B], regs[in.C], fr.PC)
+			v, cost, err := getElem(prof, baseline, hd.Unbox(regs[in.B]), hd.Unbox(regs[in.C]), fr.PC)
 			if err != nil {
 				return value.Undefined(), errf(in, "%v", err)
 			}
-			regs[in.A] = v
+			regs[in.A] = hd.Box(v)
 			instrs += cost
 
 		case bytecode.OpSetElem:
-			cost, err := setElem(prof, baseline, regs[in.A], regs[in.B], regs[in.C], fr.PC)
+			cost, err := setElem(prof, baseline, hd.Unbox(regs[in.A]), hd.Unbox(regs[in.B]), hd.Unbox(regs[in.C]), fr.PC)
 			if err != nil {
 				return value.Undefined(), errf(in, "%v", err)
 			}
 			instrs += cost
 
 		case bytecode.OpSetElemI:
-			obj := regs[in.A]
+			obj := hd.Unbox(regs[in.A])
 			if o := obj.Object(); o != nil && o.IsArray {
-				o.SetElement(int(in.B), regs[in.C])
+				o.SetElement(int(in.B), hd.Unbox(regs[in.C]))
 			} else {
 				return value.Undefined(), errf(in, "array literal target is not an array")
 			}
@@ -333,22 +478,22 @@ func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 			if !g.Has(name) {
 				return value.Undefined(), errf(in, "%s is not defined", name)
 			}
-			regs[in.A] = g.Get(name)
+			regs[in.A] = hd.Box(g.Get(name))
 			instrs += costGlobal(baseline)
 
 		case bytecode.OpSetGlobal:
-			h.Globals().Set(fn.Names[in.A], regs[in.B])
+			h.Globals().Set(fn.Names[in.A], hd.Unbox(regs[in.B]))
 			instrs += costGlobal(baseline)
 
 		case bytecode.OpGetCell:
-			regs[in.A] = fr.Env.At(int(in.B), int(in.C)).V
+			regs[in.A] = hd.Box(fr.Env.At(int(in.B), int(in.C)).V)
 			instrs += costCell(baseline, int(in.B))
 		case bytecode.OpSetCell:
-			fr.Env.At(int(in.A), int(in.B)).V = regs[in.C]
+			fr.Env.At(int(in.A), int(in.B)).V = hd.Unbox(regs[in.C])
 			instrs += costCell(baseline, int(in.A))
 
 		case bytecode.OpMakeClosure:
-			regs[in.A] = h.MakeClosure(fn.Funcs[in.B], fr.Env)
+			regs[in.A] = hd.Box(h.MakeClosure(fn.Funcs[in.B], fr.Env))
 			instrs += costAlloc(baseline) + 4
 
 		default:
@@ -356,6 +501,101 @@ func Exec(h Host, fr *frame.Frame, tier profile.Tier) (value.Value, error) {
 		}
 		fr.PC++
 	}
+}
+
+// intBinFast evaluates a binary op whose operands are both boxed int32s
+// without unboxing, including baseline type feedback. ok=false means the op
+// has no dedicated int32 path (Div/Mod keep their generic corner handling)
+// and nothing was recorded.
+func intBinFast(op bytecode.Op, x, y int32, baseline bool, prof *profile.FunctionProfile, pc int) (value.Boxed, bool) {
+	switch op {
+	case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul:
+		if baseline {
+			prof.Arith[pc].Observe(value.Int(x), value.Int(y))
+		}
+		var r int32
+		var fits bool
+		var wide float64
+		switch op {
+		case bytecode.OpAdd:
+			r, fits = value.AddInt32(x, y)
+			wide = float64(x) + float64(y)
+		case bytecode.OpSub:
+			r, fits = value.SubInt32(x, y)
+			wide = float64(x) - float64(y)
+		default:
+			r, fits = value.MulInt32(x, y)
+			wide = float64(x) * float64(y)
+		}
+		if fits {
+			return value.BoxInt(r), true
+		}
+		if baseline {
+			prof.Arith[pc].SawOverflow = true
+		}
+		return value.BoxDouble(wide), true
+	case bytecode.OpBitAnd:
+		if baseline {
+			prof.Arith[pc].Observe(value.Int(x), value.Int(y))
+		}
+		return value.BoxInt(x & y), true
+	case bytecode.OpBitOr:
+		if baseline {
+			prof.Arith[pc].Observe(value.Int(x), value.Int(y))
+		}
+		return value.BoxInt(x | y), true
+	case bytecode.OpBitXor:
+		if baseline {
+			prof.Arith[pc].Observe(value.Int(x), value.Int(y))
+		}
+		return value.BoxInt(x ^ y), true
+	case bytecode.OpShl:
+		if baseline {
+			prof.Arith[pc].Observe(value.Int(x), value.Int(y))
+		}
+		return value.BoxInt(x << (uint32(y) & 31)), true
+	case bytecode.OpShr:
+		if baseline {
+			prof.Arith[pc].Observe(value.Int(x), value.Int(y))
+		}
+		return value.BoxInt(x >> (uint32(y) & 31)), true
+	case bytecode.OpUShr:
+		if baseline {
+			prof.Arith[pc].Observe(value.Int(x), value.Int(y))
+		}
+		u := uint32(x) >> (uint32(y) & 31)
+		res := value.BoxNumber(float64(u))
+		if baseline && !res.IsInt32() {
+			prof.Arith[pc].SawOverflow = true
+		}
+		return res, true
+	case bytecode.OpLess, bytecode.OpLessEq, bytecode.OpGreater, bytecode.OpGreaterEq,
+		bytecode.OpEq, bytecode.OpNeq, bytecode.OpStrictEq, bytecode.OpStrictNeq:
+		if baseline {
+			prof.Arith[pc].Observe(value.Int(x), value.Int(y))
+		}
+		return value.BoxBool(intCmp(op, x, y)), true
+	}
+	return 0, false
+}
+
+// intCmp evaluates a comparison opcode on two int32 payloads.
+func intCmp(op bytecode.Op, x, y int32) bool {
+	switch op {
+	case bytecode.OpLess:
+		return x < y
+	case bytecode.OpLessEq:
+		return x <= y
+	case bytecode.OpGreater:
+		return x > y
+	case bytecode.OpGreaterEq:
+		return x >= y
+	case bytecode.OpEq, bytecode.OpStrictEq:
+		return x == y
+	case bytecode.OpNeq, bytecode.OpStrictNeq:
+		return x != y
+	}
+	panic("intCmp: not a comparison op")
 }
 
 func evalBinary(op bytecode.Op, a, b value.Value) value.Value {

@@ -220,9 +220,11 @@ func TestExecFromArbitraryPC(t *testing.T) {
 	}
 	bcFn := v.Globals().Get("f").Object().Fn.Code.(*bytecode.Function)
 	// Find the pc of the multiply and craft a frame state just before it.
+	// The peephole pass fuses `c * 2` into a const-fused OpMulK, so accept
+	// either shape.
 	mulPC := -1
 	for pc, in := range bcFn.Code {
-		if in.Op == bytecode.OpMul {
+		if in.Op == bytecode.OpMul || in.Op == bytecode.OpMulK {
 			mulPC = pc
 		}
 	}
@@ -231,18 +233,20 @@ func TestExecFromArbitraryPC(t *testing.T) {
 	}
 	fr := &frame.Frame{
 		Fn:     bcFn,
-		Locals: make([]value.Value, bcFn.NumRegs),
+		Locals: make([]value.Boxed, bcFn.NumRegs),
 		PC:     mulPC,
 	}
 	for i := range fr.Locals {
-		fr.Locals[i] = value.Undefined()
+		fr.Locals[i] = value.BoxedUndefined
 	}
-	// The multiply reads the register holding c and a constant-2 temp; set
-	// every register to 21 so whichever registers it reads yield 21*21 or
-	// 21*2. Instead, emulate precisely: read the instruction's operands.
+	// Emulate precisely: read the instruction's operands. The fused form
+	// carries its constant 2 in the pool; the unfused form reads it from a
+	// temp register.
 	in := bcFn.Code[mulPC]
-	fr.Locals[in.B] = value.Int(21)
-	fr.Locals[in.C] = value.Int(2)
+	fr.Locals[in.B] = value.BoxInt(21)
+	if in.Op == bytecode.OpMul {
+		fr.Locals[in.C] = value.BoxInt(2)
+	}
 	res, err := interp.Exec(v, fr, profile.TierBaseline)
 	if err != nil {
 		t.Fatal(err)

@@ -164,6 +164,9 @@ func (b *builder) findLeaders() {
 		case bytecode.OpJumpIfTrue, bytecode.OpJumpIfFalse:
 			isLeader[int(in.B)] = true
 			isLeader[pc+1] = true
+		case bytecode.OpCmpJF, bytecode.OpCmpJT, bytecode.OpCmpKJF, bytecode.OpCmpKJT:
+			isLeader[int(in.C)] = true
+			isLeader[pc+1] = true
 		case bytecode.OpReturn:
 			isLeader[pc+1] = true
 		}
@@ -229,6 +232,14 @@ func (b *builder) buildCFG() {
 			blk.Kind = BlockIf
 			AddEdge(blk, b.blockAt[end])         // fallthrough when true
 			AddEdge(blk, b.blockAt[int(last.B)]) // taken when false
+		case bytecode.OpCmpJT, bytecode.OpCmpKJT:
+			blk.Kind = BlockIf
+			AddEdge(blk, b.blockAt[int(last.C)]) // taken when true
+			AddEdge(blk, b.blockAt[end])         // fallthrough when false
+		case bytecode.OpCmpJF, bytecode.OpCmpKJF:
+			blk.Kind = BlockIf
+			AddEdge(blk, b.blockAt[end])         // fallthrough when true
+			AddEdge(blk, b.blockAt[int(last.C)]) // taken when false
 		case bytecode.OpReturn:
 			blk.Kind = BlockReturn
 		default:
@@ -260,6 +271,8 @@ func (b *builder) reachableLeaders(from int) map[int]bool {
 			succs[pc] = []int{int(last.A)}
 		case bytecode.OpJumpIfTrue, bytecode.OpJumpIfFalse:
 			succs[pc] = []int{int(last.B), end}
+		case bytecode.OpCmpJF, bytecode.OpCmpJT, bytecode.OpCmpKJF, bytecode.OpCmpKJT:
+			succs[pc] = []int{int(last.C), end}
 		case bytecode.OpReturn:
 		default:
 			if end < len(b.bc.Code) {
@@ -657,9 +670,36 @@ func (b *builder) instr(in bytecode.Instr) error {
 		}
 
 	case bytecode.OpJump, bytecode.OpJumpIfTrue, bytecode.OpJumpIfFalse,
+		bytecode.OpCmpJF, bytecode.OpCmpJT, bytecode.OpCmpKJF, bytecode.OpCmpKJT,
 		bytecode.OpReturn:
 		// Terminators; handled below since they end the block.
 		return b.terminator(in)
+
+	case bytecode.OpAddK, bytecode.OpSubK, bytecode.OpMulK:
+		// Const-fused arithmetic expands to the same speculative IR as the
+		// ldc+binop pair it replaced; the constant operand simply never
+		// occupies a bytecode register.
+		base := map[bytecode.Op]bytecode.Op{
+			bytecode.OpAddK: bytecode.OpAdd,
+			bytecode.OpSubK: bytecode.OpSub,
+			bytecode.OpMulK: bytecode.OpMul,
+		}[in.Op]
+		l := b.readVar(b.cur, int(in.B))
+		r := b.constVal(b.bc.Consts[in.C])
+		return b.binaryVals(base, int(in.A), l, r)
+
+	case bytecode.OpIncr:
+		// reg = ToNumber(reg) + delta. Under numeric feedback the ToNumber
+		// collapses into the type check binaryVals' ensure* inserts; the
+		// generic path keeps the explicit coercion.
+		x := b.readVar(b.cur, int(in.A))
+		fb := &b.prof.Arith[b.pc]
+		d := b.constVal(value.Int(in.B))
+		if fb.IntOnly() || fb.NumberOnly() {
+			return b.binaryVals(bytecode.OpAdd, int(in.A), x, d)
+		}
+		xn := b.runtimeCall("tonumber", 0, TypeGeneric, x)
+		b.writeVar(b.cur, int(in.A), b.runtimeCall("binop", int64(bytecode.OpAdd), TypeGeneric, xn, d))
 
 	case bytecode.OpCall:
 		return b.call(in)
@@ -714,6 +754,14 @@ func (b *builder) terminator(in bytecode.Instr) error {
 		b.cur.Control = b.toBool(b.readVar(b.cur, int(in.A)))
 	case bytecode.OpJumpIfFalse:
 		b.cur.Control = b.toBool(b.readVar(b.cur, int(in.A)))
+	case bytecode.OpCmpJF, bytecode.OpCmpJT:
+		l := b.readVar(b.cur, int(in.A))
+		r := b.readVar(b.cur, int(in.B))
+		b.cur.Control = b.toBool(b.compareVal(bytecode.Op(in.D), l, r))
+	case bytecode.OpCmpKJF, bytecode.OpCmpKJT:
+		l := b.readVar(b.cur, int(in.A))
+		r := b.constVal(b.bc.Consts[in.B])
+		b.cur.Control = b.toBool(b.compareVal(bytecode.Op(in.D), l, r))
 	case bytecode.OpReturn:
 		b.cur.Control = b.readVar(b.cur, int(in.A))
 	}
@@ -738,28 +786,44 @@ var cmpForOp = map[bytecode.Op]Cmp{
 func (b *builder) binary(in bytecode.Instr) error {
 	l := b.readVar(b.cur, int(in.B))
 	r := b.readVar(b.cur, int(in.C))
-	fb := &b.prof.Arith[b.pc]
-	dst := int(in.A)
+	return b.binaryVals(in.Op, int(in.A), l, r)
+}
 
-	if in.Op.IsCompare() {
-		cmp := cmpForOp[in.Op]
-		switch {
-		case fb.IntOnly():
-			l, r = b.ensureInt32(l), b.ensureInt32(r)
-			v := b.emit(OpCmpInt, TypeBool, l, r)
-			v.AuxInt = int64(cmp)
-			b.writeVar(b.cur, dst, v)
-		case fb.NumberOnly():
-			ld, rd := b.ensureDouble(l), b.ensureDouble(r)
-			v := b.emit(OpCmpDouble, TypeBool, ld, rd)
-			v.AuxInt = int64(cmp)
-			b.writeVar(b.cur, dst, v)
-		default:
-			b.writeVar(b.cur, dst, b.runtimeCall("binop", int64(in.Op), TypeGeneric, l, r))
-		}
+// compareVal builds the speculative comparison l <op> r and returns the
+// boolean (or generic, off the fast path) result value without writing a
+// register — fused compare-and-branch terminators consume it as block
+// control directly.
+func (b *builder) compareVal(cop bytecode.Op, l, r *Value) *Value {
+	fb := &b.prof.Arith[b.pc]
+	cmp := cmpForOp[cop]
+	switch {
+	case fb.IntOnly():
+		l, r = b.ensureInt32(l), b.ensureInt32(r)
+		v := b.emit(OpCmpInt, TypeBool, l, r)
+		v.AuxInt = int64(cmp)
+		return v
+	case fb.NumberOnly():
+		ld, rd := b.ensureDouble(l), b.ensureDouble(r)
+		v := b.emit(OpCmpDouble, TypeBool, ld, rd)
+		v.AuxInt = int64(cmp)
+		return v
+	default:
+		return b.runtimeCall("binop", int64(cop), TypeGeneric, l, r)
+	}
+}
+
+// binaryVals is the binary-operator lowering on explicit operand values, so
+// fused const-operand superinstructions share one code path with the plain
+// register-register forms.
+func (b *builder) binaryVals(op bytecode.Op, dst int, l, r *Value) error {
+	fb := &b.prof.Arith[b.pc]
+
+	if op.IsCompare() {
+		b.writeVar(b.cur, dst, b.compareVal(op, l, r))
 		return nil
 	}
 
+	in := bytecode.Instr{Op: op}
 	switch in.Op {
 	case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul:
 		switch {

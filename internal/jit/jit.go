@@ -94,6 +94,11 @@ func Attach(v *vm.VM) *Backend {
 		profiles:  v.ProfileFor,
 		noIC:      v.Config().DisableIC,
 	}
+	if v.Config().DisableBoxing {
+		// A/B: the fat two-word value layout doubles the modeled heap stride,
+		// so transactions span more write lines for the same logical writes.
+		b.mach.SetFatValues(true)
+	}
 	v.SetJIT(b)
 	return b
 }
@@ -267,7 +272,7 @@ func resumeChain(v *vm.VM, fr *frame.Frame, rootEnv func() *value.Environment) (
 		if caller == nil {
 			return res, nil
 		}
-		caller.Locals[fr.RetReg] = res
+		caller.Locals[fr.RetReg] = v.Handles().Box(res)
 		caller.PC++ // the caller frame is positioned at its call instruction
 		fr = caller
 	}

@@ -21,6 +21,7 @@ import (
 type stubHost struct {
 	shapes  *value.ShapeTable
 	globals *value.Object
+	handles *value.Handles
 	ctrs    stats.Counters
 	calls   int
 	profs   map[*bytecode.Function]*profile.FunctionProfile
@@ -28,12 +29,13 @@ type stubHost struct {
 
 func newStubHost() *stubHost {
 	t := value.NewShapeTable()
-	h := &stubHost{shapes: t}
+	h := &stubHost{shapes: t, handles: value.NewHandles()}
 	h.globals = value.NewObject(t)
 	return h
 }
 
 func (h *stubHost) Shapes() *value.ShapeTable { return h.shapes }
+func (h *stubHost) Handles() *value.Handles   { return h.handles }
 func (h *stubHost) ProfileFor(fn *bytecode.Function) *profile.FunctionProfile {
 	if h.profs == nil {
 		h.profs = make(map[*bytecode.Function]*profile.FunctionProfile)

@@ -33,6 +33,10 @@ import (
 type Host interface {
 	Shapes() *value.ShapeTable
 	Globals() *value.Object
+	// Handles is the isolate's handle slab: machine operand slots are
+	// NaN-boxed words, and string/object operands reference the heap
+	// through it.
+	Handles() *value.Handles
 	Call(fn *value.Function, this value.Value, args []value.Value) (value.Value, error)
 	Construct(fn *value.Function, args []value.Value) (value.Value, error)
 	InvokeMethod(recv value.Value, name string, args []value.Value) (value.Value, error)
@@ -55,6 +59,10 @@ type Machine struct {
 	inject          Injector
 	frameSeq        int
 	pendingCapacity bool
+	// fatValues models the pre-boxing two-word value layout (DisableBoxing):
+	// heap slots and elements occupy 16 bytes instead of 8, so transactional
+	// writes span more cache lines.
+	fatValues bool
 	// txHadCalls tracks whether user code was invoked inside the currently
 	// open outermost transaction (reset at every outermost begin and tile
 	// re-begin). It feeds Deopt.HadCalls: §V-C blames the callee for a
@@ -86,7 +94,7 @@ func New(host Host, htmCfg htm.Config) *Machine {
 // jit backend's Reset calls it so differential runs on a reused engine see
 // the same address stream and cache behaviour as a fresh one.
 func (m *Machine) ResetState() {
-	m.Mem = NewMemory()
+	m.Mem = NewMemorySized(m.valueBytes())
 	m.Cache = cache.NewHierarchy()
 	m.HTM.Reset()
 	m.pendingCapacity = false
@@ -97,6 +105,22 @@ func (m *Machine) ResetState() {
 
 // InTx reports whether a hardware transaction is open.
 func (m *Machine) InTx() bool { return m.HTM.InTx() }
+
+// SetFatValues selects the modeled value stride: false (default) is the
+// one-word NaN-boxed layout, true the fat two-word layout of the
+// DisableBoxing A/B. Rebuilds the address map, so call it only at reset
+// points.
+func (m *Machine) SetFatValues(fat bool) {
+	m.fatValues = fat
+	m.Mem = NewMemorySized(m.valueBytes())
+}
+
+func (m *Machine) valueBytes() int {
+	if m.fatValues {
+		return fatSize
+	}
+	return valueSize
+}
 
 // Deopt describes a transfer to the Baseline tier.
 type Deopt struct {
@@ -205,9 +229,13 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 		ctrs.DFGCalls++
 	}
 
-	vals := make([]value.Value, f.NumValues())
+	hd := m.host.Handles()
+	vals := make([]value.Boxed, f.NumValues())
+	for i := range vals {
+		vals[i] = value.BoxedUndefined // the zero Boxed is +0.0
+	}
 	oflow := make([]bool, f.NumValues())
-	var phiScratch []value.Value
+	var phiScratch []value.Boxed
 
 	// Loop back edges taken by this frame, not yet folded into the function
 	// profiles — one slot per logical frame: slot 0 is the compiled
@@ -267,9 +295,9 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 				src, fnObj = cur.Inline.Source, cur.Inline.Callee
 				idx, retReg = cur.Inline.Index, cur.Inline.RetReg
 			}
-			regs := make([]value.Value, src.NumRegs)
+			regs := make([]value.Boxed, src.NumRegs)
 			for i := range regs {
-				regs[i] = value.Undefined()
+				regs[i] = value.BoxedUndefined
 			}
 			for _, e := range cur.Entries {
 				if e.Reg < len(regs) {
@@ -406,7 +434,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 				if k < len(v.Args) {
 					phiScratch = append(phiScratch, vals[v.Args[k].ID])
 				} else {
-					phiScratch = append(phiScratch, value.Undefined())
+					phiScratch = append(phiScratch, value.BoxedUndefined)
 				}
 			}
 			i := 0
@@ -428,18 +456,20 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 
 			switch v.Op {
 			case ir.OpConst:
-				vals[v.ID] = v.AuxVal
+				// Boxed at execution time: the ir.Func is shared across
+				// isolates, and string/object handles are per-isolate.
+				vals[v.ID] = hd.Box(v.AuxVal)
 			case ir.OpParam:
 				if int(v.AuxInt) < len(args) {
-					vals[v.ID] = args[v.AuxInt]
+					vals[v.ID] = hd.Box(args[v.AuxInt])
 				} else {
-					vals[v.ID] = value.Undefined()
+					vals[v.ID] = value.BoxedUndefined
 				}
 			case ir.OpOSRLocal:
 				if osr != nil && int(v.AuxInt) < len(osr.Locals) {
-					vals[v.ID] = osr.Locals[v.AuxInt]
+					vals[v.ID] = osr.Locals[v.AuxInt] // already boxed words
 				} else {
-					vals[v.ID] = value.Undefined()
+					vals[v.ID] = value.BoxedUndefined
 				}
 
 			case ir.OpAddInt, ir.OpSubInt, ir.OpMulInt, ir.OpNegInt:
@@ -465,63 +495,63 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 				if r < math.MinInt32 || r > math.MaxInt32 {
 					oflow[v.ID] = true
 				}
-				vals[v.ID] = value.Int(int32(uint32(uint64(r))))
+				vals[v.ID] = value.BoxInt(int32(uint32(uint64(r))))
 
 			case ir.OpBitAnd:
-				vals[v.ID] = value.Int(vals[v.Args[0].ID].Int32() & vals[v.Args[1].ID].Int32())
+				vals[v.ID] = value.BoxInt(vals[v.Args[0].ID].Int32() & vals[v.Args[1].ID].Int32())
 			case ir.OpBitOr:
-				vals[v.ID] = value.Int(vals[v.Args[0].ID].Int32() | vals[v.Args[1].ID].Int32())
+				vals[v.ID] = value.BoxInt(vals[v.Args[0].ID].Int32() | vals[v.Args[1].ID].Int32())
 			case ir.OpBitXor:
-				vals[v.ID] = value.Int(vals[v.Args[0].ID].Int32() ^ vals[v.Args[1].ID].Int32())
+				vals[v.ID] = value.BoxInt(vals[v.Args[0].ID].Int32() ^ vals[v.Args[1].ID].Int32())
 			case ir.OpShl:
-				vals[v.ID] = value.Int(vals[v.Args[0].ID].Int32() << (uint32(vals[v.Args[1].ID].Int32()) & 31))
+				vals[v.ID] = value.BoxInt(vals[v.Args[0].ID].Int32() << (uint32(vals[v.Args[1].ID].Int32()) & 31))
 			case ir.OpShr:
-				vals[v.ID] = value.Int(vals[v.Args[0].ID].Int32() >> (uint32(vals[v.Args[1].ID].Int32()) & 31))
+				vals[v.ID] = value.BoxInt(vals[v.Args[0].ID].Int32() >> (uint32(vals[v.Args[1].ID].Int32()) & 31))
 			case ir.OpUShr:
 				u := uint32(vals[v.Args[0].ID].Int32()) >> (uint32(vals[v.Args[1].ID].Int32()) & 31)
 				if u > math.MaxInt32 {
 					oflow[v.ID] = true
 				}
-				vals[v.ID] = value.Int(int32(u))
+				vals[v.ID] = value.BoxInt(int32(u))
 
 			case ir.OpAddDouble:
-				vals[v.ID] = value.Number(vals[v.Args[0].ID].Float() + vals[v.Args[1].ID].Float())
+				vals[v.ID] = value.BoxNumber(vals[v.Args[0].ID].NumberValue() + vals[v.Args[1].ID].NumberValue())
 			case ir.OpSubDouble:
-				vals[v.ID] = value.Number(vals[v.Args[0].ID].Float() - vals[v.Args[1].ID].Float())
+				vals[v.ID] = value.BoxNumber(vals[v.Args[0].ID].NumberValue() - vals[v.Args[1].ID].NumberValue())
 			case ir.OpMulDouble:
-				vals[v.ID] = value.Number(vals[v.Args[0].ID].Float() * vals[v.Args[1].ID].Float())
+				vals[v.ID] = value.BoxNumber(vals[v.Args[0].ID].NumberValue() * vals[v.Args[1].ID].NumberValue())
 			case ir.OpDivDouble:
-				vals[v.ID] = value.Number(vals[v.Args[0].ID].Float() / vals[v.Args[1].ID].Float())
+				vals[v.ID] = value.BoxNumber(vals[v.Args[0].ID].NumberValue() / vals[v.Args[1].ID].NumberValue())
 			case ir.OpModDouble:
-				vals[v.ID] = value.Number(math.Mod(vals[v.Args[0].ID].Float(), vals[v.Args[1].ID].Float()))
+				vals[v.ID] = value.BoxNumber(math.Mod(vals[v.Args[0].ID].NumberValue(), vals[v.Args[1].ID].NumberValue()))
 			case ir.OpNegDouble:
-				vals[v.ID] = value.Number(-vals[v.Args[0].ID].Float())
+				vals[v.ID] = value.BoxNumber(-vals[v.Args[0].ID].NumberValue())
 
 			case ir.OpIntToDouble, ir.OpNumberToDouble:
-				vals[v.ID] = vals[v.Args[0].ID] // Float() reads either kind
+				vals[v.ID] = vals[v.Args[0].ID] // NumberValue() reads either kind
 			case ir.OpTruncDouble:
-				vals[v.ID] = value.Int(value.DoubleToInt32(vals[v.Args[0].ID].Float()))
+				vals[v.ID] = value.BoxInt(value.DoubleToInt32(vals[v.Args[0].ID].NumberValue()))
 			case ir.OpUint32ToDouble:
-				vals[v.ID] = value.Number(float64(uint32(vals[v.Args[0].ID].Int32())))
+				vals[v.ID] = value.BoxNumber(float64(uint32(vals[v.Args[0].ID].Int32())))
 			case ir.OpToBool:
-				vals[v.ID] = value.Boolean(vals[v.Args[0].ID].ToBoolean())
+				vals[v.ID] = value.BoxBool(hd.ToBoolean(vals[v.Args[0].ID]))
 			case ir.OpBoolNot:
-				vals[v.ID] = value.Boolean(!vals[v.Args[0].ID].Bool())
+				vals[v.ID] = value.BoxBool(!vals[v.Args[0].ID].Bool())
 			case ir.OpNormalizeHole:
 				x := vals[v.Args[0].ID]
 				if x.IsHole() {
-					x = value.Undefined()
+					x = value.BoxedUndefined
 				}
 				vals[v.ID] = x
 
 			case ir.OpCmpInt:
 				a, b := vals[v.Args[0].ID].Int32(), vals[v.Args[1].ID].Int32()
-				vals[v.ID] = value.Boolean(cmpInt(ir.Cmp(v.AuxInt), a, b))
+				vals[v.ID] = value.BoxBool(cmpInt(ir.Cmp(v.AuxInt), a, b))
 			case ir.OpCmpDouble:
-				a, b := vals[v.Args[0].ID].Float(), vals[v.Args[1].ID].Float()
-				vals[v.ID] = value.Boolean(cmpFloat(ir.Cmp(v.AuxInt), a, b))
+				a, b := vals[v.Args[0].ID].NumberValue(), vals[v.Args[1].ID].NumberValue()
+				vals[v.ID] = value.BoxBool(cmpFloat(ir.Cmp(v.AuxInt), a, b))
 			case ir.OpStrictEqGeneric:
-				vals[v.ID] = value.Boolean(value.StrictEquals(vals[v.Args[0].ID], vals[v.Args[1].ID]))
+				vals[v.ID] = value.BoxBool(value.StrictEquals(hd.Unbox(vals[v.Args[0].ID]), hd.Unbox(vals[v.Args[1].ID])))
 
 			case ir.OpCheckInt32, ir.OpCheckNumber, ir.OpCheckShape,
 				ir.OpCheckArray, ir.OpCheckBounds, ir.OpCheckNonNeg,
@@ -600,14 +630,14 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 			case ir.OpHasShape, ir.OpHasCallee:
 				var hit bool
 				if v.Op == ir.OpHasShape {
-					o := vals[v.Args[0].ID].Object()
+					o := hd.ObjectOrNil(vals[v.Args[0].ID])
 					hit = o != nil && o.Shape == v.Shape
 					if o != nil {
 						extra += m.load(m.Mem.ShapeAddr(o))
 					}
 				} else {
-					x := vals[v.Args[0].ID]
-					hit = x.IsCallable() && x.Object().Fn == v.Callee
+					o := hd.ObjectOrNil(vals[v.Args[0].ID])
+					hit = o != nil && o.Fn != nil && o.Fn == v.Callee
 				}
 				if m.inject != nil {
 					switch m.inject.At(Site{Kind: SiteDispatch, Fn: f.Name, ValueID: v.ID, OSR: f.OSREntryPC, Inline: v.InlinePath(),
@@ -622,7 +652,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 						hit = true
 					}
 				}
-				vals[v.ID] = value.Boolean(hit)
+				vals[v.ID] = value.BoxBool(hit)
 				if hit && v.Dispatch && m.trace != nil {
 					m.icHitOnce(EventICHit, f.Name, v)
 				}
@@ -631,9 +661,9 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 				// Speculated property add: the way's shape guard proved the
 				// property absent, so this is the append path (the write hook
 				// records slot + shape word for transactional rollback).
-				o := vals[v.Args[0].ID].Object()
+				o := hd.ObjectOrNil(vals[v.Args[0].ID])
 				if o != nil {
-					o.Set(v.AuxStr, vals[v.Args[1].ID])
+					o.Set(v.AuxStr, hd.Unbox(vals[v.Args[1].ID]))
 					if off := o.OffsetOf(v.AuxStr); off >= 0 {
 						extra += m.Cache.Access(m.Mem.SlotAddr(o, off))
 					}
@@ -644,46 +674,46 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 				}
 
 			case ir.OpLoadSlot:
-				o := vals[v.Args[0].ID].Object()
+				o := hd.ObjectOrNil(vals[v.Args[0].ID])
 				off := int(v.AuxInt)
 				if o == nil || off >= len(o.Slots) {
-					vals[v.ID] = value.Undefined() // garbage pre-abort
+					vals[v.ID] = value.BoxedUndefined // garbage pre-abort
 					break
 				}
-				vals[v.ID] = o.GetSlot(off)
+				vals[v.ID] = hd.Box(o.GetSlot(off))
 				extra += m.load(m.Mem.SlotAddr(o, off))
 			case ir.OpStoreSlot:
-				o := vals[v.Args[0].ID].Object()
+				o := hd.ObjectOrNil(vals[v.Args[0].ID])
 				off := int(v.AuxInt)
 				if o == nil || off >= len(o.Slots) {
 					break
 				}
-				o.SetSlot(off, vals[v.Args[1].ID])
+				o.SetSlot(off, hd.Unbox(vals[v.Args[1].ID]))
 				extra += m.Cache.Access(m.Mem.SlotAddr(o, off))
 			case ir.OpLoadElem:
-				o := vals[v.Args[0].ID].Object()
+				o := hd.ObjectOrNil(vals[v.Args[0].ID])
 				i := int(vals[v.Args[1].ID].Int32())
 				if o == nil || !o.InBounds(i) {
-					vals[v.ID] = value.Undefined() // garbage pre-abort
+					vals[v.ID] = value.BoxedUndefined // garbage pre-abort
 					break
 				}
-				vals[v.ID] = o.ElementRaw(i)
+				vals[v.ID] = hd.Box(o.ElementRaw(i))
 				extra += m.load(m.Mem.ElemAddr(o, i))
 			case ir.OpStoreElem:
-				o := vals[v.Args[0].ID].Object()
+				o := hd.ObjectOrNil(vals[v.Args[0].ID])
 				i := int(vals[v.Args[1].ID].Int32())
 				if o == nil || i < 0 {
 					break
 				}
-				o.SetElement(i, vals[v.Args[2].ID])
+				o.SetElement(i, hd.Unbox(vals[v.Args[2].ID]))
 				extra += m.Cache.Access(m.Mem.ElemAddr(o, i))
 			case ir.OpLoadLength:
-				o := vals[v.Args[0].ID].Object()
+				o := hd.ObjectOrNil(vals[v.Args[0].ID])
 				if o == nil {
-					vals[v.ID] = value.Int(0)
+					vals[v.ID] = value.BoxInt(0)
 					break
 				}
-				vals[v.ID] = value.Int(int32(o.Length))
+				vals[v.ID] = value.BoxInt(int32(o.Length))
 				extra += m.load(m.Mem.LengthAddr(o))
 			case ir.OpLoadGlobal:
 				g := m.host.Globals()
@@ -691,13 +721,13 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					account(instr, extra)
 					return value.Undefined(), nil, errf("%s is not defined", v.AuxStr)
 				}
-				vals[v.ID] = g.Get(v.AuxStr)
+				vals[v.ID] = hd.Box(g.Get(v.AuxStr))
 				if off := g.OffsetOf(v.AuxStr); off >= 0 {
 					extra += m.load(m.Mem.SlotAddr(g, off))
 				}
 			case ir.OpStoreGlobal:
 				g := m.host.Globals()
-				g.Set(v.AuxStr, vals[v.Args[0].ID])
+				g.Set(v.AuxStr, hd.Unbox(vals[v.Args[0].ID]))
 				if off := g.OffsetOf(v.AuxStr); off >= 0 {
 					extra += m.Cache.Access(m.Mem.SlotAddr(g, off))
 				}
@@ -706,10 +736,10 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 				vals[v.ID] = evalMath(v.AuxStr, v.Args, vals)
 
 			case ir.OpCallDirect:
-				this := vals[v.Args[0].ID]
+				this := hd.Unbox(vals[v.Args[0].ID])
 				callArgs := make([]value.Value, len(v.Args)-1)
 				for i := 1; i < len(v.Args); i++ {
-					callArgs[i-1] = vals[v.Args[i].ID]
+					callArgs[i-1] = hd.Unbox(vals[v.Args[i].ID])
 				}
 				account(instr, extra)
 				if m.HTM.InTx() {
@@ -720,7 +750,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					d, err2 := handleCallErr(v, err)
 					return value.Undefined(), d, err2
 				}
-				vals[v.ID] = res
+				vals[v.ID] = hd.Box(res)
 				instr, extra = 0, 0
 
 			case ir.OpCallRuntime:
@@ -730,7 +760,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					d, err2 := handleCallErr(v, err)
 					return value.Undefined(), d, err2
 				}
-				vals[v.ID] = res
+				vals[v.ID] = hd.Box(res)
 				instr, extra = 0, 0
 
 			case ir.OpTxBegin:
@@ -846,7 +876,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 		case ir.BlockPlain:
 			block = block.Succs[0]
 		case ir.BlockIf:
-			if vals[block.Control.ID].ToBoolean() {
+			if hd.ToBoolean(vals[block.Control.ID]) {
 				block = block.Succs[0]
 			} else {
 				block = block.Succs[1]
@@ -863,7 +893,7 @@ func (m *Machine) runFrom(f *ir.Func, tier profile.Tier, args []value.Value, osr
 					m.host.ProfileFor(slotSource(i)).AddBackEdges(n)
 				}
 			}
-			return vals[block.Control.ID], nil, nil
+			return hd.Unbox(vals[block.Control.ID]), nil, nil
 		default:
 			return value.Undefined(), nil, errf("bad block kind")
 		}
@@ -877,7 +907,7 @@ func (m *Machine) load(addr uint64) int64 {
 	if m.HTM.InTx() {
 		cfg := m.HTM.Config()
 		if cfg.ReadSets > 0 {
-			if err := m.HTM.RecordRead(addr, valueSize); err != nil {
+			if err := m.HTM.RecordRead(addr, m.Mem.ValueBytes()); err != nil {
 				m.pendingCapacity = true
 			}
 		}
@@ -890,34 +920,36 @@ func (m *Machine) load(addr uint64) int64 {
 
 // checkMemCost charges the cache accesses a check performs (shape word,
 // length word).
-func (m *Machine) checkMemCost(v *ir.Value, vals []value.Value) int64 {
+func (m *Machine) checkMemCost(v *ir.Value, vals []value.Boxed) int64 {
+	hd := m.host.Handles()
 	switch v.Op {
 	case ir.OpCheckShape, ir.OpCheckArray:
-		if o := vals[v.Args[0].ID].Object(); o != nil {
+		if o := hd.ObjectOrNil(vals[v.Args[0].ID]); o != nil {
 			return m.load(m.Mem.ShapeAddr(o))
 		}
 	case ir.OpCheckBounds:
-		if o := vals[v.Args[0].ID].Object(); o != nil {
+		if o := hd.ObjectOrNil(vals[v.Args[0].ID]); o != nil {
 			return m.load(m.Mem.LengthAddr(o))
 		}
 	}
 	return 0
 }
 
-func (m *Machine) checkPasses(v *ir.Value, vals []value.Value, oflow []bool) bool {
+func (m *Machine) checkPasses(v *ir.Value, vals []value.Boxed, oflow []bool) bool {
+	hd := m.host.Handles()
 	switch v.Op {
 	case ir.OpCheckInt32:
 		return vals[v.Args[0].ID].IsInt32()
 	case ir.OpCheckNumber:
 		return vals[v.Args[0].ID].IsNumber()
 	case ir.OpCheckShape:
-		o := vals[v.Args[0].ID].Object()
+		o := hd.ObjectOrNil(vals[v.Args[0].ID])
 		return o != nil && o.Shape == v.Shape
 	case ir.OpCheckArray:
-		o := vals[v.Args[0].ID].Object()
+		o := hd.ObjectOrNil(vals[v.Args[0].ID])
 		return o != nil && o.IsArray
 	case ir.OpCheckBounds:
-		o := vals[v.Args[0].ID].Object()
+		o := hd.ObjectOrNil(vals[v.Args[0].ID])
 		if o == nil {
 			return false
 		}
@@ -931,8 +963,8 @@ func (m *Machine) checkPasses(v *ir.Value, vals []value.Value, oflow []bool) boo
 	case ir.OpCheckHole:
 		return !vals[v.Args[0].ID].IsHole()
 	case ir.OpCheckCallee:
-		x := vals[v.Args[0].ID]
-		return x.IsCallable() && x.Object().Fn == v.Callee
+		o := hd.ObjectOrNil(vals[v.Args[0].ID])
+		return o != nil && o.Fn != nil && o.Fn == v.Callee
 	}
 	return false
 }
@@ -967,6 +999,7 @@ func (m *Machine) noteTxStats(ctrs *stats.Counters, t *htm.Txn) {
 	if a := int64(t.MaxWriteAssoc()); a > ctrs.TxMaxAssoc {
 		ctrs.TxMaxAssoc = a
 	}
+	ctrs.TxWriteLinesTotal += int64(t.WriteLines())
 }
 
 func cmpInt(c ir.Cmp, a, b int32) bool {
@@ -1005,11 +1038,11 @@ func cmpFloat(c ir.Cmp, a, b float64) bool {
 	return false
 }
 
-func evalMath(name string, args []*ir.Value, vals []value.Value) value.Value {
-	a := vals[args[0].ID].Float()
+func evalMath(name string, args []*ir.Value, vals []value.Boxed) value.Boxed {
+	a := vals[args[0].ID].NumberValue()
 	var b float64
 	if len(args) > 1 {
-		b = vals[args[1].ID].Float()
+		b = vals[args[1].ID].NumberValue()
 	}
 	var r float64
 	switch name {
@@ -1050,5 +1083,5 @@ func evalMath(name string, args []*ir.Value, vals []value.Value) value.Value {
 	default:
 		r = math.NaN()
 	}
-	return value.Number(r)
+	return value.BoxNumber(r)
 }

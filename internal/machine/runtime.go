@@ -13,13 +13,14 @@ import (
 // runtime entries that optimized code falls back to when speculation is not
 // worthwhile (paper Figure 4(b)). Their cost is attributed to the NoFTL
 // instruction class, like the paper's C runtime code.
-func (m *Machine) runtimeCall(f *ir.Func, v *ir.Value, vals []value.Value) (value.Value, error) {
+func (m *Machine) runtimeCall(f *ir.Func, v *ir.Value, vals []value.Boxed) (value.Value, error) {
 	ctrs := m.host.Counters()
+	hd := m.host.Handles()
 	charge := func(n int64) {
 		ctrs.AddInstr(stats.NoFTL, n)
 		ctrs.AddCycles(n, m.HTM.InTx())
 	}
-	a := func(i int) value.Value { return vals[v.Args[i].ID] }
+	a := func(i int) value.Value { return hd.Unbox(vals[v.Args[i].ID]) }
 
 	switch v.AuxStr {
 	case "binop":
@@ -123,13 +124,13 @@ func (m *Machine) runtimeCall(f *ir.Func, v *ir.Value, vals []value.Value) (valu
 			return value.Undefined(), fmt.Errorf("%s is not a function", callee.TypeOf())
 		}
 		m.noteUserCall()
-		args := gatherArgs(v, vals, 1)
+		args := gatherArgs(hd, v, vals, 1)
 		return m.host.Call(callee.Object().Fn, value.Undefined(), args)
 	case "callmethod":
 		charge(28)
 		m.noteUserCall()
 		recv, name := a(0), a(1).StringVal()
-		args := gatherArgs(v, vals, 2)
+		args := gatherArgs(hd, v, vals, 2)
 		return m.host.InvokeMethod(recv, name, args)
 	case "construct":
 		charge(36)
@@ -138,7 +139,7 @@ func (m *Machine) runtimeCall(f *ir.Func, v *ir.Value, vals []value.Value) (valu
 			return value.Undefined(), fmt.Errorf("%s is not a constructor", callee.TypeOf())
 		}
 		m.noteUserCall()
-		args := gatherArgs(v, vals, 1)
+		args := gatherArgs(hd, v, vals, 1)
 		return m.host.Construct(callee.Object().Fn, args)
 
 	case "newobject":
@@ -176,10 +177,10 @@ func (m *Machine) noteUserCall() {
 	}
 }
 
-func gatherArgs(v *ir.Value, vals []value.Value, from int) []value.Value {
+func gatherArgs(hd *value.Handles, v *ir.Value, vals []value.Boxed, from int) []value.Value {
 	args := make([]value.Value, 0, len(v.Args)-from)
 	for i := from; i < len(v.Args); i++ {
-		args = append(args, vals[v.Args[i].ID])
+		args = append(args, hd.Unbox(vals[v.Args[i].ID]))
 	}
 	return args
 }

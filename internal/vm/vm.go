@@ -40,6 +40,11 @@ type Config struct {
 	// tiers (the zero value leaves it on); the benchmark harness uses it to
 	// measure the inliner's contribution.
 	DisableInlining bool
+	// DisableBoxing is the A/B surface for the NaN-boxed value pipeline: it
+	// turns off the interpreter/Baseline boxed fast paths, compiles without
+	// peephole superinstruction fusion, and makes the FTL memory model store
+	// values at the fat two-word stride, reproducing the seed engine.
+	DisableBoxing bool
 }
 
 // DefaultConfig runs the full tier stack on the unmodified Base architecture.
@@ -62,6 +67,7 @@ type VM struct {
 	globals  *value.Object
 	counters stats.Counters
 	profiles map[*bytecode.Function]*profile.FunctionProfile
+	handles  *value.Handles
 
 	jit JITBackend
 
@@ -130,6 +136,11 @@ func New(cfg Config) *VM {
 // reused VM is indistinguishable from a new one — including the RandomSeed
 // and MaxCallDepth settings, which are part of cfg and survive verbatim.
 func (vm *VM) Reset() {
+	if vm.handles == nil {
+		vm.handles = value.NewHandles()
+	} else {
+		vm.handles.Reset()
+	}
 	vm.shapes = value.NewShapeTable()
 	vm.profiles = make(map[*bytecode.Function]*profile.FunctionProfile)
 	vm.rng = vm.cfg.RandomSeed
@@ -157,6 +168,13 @@ func (vm *VM) ResetCounters() { vm.counters.Reset() }
 
 // Shapes returns the shape table.
 func (vm *VM) Shapes() *value.ShapeTable { return vm.shapes }
+
+// Handles returns the isolate's handle slab: the indirection table that lets
+// NaN-boxed registers reference strings and objects by index.
+func (vm *VM) Handles() *value.Handles { return vm.handles }
+
+// Boxing reports whether the NaN-boxed fast paths are enabled.
+func (vm *VM) Boxing() bool { return !vm.cfg.DisableBoxing }
 
 // Globals returns the global object.
 func (vm *VM) Globals() *value.Object { return vm.globals }
@@ -218,7 +236,8 @@ func (vm *VM) InTransaction() bool {
 	return vm.jit != nil && vm.jit.InTransaction()
 }
 
-// CompileSource parses and compiles a program to its top-level function.
+// CompileSource parses and compiles a program to its top-level function,
+// including the peephole superinstruction fusion pass.
 func CompileSource(src string) (*bytecode.Function, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
@@ -227,11 +246,25 @@ func CompileSource(src string) (*bytecode.Function, error) {
 	return bytecode.Compile(prog)
 }
 
+// CompileSourceNoFuse compiles without superinstruction fusion — the exact
+// seed codegen, used as the DisableBoxing A/B baseline.
+func CompileSourceNoFuse(src string) (*bytecode.Function, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return bytecode.CompileNoFuse(prog)
+}
+
 // Run executes a complete program source and returns the value of the last
 // global named "result" if defined, else undefined. Output from print() is
 // collected in vm.Output.
 func (vm *VM) Run(src string) (value.Value, error) {
-	main, err := CompileSource(src)
+	compile := CompileSource
+	if vm.cfg.DisableBoxing {
+		compile = CompileSourceNoFuse
+	}
+	main, err := compile(src)
 	if err != nil {
 		return value.Undefined(), err
 	}
@@ -240,7 +273,7 @@ func (vm *VM) Run(src string) (value.Value, error) {
 
 // RunMain executes a previously compiled top-level function.
 func (vm *VM) RunMain(main *bytecode.Function) (value.Value, error) {
-	fr := frame.New(main, nil, nil)
+	fr := frame.New(main, nil, nil, vm.handles)
 	if _, err := interp.Exec(vm, fr, profile.TierInterp); err != nil {
 		return value.Undefined(), err
 	}
@@ -304,7 +337,7 @@ func (vm *VM) Call(fn *value.Function, this value.Value, args []value.Value) (va
 	}
 
 	env := value.NewEnvironment(fn.Env, bcFn.NumCells)
-	fr := frame.New(bcFn, env, args)
+	fr := frame.New(bcFn, env, args, vm.handles)
 	return interp.Exec(vm, fr, tier)
 }
 

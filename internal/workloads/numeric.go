@@ -1,0 +1,95 @@
+package workloads
+
+// Numeric microbenchmarks: tight arithmetic kernels that live almost
+// entirely in the boxed register file, sized to make the NaN-boxed value
+// pipeline's costs visible — superinstruction dispatch in the bytecode
+// tiers, int32/double tag discrimination, and boxed arithmetic fast paths:
+//
+//   - N01 int-chain: constant-fused integer arithmetic (x+1, x-2, x*3
+//     chains) — the ADDK/SUBK/MULK patterns back to back.
+//
+//   - N02 cmp-ladder: loops dominated by compare-and-branch against both
+//     registers and constants — the CMPJF/CMPKJF patterns, plus INCR on the
+//     induction variables.
+//
+//   - N03 double-mix: double-precision arithmetic seeded from an int loop
+//     counter, exercising the int→double boxing boundary and raw-double
+//     boxes (every intermediate is a NaN-box payload).
+//
+//   - N04 int-overflow-mix: integer arithmetic that crosses the int32
+//     boundary mid-loop, so values oscillate between the int32 tag and raw
+//     double bits — kind observability under boxing.
+//
+//   - N05 num-array: a numeric array accumulate with a constant-stepped
+//     index — boxed element traffic plus INCR, the paper's Figure-4 shape
+//     reduced to its arithmetic skeleton.
+var numeric = []Workload{
+	{ID: "N01", Name: "int-chain", Suite: "Numeric", Iterations: 1, Source: `
+function run() {
+  var a = 0;
+  var b = 7;
+  for (var i = 0; i < 6000; i++) {
+    a = a + 1;
+    b = b + 3;
+    a = b - 2;
+    b = (a * 3) | 0;
+    b = b - 1;
+    a = a + 2;
+  }
+  return a + b;
+}`},
+
+	{ID: "N02", Name: "cmp-ladder", Suite: "Numeric", Iterations: 1, Source: `
+function run() {
+  var hits = 0;
+  var n = 900;
+  for (var i = 0; i < 5000; i++) {
+    var j = i & 1023;
+    if (j < 100) hits = hits + 1;
+    if (j < n) hits = hits + 2;
+    var k = 0;
+    while (k < 4) { k++; hits = hits + k; }
+  }
+  return hits;
+}`},
+
+	{ID: "N03", Name: "double-mix", Suite: "Numeric", Iterations: 1, Source: `
+function run() {
+  var s = 0.5;
+  for (var i = 0; i < 5000; i++) {
+    var x = i * 0.25;
+    s = s + x * 1.5 - 0.125;
+    s = s * 0.999;
+  }
+  return (s * 1000) | 0;
+}`},
+
+	{ID: "N04", Name: "int-overflow-mix", Suite: "Numeric", Iterations: 1, Source: `
+function run() {
+  var s = 0;
+  var big = 2147483000;
+  for (var i = 0; i < 4000; i++) {
+    var t = big + (i & 1023);     // crosses the int32 boundary -> double
+    var u = (t - 2147483000) | 0; // back to int32
+    s = (s + u + 1) | 0;
+  }
+  return s;
+}`},
+
+	{ID: "N05", Name: "num-array", Suite: "Numeric", Iterations: 1, Source: `
+var NA = new Array(512);
+for (var i = 0; i < 512; i++) NA[i] = (i * 7) & 255;
+function run() {
+  var s = 0;
+  for (var r = 0; r < 60; r++) {
+    for (var i = 0; i < 512; i++) {
+      s = s + NA[i] + 1;
+    }
+    s = s - 512;
+  }
+  return s;
+}`},
+}
+
+// Numeric returns the boxed-arithmetic microbenchmarks (N01..N05).
+func Numeric() []Workload { return numeric }

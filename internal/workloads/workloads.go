@@ -42,7 +42,7 @@ func Shootout() []Workload { return shootout }
 
 // ByID finds a workload by its ID in any suite.
 func ByID(id string) (Workload, bool) {
-	for _, set := range [][]Workload{sunspider, kraken, shootout, adversarial, osrEntry, callHeavy, poly} {
+	for _, set := range [][]Workload{sunspider, kraken, shootout, adversarial, osrEntry, callHeavy, poly, numeric} {
 		for _, w := range set {
 			if w.ID == id {
 				return w, true
