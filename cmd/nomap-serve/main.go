@@ -14,8 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"nomap/internal/stats"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
@@ -43,6 +43,20 @@ func main() {
 		noCache    = flag.Bool("no-cache", false, "disable the shared code cache")
 		noSnap     = flag.Bool("no-snapshots", false, "disable warm-start snapshots")
 		chaosSpec  = flag.String("chaos", "", `deterministic fault plan, e.g. "panic@3,compile-fail@1,slow-isolate@5" (injected failures are expected and reported per class)`)
+
+		shards       = flag.Int("shards", 0, "code-cache shards (0 = default; 1 = unsharded A/B configuration)")
+		coalesce     = flag.Bool("coalesce", false, "coalesce concurrent cold starts of one key behind a single leader")
+		asyncCompile = flag.Bool("async-compile", false, "move tier-up compilation off the request path onto the background compile queue")
+		slo          = flag.Duration("slo", 0, "latency SLO for compile-queue admission control (0 = no admission gating)")
+
+		loadgenMode = flag.Bool("loadgen", false, "load-generator mode: seeded open-loop (Poisson) arrivals on the virtual-time simulator")
+		qps         = flag.Int64("qps", 10000, "loadgen arrival rate (requests per virtual second)")
+		requests    = flag.Int("requests", 10000, "loadgen arrivals to generate")
+		seed        = flag.Uint64("seed", 1, "loadgen arrival-process seed")
+		benchOut    = flag.String("bench", "", "measure the serving benchmark scenarios and write BENCH_SERVE.json to this path")
+		comparePath = flag.String("compare", "", "compare a fresh measurement against this committed BENCH_SERVE.json and gate on regressions")
+		jsonOut     = flag.String("json", "", "with -compare: also write the fresh measurement to this path")
+		maxRegress  = flag.Float64("max-regress", 2.0, "with -compare: max tolerated throughput drop / p99 rise, percent")
 	)
 	flag.Parse()
 
@@ -59,6 +73,30 @@ func main() {
 
 	cfg := vm.DefaultConfig()
 	cfg.Arch = arch
+
+	// Benchmark and load-generator modes run on the virtual-time simulator
+	// (deterministic, so the committed snapshot gates CI); the trace replay
+	// below exercises the real pool.
+	if *benchOut != "" {
+		if err := emitServeBench(*benchOut, cfg); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if *comparePath != "" {
+		if err := compareServe(*comparePath, *jsonOut, *maxRegress, cfg); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if *loadgenMode {
+		if err := runLoadgen(cfg, mix, *workers, *queue, *calls, *requests,
+			*qps, *seed, *coalesce, *asyncCompile); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
 	var plan *chaos.Plan
 	if *chaosSpec != "" {
 		var err error
@@ -73,6 +111,10 @@ func main() {
 		VM:               cfg,
 		DisableCodeCache: *noCache,
 		DisableSnapshots: *noSnap,
+		CacheShards:      *shards,
+		Coalesce:         *coalesce,
+		AsyncCompile:     *asyncCompile,
+		SLO:              *slo,
 		Chaos:            plan,
 	})
 
@@ -113,10 +155,10 @@ func main() {
 		ch <-chan pool.Response
 	}
 	var (
-		inflight  []tagged
-		latencies []time.Duration
-		mismatch  int
-		failed    int
+		inflight []tagged
+		lat      stats.Histogram
+		mismatch int
+		failed   int
 	)
 	drainOne := func() {
 		t := inflight[0]
@@ -127,7 +169,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: [%s] %v\n", t.id, pool.Classify(resp.Err), resp.Err)
 			return
 		}
-		latencies = append(latencies, resp.Latency)
+		lat.Record(resp.Latency.Microseconds())
 		if *verify {
 			ref := refs[t.id]
 			if strings.Join(resp.Results, "\n") != strings.Join(ref.results, "\n") ||
@@ -174,15 +216,10 @@ func main() {
 		total, len(mix), *repeat, *calls, *workers, arch)
 	fmt.Printf("  wall time      %v  (%.1f req/s)\n", elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds())
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		pct := func(q float64) time.Duration {
-			i := int(q * float64(len(latencies)-1))
-			return latencies[i]
-		}
-		fmt.Printf("  latency        p50 %v  p90 %v  p99 %v  max %v\n",
-			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-			pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	if lat.Count() > 0 {
+		fmt.Printf("  latency        p50 %dµs  p90 %dµs  p99 %dµs  p999 %dµs  max %dµs\n",
+			lat.Quantile(0.50), lat.Quantile(0.90), lat.Quantile(0.99),
+			lat.Quantile(0.999), lat.Max())
 	}
 	fmt.Printf("  completed      %d ok, %d failed, %d rejected\n", st.Completed, st.Failed, st.Rejected)
 	if st.Failed > 0 {
@@ -205,6 +242,13 @@ func main() {
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.BindFails,
 		st.Cache.Uncacheable, 100*st.Cache.HitRate())
 	fmt.Printf("  snapshots      %d restores (%d stored)\n", st.Counters.SnapshotRestores, st.Snapshots.Size)
+	if *coalesce {
+		fmt.Printf("  coalescing     %d leads, %d follower waits\n", st.CoalesceLeads, st.CoalesceWaits)
+	}
+	if *asyncCompile {
+		fmt.Printf("  compile queue  %d jobs (%d done, %d shed, %d down-tiered)\n",
+			st.CompileJobs, st.CompileDone, st.CompileSheds, st.CompileDownTiers)
+	}
 	fmt.Printf("  ftl compiles   %s\n", ftlCompileSummary(p))
 
 	if mismatch > 0 {

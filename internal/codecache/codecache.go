@@ -28,6 +28,7 @@ package codecache
 
 import (
 	"container/list"
+	"reflect"
 	"sync"
 
 	"nomap/internal/bytecode"
@@ -131,10 +132,11 @@ type flight struct {
 	done chan struct{}
 }
 
-// Cache is the shared compiled-artifact store: bounded LRU over immutable
-// entries, with single-flight compilation so concurrent isolates requesting
-// the same key trigger one fill.
-type Cache struct {
+// shard is one independent slice of the cache: its own lock, LRU list,
+// entry map, in-flight table, and counters. Keys are distributed across
+// shards by fingerprint hash, so isolates compiling unrelated programs never
+// contend on one mutex — the lock-contention fix for high-QPS serving.
+type shard struct {
 	mu       sync.Mutex
 	capacity int
 	entries  map[Key]*entry
@@ -142,24 +144,101 @@ type Cache struct {
 	inflight map[Key]*flight
 	stats    Stats
 	fills    map[FillGroup]int64
-	probe    func() error
+}
+
+// Cache is the shared compiled-artifact store: a power-of-two set of shards,
+// each a bounded LRU over immutable entries with single-flight compilation
+// so concurrent isolates requesting the same key trigger one fill. All
+// single-flight and LRU decisions are per shard; Stats, FillCounts, and Len
+// aggregate across shards, so a one-shard cache is observationally the
+// pre-sharding cache.
+type Cache struct {
+	shards []*shard
+	mask   uint64
+
+	probeMu sync.Mutex
+	probe   func() error
 }
 
 // DefaultCapacity bounds the cache when the caller passes 0.
 const DefaultCapacity = 256
 
-// NewCache creates a cache holding at most capacity artifacts.
+// DefaultShards is the shard count when the caller passes 0 to
+// NewCacheSharded (and the count NewCache uses). Power of two.
+const DefaultShards = 8
+
+// NewCache creates a cache holding at most capacity artifacts, split across
+// DefaultShards shards.
 func NewCache(capacity int) *Cache {
+	return NewCacheSharded(capacity, 0)
+}
+
+// NewCacheSharded creates a cache of the given total capacity split across
+// the given number of shards (rounded up to a power of two; 0 takes
+// DefaultShards, 1 is the unsharded A/B configuration). Each shard holds at
+// most ceil(capacity/shards) entries, so the aggregate bound is within one
+// entry per shard of the requested capacity.
+func NewCacheSharded(capacity, shards int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Cache{
-		capacity: capacity,
-		entries:  make(map[Key]*entry),
-		lru:      list.New(),
-		inflight: make(map[Key]*flight),
-		fills:    make(map[FillGroup]int64),
+	if shards <= 0 {
+		shards = DefaultShards
 	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := (capacity + n - 1) / n
+	c := &Cache{shards: make([]*shard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			capacity: per,
+			entries:  make(map[Key]*entry),
+			lru:      list.New(),
+			inflight: make(map[Key]*flight),
+			fills:    make(map[FillGroup]int64),
+		}
+	}
+	return c
+}
+
+// Shards returns the shard count (for reporting and the A/B harness).
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shardFor selects the shard owning key by FNV-1a over every key component.
+// The shared-bytecode identity enters as its in-process pointer (stable for
+// the cache's lifetime, exactly as the profile fingerprint hashes it); the
+// hash only steers distribution — entry identity is full Key equality inside
+// the shard's map.
+func (c *Cache) shardFor(key Key) *shard {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(uint64(reflect.ValueOf(key.Code).Pointer()))
+	mix(uint64(key.Tier) | uint64(key.Arch)<<8 | uint64(key.Level)<<16)
+	mix(uint64(key.Policy.BaselineThreshold))
+	mix(uint64(key.Policy.DFGThreshold))
+	mix(uint64(key.Policy.FTLThreshold))
+	mix(uint64(key.Policy.MaxDeopts))
+	mixStr(key.KeepFP)
+	mixStr(key.DemoteFP)
+	mix(key.ProfFP)
+	mix(key.InlineFP)
+	mix(uint64(int64(key.OSR)))
+	// Fold the high bits down so small shard counts still see the whole hash.
+	return c.shards[(h^h>>32)&c.mask]
 }
 
 // SetFaultProbe installs (or with nil removes) a hook consulted before every
@@ -168,16 +247,16 @@ func NewCache(capacity int) *Cache {
 // the analogue of htm.CapacityProbe for the compilation pipeline. Production
 // paths never install one.
 func (c *Cache) SetFaultProbe(f func() error) {
-	c.mu.Lock()
+	c.probeMu.Lock()
 	c.probe = f
-	c.mu.Unlock()
+	c.probeMu.Unlock()
 }
 
 // wrapFill interposes the fault probe (when installed) on a fill closure.
 func (c *Cache) wrapFill(fill func() (*ir.Func, error)) func() (*ir.Func, error) {
-	c.mu.Lock()
+	c.probeMu.Lock()
 	probe := c.probe
-	c.mu.Unlock()
+	c.probeMu.Unlock()
 	if probe == nil {
 		return fill
 	}
@@ -189,35 +268,131 @@ func (c *Cache) wrapFill(fill func() (*ir.Func, error)) func() (*ir.Func, error)
 	}
 }
 
-// Stats returns a snapshot of the process-wide counters.
+// Stats returns a snapshot of the process-wide counters, summed across
+// shards.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var total Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st := s.stats
+		s.mu.Unlock()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Waits += st.Waits
+		total.Evictions += st.Evictions
+		total.Uncacheable += st.Uncacheable
+		total.BindFails += st.BindFails
+		total.Compiles += st.Compiles
+	}
+	return total
+}
+
+// ShardStats returns each shard's counters (for the balance diagnostics and
+// the torture test's per-shard invariants).
+func (c *Cache) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = s.stats
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // FillCounts returns how many times each (function, arch, tier) group was
 // actually compiled (shared fills and uncacheable local compiles alike).
 func (c *Cache) FillCounts() map[FillGroup]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[FillGroup]int64, len(c.fills))
-	for g, n := range c.fills {
-		out[g] = n
+	out := make(map[FillGroup]int64)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for g, n := range s.fills {
+			out[g] += n
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
-// Len returns the number of resident entries.
+// Len returns the number of resident entries across all shards.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-func (c *Cache) noteFill(key Key) {
-	c.stats.Compiles++
-	c.fills[FillGroup{Fn: key.Code.Name, Arch: key.Arch, Tier: key.Tier}]++
+// ShardLens returns each shard's resident-entry count.
+func (c *Cache) ShardLens() []int {
+	out := make([]int, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = s.lru.Len()
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func (s *shard) noteFill(key Key) {
+	s.stats.Compiles++
+	s.fills[FillGroup{Fn: key.Code.Name, Arch: key.Arch, Tier: key.Tier}]++
+}
+
+// LookupStatus reports what a non-blocking Lookup found.
+type LookupStatus uint8
+
+const (
+	// LookupMiss: no entry and no fill in flight — the caller should
+	// schedule a background compile and run at its current-best tier.
+	LookupMiss LookupStatus = iota
+	// LookupHit: an artifact was found and bound.
+	LookupHit
+	// LookupInflight: another isolate is compiling this key right now; the
+	// artifact will appear without any further action.
+	LookupInflight
+	// LookupUncacheable: the key is marked uncacheable — it will never be
+	// served from the cache and the caller must compile locally.
+	LookupUncacheable
+	// LookupBindFail: an artifact exists but cannot be relocated into this
+	// isolate; the caller must compile locally.
+	LookupBindFail
+)
+
+// Lookup is the non-blocking read path for the off-request-path compile
+// queue: it returns a bound artifact on a hit but never fills and never
+// waits on another isolate's fill. ctrs, when non-nil, receives per-isolate
+// hit attribution (misses are not charged — the eventual background fill
+// charges its own isolate).
+func (c *Cache) Lookup(key Key, realm Realm, ctrs *stats.Counters) (*ir.Func, LookupStatus) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		if e.uncacheable {
+			s.mu.Unlock()
+			return nil, LookupUncacheable
+		}
+		s.lru.MoveToFront(e.elem)
+		art := e.art
+		s.mu.Unlock()
+		if bound, ok := art.Bind(realm); ok {
+			s.mu.Lock()
+			s.stats.Hits++
+			s.mu.Unlock()
+			if ctrs != nil {
+				ctrs.CodeCacheHits++
+			}
+			return bound, LookupHit
+		}
+		return nil, LookupBindFail
+	}
+	_, inflight := s.inflight[key]
+	s.mu.Unlock()
+	if inflight {
+		return nil, LookupInflight
+	}
+	return nil, LookupMiss
 }
 
 // Compile returns code for key bound to realm, compiling via fill at most
@@ -227,26 +402,27 @@ func (c *Cache) noteFill(key Key) {
 // receives the per-isolate hit/miss attribution.
 func (c *Cache) Compile(key Key, realm Realm, ctrs *stats.Counters, fill func() (*ir.Func, error)) (*ir.Func, bool, error) {
 	fill = c.wrapFill(fill)
+	s := c.shardFor(key)
 	for {
-		c.mu.Lock()
-		if e, ok := c.entries[key]; ok {
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
 			if e.uncacheable {
-				c.stats.Uncacheable++
-				c.noteFill(key)
-				c.mu.Unlock()
+				s.stats.Uncacheable++
+				s.noteFill(key)
+				s.mu.Unlock()
 				if ctrs != nil {
 					ctrs.CodeCacheMisses++
 				}
 				f, err := fill()
 				return f, err == nil, err
 			}
-			c.lru.MoveToFront(e.elem)
+			s.lru.MoveToFront(e.elem)
 			art := e.art
-			c.mu.Unlock()
+			s.mu.Unlock()
 			if bound, ok := art.Bind(realm); ok {
-				c.mu.Lock()
-				c.stats.Hits++
-				c.mu.Unlock()
+				s.mu.Lock()
+				s.stats.Hits++
+				s.mu.Unlock()
 				if ctrs != nil {
 					ctrs.CodeCacheHits++
 				}
@@ -254,32 +430,32 @@ func (c *Cache) Compile(key Key, realm Realm, ctrs *stats.Counters, fill func() 
 			}
 			// The isolate cannot resolve the manifest (its program state
 			// lacks the referenced functions); compile locally.
-			c.mu.Lock()
-			c.stats.BindFails++
-			c.noteFill(key)
-			c.mu.Unlock()
+			s.mu.Lock()
+			s.stats.BindFails++
+			s.noteFill(key)
+			s.mu.Unlock()
 			if ctrs != nil {
 				ctrs.CodeCacheMisses++
 			}
 			f, err := fill()
 			return f, err == nil, err
 		}
-		if fl, ok := c.inflight[key]; ok {
-			c.stats.Waits++
-			c.mu.Unlock()
+		if fl, ok := s.inflight[key]; ok {
+			s.stats.Waits++
+			s.mu.Unlock()
 			<-fl.done
 			continue // the winner stored an entry (or failed; retry fills)
 		}
 		fl := &flight{done: make(chan struct{})}
-		c.inflight[key] = fl
-		c.mu.Unlock()
+		s.inflight[key] = fl
+		s.mu.Unlock()
 
 		f, err := fill()
 
-		c.mu.Lock()
-		delete(c.inflight, key)
+		s.mu.Lock()
+		delete(s.inflight, key)
 		if err != nil {
-			c.mu.Unlock()
+			s.mu.Unlock()
 			close(fl.done)
 			return nil, true, err
 		}
@@ -289,20 +465,20 @@ func (c *Cache) Compile(key Key, realm Realm, ctrs *stats.Counters, fill func() 
 		} else {
 			e.uncacheable = true
 		}
-		e.elem = c.lru.PushFront(e)
-		c.entries[key] = e
-		c.stats.Misses++
-		c.noteFill(key)
+		e.elem = s.lru.PushFront(e)
+		s.entries[key] = e
+		s.stats.Misses++
+		s.noteFill(key)
 		evicted := int64(0)
-		for c.lru.Len() > c.capacity {
-			back := c.lru.Back()
+		for s.lru.Len() > s.capacity {
+			back := s.lru.Back()
 			old := back.Value.(*entry)
-			c.lru.Remove(back)
-			delete(c.entries, old.key)
-			c.stats.Evictions++
+			s.lru.Remove(back)
+			delete(s.entries, old.key)
+			s.stats.Evictions++
 			evicted++
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 		close(fl.done)
 		if ctrs != nil {
 			ctrs.CodeCacheMisses++

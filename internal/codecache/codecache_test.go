@@ -160,9 +160,12 @@ type testError struct{}
 func (*testError) Error() string { return "fill failed" }
 
 // TestLRUEviction: the cache holds `capacity` artifacts, evicts the least
-// recently used, and an evicted key compiles again on next request.
+// recently used, and an evicted key compiles again on next request. Exact
+// global LRU order is a single-shard property (sharded caches evict per
+// shard), so this pins the Shards=1 configuration; cross-shard accounting is
+// covered by the sharding torture tests.
 func TestLRUEviction(t *testing.T) {
-	c := codecache.NewCache(2)
+	c := codecache.NewCacheSharded(2, 1)
 	progs := codecache.NewPrograms()
 	realm := vm.New(vm.DefaultConfig())
 	var ctrs stats.Counters

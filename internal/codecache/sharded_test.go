@@ -1,0 +1,207 @@
+// Sharded-cache invariants: serial equivalence with the unsharded
+// configuration, cross-shard accounting under concurrent eviction pressure,
+// and the contention A/B that justifies sharding at all.
+package codecache_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nomap/internal/codecache"
+	"nomap/internal/ir"
+	"nomap/internal/vm"
+)
+
+// TestShardedSerialMatchesUnsharded: with no concurrency and no eviction
+// pressure, shard count is unobservable — the same request sequence must
+// produce identical hit/miss totals, fill counts, and sizes at Shards=8 and
+// Shards=1. This is what makes Shards=1 a valid A/B control.
+func TestShardedSerialMatchesUnsharded(t *testing.T) {
+	progs := codecache.NewPrograms()
+	realm := vm.New(vm.DefaultConfig())
+	run := func(c *codecache.Cache) codecache.Stats {
+		for pass := 0; pass < 3; pass++ {
+			for fp := uint64(1); fp <= 32; fp++ {
+				if _, _, err := c.Compile(testKey(t, progs, fp), realm, nil, trivialFill); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return c.Stats()
+	}
+	sharded := codecache.NewCacheSharded(256, 8)
+	single := codecache.NewCacheSharded(256, 1)
+	ss, us := run(sharded), run(single)
+	if ss != us {
+		t.Errorf("stats diverge: sharded %+v, unsharded %+v", ss, us)
+	}
+	if sl, ul := sharded.Len(), single.Len(); sl != ul {
+		t.Errorf("Len diverges: sharded %d, unsharded %d", sl, ul)
+	}
+	if ss.Misses != 32 || ss.Hits != 64 {
+		t.Errorf("unexpected totals (misses %d, hits %d), want 32 fills + 64 hits", ss.Misses, ss.Hits)
+	}
+}
+
+// TestShardedTortureAccounting hammers a small sharded cache from many
+// goroutines with a keyspace larger than capacity, so evictions, re-fills,
+// and single-flight waits all happen concurrently across shards. Run under
+// -race this is the memory-safety check; the assertions are the accounting
+// invariants: single flight per key, per-shard books balancing
+// (misses − evictions = live entries), and shard totals summing to the
+// aggregate view.
+func TestShardedTortureAccounting(t *testing.T) {
+	const (
+		capacity   = 32
+		keyspace   = 96
+		goroutines = 16
+		iters      = 300
+	)
+	c := codecache.NewCacheSharded(capacity, 4)
+	progs := codecache.NewPrograms()
+	realm := vm.New(vm.DefaultConfig())
+	keys := make([]codecache.Key, keyspace)
+	for i := range keys {
+		keys[i] = testKey(t, progs, uint64(i+1))
+	}
+
+	// One gauge per key: a second concurrent fill for the same key is a
+	// single-flight violation.
+	gauges := make([]atomic.Int32, keyspace)
+	var violations atomic.Int32
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := uint64(g)*2654435761 + 1
+			for i := 0; i < iters; i++ {
+				r ^= r << 13
+				r ^= r >> 7
+				r ^= r << 17
+				ki := int(r % keyspace)
+				calls.Add(1)
+				_, _, err := c.Compile(keys[ki], realm, nil, func() (*ir.Func, error) {
+					if gauges[ki].Add(1) > 1 {
+						violations.Add(1)
+					}
+					if i%64 == 0 {
+						time.Sleep(time.Millisecond) // widen the race window
+					}
+					gauges[ki].Add(-1)
+					return ir.NewFunc("t", nil), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := violations.Load(); n > 0 {
+		t.Errorf("%d concurrent fills for one key (single flight broken)", n)
+	}
+	// Waits is supplementary (a waiter loops and then lands on a terminal
+	// outcome); the terminal outcomes must account for every call exactly.
+	agg := c.Stats()
+	if got := agg.Hits + agg.Misses + agg.Uncacheable + agg.BindFails; got != calls.Load() {
+		t.Errorf("hits+misses+uncacheable+bindfails = %d, want %d calls", got, calls.Load())
+	}
+	if c.Len() > capacity {
+		t.Errorf("Len = %d exceeds capacity %d", c.Len(), capacity)
+	}
+	var sum codecache.Stats
+	lens := c.ShardLens()
+	lenSum := 0
+	for i, st := range c.ShardStats() {
+		if live := st.Misses - st.Evictions; live != int64(lens[i]) {
+			t.Errorf("shard %d books don't balance: %d fills - %d evictions != %d live",
+				i, st.Misses, st.Evictions, lens[i])
+		}
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Waits += st.Waits
+		sum.Evictions += st.Evictions
+		sum.Uncacheable += st.Uncacheable
+		sum.BindFails += st.BindFails
+		sum.Compiles += st.Compiles
+		lenSum += lens[i]
+	}
+	if sum != agg {
+		t.Errorf("shard stats sum %+v != aggregate %+v", sum, agg)
+	}
+	if lenSum != c.Len() {
+		t.Errorf("shard lens sum %d != Len %d", lenSum, c.Len())
+	}
+}
+
+// TestShardedCacheThroughput is the contention A/B: on ≥8 hardware threads,
+// the hot hit path (per-shard mutex + LRU touch) must scale better at the
+// default shard count than forced onto one shard's lock. Skipped on small
+// machines where there is no parallelism to win back.
+func TestShardedCacheThroughput(t *testing.T) {
+	if runtime.NumCPU() < 8 || runtime.GOMAXPROCS(0) < 8 {
+		t.Skipf("NumCPU = %d, GOMAXPROCS = %d: the contention A/B needs ≥8 hardware threads (8 goroutines on fewer cores measure scheduling overhead, not lock contention)",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	if testing.Short() {
+		t.Skip("contention A/B is a timing test")
+	}
+	progs := codecache.NewPrograms()
+	realm := vm.New(vm.DefaultConfig())
+
+	const keyspace = 64
+	hammer := func(shards int) float64 {
+		c := codecache.NewCacheSharded(keyspace*2, shards)
+		keys := make([]codecache.Key, keyspace)
+		for i := range keys {
+			keys[i] = testKey(t, progs, uint64(i+1))
+			if _, _, err := c.Compile(keys[i], realm, nil, trivialFill); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const goroutines, iters = 8, 20000
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					key := keys[(g*iters+i)%keyspace]
+					if _, _, err := c.Compile(key, realm, nil, trivialFill); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		return float64(goroutines*iters) / time.Since(start).Seconds()
+	}
+
+	// Best of three per configuration: this is a coarse contention check,
+	// not a microbenchmark, but scheduler noise still wants damping.
+	best := func(shards int) float64 {
+		var b float64
+		for i := 0; i < 3; i++ {
+			if v := hammer(shards); v > b {
+				b = v
+			}
+		}
+		return b
+	}
+	sharded := best(0) // default shard count
+	single := best(1)
+	t.Logf("hit-path throughput: sharded %.0f ops/s, single-shard %.0f ops/s (%.2fx)",
+		sharded, single, sharded/single)
+	if sharded <= single {
+		t.Errorf("sharding lost the contention A/B: %.0f ops/s ≤ %.0f ops/s", sharded, single)
+	}
+}

@@ -70,6 +70,7 @@ func (iso *Isolate) UseCache(c *codecache.Cache) { iso.b.SetCodeCache(c) }
 func (iso *Isolate) Reset() {
 	iso.v.SetInterrupt(nil)
 	iso.b.SetPassHook(nil)
+	iso.b.SetCompileSink(nil)
 	iso.b.Machine().SetInjector(nil)
 	iso.b.Machine().SetTracer(nil)
 	iso.b.Machine().HTM.SetCapacityProbe(nil)

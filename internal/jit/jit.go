@@ -8,6 +8,8 @@
 package jit
 
 import (
+	"errors"
+
 	"nomap/internal/bytecode"
 	"nomap/internal/codecache"
 	"nomap/internal/core"
@@ -64,6 +66,12 @@ type Backend struct {
 	cache  *codecache.Cache
 	realm  codecache.Realm
 	policy profile.Policy
+
+	// sink, when set alongside cache, moves tier-up compilation off this
+	// goroutine: a cache miss is offered to the sink (the serving pool's
+	// background compile queue) instead of filling inline, and execution
+	// declines to the current-best tier.
+	sink func(profile.Tier)
 }
 
 type unit struct {
@@ -109,6 +117,46 @@ func Attach(v *vm.VM) *Backend {
 // cache is bypassed whenever a pass hook is installed, since hooks observe
 // compilation itself and a bound artifact never compiles.
 func (b *Backend) SetCodeCache(c *codecache.Cache) { b.cache = c }
+
+// errDeferred is the internal sentinel of the deferred-compile path: the
+// artifact is not in the cache yet, a background compile has been offered to
+// the sink, and the request should keep running at its current-best tier. It
+// never escapes the backend — Execute and ExecuteOSR translate it into a
+// clean handled=false decline without charging a compile failure or pinning
+// the function.
+var errDeferred = errors.New("jit: compile deferred to background queue")
+
+// SetCompileSink installs (or with nil removes) the deferred-compile sink.
+// While a sink and a shared cache are both connected, speculative-tier cache
+// misses do not compile on the calling goroutine: the backend offers the
+// tier to the sink — the serving pool's bounded background compile queue —
+// and declines execution, so the request proceeds at the tier it already
+// has. Cache hits bind as usual; uncacheable and unrelocatable keys compile
+// locally, since no background fill could ever serve them.
+func (b *Backend) SetCompileSink(f func(profile.Tier)) { b.sink = f }
+
+// deferLookup consults the shared cache without ever filling or waiting.
+// Returns the bound artifact on a hit; local=true when the caller must
+// compile on this goroutine (uncacheable or unrelocatable key); errDeferred
+// when the artifact is absent or another isolate is mid-fill.
+func (b *Backend) deferLookup(key codecache.Key, tier profile.Tier, ctrs *stats.Counters) (f *ir.Func, local bool, err error) {
+	f, st := b.cache.Lookup(key, b.realm, ctrs)
+	switch st {
+	case codecache.LookupHit:
+		return f, false, nil
+	case codecache.LookupMiss:
+		b.sink(tier)
+		return nil, false, errDeferred
+	case codecache.LookupInflight:
+		return nil, false, errDeferred
+	}
+	// LookupUncacheable / LookupBindFail: the cache can never serve this
+	// isolate; charge the miss and compile locally like the sync path does.
+	if ctrs != nil {
+		ctrs.CodeCacheMisses++
+	}
+	return nil, true, nil
+}
 
 // Machine exposes the execution engine (for the harness: cache and HTM
 // statistics).
@@ -179,6 +227,11 @@ func (b *Backend) Execute(v *vm.VM, fn *value.Function, prof *profile.FunctionPr
 	if u == nil || u.tier != tier {
 		u2, compiled, err := b.compile(bcFn, prof, tier, v.Counters())
 		if err != nil {
+			// A deferred compile is not a failure: the background queue will
+			// fill the cache, and until then the current-best tier serves.
+			if err == errDeferred {
+				return value.Undefined(), false, nil
+			}
 			// Deterministic unsupported-function errors pin the function to
 			// Baseline; anything else is treated as transient and only pins
 			// after a bounded number of failures.
@@ -297,7 +350,11 @@ func (b *Backend) ExecuteOSR(v *vm.VM, fr *frame.Frame, prof *profile.FunctionPr
 	if u == nil || u.tier != tier {
 		u2, compiled, err := b.compileOSR(bcFn, prof, tier, fr.PC, v.Counters())
 		if err != nil {
-			b.osrFailed[key] = true
+			// Deferred is transient — the loop stays on its bytecode tier
+			// this pass and OSR retries once the background fill lands.
+			if err != errDeferred {
+				b.osrFailed[key] = true
+			}
 			return value.Undefined(), false, nil
 		}
 		u = u2
@@ -447,6 +504,20 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 				InlineFP: b.inlineFP(bcFn),
 				OSR:      -1,
 			}
+			if b.sink != nil {
+				f, local, err := b.deferLookup(key, tier, ctrs)
+				if err != nil {
+					return nil, false, err
+				}
+				if !local {
+					return &unit{tier: tier, f: f}, false, nil
+				}
+				f, err = dfg.CompileInlining(bcFn, prof, b.dfgProfiles(), b.dfgDemote())
+				if err != nil {
+					return nil, true, err
+				}
+				return &unit{tier: tier, f: f}, true, nil
+			}
 			f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
 				return dfg.CompileInlining(bcFn, prof, b.dfgProfiles(), b.dfgDemote())
 			})
@@ -484,6 +555,20 @@ func (b *Backend) compile(bcFn *bytecode.Function, prof *profile.FunctionProfile
 			InlineFP: b.inlineFP(bcFn),
 			OSR:      -1,
 		}
+		if b.sink != nil {
+			f, local, err := b.deferLookup(key, tier, ctrs)
+			if err != nil {
+				return nil, false, err
+			}
+			if !local {
+				return &unit{tier: tier, f: f, txLevel: level}, false, nil
+			}
+			f, err = ftl.Compile(bcFn, prof, opts)
+			if err != nil {
+				return nil, true, err
+			}
+			return &unit{tier: tier, f: f, txLevel: level}, true, nil
+		}
 		f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
 			return ftl.Compile(bcFn, prof, opts)
 		})
@@ -517,6 +602,20 @@ func (b *Backend) compileOSR(bcFn *bytecode.Function, prof *profile.FunctionProf
 				ProfFP:   codecache.FingerprintProfile(prof, b.realm),
 				InlineFP: b.inlineFP(bcFn),
 				OSR:      entryPC,
+			}
+			if b.sink != nil {
+				f, local, err := b.deferLookup(key, tier, ctrs)
+				if err != nil {
+					return nil, false, err
+				}
+				if !local {
+					return &unit{tier: tier, f: f}, false, nil
+				}
+				f, err = dfg.CompileOSRInlining(bcFn, prof, entryPC, b.dfgProfiles(), b.dfgDemote())
+				if err != nil {
+					return nil, true, err
+				}
+				return &unit{tier: tier, f: f}, true, nil
 			}
 			f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
 				return dfg.CompileOSRInlining(bcFn, prof, entryPC, b.dfgProfiles(), b.dfgDemote())
@@ -556,6 +655,20 @@ func (b *Backend) compileOSR(bcFn *bytecode.Function, prof *profile.FunctionProf
 			ProfFP:   codecache.FingerprintProfile(prof, b.realm),
 			InlineFP: b.inlineFP(bcFn),
 			OSR:      entryPC,
+		}
+		if b.sink != nil {
+			f, local, err := b.deferLookup(key, tier, ctrs)
+			if err != nil {
+				return nil, false, err
+			}
+			if !local {
+				return &unit{tier: tier, f: f, txLevel: level}, false, nil
+			}
+			f, err = ftl.Compile(bcFn, prof, opts)
+			if err != nil {
+				return nil, true, err
+			}
+			return &unit{tier: tier, f: f, txLevel: level}, true, nil
 		}
 		f, compiled, err := b.cache.Compile(key, b.realm, ctrs, func() (*ir.Func, error) {
 			return ftl.Compile(bcFn, prof, opts)

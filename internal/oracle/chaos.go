@@ -3,6 +3,7 @@ package oracle
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"nomap/internal/chaos"
 	"nomap/internal/governor"
@@ -27,6 +28,12 @@ type ChaosConfig struct {
 	Seed int64
 	// Workers sizes the concurrent phase's pool (default 4).
 	Workers int
+	// AsyncCompile runs the sweep with tier-up compilation moved onto the
+	// pools' background compile queue. The resilience invariants are
+	// tier-independent, so every assertion holds unchanged; the sweep only
+	// additionally drains the queue before checking plan exhaustion, since
+	// compile-fail faults now fire on rehearsal isolates.
+	AsyncCompile bool
 }
 
 // DefaultChaosConfig sweeps every fault point under all six configurations.
@@ -117,8 +124,8 @@ func ChaosSweep(cfg ChaosConfig) *ChaosReport {
 				Detail: fmt.Sprintf("reference run failed: %v", err)})
 			continue
 		}
-		rep.Failures = append(rep.Failures, chaosSerial(arch, cfg.Seed, want, &ar)...)
-		rep.Failures = append(rep.Failures, chaosLoad(arch, cfg.Seed, cfg.Workers, want, &ar)...)
+		rep.Failures = append(rep.Failures, chaosSerial(arch, cfg.Seed, cfg.AsyncCompile, want, &ar)...)
+		rep.Failures = append(rep.Failures, chaosLoad(arch, cfg.Seed, cfg.Workers, cfg.AsyncCompile, want, &ar)...)
 		rep.Archs = append(rep.Archs, ar)
 	}
 	return rep
@@ -127,7 +134,22 @@ func ChaosSweep(cfg ChaosConfig) *ChaosReport {
 // chaosSerial drives one worker through a plan covering every fault kind at
 // hand-placed occurrences, so the per-class outcome of every request is
 // exactly predictable.
-func chaosSerial(arch vm.Arch, seed int64, want []string, ar *ChaosArchReport) []ChaosFailure {
+// drainCompiles waits for the background compile queue to finish every job
+// offered so far. Offers happen synchronously inside serve attempts, so once
+// the driver's requests have all returned, jobs-vs-done converging means the
+// rehearsals (and any compile-fail faults they eat) are complete.
+func drainCompiles(p *pool.Pool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := p.Stats()
+		if st.CompileJobs == st.CompileDone {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func chaosSerial(arch vm.Arch, seed int64, async bool, want []string, ar *ChaosArchReport) []ChaosFailure {
 	var fails []ChaosFailure
 	fail := func(kind, detail string, args ...any) {
 		fails = append(fails, ChaosFailure{Arch: arch, Phase: "serial", Kind: kind,
@@ -148,7 +170,7 @@ func chaosSerial(arch vm.Arch, seed int64, want []string, ar *ChaosArchReport) [
 		chaos.At(chaos.KindSlowIsolate, 5),
 	)
 	p := pool.New(pool.Config{
-		Workers: 1, VM: vcfg, Chaos: plan,
+		Workers: 1, VM: vcfg, Chaos: plan, AsyncCompile: async,
 		Resilience: governor.ResiliencePolicy{Seed: seed},
 	})
 	defer p.Close()
@@ -176,6 +198,9 @@ func chaosSerial(arch vm.Arch, seed int64, want []string, ar *ChaosArchReport) [
 				break
 			}
 		}
+	}
+	if async {
+		drainCompiles(p)
 	}
 	st := p.Stats()
 	ar.Faults += plan.Fired(chaos.KindPanic) + plan.Fired(chaos.KindCompileFail) +
@@ -210,7 +235,7 @@ func chaosSerial(arch vm.Arch, seed int64, want []string, ar *ChaosArchReport) [
 // panics to trip the degradation ladder, asserting only the
 // schedule-independent invariants, then a clean tail that must re-promote
 // the fleet to full health.
-func chaosLoad(arch vm.Arch, seed int64, workers int, want []string, ar *ChaosArchReport) []ChaosFailure {
+func chaosLoad(arch vm.Arch, seed int64, workers int, async bool, want []string, ar *ChaosArchReport) []ChaosFailure {
 	var fails []ChaosFailure
 	fail := func(phase, kind, detail string, args ...any) {
 		fails = append(fails, ChaosFailure{Arch: arch, Phase: phase, Kind: kind,
@@ -227,7 +252,7 @@ func chaosLoad(arch vm.Arch, seed int64, workers int, want []string, ar *ChaosAr
 		chaos.At(chaos.KindSnapshotCorrupt, 2),
 	)
 	p := pool.New(pool.Config{
-		Workers: workers, QueueDepth: 64, VM: vcfg, Chaos: plan,
+		Workers: workers, QueueDepth: 64, VM: vcfg, Chaos: plan, AsyncCompile: async,
 		Resilience: governor.ResiliencePolicy{
 			// The five same-fingerprint chaos crashes must not retire the
 			// program: this phase tests the ladder, not the ledger.
@@ -295,6 +320,9 @@ func chaosLoad(arch vm.Arch, seed int64, workers int, want []string, ar *ChaosAr
 		if resp.Err != nil && !errors.Is(resp.Err, pool.ErrDegraded) {
 			fail("converge", "error-class", "tail request %d: %v", i, resp.Err)
 		}
+	}
+	if async {
+		drainCompiles(p)
 	}
 	st := p.Stats()
 	ar.Faults += plan.Fired(chaos.KindPanic) + plan.Fired(chaos.KindCompileFail) +

@@ -45,3 +45,21 @@ func TestChaosSweepSingleArch(t *testing.T) {
 		t.Error(f)
 	}
 }
+
+// TestChaosSweepAsyncCompile re-runs the sweep with tier-up compilation on
+// the background compile queue: every resilience invariant — exact serial
+// bookkeeping included — must hold with the request path never compiling.
+func TestChaosSweepAsyncCompile(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Archs = []vm.Arch{vm.ArchNoMap, vm.ArchBase}
+	cfg.AsyncCompile = true
+	rep := ChaosSweep(cfg)
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	for _, ar := range rep.Archs {
+		if !ar.Recovered {
+			t.Errorf("[%s] fleet did not recover under async compilation", ar.Arch)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nomap/internal/chaos"
@@ -55,6 +56,41 @@ type Config struct {
 	VM vm.Config
 	// CacheCapacity bounds the shared code cache (entries; 0 → default).
 	CacheCapacity int
+	// CacheShards sets the code cache's shard count (0 → default; 1 is the
+	// unsharded A/B configuration; rounded up to a power of two).
+	CacheShards int
+	// Coalesce enables cold-start request coalescing: concurrent requests
+	// for the same warm-start key elect one leader to serve cold and save
+	// the snapshot while the others wait and then start warm, so a fleet
+	// cold-start replays the profiling warmup once per key, not once per
+	// worker.
+	Coalesce bool
+	// AsyncCompile moves DFG/FTL tier-up compilation off the request path:
+	// a cache miss enqueues a background compile job and the request keeps
+	// running at its current-best tier. The bounded compile queue applies
+	// admission control — when the sliding-window p99 exceeds SLO, FTL jobs
+	// down-tier to DFG; past 2×SLO (or a full queue) jobs are shed and the
+	// degradation ladder is charged.
+	AsyncCompile bool
+	// CompileWorkers sizes the background compile pool (default 1; only
+	// meaningful with AsyncCompile).
+	CompileWorkers int
+	// CompileQueueDepth bounds the compile queue (default 16× compile
+	// workers — distinct jobs are bounded by (program, spec), so a deeper
+	// queue holds a whole mix's worth of keys without re-offer churn). A
+	// full queue sheds the job rather than blocking a request.
+	CompileQueueDepth int
+	// CompileWarmCalls is how many run() calls a background compile job
+	// rehearses to tier the key up (default 64 — past the default FTL
+	// threshold when combined with loop back-edges).
+	CompileWarmCalls int
+	// SLO is the tail-latency objective steering compile-queue admission
+	// (0 disables admission control; jobs then only clamp to the ladder's
+	// tier cap).
+	SLO time.Duration
+	// SLOWindow sizes the sliding latency window (observations per
+	// generation; 0 → 256).
+	SLOWindow int
 	// SnapshotMinCalls is the minimum request size whose warm state is
 	// worth capturing (default 8): tiny requests never reach the
 	// speculative tiers, and their snapshots would freeze cold profiles.
@@ -158,27 +194,95 @@ type Pool struct {
 	queue    chan *job
 	wg       sync.WaitGroup
 
-	mu        sync.Mutex
-	closed    bool
-	idle      map[spec][]*isolate.Isolate
-	merged    stats.Counters
-	accepted  int64
-	rejected  int64
-	completed int64
-	failed    int64
-	failedBy  map[string]int64
+	// mu guards lifecycle and the isolate free lists only. Every counter is
+	// atomic and the merged totals have their own mutex, so Stats() — and
+	// any scraper calling it — never contends with the request path.
+	mu     sync.Mutex
+	closed bool
+	idle   map[spec][]*isolate.Isolate
 	// retiredSites fail-fasts programs whose crash fingerprint the
 	// quarantine ledger permanently retired.
 	retiredSites map[uint64]string
 
-	crashes         int64
-	replacements    int64
-	retries         int64
-	degradeSteps    int64
-	repromotions    int64
-	sheds           int64
-	snapshotRejects int64
+	mergedMu sync.Mutex
+	merged   stats.Counters
+
+	// latWin is the sliding request-latency window feeding the Stats p99
+	// and the compile queue's admission control.
+	latMu  sync.Mutex
+	latWin *stats.LatencyWindow
+
+	// flights is the cold-start coalescing table: one flight per warm-start
+	// key currently being served cold by a leader.
+	flightsMu sync.Mutex
+	flights   map[isolate.StoreKey]*coldFlight
+
+	// Background compile queue (AsyncCompile).
+	compileQ chan compileJob
+	cwg      sync.WaitGroup
+	pendMu   sync.Mutex
+	pending  map[pendKey]bool
+
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	failedBy  [numClasses]atomic.Int64
+
+	crashes         atomic.Int64
+	replacements    atomic.Int64
+	retries         atomic.Int64
+	degradeSteps    atomic.Int64
+	repromotions    atomic.Int64
+	sheds           atomic.Int64
+	snapshotRejects atomic.Int64
+
+	coalesceLeads atomic.Int64
+	coalesceWaits atomic.Int64
+	compileJobs   atomic.Int64
+	compileDone   atomic.Int64
+	compileSheds  atomic.Int64
+	compileDowns  atomic.Int64
 }
+
+// coldFlight tracks one in-progress cold start: the leader closes done when
+// its snapshot save (or failure) is final.
+type coldFlight struct {
+	done chan struct{}
+}
+
+// compileJob is one background tier-up rehearsal: load entry on a spare
+// isolate of spec s and run the entry point enough times to fill the shared
+// cache (and snapshot store) for everyone.
+type compileJob struct {
+	entry *codecache.ProgramEntry
+	s     spec
+	arg   int
+	tier  profile.Tier
+}
+
+// pendKey dedups compile jobs: one rehearsal per (program, spec) fills every
+// tier on the way up, so tier is deliberately excluded.
+type pendKey struct {
+	prog uint64
+	s    spec
+}
+
+// numClasses sizes the atomic per-class failure counters; classIndex maps a
+// taxonomy class to its slot.
+const numClasses = 8
+
+var classIndex = func() map[string]int {
+	cs := Classes()
+	if len(cs) != numClasses {
+		panic("pool: numClasses out of sync with Classes()")
+	}
+	m := make(map[string]int, numClasses)
+	for i, c := range cs {
+		m[c] = i
+	}
+	return m
+}()
 
 // Stats is a point-in-time view of pool activity.
 type Stats struct {
@@ -196,6 +300,16 @@ type Stats struct {
 	Repromotions    int64 // probations survived
 	Sheds           int64 // load-shedding episodes begun
 	SnapshotRejects int64 // corrupt warm-start snapshots refused
+	// Cold-start coalescing activity.
+	CoalesceLeads int64 // cold starts served as flight leader
+	CoalesceWaits int64 // requests that waited on a leader's flight
+	// Background compile queue activity.
+	CompileJobs      int64 // jobs enqueued
+	CompileDone      int64 // jobs completed
+	CompileSheds     int64 // jobs shed (queue full or p99 > 2×SLO)
+	CompileDownTiers int64 // FTL jobs down-tiered to DFG (p99 > SLO)
+	// P99Latency is the sliding-window request p99 (the admission signal).
+	P99Latency time.Duration
 	// Health is the recovery state machine's current view.
 	Health governor.ResilienceReport
 	// Counters merges the per-isolate counters of error-free responses.
@@ -224,6 +338,15 @@ func New(cfg Config) *Pool {
 	if pol.Seed == 0 {
 		pol.Seed = int64(cfg.VM.RandomSeed)
 	}
+	if cfg.CompileWorkers <= 0 {
+		cfg.CompileWorkers = 1
+	}
+	if cfg.CompileQueueDepth <= 0 {
+		cfg.CompileQueueDepth = 16 * cfg.CompileWorkers
+	}
+	if cfg.CompileWarmCalls <= 0 {
+		cfg.CompileWarmCalls = 64
+	}
 	p := &Pool{
 		cfg:          cfg,
 		programs:     codecache.NewPrograms(),
@@ -231,11 +354,12 @@ func New(cfg Config) *Pool {
 		res:          governor.NewResilience(pol, cfg.VM.MaxTier),
 		queue:        make(chan *job, cfg.QueueDepth),
 		idle:         make(map[spec][]*isolate.Isolate),
-		failedBy:     make(map[string]int64),
 		retiredSites: make(map[uint64]string),
+		latWin:       stats.NewLatencyWindow(cfg.SLOWindow),
+		flights:      make(map[isolate.StoreKey]*coldFlight),
 	}
 	if !cfg.DisableCodeCache {
-		p.cache = codecache.NewCache(cfg.CacheCapacity)
+		p.cache = codecache.NewCacheSharded(cfg.CacheCapacity, cfg.CacheShards)
 		if cfg.Chaos != nil {
 			plan := cfg.Chaos
 			p.cache.SetFaultProbe(func() error {
@@ -244,6 +368,14 @@ func New(cfg Config) *Pool {
 				}
 				return nil
 			})
+		}
+	}
+	if cfg.AsyncCompile {
+		p.compileQ = make(chan compileJob, cfg.CompileQueueDepth)
+		p.pending = make(map[pendKey]bool)
+		for i := 0; i < cfg.CompileWorkers; i++ {
+			p.cwg.Add(1)
+			go p.compileWorker()
 		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -260,15 +392,15 @@ func (p *Pool) Submit(req Request) (<-chan Response, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		p.rejected++
+		p.rejected.Add(1)
 		return nil, ErrClosed
 	}
 	select {
 	case p.queue <- j:
-		p.accepted++
+		p.accepted.Add(1)
 		return j.resp, nil
 	default:
-		p.rejected++
+		p.rejected.Add(1)
 		return nil, ErrQueueFull
 	}
 }
@@ -290,42 +422,67 @@ func (p *Pool) Close() {
 	if p.closed {
 		p.mu.Unlock()
 		p.wg.Wait()
+		p.cwg.Wait()
 		return
 	}
 	p.closed = true
 	close(p.queue)
 	p.mu.Unlock()
 	p.wg.Wait()
+	// Serving workers are the only producers of compile jobs; once they have
+	// exited the queue can be closed and drained.
+	if p.compileQ != nil {
+		close(p.compileQ)
+	}
+	p.cwg.Wait()
 }
 
-// Stats returns a snapshot of pool activity.
+// Stats returns a snapshot of pool activity. It never takes the pool mutex:
+// scalar counters are atomics and the merged totals sit under their own
+// small lock, so scraping stats cannot stall admission or the workers.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
 	s := Stats{
-		Accepted:        p.accepted,
-		Rejected:        p.rejected,
-		Completed:       p.completed,
-		Failed:          p.failed,
-		FailedBy:        make(map[string]int64, len(p.failedBy)),
-		Crashes:         p.crashes,
-		Replacements:    p.replacements,
-		Retries:         p.retries,
-		DegradeSteps:    p.degradeSteps,
-		Repromotions:    p.repromotions,
-		Sheds:           p.sheds,
-		SnapshotRejects: p.snapshotRejects,
-		Counters:        p.merged,
+		Accepted:         p.accepted.Load(),
+		Rejected:         p.rejected.Load(),
+		Completed:        p.completed.Load(),
+		Failed:           p.failed.Load(),
+		FailedBy:         make(map[string]int64, numClasses),
+		Crashes:          p.crashes.Load(),
+		Replacements:     p.replacements.Load(),
+		Retries:          p.retries.Load(),
+		DegradeSteps:     p.degradeSteps.Load(),
+		Repromotions:     p.repromotions.Load(),
+		Sheds:            p.sheds.Load(),
+		SnapshotRejects:  p.snapshotRejects.Load(),
+		CoalesceLeads:    p.coalesceLeads.Load(),
+		CoalesceWaits:    p.coalesceWaits.Load(),
+		CompileJobs:      p.compileJobs.Load(),
+		CompileDone:      p.compileDone.Load(),
+		CompileSheds:     p.compileSheds.Load(),
+		CompileDownTiers: p.compileDowns.Load(),
 	}
-	for k, v := range p.failedBy {
-		s.FailedBy[k] = v
+	for class, i := range classIndex {
+		if n := p.failedBy[i].Load(); n > 0 {
+			s.FailedBy[class] = n
+		}
 	}
-	p.mu.Unlock()
+	p.mergedMu.Lock()
+	s.Counters = p.merged
+	p.mergedMu.Unlock()
+	s.P99Latency = p.latencyP99()
 	s.Health = p.res.Report()
 	if p.cache != nil {
 		s.Cache = p.cache.Stats()
 	}
 	s.Snapshots = p.snaps.Stats()
 	return s
+}
+
+// latencyP99 reads the sliding-window p99 estimate.
+func (p *Pool) latencyP99() time.Duration {
+	p.latMu.Lock()
+	defer p.latMu.Unlock()
+	return time.Duration(p.latWin.Quantile(0.99)) * time.Microsecond
 }
 
 // Cache exposes the shared code cache (nil when disabled) for reporting.
@@ -356,18 +513,21 @@ func (p *Pool) worker() {
 	for j := range p.queue {
 		resp := p.serve(j.req)
 		resp.Latency = time.Since(j.enq)
-		p.mu.Lock()
+		p.latMu.Lock()
+		p.latWin.Record(resp.Latency.Microseconds())
+		p.latMu.Unlock()
 		if resp.Err == nil {
-			p.completed++
+			p.completed.Add(1)
 			// Only error-free responses merge: a cancelled run may have
 			// been cut mid-transaction, so its counters do not satisfy the
 			// commit/abort balance invariants.
+			p.mergedMu.Lock()
 			p.merged.Add(&resp.Counters)
+			p.mergedMu.Unlock()
 		} else {
-			p.failed++
-			p.failedBy[Classify(resp.Err)]++
+			p.failed.Add(1)
+			p.failedBy[classIndex[Classify(resp.Err)]].Add(1)
 		}
-		p.mu.Unlock()
 		j.resp <- resp
 	}
 }
@@ -384,17 +544,15 @@ func (p *Pool) ladder(ch governor.LadderChange) {
 	if !ch.Changed() {
 		return
 	}
-	p.mu.Lock()
 	if ch.SteppedDown {
-		p.degradeSteps++
+		p.degradeSteps.Add(1)
 	}
 	if ch.Promoted {
-		p.repromotions++
+		p.repromotions.Add(1)
 	}
 	if ch.ShedStarted {
-		p.sheds++
+		p.sheds.Add(1)
 	}
-	p.mu.Unlock()
 	switch {
 	case ch.SteppedDown:
 		p.trace(Event{Kind: EventStepDown, Tier: ch.Cap})
@@ -468,8 +626,8 @@ func (p *Pool) replace(s spec) {
 	if p.cache != nil {
 		iso.UseCache(p.cache)
 	}
+	p.replacements.Add(1)
 	p.mu.Lock()
-	p.replacements++
 	if len(p.idle[s]) < 2*p.cfg.Workers {
 		p.idle[s] = append(p.idle[s], iso)
 	}
@@ -562,12 +720,12 @@ func (p *Pool) serve(req Request) Response {
 			key := governor.CrashKey{Program: entry.Hash, Site: ce.Site}
 			v := p.res.OnCrash(key)
 			ce.Crashes, ce.Retired = v.Crashes, v.Retired
-			p.mu.Lock()
-			p.crashes++
+			p.crashes.Add(1)
 			if v.Retired {
+				p.mu.Lock()
 				p.retiredSites[entry.Hash] = ce.Site
+				p.mu.Unlock()
 			}
-			p.mu.Unlock()
 			p.trace(Event{Kind: EventCrash, Program: entry.Hash, Site: ce.Site, Attempt: attempt})
 			p.trace(Event{Kind: EventQuarantine, Program: entry.Hash, Site: ce.Site, N: v.Crashes})
 			if v.NewlyRetired {
@@ -600,9 +758,7 @@ func (p *Pool) serve(req Request) Response {
 			return resp
 		}
 		window := p.res.Backoff(req.Source, attempt)
-		p.mu.Lock()
-		p.retries++
-		p.mu.Unlock()
+		p.retries.Add(1)
 		p.trace(Event{Kind: EventRetry, Program: entry.Hash, Attempt: attempt, N: window})
 		attempt++
 	}
@@ -675,6 +831,15 @@ func (p *Pool) serveOnce(req *Request, entry *codecache.ProgramEntry, deadline t
 		iso.VM().SetInterrupt(check)
 	}
 
+	// Off-path compilation: a cache miss in any speculative tier offers a
+	// background compile job and the request proceeds at its current-best
+	// tier. The isolate's Reset clears the sink before it is recycled.
+	if p.cfg.AsyncCompile && p.cache != nil {
+		iso.Backend().SetCompileSink(func(tier profile.Tier) {
+			p.offerCompile(compileJob{entry: entry, s: s, arg: req.Arg, tier: tier})
+		})
+	}
+
 	if err := iso.Load(entry); err != nil {
 		resp.Err = err
 		resp.Counters = *iso.VM().Counters()
@@ -683,7 +848,28 @@ func (p *Pool) serveOnce(req *Request, entry *codecache.ProgramEntry, deadline t
 
 	skey := isolate.KeyFor(iso.Config(), entry)
 	if !p.cfg.DisableSnapshots {
-		if snap := p.snaps.Get(skey); snap != nil {
+		snap := p.snaps.Get(skey)
+		if snap == nil && p.cfg.Coalesce && req.Calls >= p.cfg.SnapshotMinCalls {
+			// Cold-start coalescing: the first request for a key serves cold
+			// as the flight leader and saves the snapshot; concurrent
+			// requests for the same key wait for it (bounded by their own
+			// deadline) and then start warm, so a fleet cold-start replays
+			// the profiling warmup once per key rather than once per worker.
+			// Small requests (below SnapshotMinCalls) never join: their
+			// leader would not save a snapshot, so waiting buys nothing.
+			if fl, leader := p.joinCold(skey); leader {
+				p.coalesceLeads.Add(1)
+				// The flight closes on every exit from this attempt —
+				// including a contained panic (LIFO defers run this before
+				// the recover above) — so followers can never hang.
+				defer p.leaveCold(skey, fl)
+			} else {
+				p.coalesceWaits.Add(1)
+				p.waitCold(fl, deadline, req.Ctx)
+				snap = p.snaps.Get(skey)
+			}
+		}
+		if snap != nil {
 			if plan.Arm(chaos.KindSnapshotCorrupt) {
 				snap = snap.CorruptCopy()
 			}
@@ -692,9 +878,7 @@ func (p *Pool) serveOnce(req *Request, entry *codecache.ProgramEntry, deadline t
 			} else if errors.Is(err, isolate.ErrSnapshotCorrupt) {
 				// A damaged warm start degrades to a cold one: the request
 				// still serves byte-identical results.
-				p.mu.Lock()
-				p.snapshotRejects++
-				p.mu.Unlock()
+				p.snapshotRejects.Add(1)
 				p.trace(Event{Kind: EventSnapshotReject, Program: entry.Hash})
 			}
 		}

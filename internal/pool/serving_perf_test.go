@@ -1,0 +1,218 @@
+// Tests for the production-throughput machinery: lock-free stats scraping,
+// cold-start coalescing, and the off-request-path compile queue. White-box
+// (package pool) so flights and admission can be driven deterministically.
+package pool
+
+import (
+	"testing"
+	"time"
+
+	"nomap/internal/isolate"
+	"nomap/internal/profile"
+	"nomap/internal/stats"
+	"nomap/internal/value"
+)
+
+// TestStatsDoesNotTakePoolMutex is the regression guard for the atomic
+// counter rework: Stats() must complete while the pool mutex is held, or a
+// stats scraper could stall admission and the worker free lists.
+func TestStatsDoesNotTakePoolMutex(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1})
+	if r := p.Do(Request{Source: loopProgram, Calls: 2, Arg: 1}); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+
+	p.mu.Lock()
+	done := make(chan Stats, 1)
+	go func() { done <- p.Stats() }()
+	select {
+	case st := <-done:
+		if st.Accepted != 1 || st.Completed != 1 {
+			t.Errorf("stats wrong under held mutex: %+v", st)
+		}
+	case <-time.After(2 * time.Second):
+		p.mu.Unlock()
+		t.Fatal("Stats() blocked on the pool mutex")
+	}
+	p.mu.Unlock()
+}
+
+// TestCoalesceFollowerWaitsForLeader drives the flight table directly: with
+// a leader registered for the key, a concurrent request must wait, and once
+// the leader publishes a snapshot and leaves, the follower must start warm.
+func TestCoalesceFollowerWaitsForLeader(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2, Coalesce: true, SnapshotMinCalls: 8})
+	entry, err := p.programs.Load(loopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm one checked-out isolate by hand to manufacture the snapshot the
+	// leader would save.
+	iso := p.Checkout(p.cfg.VM.Arch, p.cfg.VM.MaxTier)
+	if err := iso.Load(entry); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := iso.VM().CallGlobal("run", value.Int(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := iso.Snapshot()
+	skey := isolate.KeyFor(iso.Config(), entry)
+	p.Return(iso)
+
+	// Become the leader, then submit a request that must join as follower.
+	fl, leader := p.joinCold(skey)
+	if !leader {
+		t.Fatal("first joinCold must lead")
+	}
+	respCh, err := p.Submit(Request{Source: loopProgram, Calls: 12, Arg: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.coalesceWaits.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never joined the flight as follower")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Publish the leader's learning, release the flight.
+	p.snaps.SaveOnce(skey, snap)
+	p.leaveCold(skey, fl)
+
+	resp := <-respCh
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if !resp.Warm {
+		t.Error("follower did not start warm from the leader's snapshot")
+	}
+	if st := p.Stats(); st.CoalesceWaits != 1 {
+		t.Errorf("CoalesceWaits = %d, want 1", st.CoalesceWaits)
+	}
+}
+
+// TestCoalesceConcurrentColdStart: a burst of identical cold requests must
+// produce one snapshot, identical results, and at least one elected leader.
+func TestCoalesceConcurrentColdStart(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 4, QueueDepth: 16, Coalesce: true})
+	const n = 8
+	chans := make([]<-chan Response, n)
+	for i := range chans {
+		ch, err := p.Submit(Request{Source: loopProgram, Calls: 12, Arg: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	var first Response
+	for i, ch := range chans {
+		resp := <-ch
+		if resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+		if i == 0 {
+			first = resp
+			continue
+		}
+		for j := range resp.Results {
+			if resp.Results[j] != first.Results[j] {
+				t.Fatalf("request %d call %d: %q != %q (coalescing changed results)",
+					i, j, resp.Results[j], first.Results[j])
+			}
+		}
+	}
+	st := p.Stats()
+	if st.CoalesceLeads == 0 {
+		t.Errorf("no flight leader elected: %+v", st)
+	}
+	if st.Snapshots.Size != 1 {
+		t.Errorf("snapshot store size = %d, want 1 (one key)", st.Snapshots.Size)
+	}
+	if st.CoalesceWaits > 0 && st.Counters.SnapshotRestores == 0 {
+		t.Error("followers waited but none started warm")
+	}
+}
+
+// TestAsyncCompileServesIdenticalResults: with compilation moved off the
+// request path, responses must stay byte-identical to a synchronous pool's,
+// and the background queue must eventually fill the cache so requests hit.
+func TestAsyncCompileServesIdenticalResults(t *testing.T) {
+	sync := newTestPool(t, Config{Workers: 1})
+	want := sync.Do(Request{Source: loopProgram, Calls: 16, Arg: 3})
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+
+	p := newTestPool(t, Config{Workers: 2, AsyncCompile: true, CompileWarmCalls: 16})
+	deadline := time.Now().Add(10 * time.Second)
+	warmHits := false
+	for time.Now().Before(deadline) {
+		resp := p.Do(Request{Source: loopProgram, Calls: 16, Arg: 3})
+		if resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+		for j := range resp.Results {
+			if resp.Results[j] != want.Results[j] {
+				t.Fatalf("call %d: async %q != sync %q", j, resp.Results[j], want.Results[j])
+			}
+		}
+		st := p.Stats()
+		if st.CompileDone >= 1 && st.Counters.CodeCacheHits > 0 {
+			warmHits = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !warmHits {
+		t.Fatalf("background compile never landed: %+v", p.Stats())
+	}
+	if st := p.Stats(); st.CompileJobs == 0 {
+		t.Errorf("no compile jobs recorded: %+v", st)
+	}
+}
+
+// TestCompileAdmissionShedsAndDownTiers drives the SLO gate directly: p99
+// past 2×SLO sheds the job (clearing its pending mark for a later re-offer);
+// p99 between SLO and 2×SLO down-tiers FTL work to DFG.
+func TestCompileAdmissionShedsAndDownTiers(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, AsyncCompile: true, SLO: time.Millisecond})
+	entry, err := p.programs.Load(loopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec{arch: p.cfg.VM.Arch, maxTier: p.cfg.VM.MaxTier}
+	job := compileJob{entry: entry, s: s, arg: 1, tier: profile.TierFTL}
+
+	inject := func(us int64) {
+		p.latMu.Lock()
+		p.latWin = stats.NewLatencyWindow(0)
+		for i := 0; i < 64; i++ {
+			p.latWin.Record(us)
+		}
+		p.latMu.Unlock()
+	}
+
+	inject(10000) // p99 = 10ms > 2×SLO: shed
+	p.offerCompile(job)
+	if n := p.compileSheds.Load(); n != 1 {
+		t.Fatalf("compileSheds = %d, want 1", n)
+	}
+	p.pendMu.Lock()
+	pendingAfterShed := len(p.pending)
+	p.pendMu.Unlock()
+	if pendingAfterShed != 0 {
+		t.Fatal("shed job left its pending mark; the key could never re-offer")
+	}
+
+	inject(1500) // p99 = 1.5ms in (SLO, 2×SLO]: down-tier FTL → DFG
+	p.offerCompile(job)
+	if n := p.compileDowns.Load(); n != 1 {
+		t.Errorf("compileDownTiers = %d, want 1", n)
+	}
+	if n := p.compileJobs.Load(); n != 1 {
+		t.Errorf("compileJobs = %d, want 1 (down-tiered job still runs)", n)
+	}
+}

@@ -1,0 +1,177 @@
+// HDR-style latency histogram and the sliding-window p99 estimator backing
+// the serving layer's compile-queue admission control.
+//
+// The histogram is log-linear: values below 2^subBits land in their own
+// bucket; above that, each power-of-two range is split into 2^subBits
+// sub-buckets, bounding relative error at 2^-subBits (~3% with subBits=5).
+// This is the classic HdrHistogram bucketing, reimplemented over plain int64
+// counts — no dependencies, no floating point on the record path, and
+// deterministic: identical value sequences produce identical quantiles on
+// every platform.
+//
+// Ownership follows the package rule: a Histogram is single-writer. The
+// serving pool gives each worker its own and merges after quiescence, or
+// wraps a shared LatencyWindow in its own small mutex — the pool's request
+// mutex is never involved (see pool.Stats()).
+package stats
+
+const (
+	histSubBits = 5
+	histSubs    = 1 << histSubBits // 32 sub-buckets per power of two
+	// histBuckets covers values up to 2^63-1: 32 linear buckets plus
+	// (63 - subBits) log ranges of 32 sub-buckets each.
+	histBuckets = histSubs + (63-histSubBits)*histSubs
+)
+
+// Histogram records int64 values (cycles, microseconds — any unit) with
+// bounded relative error and O(1) record cost. The zero value is ready to
+// use.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+	max    int64
+	sum    int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSubs {
+		return int(v)
+	}
+	// top is the index of the highest set bit, >= histSubBits here.
+	top := 63
+	for v>>uint(top)&1 == 0 {
+		top--
+	}
+	sub := int(v>>uint(top-histSubBits)) & (histSubs - 1)
+	return (top-histSubBits)*histSubs + sub + histSubs
+}
+
+// bucketLow returns the smallest value mapping to bucket i — the
+// conservative (under-estimating) representative used by Quantile.
+func bucketLow(i int) int64 {
+	if i < histSubs {
+		return int64(i)
+	}
+	i -= histSubs
+	top := i/histSubs + histSubBits
+	sub := int64(i % histSubs)
+	return (1 << uint(top)) | sub<<uint(top-histSubBits)
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Max returns the largest recorded value (exact, not bucketed).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Sum returns the exact sum of recorded values (for mean throughput math).
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Quantile returns the value at quantile q in [0, 1]: the lower bound of the
+// bucket containing the ceil(q*total)-th observation. q=1 returns the exact
+// maximum. An empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// Merge accumulates o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// LatencyWindow is the sliding p99 estimator for admission control: a ring
+// of generation histograms rotated every windowLen observations, so the
+// estimate tracks roughly the last windowLen×generations requests and old
+// load spikes age out. Unlike Histogram it is not single-writer — the
+// serving workers all record into it — so the caller wraps access in its own
+// mutex (the pool uses a dedicated latency mutex, never the request mutex).
+type LatencyWindow struct {
+	gens      [4]Histogram
+	cur       int
+	windowLen int64
+}
+
+// NewLatencyWindow creates a window rotating every windowLen observations
+// (minimum 16; 0 takes 256). Total look-back is 4×windowLen observations.
+func NewLatencyWindow(windowLen int) *LatencyWindow {
+	if windowLen <= 0 {
+		windowLen = 256
+	}
+	if windowLen < 16 {
+		windowLen = 16
+	}
+	return &LatencyWindow{windowLen: int64(windowLen)}
+}
+
+// Record adds one observation, rotating to the next generation when the
+// current one fills (the oldest generation is discarded).
+func (w *LatencyWindow) Record(v int64) {
+	g := &w.gens[w.cur]
+	g.Record(v)
+	if g.Count() >= w.windowLen {
+		w.cur = (w.cur + 1) % len(w.gens)
+		w.gens[w.cur].Reset()
+	}
+}
+
+// Quantile returns the quantile across all live generations.
+func (w *LatencyWindow) Quantile(q float64) int64 {
+	var all Histogram
+	for i := range w.gens {
+		all.Merge(&w.gens[i])
+	}
+	return all.Quantile(q)
+}
+
+// Count returns the number of observations across live generations.
+func (w *LatencyWindow) Count() int64 {
+	var n int64
+	for i := range w.gens {
+		n += w.gens[i].Count()
+	}
+	return n
+}

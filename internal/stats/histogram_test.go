@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Bucketing must be monotone and bound relative error at 2^-subBits.
+func TestHistogramBucketBounds(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 20, 1<<40 + 12345, math.MaxInt64} {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = i
+		low := bucketLow(i)
+		if low > v {
+			t.Fatalf("bucketLow(%d)=%d exceeds value %d", i, low, v)
+		}
+		if v >= histSubs {
+			rel := float64(v-low) / float64(v)
+			if rel > 1.0/float64(histSubs)+1e-9 {
+				t.Fatalf("value %d: relative error %.4f exceeds bound", v, rel)
+			}
+		} else if low != v {
+			t.Fatalf("linear range must be exact: value %d got low %d", v, low)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000: p50 ≈ 500, p99 ≈ 990, p999 ≈ 999, within one bucket width.
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 1000 || h.Max() != 1000 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	check := func(q float64, want int64) {
+		got := h.Quantile(q)
+		lo := want - want/histSubs - 1
+		if got < lo || got > want {
+			t.Errorf("q=%.3f: got %d, want within [%d, %d]", q, got, lo, want)
+		}
+	}
+	check(0.50, 500)
+	check(0.99, 990)
+	check(0.999, 999)
+	if h.Quantile(1) != 1000 {
+		t.Errorf("q=1 must return exact max, got %d", h.Quantile(1))
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram must return 0")
+	}
+}
+
+func TestHistogramMergeEqualsCombined(t *testing.T) {
+	var a, b, all Histogram
+	for i := int64(0); i < 500; i++ {
+		v := (i*2654435761 + 17) % 100000
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	var merged Histogram
+	merged.Merge(&a)
+	merged.Merge(&b)
+	if merged != all {
+		t.Error("merge of split halves must equal combined histogram")
+	}
+}
+
+// The sliding window must forget old observations: after a latency spike
+// ages out, the p99 estimate returns to the steady-state level.
+func TestLatencyWindowForgetsSpike(t *testing.T) {
+	w := NewLatencyWindow(64)
+	for i := 0; i < 64; i++ {
+		w.Record(1000000) // spike generation
+	}
+	if p := w.Quantile(0.99); p < 900000 {
+		t.Fatalf("spike not visible: p99=%d", p)
+	}
+	// 4 full generations of steady traffic push the spike out of the ring.
+	for i := 0; i < 64*4; i++ {
+		w.Record(100)
+	}
+	if p := w.Quantile(0.99); p > 200 {
+		t.Errorf("spike did not age out: p99=%d", p)
+	}
+}
